@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks of the photonic-core kernels behind
+//! experiments E1/E2: Haar sampling, Clements decomposition, transfer
+//! matrix construction, O(blocks) vector application, SVD, and the
+//! Fldzhyan programming optimizer.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use neuropulsim_core::clements::decompose;
+use neuropulsim_core::layered::{LayeredMesh, ProgramOptions};
+use neuropulsim_linalg::decomp::svd;
+use neuropulsim_linalg::random::haar_unitary;
+use neuropulsim_linalg::CVector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_haar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("haar_unitary");
+    for n in [8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(haar_unitary(&mut rng, n)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_clements_decompose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clements_decompose");
+    for n in [8usize, 16, 32] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let u = haar_unitary(&mut rng, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(decompose(&u)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_mesh_apply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mesh_apply");
+    for n in [8usize, 16, 32, 64] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let u = haar_unitary(&mut rng, n);
+        let program = decompose(&u);
+        let x = CVector::from_reals(&vec![0.5; n]);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(program.apply(&x)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_transfer_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mesh_transfer_matrix");
+    for n in [8usize, 16, 32] {
+        let mut rng = StdRng::seed_from_u64(4);
+        let u = haar_unitary(&mut rng, n);
+        let program = decompose(&u);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(program.transfer_matrix()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_svd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jacobi_svd");
+    group.sample_size(20);
+    for n in [8usize, 16, 32] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = neuropulsim_linalg::random::ginibre(&mut rng, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(svd(&m)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fldzhyan_program(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fldzhyan_program");
+    group.sample_size(10);
+    for n in [4usize, 6] {
+        let mut rng = StdRng::seed_from_u64(6);
+        let target = haar_unitary(&mut rng, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut mesh = LayeredMesh::universal(n);
+                let mut seed_rng = StdRng::seed_from_u64(7);
+                mesh.randomize_phases(&mut seed_rng);
+                black_box(mesh.program_unitary(
+                    &target,
+                    ProgramOptions {
+                        max_sweeps: 50,
+                        tol: 1e-10,
+                    },
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_haar,
+    bench_clements_decompose,
+    bench_mesh_apply,
+    bench_transfer_matrix,
+    bench_svd,
+    bench_fldzhyan_program
+);
+criterion_main!(benches);

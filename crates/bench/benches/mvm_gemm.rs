@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks of the MVM/GeMM engine (experiments
+//! E3/E5): core programming (SVD + two decompositions), ideal multiply,
+//! noisy multiply, and matrix–matrix streaming.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use neuropulsim_core::error::{HardwareModel, ShifterTech};
+use neuropulsim_core::gemm::{GemmEngine, GemmMode};
+use neuropulsim_core::mvm::{MvmCore, MvmNoiseConfig};
+use neuropulsim_linalg::RMatrix;
+use neuropulsim_photonics::pcm::PcmMaterial;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn matrix(n: usize, seed: u64) -> RMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    RMatrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0))
+}
+
+fn bench_core_programming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mvm_core_program");
+    group.sample_size(20);
+    for n in [8usize, 16, 32] {
+        let w = matrix(n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(MvmCore::new(&w)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_multiply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mvm_multiply");
+    for n in [8usize, 16, 32, 64] {
+        let core = MvmCore::new(&matrix(n, 2));
+        let x = vec![0.3; n];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(core.multiply(&x)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_noisy_multiply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mvm_multiply_noisy_pcm");
+    group.sample_size(20);
+    let n = 16;
+    let core = MvmCore::new(&matrix(n, 3));
+    let config = MvmNoiseConfig {
+        hardware: HardwareModel::ideal().with_shifter_tech(ShifterTech::Pcm {
+            material: PcmMaterial::GeSe,
+            levels: 32,
+        }),
+        readout_sigma: 1e-3,
+        attenuator_sigma: 0.0,
+    };
+    let mut rng = StdRng::seed_from_u64(4);
+    let instance = core.realize(&config, &mut rng);
+    let x = vec![0.3; n];
+    group.bench_function("frozen_instance", |b| {
+        b.iter(|| black_box(instance.multiply_noisy(&x, &mut rng)));
+    });
+    group.bench_function("fresh_instance", |b| {
+        b.iter(|| black_box(core.multiply_noisy(&x, &config, &mut rng)));
+    });
+    group.finish();
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_matmul");
+    group.sample_size(20);
+    let n = 16;
+    let cols = 64;
+    let w = matrix(n, 5);
+    let mut rng = StdRng::seed_from_u64(6);
+    let x = RMatrix::from_fn(n, cols, |_, _| rng.gen_range(-1.0..1.0));
+    for (name, mode) in [
+        ("tdm", GemmMode::Tdm),
+        ("wdm8", GemmMode::Wdm { channels: 8 }),
+    ] {
+        let engine = GemmEngine::new(MvmCore::new(&w), mode);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(engine.matmul(&x)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_core_programming,
+    bench_multiply,
+    bench_noisy_multiply,
+    bench_gemm
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks of the spiking substrate (experiment E6):
+//! Yamada ODE integration throughput, synapse programming, and full
+//! WTA-layer presentations with and without learning.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use neuropulsim_photonics::laser::{YamadaLaser, YamadaParams};
+use neuropulsim_snn::encoding::latency_encode;
+use neuropulsim_snn::network::SpikingLayer;
+use neuropulsim_snn::synapse::PcmSynapse;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_yamada(c: &mut Criterion) {
+    c.bench_function("yamada_rk4_10k_steps", |b| {
+        b.iter(|| {
+            let mut laser = YamadaLaser::new(YamadaParams::default());
+            laser.perturb_gain(1.0);
+            black_box(laser.run(200.0)) // 10k steps at dt = 0.02
+        });
+    });
+}
+
+fn bench_synapse_programming(c: &mut Criterion) {
+    c.bench_function("pcm_synapse_full_sweep", |b| {
+        b.iter(|| {
+            let mut s = PcmSynapse::new();
+            for _ in 0..15 {
+                s.depress();
+            }
+            for _ in 0..15 {
+                s.potentiate();
+            }
+            black_box(s.weight())
+        });
+    });
+}
+
+fn bench_layer_presentation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spiking_layer_present");
+    group.sample_size(20);
+    let stimulus = latency_encode(&[1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0], 20.0);
+    for learn in [false, true] {
+        group.bench_function(if learn { "learning" } else { "inference" }, |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut layer = SpikingLayer::new(9, 3, &mut rng);
+            b.iter(|| black_box(layer.present(&stimulus, 30.0, 0.5, learn)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_yamada,
+    bench_synapse_programming,
+    bench_layer_presentation
+);
+criterion_main!(benches);

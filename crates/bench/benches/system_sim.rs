@@ -1,0 +1,115 @@
+//! Criterion micro-benchmarks of the full-system simulator (experiments
+//! E7/E8): simulated instructions per second of the RV32IM interpreter,
+//! the software-MVM workload, the accelerator-offload path, and one
+//! fault-injection run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use neuropulsim_linalg::RMatrix;
+use neuropulsim_riscv::asm::assemble;
+use neuropulsim_riscv::bus::FlatMemory;
+use neuropulsim_riscv::cpu::Cpu;
+use neuropulsim_sim::fault::{Campaign, Fault, FaultKind, FaultTarget};
+use neuropulsim_sim::firmware::{accel_offload, software_mvm, DramLayout};
+use neuropulsim_sim::system::System;
+
+fn bench_interpreter(c: &mut Criterion) {
+    // Tight arithmetic loop: measures raw simulated-instruction rate.
+    let code = assemble(
+        "
+        li a0, 10000
+        li a1, 0
+    loop:
+        addi a1, a1, 3
+        xor  a2, a1, a0
+        add  a3, a2, a1
+        addi a0, a0, -1
+        bnez a0, loop
+        ecall
+        ",
+    )
+    .expect("assembles");
+    c.bench_function("rv32_interpreter_50k_insts", |b| {
+        b.iter(|| {
+            let mut mem = FlatMemory::new(64 * 1024);
+            mem.load_words(0, &code);
+            let mut cpu = Cpu::new(0);
+            black_box(cpu.run(&mut mem, 10_000_000).expect("no trap"));
+        });
+    });
+}
+
+fn setup_system(n: usize, batch: usize, offload: bool) -> System {
+    let layout = DramLayout::default();
+    let w = RMatrix::from_fn(n, n, |i, j| 0.2 * ((i + j) as f64 * 0.7).sin());
+    let mut sys = System::new();
+    if offload {
+        sys.platform.accel.load_matrix(&w);
+    }
+    sys.write_fixed_vector(layout.w_addr, w.as_slice());
+    for v in 0..batch {
+        let col: Vec<f64> = (0..n).map(|k| 0.1 * (v + k) as f64 / n as f64).collect();
+        sys.write_fixed_vector(layout.x_addr + (v * n * 4) as u32, &col);
+    }
+    let fw = if offload {
+        accel_offload(n, batch, layout)
+    } else {
+        software_mvm(n, batch, layout)
+    };
+    sys.load_firmware_source(&fw);
+    sys
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system_workload");
+    group.sample_size(20);
+    group.bench_function("software_mvm_8x8x8", |b| {
+        b.iter(|| {
+            let mut sys = setup_system(8, 8, false);
+            black_box(sys.run(100_000_000));
+        });
+    });
+    group.bench_function("offload_8x8x8", |b| {
+        b.iter(|| {
+            let mut sys = setup_system(8, 8, true);
+            black_box(sys.run(100_000_000));
+        });
+    });
+    group.finish();
+}
+
+fn bench_fault_injection(c: &mut Criterion) {
+    let layout = DramLayout::default();
+    let campaign = Campaign::new(
+        || setup_system(4, 1, false),
+        move |sys| {
+            (0..4)
+                .map(|k| sys.platform.dram.peek(layout.y_addr + 4 * k).unwrap_or(0))
+                .collect()
+        },
+        1_000_000,
+    );
+    let golden = campaign.golden();
+    c.bench_function("fault_injection_single", |b| {
+        b.iter(|| {
+            black_box(campaign.inject(
+                Fault {
+                    target: FaultTarget::Dram {
+                        addr: layout.w_addr,
+                    },
+                    bit: 17,
+                    cycle: 10,
+                    kind: FaultKind::Transient,
+                },
+                &golden,
+            ))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_interpreter,
+    bench_workloads,
+    bench_fault_injection
+);
+criterion_main!(benches);

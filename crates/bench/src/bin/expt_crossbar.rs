@@ -1,0 +1,151 @@
+//! **E13 — Coherent mesh vs incoherent crossbar** (the paper's intro
+//! cites both lineages: interferometric meshes [Feldmann 2021 / Clements]
+//! and the electrically programmable PCM dot-product engine [Zhou 2023]).
+//!
+//! Same weights, same workload, two architectures: quantization error,
+//! error locality under per-element noise, and silicon cost.
+
+use neuropulsim_bench::{experiment_rng, fmt, Table};
+use neuropulsim_core::crossbar::{CrossbarCore, CrossbarNoise};
+use neuropulsim_core::error::{HardwareModel, ShifterTech};
+use neuropulsim_core::mvm::{MvmCore, MvmNoiseConfig};
+use neuropulsim_linalg::RMatrix;
+use neuropulsim_photonics::energy::ComponentAreas;
+use neuropulsim_photonics::pcm::PcmMaterial;
+use rand::Rng;
+
+fn random_matrix(n: usize, seed: u64) -> RMatrix {
+    let mut rng = experiment_rng(seed);
+    RMatrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0))
+}
+
+fn main() {
+    let n = 8;
+    let w = random_matrix(n, 7000);
+
+    println!("## E13a — Weight-quantization error vs PCM levels (N = {n})\n");
+    println!("(The mesh quantizes *phases* (GeSe shifters); the crossbar");
+    println!("quantizes *transmissions* (GST cells, its natural material).)\n");
+    let mut table = Table::new(&["levels", "mesh (GeSe phases)", "crossbar (GST cells)"]);
+    for &levels in &[4u32, 8, 16, 32, 64] {
+        // Mesh path: gain-calibrated effective-matrix error.
+        let core = MvmCore::new(&w);
+        let config = MvmNoiseConfig {
+            hardware: HardwareModel::ideal().with_shifter_tech(ShifterTech::Pcm {
+                material: PcmMaterial::GeSe,
+                levels,
+            }),
+            ..MvmNoiseConfig::ideal()
+        };
+        let mut rng = experiment_rng(7100);
+        let realized = core.realized_matrix(&config, &mut rng);
+        let dot: f64 = realized
+            .as_slice()
+            .iter()
+            .zip(w.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        let norm2: f64 = realized.as_slice().iter().map(|a| a * a).sum();
+        let c = if norm2 > 0.0 { dot / norm2 } else { 0.0 };
+        let mesh_err = (&realized.scaled(c) - &w).frobenius_norm() / w.frobenius_norm();
+
+        let crossbar = CrossbarCore::new(&w, PcmMaterial::Gst225, levels);
+        table.row(&[
+            levels.to_string(),
+            fmt(mesh_err),
+            fmt(crossbar.quantization_error(&w)),
+        ]);
+    }
+    table.print();
+
+    println!("\n## E13b — Error locality: output error vs per-element disturbance\n");
+    println!("(Same 1% per-element error: crossbar errors stay local; mesh");
+    println!("phase errors propagate through interference across the depth.)\n");
+    let mut table = Table::new(&[
+        "per-element sigma",
+        "mesh output rel. err",
+        "crossbar output rel. err",
+    ]);
+    let x: Vec<f64> = (0..n).map(|k| 0.4 * ((k as f64) * 0.77).sin()).collect();
+    let want = w.mul_vec(&x);
+    let want_norm = want.iter().map(|v| v * v).sum::<f64>().sqrt();
+    for &sigma in &[0.002, 0.01, 0.05] {
+        let trials = 20;
+        let mut mesh_err = 0.0;
+        let mut xbar_err = 0.0;
+        let core = MvmCore::new(&w);
+        let crossbar = CrossbarCore::new(&w, PcmMaterial::Gst225, 4096);
+        let mut rng = experiment_rng(7200);
+        for _ in 0..trials {
+            let config = MvmNoiseConfig {
+                hardware: HardwareModel {
+                    phase_noise_sigma: sigma,
+                    ..HardwareModel::ideal()
+                },
+                ..MvmNoiseConfig::ideal()
+            };
+            let got = core.multiply_noisy(&x, &config, &mut rng);
+            mesh_err += got
+                .iter()
+                .zip(&want)
+                .map(|(a, b)| (a - b).powi(2))
+                .sum::<f64>()
+                .sqrt()
+                / want_norm
+                / trials as f64;
+            let noise = CrossbarNoise {
+                programming_sigma: sigma,
+                readout_sigma: 0.0,
+            };
+            let got = crossbar.multiply_noisy(&x, &noise, &mut rng);
+            xbar_err += got
+                .iter()
+                .zip(&want)
+                .map(|(a, b)| (a - b).powi(2))
+                .sum::<f64>()
+                .sqrt()
+                / want_norm
+                / trials as f64;
+        }
+        table.row(&[fmt(sigma), fmt(mesh_err), fmt(xbar_err)]);
+    }
+    table.print();
+
+    println!("\n## E13c — Silicon cost (N = 8 .. 64)\n");
+    let areas = ComponentAreas::default();
+    let mut table = Table::new(&[
+        "N",
+        "mesh MVM cells",
+        "crossbar cells",
+        "mesh area [mm^2]",
+        "crossbar area [mm^2]",
+    ]);
+    for &n in &[8usize, 16, 32, 64] {
+        let mesh = neuropulsim_core::footprint::mvm_core_footprint(
+            neuropulsim_core::architecture::MeshArchitecture::Clements,
+            n,
+            ShifterTech::Pcm {
+                material: PcmMaterial::GeSe,
+                levels: 32,
+            },
+            &areas,
+        );
+        let crossbar_cells = 2 * n * n;
+        // Crossbar: PCM cell + crossing per weight, plus n modulators and
+        // n balanced detector pairs.
+        let crossbar_area = crossbar_cells as f64 * areas.pcm_patch * 4.0
+            + n as f64 * (areas.modulator + 2.0 * areas.detector);
+        table.row(&[
+            n.to_string(),
+            mesh.cell_count.to_string(),
+            crossbar_cells.to_string(),
+            fmt(mesh.area_mm2()),
+            fmt(crossbar_area * 1e6),
+        ]);
+    }
+    table.print();
+    println!("\n(The crossbar's 2N^2 cells are tiny (no interferometers), so it");
+    println!("stays smaller at these sizes, at the cost of 1/N power splitting");
+    println!("and no exact-universality guarantee — complementary trade-offs,");
+    println!("which is why the paper's platform supports both device families.)");
+}

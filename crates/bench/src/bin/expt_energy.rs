@@ -1,0 +1,83 @@
+//! **E4 — Non-volatile vs volatile weight energy** (paper §3: "a
+//! non-volatile approach would be ideal to remove this constant energy
+//! consumption").
+//!
+//! Per-inference energy of thermo-optic vs PCM weight storage across
+//! mesh sizes and batch lengths, plus the breakeven picture.
+
+use neuropulsim_bench::{fmt, Table};
+use neuropulsim_core::architecture::MeshArchitecture;
+use neuropulsim_core::error::ShifterTech;
+use neuropulsim_core::perf::{nonvolatility_energy_ratio, PerfModel, Workload};
+use neuropulsim_photonics::pcm::PcmMaterial;
+
+fn pcm() -> ShifterTech {
+    ShifterTech::Pcm {
+        material: PcmMaterial::Gsst,
+        levels: 32,
+    }
+}
+
+fn main() {
+    let arch = MeshArchitecture::Clements;
+
+    println!("## E4a — Static weight-hold power of an NxN MVM core\n");
+    let mut table = Table::new(&["N", "shifters", "thermo-optic hold [W]", "PCM hold [W]"]);
+    for &n in &[8usize, 16, 32, 64] {
+        let thermo = PerfModel::new(arch, ShifterTech::ThermoOptic);
+        let nv = PerfModel::new(arch, pcm());
+        table.row(&[
+            n.to_string(),
+            thermo.phase_count(n).to_string(),
+            fmt(thermo.hold_power(n)),
+            fmt(nv.hold_power(n)),
+        ]);
+    }
+    table.print();
+
+    println!("\n## E4b — Energy per MAC vs batch (N = 16, one weight load)\n");
+    let mut table = Table::new(&["batch", "thermo [J/MAC]", "PCM [J/MAC]", "PCM advantage"]);
+    for &batch in &[1usize, 100, 10_000, 1_000_000] {
+        let w = Workload {
+            n: 16,
+            batch,
+            reprograms: 1,
+        };
+        let thermo = PerfModel::new(arch, ShifterTech::ThermoOptic).run(w);
+        let nv = PerfModel::new(arch, pcm()).run(w);
+        table.row(&[
+            batch.to_string(),
+            fmt(thermo.energy_per_mac),
+            fmt(nv.energy_per_mac),
+            format!("{:.1}x", nonvolatility_energy_ratio(arch, w)),
+        ]);
+    }
+    table.print();
+
+    println!("\n## E4c — Reprogramming-rate sweep (N = 16, 1000 vectors/program)\n");
+    let mut table = Table::new(&["reprograms", "thermo total [J]", "PCM total [J]", "ratio"]);
+    for &reprograms in &[1usize, 10, 100, 1000] {
+        let w = Workload {
+            n: 16,
+            batch: 1000,
+            reprograms,
+        };
+        let thermo = PerfModel::new(arch, ShifterTech::ThermoOptic).run(w);
+        let nv = PerfModel::new(arch, pcm()).run(w);
+        table.row(&[
+            reprograms.to_string(),
+            fmt(thermo.energy.total()),
+            fmt(nv.energy.total()),
+            format!("{:.1}x", thermo.energy.total() / nv.energy.total()),
+        ]);
+    }
+    table.print();
+
+    println!("\n## E4d — Breakdown at N = 16, batch = 10^6 (PCM core)\n");
+    let report = PerfModel::new(arch, pcm()).run(Workload {
+        n: 16,
+        batch: 1_000_000,
+        reprograms: 1,
+    });
+    println!("```\n{}```", report.energy);
+}

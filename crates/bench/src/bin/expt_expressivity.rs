@@ -1,0 +1,45 @@
+//! **E1 — Matrix expressivity** (paper §4, Fig. 2b context).
+//!
+//! Fidelity of programming Haar-random target unitaries, per mesh
+//! architecture and size, plus coverage of arbitrary non-unitary
+//! matrices via the SVD construction.
+
+use neuropulsim_bench::{experiment_rng, fmt, Table};
+use neuropulsim_core::analysis::{expressivity_sweep, nonunitary_coverage_trial, Stats};
+use neuropulsim_core::architecture::MeshArchitecture;
+
+fn main() {
+    println!("## E1 — Matrix expressivity (fidelity on Haar-random unitaries)\n");
+    let trials = 5;
+    let mut table = Table::new(&["N", "architecture", "mean fidelity", "min", "std"]);
+    for &n in &[4usize, 8, 16, 32] {
+        for arch in MeshArchitecture::ALL {
+            // The Fldzhyan optimizer is O(sweeps * N^4); cap its size.
+            if arch == MeshArchitecture::Fldzhyan && n > 16 {
+                continue;
+            }
+            let mut rng = experiment_rng(100 + n as u64);
+            let stats: Stats = expressivity_sweep(arch, n, trials, &mut rng);
+            table.row(&[
+                n.to_string(),
+                arch.to_string(),
+                fmt(stats.mean),
+                fmt(stats.min),
+                fmt(stats.std),
+            ]);
+        }
+    }
+    table.print();
+
+    println!("\n## E1b — Non-unitary coverage (relative error of SVD cores)\n");
+    let mut table = Table::new(&["N", "mean relative error"]);
+    for &n in &[4usize, 8, 16] {
+        let mut rng = experiment_rng(200 + n as u64);
+        let errs: Vec<f64> = (0..trials)
+            .map(|_| nonunitary_coverage_trial(n, &mut rng))
+            .collect();
+        let stats = Stats::from_samples(&errs);
+        table.row(&[n.to_string(), fmt(stats.mean)]);
+    }
+    table.print();
+}

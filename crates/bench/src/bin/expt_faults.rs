@@ -1,0 +1,157 @@
+//! **E8 — Fault injection / reliability** (paper §5: gem5-MARVEL
+//! "supports transient and permanent fault injections to all hardware
+//! structures ... to support the reliability aspect").
+//!
+//! Campaigns over DRAM (weights/inputs), SPM and CPU registers during the
+//! software-MVM workload, with the masked / SDC / crash / hang taxonomy.
+
+use neuropulsim_bench::{experiment_rng, fmt, Table};
+use neuropulsim_linalg::RMatrix;
+use neuropulsim_sim::fault::{random_faults, Campaign, FaultKind, FaultTarget};
+use neuropulsim_sim::firmware::{software_mvm, DramLayout};
+use neuropulsim_sim::system::System;
+
+fn campaign(n: usize) -> Campaign<'static> {
+    let layout = DramLayout::default();
+    Campaign::new(
+        move || {
+            let mut sys = System::new();
+            let w = RMatrix::from_fn(n, n, |i, j| 0.3 * ((i + 2 * j) as f64 * 0.41).sin());
+            sys.write_fixed_vector(layout.w_addr, w.as_slice());
+            let x: Vec<f64> = (0..n).map(|k| 0.2 + 0.05 * k as f64).collect();
+            sys.write_fixed_vector(layout.x_addr, &x);
+            sys.load_firmware_source(&software_mvm(n, 1, layout));
+            sys
+        },
+        move |sys| {
+            (0..n)
+                .map(|k| {
+                    sys.platform
+                        .dram
+                        .peek(layout.y_addr + 4 * k as u32)
+                        .unwrap_or(0)
+                })
+                .collect()
+        },
+        5_000_000,
+    )
+}
+
+fn main() {
+    let n = 6;
+    let c = campaign(n);
+    let layout = DramLayout::default();
+    let injections = 60;
+    // The golden run length bounds the useful injection window.
+    let golden_cycles = {
+        let mut sys = System::new();
+        let w = RMatrix::from_fn(n, n, |i, j| 0.3 * ((i + 2 * j) as f64 * 0.41).sin());
+        sys.write_fixed_vector(layout.w_addr, w.as_slice());
+        let x: Vec<f64> = (0..n).map(|k| 0.2 + 0.05 * k as f64).collect();
+        sys.write_fixed_vector(layout.x_addr, &x);
+        sys.load_firmware_source(&software_mvm(n, 1, layout));
+        sys.run(5_000_000).cycles
+    };
+    println!("golden run: {golden_cycles} cycles\n");
+
+    println!("## E8a — Outcome distribution per structure (transient, {injections} injections)\n");
+    let mut table = Table::new(&[
+        "structure",
+        "masked",
+        "SDC",
+        "crash",
+        "hang",
+        "vulnerability",
+    ]);
+    let structures: Vec<(&str, Vec<FaultTarget>)> = vec![
+        (
+            "DRAM weights",
+            (0..(n * n) as u32)
+                .map(|k| FaultTarget::Dram {
+                    addr: layout.w_addr + 4 * k,
+                })
+                .collect(),
+        ),
+        (
+            "DRAM inputs",
+            (0..n as u32)
+                .map(|k| FaultTarget::Dram {
+                    addr: layout.x_addr + 4 * k,
+                })
+                .collect(),
+        ),
+        (
+            "DRAM unused",
+            (0..64u32)
+                .map(|k| FaultTarget::Dram {
+                    addr: 0x003E_0000 + 4 * k,
+                })
+                .collect(),
+        ),
+        (
+            "CPU registers",
+            (1u8..16)
+                .map(|r| FaultTarget::Register { index: r })
+                .collect(),
+        ),
+    ];
+    for (name, targets) in &structures {
+        let mut rng = experiment_rng(3000);
+        let faults = random_faults(
+            &mut rng,
+            injections,
+            FaultKind::Transient,
+            golden_cycles,
+            targets,
+        );
+        let (_, stats) = c.run(&faults);
+        table.row(&[
+            name.to_string(),
+            stats.masked.to_string(),
+            stats.sdc.to_string(),
+            stats.crashes.to_string(),
+            stats.hangs.to_string(),
+            fmt(stats.vulnerability()),
+        ]);
+    }
+    table.print();
+
+    println!("\n## E8b — Transient vs permanent faults (CPU registers, 30 each)\n");
+    let mut table = Table::new(&["kind", "masked", "SDC", "crash", "hang", "vulnerability"]);
+    let reg_targets: Vec<FaultTarget> = (1u8..16)
+        .map(|r| FaultTarget::Register { index: r })
+        .collect();
+    for kind in [FaultKind::Transient, FaultKind::Permanent] {
+        let mut rng = experiment_rng(3100);
+        let faults = random_faults(&mut rng, 30, kind, golden_cycles, &reg_targets);
+        let (_, stats) = c.run(&faults);
+        table.row(&[
+            format!("{kind:?}"),
+            stats.masked.to_string(),
+            stats.sdc.to_string(),
+            stats.crashes.to_string(),
+            stats.hangs.to_string(),
+            fmt(stats.vulnerability()),
+        ]);
+    }
+    table.print();
+
+    println!("\n## E8c — Bit-position sensitivity (weight word W[0][0])\n");
+    let golden = c.golden();
+    let mut table = Table::new(&["bit", "outcome"]);
+    for &bit in &[0u8, 8, 14, 16, 20, 28, 31] {
+        let outcome = c.inject(
+            neuropulsim_sim::fault::Fault {
+                target: FaultTarget::Dram {
+                    addr: layout.w_addr,
+                },
+                bit,
+                cycle: 2,
+                kind: FaultKind::Transient,
+            },
+            &golden,
+        );
+        table.row(&[bit.to_string(), format!("{outcome:?}")]);
+    }
+    table.print();
+}

@@ -1,0 +1,110 @@
+//! **E9 — Footprint / SWaP** (paper §2: photonics as a "size, weight and
+//! power (SWaP)-optimized platform"; §4 compacted interferometers).
+//!
+//! Component counts, die area, optical depth and insertion-loss budget
+//! per architecture, size and shifter technology — including the mesh
+//! compaction ablation.
+
+use neuropulsim_bench::{fmt, Table};
+use neuropulsim_core::architecture::MeshArchitecture;
+use neuropulsim_core::error::ShifterTech;
+use neuropulsim_core::footprint::{mesh_footprint, mvm_core_footprint};
+use neuropulsim_photonics::energy::ComponentAreas;
+use neuropulsim_photonics::pcm::PcmMaterial;
+
+fn main() {
+    let areas = ComponentAreas::default();
+
+    println!("## E9a — Mesh footprint vs size (ideal shifters)\n");
+    let mut table = Table::new(&[
+        "N",
+        "architecture",
+        "cells",
+        "shifters",
+        "depth",
+        "area [mm^2]",
+        "loss [dB]",
+    ]);
+    for &n in &[4usize, 8, 16, 32, 64] {
+        for arch in MeshArchitecture::ALL {
+            let r = mesh_footprint(arch, n, ShifterTech::Ideal, &areas);
+            table.row(&[
+                n.to_string(),
+                arch.to_string(),
+                r.cell_count.to_string(),
+                r.phase_shifter_count.to_string(),
+                r.depth.to_string(),
+                fmt(r.area_mm2()),
+                fmt(r.insertion_loss_db),
+            ]);
+        }
+    }
+    table.print();
+
+    println!("\n## E9b — Compaction ablation (Clements vs compact cells)\n");
+    let mut table = Table::new(&["N", "area saving", "loss saving [dB]"]);
+    for &n in &[8usize, 16, 32, 64] {
+        let full = mesh_footprint(MeshArchitecture::Clements, n, ShifterTech::Ideal, &areas);
+        let compact = mesh_footprint(
+            MeshArchitecture::ClementsCompact,
+            n,
+            ShifterTech::Ideal,
+            &areas,
+        );
+        table.row(&[
+            n.to_string(),
+            format!("{:.0}%", 100.0 * (1.0 - compact.area_m2 / full.area_m2)),
+            fmt(full.insertion_loss_db - compact.insertion_loss_db),
+        ]);
+    }
+    table.print();
+
+    println!("\n## E9c — Shifter technology and the loss budget (N = 16, Clements)\n");
+    let mut table = Table::new(&["shifter tech", "mesh loss [dB]", "worst-path transmission"]);
+    for (name, tech) in [
+        ("ideal", ShifterTech::Ideal),
+        ("thermo-optic", ShifterTech::ThermoOptic),
+        (
+            "PCM GeSe",
+            ShifterTech::Pcm {
+                material: PcmMaterial::GeSe,
+                levels: 32,
+            },
+        ),
+        (
+            "PCM GSST",
+            ShifterTech::Pcm {
+                material: PcmMaterial::Gsst,
+                levels: 32,
+            },
+        ),
+        (
+            "PCM GST-225",
+            ShifterTech::Pcm {
+                material: PcmMaterial::Gst225,
+                levels: 32,
+            },
+        ),
+    ] {
+        let r = mesh_footprint(MeshArchitecture::Clements, 16, tech, &areas);
+        table.row(&[
+            name.to_string(),
+            fmt(r.insertion_loss_db),
+            fmt(r.transmission()),
+        ]);
+    }
+    table.print();
+
+    println!("\n## E9d — Full MVM core (two meshes + I/O), N = 16\n");
+    let mut table = Table::new(&["architecture", "cells", "area [mm^2]", "loss [dB]"]);
+    for arch in MeshArchitecture::ALL {
+        let r = mvm_core_footprint(arch, 16, ShifterTech::Ideal, &areas);
+        table.row(&[
+            arch.to_string(),
+            r.cell_count.to_string(),
+            fmt(r.area_mm2()),
+            fmt(r.insertion_loss_db),
+        ]);
+    }
+    table.print();
+}

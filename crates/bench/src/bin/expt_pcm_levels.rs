@@ -1,0 +1,117 @@
+//! **E3 — PCM multilevel programmability** (paper §3: "low-loss, compact,
+//! and reconfigurable multilevel PCM-based MZIs").
+//!
+//! How the number of programmable PCM levels and the material's
+//! figure of merit (dn/dk) determine MVM quality, with the drift
+//! ablation called out in DESIGN.md.
+
+use neuropulsim_bench::{experiment_rng, fmt, Table};
+use neuropulsim_core::error::{HardwareModel, ShifterTech};
+use neuropulsim_core::mvm::{MvmCore, MvmNoiseConfig};
+use neuropulsim_linalg::{metrics, RMatrix};
+use neuropulsim_photonics::pcm::PcmMaterial;
+use neuropulsim_photonics::phase::{PcmPhaseShifter, PhaseShifter};
+use rand::Rng;
+
+/// Returns `(raw, gain_calibrated)` relative errors of the realized
+/// matrix. Gain calibration applies the single scalar `c` minimizing
+/// `||c*A - W||` — the output-amplifier trim every deployed accelerator
+/// performs, which removes *uniform* insertion loss but not
+/// state-dependent distortion.
+fn mvm_error(material: PcmMaterial, levels: u32, n: usize, seed: u64) -> (f64, f64) {
+    let mut rng = experiment_rng(seed);
+    let w = RMatrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+    let core = MvmCore::new(&w);
+    let config = MvmNoiseConfig {
+        hardware: HardwareModel::ideal().with_shifter_tech(ShifterTech::Pcm { material, levels }),
+        ..MvmNoiseConfig::ideal()
+    };
+    let realized = core.realized_matrix(&config, &mut rng);
+    let raw = (&realized - &w).frobenius_norm() / w.frobenius_norm();
+    let dot: f64 = realized
+        .as_slice()
+        .iter()
+        .zip(w.as_slice())
+        .map(|(a, b)| a * b)
+        .sum();
+    let norm2: f64 = realized.as_slice().iter().map(|a| a * a).sum();
+    let c = if norm2 > 0.0 { dot / norm2 } else { 0.0 };
+    let calibrated = (&realized.scaled(c) - &w).frobenius_norm() / w.frobenius_norm();
+    (raw, calibrated)
+}
+
+fn main() {
+    let n = 8;
+
+    println!("## E3a — Material figures of merit (dn/dk at 1550 nm)\n");
+    let mut table = Table::new(&["material", "dn", "dk", "FOM", "2pi-patch loss [dB]"]);
+    for material in [PcmMaterial::Gst225, PcmMaterial::Gsst, PcmMaterial::GeSe] {
+        let mut shifter = PcmPhaseShifter::new(material, 64);
+        shifter.set_phase(std::f64::consts::TAU * 0.98);
+        let t = shifter.field_transmission();
+        let loss_db = -20.0 * t.log10();
+        table.row(&[
+            format!("{material:?}"),
+            fmt(material.delta_n()),
+            fmt(material.delta_k()),
+            fmt(material.figure_of_merit()),
+            fmt(loss_db),
+        ]);
+    }
+    table.print();
+
+    println!("\n## E3b — Gain-calibrated MVM relative error vs PCM level count (N = {n})\n");
+    println!("(A single output-gain trim removes uniform insertion loss; the");
+    println!("residual is quantization plus state-dependent absorption.)\n");
+    let mut table = Table::new(&[
+        "levels",
+        "GeSe",
+        "GSST",
+        "GST-225",
+        "GeSe raw (uncalibrated)",
+    ]);
+    for &levels in &[2u32, 4, 8, 16, 32, 64] {
+        let gese = mvm_error(PcmMaterial::GeSe, levels, n, 600);
+        let gsst = mvm_error(PcmMaterial::Gsst, levels, n, 600);
+        let gst = mvm_error(PcmMaterial::Gst225, levels, n, 600);
+        table.row(&[
+            levels.to_string(),
+            fmt(gese.1),
+            fmt(gsst.1),
+            fmt(gst.1),
+            fmt(gese.0),
+        ]);
+    }
+    table.print();
+    println!("\n(GeSe keeps improving with resolution; the lossy materials");
+    println!("plateau at the error floor set by state-dependent absorption.)");
+
+    println!("\n## E3c — Drift ablation: fidelity decay of a programmed mesh\n");
+    let mut table = Table::new(&[
+        "elapsed",
+        "fidelity (nu = 1e-3)",
+        "fidelity (nu = 0, ablation)",
+    ]);
+    let mut rng = experiment_rng(700);
+    let target = neuropulsim_linalg::random::haar_unitary(&mut rng, n);
+    let program = neuropulsim_core::clements::decompose(&target);
+    for &elapsed in &[0.0, 1.0, 100.0, 10_000.0] {
+        let mut cells = vec![format!("{elapsed:.0} s")];
+        for nu in [1e-3, 0.0] {
+            // Re-realize each phase through a drifted shifter.
+            let mut drifted = program.clone();
+            for block in drifted.blocks_mut() {
+                for phase in [&mut block.theta, &mut block.phi] {
+                    let mut s = PcmPhaseShifter::new(PcmMaterial::GeSe, 64);
+                    s.set_phase(*phase);
+                    s.apply_drift(elapsed, nu);
+                    *phase = s.phase();
+                }
+            }
+            let f = metrics::unitary_fidelity(&target, &drifted.transfer_matrix());
+            cells.push(fmt(f));
+        }
+        table.row(&cells);
+    }
+    table.print();
+}

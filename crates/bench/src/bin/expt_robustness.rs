@@ -1,0 +1,134 @@
+//! **E2 — Robustness** (paper §4: "including their performance, matrix
+//! expressivity and robustness").
+//!
+//! Two error channels:
+//!
+//! 1. post-programming **phase noise** (calibration drift / crosstalk) —
+//!    both architectures suffer; the deeper Fldzhyan mesh has more
+//!    shifters and degrades slightly faster;
+//! 2. static **coupler imbalance** (fabrication) — the Clements analytic
+//!    decomposition is oblivious to it, while the Fldzhyan mesh is
+//!    programmed *around* the measured couplers and holds fidelity.
+//!    This crossover is the architecture's reason to exist.
+
+use neuropulsim_bench::{experiment_rng, fmt, Table};
+use neuropulsim_core::analysis::{coupler_imbalance_trial, phase_noise_trial, Stats};
+use neuropulsim_core::architecture::MeshArchitecture;
+use neuropulsim_core::calibrate::FabricatedMesh;
+use neuropulsim_core::clements;
+use neuropulsim_core::error::{HardwareModel, ShifterTech};
+use neuropulsim_linalg::{metrics, random};
+use neuropulsim_photonics::pcm::PcmMaterial;
+
+fn main() {
+    let n = 8;
+    let trials = 4;
+    let archs = [MeshArchitecture::Clements, MeshArchitecture::Fldzhyan];
+
+    println!("## E2a — Fidelity vs phase-noise sigma (N = {n})\n");
+    let mut table = Table::new(&["sigma [rad]", "clements", "fldzhyan"]);
+    for &sigma in &[0.0, 0.01, 0.02, 0.05, 0.1, 0.2] {
+        let mut cells = vec![fmt(sigma)];
+        for arch in archs {
+            let mut rng = experiment_rng(300);
+            let samples: Vec<f64> = (0..trials)
+                .map(|_| phase_noise_trial(arch, n, sigma, &mut rng))
+                .collect();
+            cells.push(fmt(Stats::from_samples(&samples).mean));
+        }
+        table.row(&cells);
+    }
+    table.print();
+
+    println!("\n## E2b — Fidelity vs coupler-imbalance sigma (N = {n})\n");
+    let mut table = Table::new(&[
+        "sigma [rad]",
+        "clements (oblivious)",
+        "fldzhyan (error-aware)",
+    ]);
+    for &sigma in &[0.0, 0.02, 0.05, 0.1, 0.15] {
+        let mut cells = vec![fmt(sigma)];
+        for arch in archs {
+            let mut rng = experiment_rng(400);
+            let samples: Vec<f64> = (0..trials)
+                .map(|_| coupler_imbalance_trial(arch, n, sigma, &mut rng))
+                .collect();
+            cells.push(fmt(Stats::from_samples(&samples).mean));
+        }
+        table.row(&cells);
+    }
+    table.print();
+
+    println!("\n## E2c — Crossover vs mesh size (coupler sigma = 0.05)\n");
+    let mut table = Table::new(&["N", "clements", "fldzhyan"]);
+    for &n in &[4usize, 8, 12] {
+        let mut cells = vec![n.to_string()];
+        for arch in archs {
+            let mut rng = experiment_rng(500 + n as u64);
+            let samples: Vec<f64> = (0..trials)
+                .map(|_| coupler_imbalance_trial(arch, n, 0.05, &mut rng))
+                .collect();
+            cells.push(fmt(Stats::from_samples(&samples).mean));
+        }
+        table.row(&cells);
+    }
+    table.print();
+
+    println!("\n## E2d — Thermal crosstalk: heaters vs non-volatile PCM (N = {n})\n");
+    println!("(Each heater leaks a fraction of its phase into its spatial");
+    println!("neighbours; PCM shifters dissipate nothing and are immune —");
+    println!("a second, less-advertised win of non-volatility.)\n");
+    let mut table = Table::new(&["crosstalk coeff", "thermo-optic", "PCM GeSe 64-level"]);
+    let mut rng = experiment_rng(450);
+    let target = random::haar_unitary(&mut rng, n);
+    let program = clements::decompose(&target);
+    for &c in &[0.0, 0.005, 0.01, 0.02, 0.05] {
+        let mut cells = vec![fmt(c)];
+        for tech in [
+            ShifterTech::ThermoOptic,
+            ShifterTech::Pcm {
+                material: PcmMaterial::GeSe,
+                levels: 64,
+            },
+        ] {
+            let model = HardwareModel {
+                thermal_crosstalk: c,
+                ..HardwareModel::ideal().with_shifter_tech(tech)
+            };
+            let mut rng = experiment_rng(451);
+            let f = metrics::unitary_fidelity(&target, &model.realize(&program, &mut rng));
+            cells.push(fmt(f));
+        }
+        table.row(&cells);
+    }
+    table.print();
+
+    println!("\n## E2e — Calibration ablation: oblivious vs calibrated Clements");
+    println!("vs Fldzhyan under coupler imbalance (N = {n})\n");
+    println!("(Characterize the fabricated couplers and re-solve the phases:");
+    println!("the rectangle recovers the robustness the analytic programming");
+    println!("lost — error tolerance by calibration instead of architecture.)\n");
+    let mut table = Table::new(&[
+        "sigma [rad]",
+        "clements oblivious",
+        "clements calibrated",
+        "fldzhyan",
+    ]);
+    for &sigma in &[0.02, 0.05, 0.1, 0.15] {
+        let mut rng = experiment_rng(470);
+        let target = random::haar_unitary(&mut rng, n);
+        let program = clements::decompose(&target);
+        let mut mesh = FabricatedMesh::fabricate(&program, sigma, &mut rng);
+        let oblivious = mesh.fidelity(&target);
+        let calibrated = mesh.calibrate(&target, 60);
+        let mut rng2 = experiment_rng(470);
+        let fldzhyan = {
+            let samples: Vec<f64> = (0..2)
+                .map(|_| coupler_imbalance_trial(MeshArchitecture::Fldzhyan, n, sigma, &mut rng2))
+                .collect();
+            Stats::from_samples(&samples).mean
+        };
+        table.row(&[fmt(sigma), fmt(oblivious), fmt(calibrated), fmt(fldzhyan)]);
+    }
+    table.print();
+}

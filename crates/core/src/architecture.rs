@@ -1,0 +1,317 @@
+//! The mesh architectures evaluated in the paper's §4, unified behind one
+//! programming interface: the optimal Clements rectangle, its compacted
+//! (Bell–Walmsley) variant, and the error-tolerant Fldzhyan layered design.
+
+use crate::clements;
+use crate::error::HardwareModel;
+use crate::layered::{LayeredMesh, ProgramOptions};
+use crate::program::MeshProgram;
+use crate::reck;
+use neuropulsim_linalg::{metrics, CMatrix};
+use rand::Rng;
+use std::fmt;
+
+/// The multiport-interferometer architectures under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MeshArchitecture {
+    /// Clements rectangle: `N(N-1)/2` MZIs, depth `N`, exact analytic
+    /// decomposition (Clements et al. 2016).
+    Clements,
+    /// Clements programming realized with compacted 2×2 cells
+    /// (Bell & Walmsley 2021): same matrix, ~40% less depth/area and less
+    /// loss per cell.
+    ClementsCompact,
+    /// Fldzhyan layered mesh: `2N` columns of parallel phase shifters with
+    /// fixed couplers, programmed numerically; error-tolerant.
+    Fldzhyan,
+    /// Reck triangle: the original universal design — same MZI count as
+    /// Clements but depth `2N - 3` and unbalanced path lengths.
+    Reck,
+}
+
+impl MeshArchitecture {
+    /// All architectures, for sweeps.
+    pub const ALL: [MeshArchitecture; 4] = [
+        MeshArchitecture::Clements,
+        MeshArchitecture::ClementsCompact,
+        MeshArchitecture::Fldzhyan,
+        MeshArchitecture::Reck,
+    ];
+
+    /// Number of programmable 2×2 cells (MZIs) for an `n`-mode mesh; for
+    /// the Fldzhyan design this counts fixed couplers instead.
+    pub fn cell_count(&self, n: usize) -> usize {
+        match self {
+            MeshArchitecture::Clements
+            | MeshArchitecture::ClementsCompact
+            | MeshArchitecture::Reck => n * (n - 1) / 2,
+            MeshArchitecture::Fldzhyan => {
+                // 2n coupler columns, alternating floor(n/2) / floor((n-1)/2).
+                (0..2 * n).map(|l| (n - l % 2) / 2).sum()
+            }
+        }
+    }
+
+    /// Number of programmable phase shifters.
+    pub fn phase_shifter_count(&self, n: usize) -> usize {
+        match self {
+            // 2 per MZI + n output.
+            MeshArchitecture::Clements
+            | MeshArchitecture::ClementsCompact
+            | MeshArchitecture::Reck => n * (n - 1) + n,
+            // n per layer * 2n layers + n output.
+            MeshArchitecture::Fldzhyan => 2 * n * n + n,
+        }
+    }
+
+    /// Optical depth in 2×2-cell columns.
+    pub fn depth(&self, n: usize) -> usize {
+        match self {
+            MeshArchitecture::Clements => n,
+            MeshArchitecture::ClementsCompact => n, // same columns, shorter cells
+            MeshArchitecture::Fldzhyan => 2 * n,
+            MeshArchitecture::Reck => (2 * n).saturating_sub(3).max(1),
+        }
+    }
+
+    /// Short human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MeshArchitecture::Clements => "clements",
+            MeshArchitecture::ClementsCompact => "clements-compact",
+            MeshArchitecture::Fldzhyan => "fldzhyan",
+            MeshArchitecture::Reck => "reck",
+        }
+    }
+
+    /// Programs a mesh of this architecture to the target unitary under
+    /// ideal hardware. Returns the programmed mesh.
+    ///
+    /// For analytic architectures this is exact; for Fldzhyan a numerical
+    /// optimization is run from a randomized start (`rng` seeds it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not unitary (Clements path) or not square.
+    pub fn program<R: Rng + ?Sized>(&self, target: &CMatrix, rng: &mut R) -> ProgrammedMesh {
+        match self {
+            MeshArchitecture::Clements | MeshArchitecture::ClementsCompact => {
+                ProgrammedMesh::Rectangular {
+                    program: clements::decompose(target),
+                    compact: *self == MeshArchitecture::ClementsCompact,
+                }
+            }
+            MeshArchitecture::Reck => ProgrammedMesh::Rectangular {
+                program: reck::decompose(target),
+                compact: false,
+            },
+            MeshArchitecture::Fldzhyan => {
+                let mut mesh = LayeredMesh::universal(target.rows());
+                mesh.randomize_phases(rng);
+                mesh.program_unitary(target, ProgramOptions::default());
+                ProgrammedMesh::Layered(mesh)
+            }
+        }
+    }
+
+    /// Programs a mesh whose couplers carry static Gaussian imbalance of
+    /// standard deviation `coupler_sigma`, *letting the architecture use
+    /// its natural programming flow*: analytic (error-oblivious) for
+    /// Clements variants, error-aware numerical optimization for Fldzhyan.
+    ///
+    /// Returns the realized transfer matrix (couplers imbalanced, phases
+    /// exact) — the robustness experiment's core primitive.
+    pub fn program_with_imbalance<R: Rng + ?Sized>(
+        &self,
+        target: &CMatrix,
+        coupler_sigma: f64,
+        rng: &mut R,
+    ) -> CMatrix {
+        match self {
+            MeshArchitecture::Clements
+            | MeshArchitecture::ClementsCompact
+            | MeshArchitecture::Reck => {
+                let program = if *self == MeshArchitecture::Reck {
+                    reck::decompose(target)
+                } else {
+                    clements::decompose(target)
+                };
+                let model = HardwareModel {
+                    coupler_imbalance_sigma: coupler_sigma,
+                    ..HardwareModel::ideal()
+                };
+                model.realize(&program, rng)
+            }
+            MeshArchitecture::Fldzhyan => {
+                let mut mesh = LayeredMesh::universal(target.rows());
+                mesh.perturb_couplers(rng, coupler_sigma);
+                mesh.randomize_phases(rng);
+                mesh.program_unitary(target, ProgramOptions::default());
+                mesh.transfer_matrix()
+            }
+        }
+    }
+}
+
+impl fmt::Display for MeshArchitecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A mesh programmed by [`MeshArchitecture::program`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgrammedMesh {
+    /// A Clements-style rectangle (possibly with compact cells).
+    Rectangular {
+        /// The block program.
+        program: MeshProgram,
+        /// Whether compact (Bell–Walmsley) cells are used.
+        compact: bool,
+    },
+    /// A Fldzhyan layered mesh.
+    Layered(LayeredMesh),
+}
+
+impl ProgrammedMesh {
+    /// The ideal realized transfer matrix.
+    pub fn transfer_matrix(&self) -> CMatrix {
+        match self {
+            ProgrammedMesh::Rectangular { program, .. } => program.transfer_matrix(),
+            ProgrammedMesh::Layered(mesh) => mesh.transfer_matrix(),
+        }
+    }
+
+    /// Number of optical modes.
+    pub fn modes(&self) -> usize {
+        match self {
+            ProgrammedMesh::Rectangular { program, .. } => program.modes(),
+            ProgrammedMesh::Layered(mesh) => mesh.modes(),
+        }
+    }
+
+    /// Fidelity against a target unitary.
+    pub fn fidelity(&self, target: &CMatrix) -> f64 {
+        metrics::unitary_fidelity(target, &self.transfer_matrix())
+    }
+
+    /// Realizes the mesh with Gaussian phase errors of std `sigma` \[rad\]
+    /// added to every programmed phase (post-programming noise).
+    pub fn realize_with_phase_noise<R: Rng + ?Sized>(&self, sigma: f64, rng: &mut R) -> CMatrix {
+        match self {
+            ProgrammedMesh::Rectangular { program, .. } => {
+                let model = HardwareModel {
+                    phase_noise_sigma: sigma,
+                    ..HardwareModel::ideal()
+                };
+                model.realize(program, rng)
+            }
+            ProgrammedMesh::Layered(mesh) => {
+                let mut noisy = mesh.clone();
+                noisy.perturb_phases(rng, sigma);
+                noisy.transfer_matrix()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neuropulsim_linalg::random::haar_unitary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn counts_match_formulas() {
+        let n = 8;
+        assert_eq!(MeshArchitecture::Clements.cell_count(n), 28);
+        assert_eq!(MeshArchitecture::Clements.phase_shifter_count(n), 64);
+        assert_eq!(MeshArchitecture::Clements.depth(n), 8);
+        assert_eq!(MeshArchitecture::Fldzhyan.depth(n), 16);
+        // 2n = 16 columns alternating 4 / 3 couplers (n = 8): wait, n even:
+        // even-offset columns have 4 pairs, odd-offset have 3.
+        assert_eq!(MeshArchitecture::Fldzhyan.cell_count(n), 8 * 4 + 8 * 3);
+        assert_eq!(MeshArchitecture::Fldzhyan.phase_shifter_count(n), 136);
+    }
+
+    #[test]
+    fn all_architectures_program_small_targets() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let target = haar_unitary(&mut rng, 4);
+        for arch in MeshArchitecture::ALL {
+            let mesh = arch.program(&target, &mut rng);
+            let f = mesh.fidelity(&target);
+            let min = match arch {
+                MeshArchitecture::Fldzhyan => 0.999,
+                _ => 1.0 - 1e-9,
+            };
+            assert!(f >= min, "{arch}: fidelity {f}");
+            assert_eq!(mesh.modes(), 4);
+        }
+    }
+
+    #[test]
+    fn clements_and_compact_realize_same_matrix() {
+        let mut rng = StdRng::seed_from_u64(37);
+        let target = haar_unitary(&mut rng, 5);
+        let a = MeshArchitecture::Clements
+            .program(&target, &mut rng)
+            .transfer_matrix();
+        let b = MeshArchitecture::ClementsCompact
+            .program(&target, &mut rng)
+            .transfer_matrix();
+        assert!(a.approx_eq(&b, 1e-10));
+    }
+
+    #[test]
+    fn phase_noise_degrades_all_architectures() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let target = haar_unitary(&mut rng, 4);
+        for arch in MeshArchitecture::ALL {
+            let mesh = arch.program(&target, &mut rng);
+            let clean = mesh.fidelity(&target);
+            let noisy =
+                metrics::unitary_fidelity(&target, &mesh.realize_with_phase_noise(0.3, &mut rng));
+            assert!(noisy < clean, "{arch}: {noisy} !< {clean}");
+        }
+    }
+
+    #[test]
+    fn fldzhyan_beats_clements_under_imbalance() {
+        // The architecture's raison d'etre: with strongly imbalanced
+        // couplers, error-aware layered programming retains higher fidelity
+        // than the error-oblivious analytic Clements decomposition.
+        let mut rng = StdRng::seed_from_u64(43);
+        let n = 4;
+        let sigma = 0.12;
+        let trials = 4;
+        let mut clements_mean = 0.0;
+        let mut fldzhyan_mean = 0.0;
+        for t in 0..trials {
+            let mut trial_rng = StdRng::seed_from_u64(100 + t);
+            let target = haar_unitary(&mut rng, n);
+            let c =
+                MeshArchitecture::Clements.program_with_imbalance(&target, sigma, &mut trial_rng);
+            let mut trial_rng = StdRng::seed_from_u64(100 + t);
+            let f =
+                MeshArchitecture::Fldzhyan.program_with_imbalance(&target, sigma, &mut trial_rng);
+            clements_mean += metrics::unitary_fidelity(&target, &c) / trials as f64;
+            fldzhyan_mean += metrics::unitary_fidelity(&target, &f) / trials as f64;
+        }
+        assert!(
+            fldzhyan_mean > clements_mean,
+            "fldzhyan {fldzhyan_mean} should beat clements {clements_mean} under imbalance"
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(MeshArchitecture::Clements.to_string(), "clements");
+        assert_eq!(
+            MeshArchitecture::ClementsCompact.to_string(),
+            "clements-compact"
+        );
+        assert_eq!(MeshArchitecture::Fldzhyan.to_string(), "fldzhyan");
+    }
+}

@@ -1,0 +1,268 @@
+//! The Clements decomposition: factoring any `N x N` unitary into a
+//! rectangular mesh of `N(N-1)/2` MZIs of depth `N` plus an output phase
+//! screen (Clements et al., *Optica* 3, 1460, 2016).
+//!
+//! This is the "optimal universal multiport interferometer" architecture
+//! evaluated in the paper's §4 (Fig. 2b shows an 8×8 instance). The
+//! algorithm nulls anti-diagonals of the target alternately by
+//! right-multiplication with inverse MZIs (column rotations) and
+//! left-multiplication with MZIs (row rotations); the left factors are
+//! then commuted through the residual diagonal so every block lands on the
+//! input side of the phase screen.
+
+use crate::program::{MeshProgram, MziBlock};
+use neuropulsim_linalg::{CMatrix, C64};
+use neuropulsim_photonics::phase::wrap_phase;
+
+/// Decomposes a unitary matrix into a Clements-rectangle [`MeshProgram`].
+///
+/// The returned program satisfies `program.transfer_matrix() ~ u` to
+/// numerical precision (fidelity error below `1e-10` for well-conditioned
+/// unitaries).
+///
+/// # Panics
+///
+/// Panics if `u` is not square, is empty, or is not unitary to `1e-6`.
+///
+/// # Examples
+///
+/// ```
+/// use neuropulsim_core::clements::decompose;
+/// use neuropulsim_linalg::{metrics, random};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let u = random::haar_unitary(&mut rng, 6);
+/// let program = decompose(&u);
+/// assert_eq!(program.block_count(), 6 * 5 / 2);
+/// assert!(metrics::unitary_infidelity(&u, &program.transfer_matrix()) < 1e-10);
+/// ```
+pub fn decompose(u: &CMatrix) -> MeshProgram {
+    assert!(u.is_square(), "decompose: matrix must be square");
+    let n = u.rows();
+    assert!(n > 0, "decompose: empty matrix");
+    assert!(
+        u.is_unitary(1e-6),
+        "decompose: matrix must be unitary (||U†U - I|| <= 1e-6)"
+    );
+
+    if n == 1 {
+        return MeshProgram::new(1, Vec::new(), vec![u[(0, 0)].arg()]);
+    }
+
+    let mut work = u.clone();
+    // Right-multiplied blocks, recorded in application order.
+    let mut right_blocks: Vec<MziBlock> = Vec::new();
+    // Left-multiplied blocks, recorded in application order.
+    let mut left_blocks: Vec<MziBlock> = Vec::new();
+
+    for i in 0..(n - 1) {
+        if i % 2 == 0 {
+            // Null U[n-1-j, i-j] by right-multiplying T(m)^{-1} on columns
+            // (m, m+1) with m = i - j.
+            for j in 0..=i {
+                let m = i - j;
+                let r = n - 1 - j;
+                let (theta, phi) = solve_right_null(&work, r, m);
+                apply_right_inverse(&mut work, m, theta, phi);
+                right_blocks.push(MziBlock::new(m, theta, phi));
+            }
+        } else {
+            // Null U[n-1-i+j, j] by left-multiplying T(m) on rows
+            // (m, m+1) with m = n - 2 - i + j.
+            for j in 0..=i {
+                let m = n - 2 - i + j;
+                let c = j;
+                let (theta, phi) = solve_left_null(&work, m, c);
+                apply_left(&mut work, m, theta, phi);
+                left_blocks.push(MziBlock::new(m, theta, phi));
+            }
+        }
+    }
+
+    // `work` is now diagonal: L_k..L_1 * U * R_1^{-1}..R_q^{-1} = D, so
+    // U = L_1†..L_k† * D * R_q..R_1. Commute each left factor through the
+    // diagonal (innermost first): T(θ,φ)† D = D' T(θ, φ') with
+    // φ' = arg(d_m / d_{m+1}), d'_{m} = -e^{-i(θ+φ)} d_{m+1},
+    // d'_{m+1} = -e^{-iθ} d_{m+1}... derived for the physical MZI matrix
+    // i e^{iθ/2} [[e^{iφ} s, c], [e^{iφ} c, -s]].
+    let mut diag: Vec<C64> = (0..n).map(|k| work[(k, k)]).collect();
+    let mut commuted: Vec<MziBlock> = Vec::with_capacity(left_blocks.len());
+    for lb in left_blocks.iter().rev() {
+        let m = lb.mode;
+        let d1 = diag[m];
+        let d2 = diag[m + 1];
+        let phi_new = wrap_phase((d1 / d2).arg());
+        let g = C64::cis(lb.theta);
+        diag[m] = -(C64::cis(-lb.phi) * g.conj()) * d2;
+        diag[m + 1] = -g.conj() * d2;
+        commuted.push(MziBlock::new(m, lb.theta, phi_new));
+    }
+
+    // Application order: first the right blocks (in recorded order, since
+    // U = ... * R_q ... R_1 and R_1 was recorded first => acts first), then
+    // the commuted left blocks (innermost-first = recorded order of
+    // `commuted`), and finally the diagonal screen.
+    let mut blocks = right_blocks;
+    blocks.extend(commuted);
+    let output_phases: Vec<f64> = diag.iter().map(|d| wrap_phase(d.arg())).collect();
+
+    MeshProgram::new(n, blocks, output_phases)
+}
+
+/// Finds `(theta, phi)` so that `(U * T(m, theta, phi)^{-1})[r, m] = 0`.
+///
+/// Condition (for the physical MZI block): with `s = sin(theta/2)`,
+/// `c = cos(theta/2)`: `U[r,m] e^{-i phi} s + U[r,m+1] c = 0`.
+fn solve_right_null(u: &CMatrix, r: usize, m: usize) -> (f64, f64) {
+    let a = u[(r, m)];
+    let b = u[(r, m + 1)];
+    if b.abs() < 1e-300 {
+        return (0.0, 0.0);
+    }
+    if a.abs() < 1e-300 {
+        return (std::f64::consts::PI, 0.0);
+    }
+    let half_theta = (b.abs() / a.abs()).atan();
+    // e^{-i phi} * a * s = -b * c  =>  phi = arg(a) - arg(-b)
+    let phi = wrap_phase(a.arg() - (-b).arg());
+    (2.0 * half_theta, phi)
+}
+
+/// Finds `(theta, phi)` so that `(T(m, theta, phi) * U)[m+1, c] = 0`.
+///
+/// Condition: `e^{i phi} c_half * U[m,c] = s_half * U[m+1,c]`.
+fn solve_left_null(u: &CMatrix, m: usize, c: usize) -> (f64, f64) {
+    let a = u[(m, c)];
+    let b = u[(m + 1, c)];
+    if b.abs() < 1e-300 {
+        // Element already null: theta = pi kills the a-contribution
+        // (c_half = 0); if a is null too, anything works.
+        if a.abs() < 1e-300 {
+            return (0.0, 0.0);
+        }
+        return (std::f64::consts::PI, 0.0);
+    }
+    if a.abs() < 1e-300 {
+        return (0.0, 0.0);
+    }
+    let half_theta = (a.abs() / b.abs()).atan();
+    let phi = wrap_phase(b.arg() - a.arg());
+    (2.0 * half_theta, phi)
+}
+
+/// `u <- u * T(m, theta, phi)^{-1}` (columns m, m+1).
+fn apply_right_inverse(u: &mut CMatrix, m: usize, theta: f64, phi: f64) {
+    let (a, b, c, d) = MziBlock::new(m, theta, phi).elements();
+    // Inverse of unitary = adjoint: block [[a*, c*], [b*, d*]].
+    u.apply_right_2x2(m, m + 1, a.conj(), c.conj(), b.conj(), d.conj());
+}
+
+/// `u <- T(m, theta, phi) * u` (rows m, m+1).
+fn apply_left(u: &mut CMatrix, m: usize, theta: f64, phi: f64) {
+    let (a, b, c, d) = MziBlock::new(m, theta, phi).elements();
+    u.apply_left_2x2(m, m + 1, a, b, c, d);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neuropulsim_linalg::metrics::unitary_infidelity;
+    use neuropulsim_linalg::random::haar_unitary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reconstructs_haar_unitaries() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [2, 3, 4, 5, 8, 12, 16] {
+            let u = haar_unitary(&mut rng, n);
+            let program = decompose(&u);
+            let err = unitary_infidelity(&u, &program.transfer_matrix());
+            assert!(err < 1e-10, "n={n}: infidelity {err}");
+        }
+    }
+
+    #[test]
+    fn exact_reconstruction_not_just_fidelity() {
+        // Fidelity is phase-invariant; also check entrywise equality.
+        let mut rng = StdRng::seed_from_u64(13);
+        let u = haar_unitary(&mut rng, 6);
+        let v = decompose(&u).transfer_matrix();
+        assert!(u.approx_eq(&v, 1e-9), "entrywise mismatch:\n{u}\nvs\n{v}");
+    }
+
+    #[test]
+    fn block_count_is_n_choose_2() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for n in [2, 4, 7, 9] {
+            let u = haar_unitary(&mut rng, n);
+            assert_eq!(decompose(&u).block_count(), n * (n - 1) / 2);
+        }
+    }
+
+    #[test]
+    fn depth_is_n() {
+        let mut rng = StdRng::seed_from_u64(19);
+        for n in [4, 6, 8] {
+            let u = haar_unitary(&mut rng, n);
+            let d = decompose(&u).depth();
+            assert!(d <= n, "depth {d} should be <= {n}");
+            assert!(d >= n - 1, "depth {d} unexpectedly small for n={n}");
+        }
+    }
+
+    #[test]
+    fn decomposes_identity() {
+        let id = CMatrix::identity(5);
+        let program = decompose(&id);
+        assert!(unitary_infidelity(&id, &program.transfer_matrix()) < 1e-12);
+    }
+
+    #[test]
+    fn decomposes_permutation() {
+        // Cyclic shift permutation.
+        let n = 4;
+        let mut p = CMatrix::zeros(n, n);
+        for i in 0..n {
+            p[(i, (i + 1) % n)] = C64::ONE;
+        }
+        let program = decompose(&p);
+        assert!(unitary_infidelity(&p, &program.transfer_matrix()) < 1e-10);
+    }
+
+    #[test]
+    fn decomposes_diagonal_phases() {
+        let d = CMatrix::diagonal(&[C64::cis(0.3), C64::cis(1.2), C64::cis(2.9)]);
+        let program = decompose(&d);
+        assert!(program.transfer_matrix().approx_eq(&d, 1e-10));
+    }
+
+    #[test]
+    fn single_mode_case() {
+        let u = CMatrix::diagonal(&[C64::cis(1.0)]);
+        let program = decompose(&u);
+        assert_eq!(program.modes(), 1);
+        assert!(program.transfer_matrix().approx_eq(&u, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "unitary")]
+    fn rejects_non_unitary() {
+        let m = CMatrix::from_reals(2, 2, &[1.0, 1.0, 0.0, 1.0]);
+        let _ = decompose(&m);
+    }
+
+    #[test]
+    fn theta_stays_in_principal_range() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let u = haar_unitary(&mut rng, 8);
+        for b in decompose(&u).blocks() {
+            assert!(
+                (0.0..=std::f64::consts::PI + 1e-12).contains(&b.theta),
+                "theta {} outside [0, pi]",
+                b.theta
+            );
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Footprint (SWaP) analysis: component counts, die area, optical depth
+//! and insertion-loss budget per mesh architecture — experiment E9.
+//!
+//! The paper positions integrated photonics as a "size, weight and power
+//! (SWaP)-optimized platform" (§2); this module quantifies the size part.
+
+use crate::architecture::MeshArchitecture;
+use crate::error::ShifterTech;
+use neuropulsim_photonics::energy::ComponentAreas;
+#[cfg(test)]
+use neuropulsim_photonics::pcm::PcmMaterial;
+use neuropulsim_photonics::phase::{PcmPhaseShifter, PhaseShifter};
+use neuropulsim_photonics::units::linear_to_db;
+
+/// Footprint and loss budget of one mesh instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FootprintReport {
+    /// Number of 2×2 cells (MZIs or fixed couplers).
+    pub cell_count: usize,
+    /// Number of programmable phase shifters.
+    pub phase_shifter_count: usize,
+    /// Optical depth in cell columns.
+    pub depth: usize,
+    /// Total die area \[m^2\].
+    pub area_m2: f64,
+    /// Worst-path insertion loss \[dB\] (positive number).
+    pub insertion_loss_db: f64,
+}
+
+impl FootprintReport {
+    /// Die area in mm².
+    pub fn area_mm2(&self) -> f64 {
+        self.area_m2 * 1e6
+    }
+
+    /// Worst-path power transmission (linear).
+    pub fn transmission(&self) -> f64 {
+        10f64.powf(-self.insertion_loss_db / 10.0)
+    }
+}
+
+/// Computes the footprint of an `n`-mode mesh of the given architecture
+/// and phase-shifter technology for the full MVM core *unitary* (one
+/// mesh; an SVD-based MVM core uses two plus an attenuator column).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn mesh_footprint(
+    arch: MeshArchitecture,
+    n: usize,
+    tech: ShifterTech,
+    areas: &ComponentAreas,
+) -> FootprintReport {
+    assert!(n >= 2, "mesh needs at least 2 modes");
+    let cell_count = arch.cell_count(n);
+    let phase_shifter_count = arch.phase_shifter_count(n);
+    let depth = arch.depth(n);
+
+    // Cell area: full MZI for Clements variants; the Fldzhyan layered
+    // design uses bare couplers (half an MZI) plus separate shifters that
+    // we charge through the PCM/heater patch area.
+    let cell_area = match arch {
+        MeshArchitecture::Clements | MeshArchitecture::Reck => areas.mzi,
+        MeshArchitecture::ClementsCompact => areas.mzi * areas.compact_factor,
+        MeshArchitecture::Fldzhyan => areas.mzi * 0.5,
+    };
+    let shifter_area = match tech {
+        ShifterTech::Pcm { .. } => areas.pcm_patch,
+        // Heater area is folded into the MZI cell for the Clements
+        // variants; charge it explicitly for the layered design.
+        _ => match arch {
+            MeshArchitecture::Fldzhyan => areas.pcm_patch, // similar pad size
+            _ => 0.0,
+        },
+    };
+    let area_m2 = cell_count as f64 * cell_area + phase_shifter_count as f64 * shifter_area;
+
+    // Loss budget: per-column excess loss (waveguide + two couplers) plus
+    // the state-dependent shifter loss at a representative mid-state.
+    let per_cell_loss_db = match arch {
+        MeshArchitecture::Clements | MeshArchitecture::Reck => 0.15,
+        MeshArchitecture::ClementsCompact => 0.10, // fewer bends, shorter
+        MeshArchitecture::Fldzhyan => 0.08,        // bare couplers
+    };
+    let shifter_loss_db = shifter_passage_loss_db(tech);
+    // Worst path crosses `depth` cells and, on average, one programmable
+    // shifter per column (2 for MZI columns).
+    let shifters_per_column = match arch {
+        MeshArchitecture::Clements | MeshArchitecture::ClementsCompact | MeshArchitecture::Reck => {
+            2.0
+        }
+        MeshArchitecture::Fldzhyan => 1.0,
+    };
+    let insertion_loss_db =
+        depth as f64 * (per_cell_loss_db + shifters_per_column * shifter_loss_db);
+
+    FootprintReport {
+        cell_count,
+        phase_shifter_count,
+        depth,
+        area_m2,
+        insertion_loss_db,
+    }
+}
+
+/// Mid-state single-passage loss of one shifter \[dB\].
+fn shifter_passage_loss_db(tech: ShifterTech) -> f64 {
+    match tech {
+        ShifterTech::Ideal => 0.0,
+        ShifterTech::ThermoOptic => 0.026, // ~0.997 field transmission
+        ShifterTech::Pcm { material, levels } => {
+            let mut s = PcmPhaseShifter::new(material, levels.max(2));
+            s.set_phase(std::f64::consts::PI); // representative mid state
+            let field_t = s.field_transmission();
+            -linear_to_db(field_t * field_t)
+        }
+    }
+}
+
+/// Footprint of a complete MVM core (two meshes + modulators + detectors +
+/// attenuator column).
+pub fn mvm_core_footprint(
+    arch: MeshArchitecture,
+    n: usize,
+    tech: ShifterTech,
+    areas: &ComponentAreas,
+) -> FootprintReport {
+    let mesh = mesh_footprint(arch, n, tech, areas);
+    FootprintReport {
+        cell_count: 2 * mesh.cell_count + n, // + attenuator column
+        phase_shifter_count: 2 * mesh.phase_shifter_count + n,
+        depth: 2 * mesh.depth + 1,
+        area_m2: 2.0 * mesh.area_m2 + n as f64 * (areas.modulator + areas.detector + areas.mzi),
+        insertion_loss_db: 2.0 * mesh.insertion_loss_db + 1.0, // +1 dB I/O
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn areas() -> ComponentAreas {
+        ComponentAreas::default()
+    }
+
+    #[test]
+    fn compact_is_smaller_than_clements() {
+        for n in [4, 8, 16] {
+            let c = mesh_footprint(MeshArchitecture::Clements, n, ShifterTech::Ideal, &areas());
+            let k = mesh_footprint(
+                MeshArchitecture::ClementsCompact,
+                n,
+                ShifterTech::Ideal,
+                &areas(),
+            );
+            assert!(k.area_m2 < c.area_m2, "n={n}");
+            assert!(k.insertion_loss_db < c.insertion_loss_db, "n={n}");
+            assert_eq!(k.cell_count, c.cell_count);
+        }
+    }
+
+    #[test]
+    fn area_scales_quadratically() {
+        let a8 = mesh_footprint(MeshArchitecture::Clements, 8, ShifterTech::Ideal, &areas());
+        let a16 = mesh_footprint(MeshArchitecture::Clements, 16, ShifterTech::Ideal, &areas());
+        let ratio = a16.area_m2 / a8.area_m2;
+        // MZI count ratio: 120/28 ~ 4.3
+        assert!((ratio - 120.0 / 28.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn loss_scales_with_depth() {
+        let a8 = mesh_footprint(MeshArchitecture::Clements, 8, ShifterTech::Ideal, &areas());
+        let a16 = mesh_footprint(MeshArchitecture::Clements, 16, ShifterTech::Ideal, &areas());
+        assert!((a16.insertion_loss_db / a8.insertion_loss_db - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pcm_adds_loss_but_no_heater_area_for_clements() {
+        let ideal = mesh_footprint(MeshArchitecture::Clements, 8, ShifterTech::Ideal, &areas());
+        let pcm = mesh_footprint(
+            MeshArchitecture::Clements,
+            8,
+            ShifterTech::Pcm {
+                material: PcmMaterial::GeSe,
+                levels: 16,
+            },
+            &areas(),
+        );
+        assert!(pcm.insertion_loss_db > ideal.insertion_loss_db);
+        assert!(pcm.area_m2 > ideal.area_m2);
+    }
+
+    #[test]
+    fn gese_loses_less_than_gst() {
+        let mk = |material| {
+            mesh_footprint(
+                MeshArchitecture::Clements,
+                8,
+                ShifterTech::Pcm {
+                    material,
+                    levels: 16,
+                },
+                &areas(),
+            )
+            .insertion_loss_db
+        };
+        assert!(mk(PcmMaterial::GeSe) < mk(PcmMaterial::Gst225));
+    }
+
+    #[test]
+    fn mvm_core_doubles_mesh() {
+        let mesh = mesh_footprint(MeshArchitecture::Clements, 8, ShifterTech::Ideal, &areas());
+        let core = mvm_core_footprint(MeshArchitecture::Clements, 8, ShifterTech::Ideal, &areas());
+        assert_eq!(core.cell_count, 2 * mesh.cell_count + 8);
+        assert!(core.area_m2 > 2.0 * mesh.area_m2);
+        assert!(core.insertion_loss_db > 2.0 * mesh.insertion_loss_db);
+    }
+
+    #[test]
+    fn transmission_matches_loss() {
+        let r = mesh_footprint(MeshArchitecture::Clements, 4, ShifterTech::Ideal, &areas());
+        let t = r.transmission();
+        assert!((linear_to_db(t) + r.insertion_loss_db).abs() < 1e-9);
+        assert!(r.area_mm2() > 0.0);
+    }
+}

@@ -1,0 +1,419 @@
+//! Error-tolerant layered meshes in the style of Fldzhyan, Saygin & Kulik
+//! (*Opt. Lett.* 45, 2632, 2020): alternating columns of *fixed* 50:50
+//! couplers and columns of phase shifters on every mode ("parallel PS
+//! blocks", as the paper's §4 puts it).
+//!
+//! Unlike the Clements rectangle there is no analytic decomposition; the
+//! mesh is programmed by numerical optimization of the phase columns
+//! against a target unitary. Because the optimizer sees the mesh's
+//! *actual* couplers — imbalanced ones included — the programming is
+//! inherently error-aware, which is where the architecture's robustness
+//! advantage comes from (experiment E2).
+
+use neuropulsim_linalg::{metrics, CMatrix, C64};
+use rand::Rng;
+
+/// A layered (Fldzhyan-style) programmable interferometer.
+///
+/// Structure, input to output: `num_layers` repetitions of
+/// `[phase column] -> [fixed coupler column]`, followed by an output phase
+/// screen. Coupler columns alternate offset 0 / offset 1 so light spreads
+/// across all modes.
+///
+/// # Examples
+///
+/// ```
+/// use neuropulsim_core::layered::LayeredMesh;
+///
+/// let mesh = LayeredMesh::new(4, 8);
+/// assert_eq!(mesh.phase_count(), 8 * 4 + 4);
+/// assert!(mesh.transfer_matrix().is_unitary(1e-12));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayeredMesh {
+    n: usize,
+    /// `phase_layers[l][k]`: phase on mode `k` in layer `l`.
+    phase_layers: Vec<Vec<f64>>,
+    output_phases: Vec<f64>,
+    /// `coupler_kappa[l][p]`: coupling angle of the `p`-th coupler in the
+    /// coupler column of layer `l` (ideal = pi/4).
+    coupler_kappa: Vec<Vec<f64>>,
+}
+
+/// Options controlling [`LayeredMesh::program_unitary`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgramOptions {
+    /// Maximum number of full optimization sweeps.
+    pub max_sweeps: usize,
+    /// Stop when a sweep improves fidelity by less than this.
+    pub tol: f64,
+}
+
+impl Default for ProgramOptions {
+    fn default() -> Self {
+        ProgramOptions {
+            max_sweeps: 400,
+            tol: 1e-12,
+        }
+    }
+}
+
+/// Outcome of a programming run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgramReport {
+    /// Fidelity of the realized vs target unitary after optimization.
+    pub fidelity: f64,
+    /// Number of sweeps actually performed.
+    pub sweeps: usize,
+}
+
+impl LayeredMesh {
+    /// Creates a mesh with all phases zero and ideal couplers.
+    ///
+    /// A depth of `2 * n` layers gives enough parameters for near-universal
+    /// coverage of U(n).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `num_layers == 0`.
+    pub fn new(n: usize, num_layers: usize) -> Self {
+        assert!(n >= 2, "mesh needs at least 2 modes");
+        assert!(num_layers > 0, "mesh needs at least 1 layer");
+        let coupler_kappa = (0..num_layers)
+            .map(|l| vec![std::f64::consts::FRAC_PI_4; Self::pair_count(n, l)])
+            .collect();
+        LayeredMesh {
+            n,
+            phase_layers: vec![vec![0.0; n]; num_layers],
+            output_phases: vec![0.0; n],
+            coupler_kappa,
+        }
+    }
+
+    /// The depth recommended for near-universality: `2 * n` layers.
+    pub fn universal(n: usize) -> Self {
+        LayeredMesh::new(n, 2 * n)
+    }
+
+    fn pair_count(n: usize, layer: usize) -> usize {
+        let offset = layer % 2;
+        (n - offset) / 2
+    }
+
+    /// Number of optical modes.
+    pub fn modes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.phase_layers.len()
+    }
+
+    /// Total number of programmable phases (incl. the output screen).
+    pub fn phase_count(&self) -> usize {
+        self.n * self.phase_layers.len() + self.n
+    }
+
+    /// Total number of (fixed) couplers.
+    pub fn coupler_count(&self) -> usize {
+        self.coupler_kappa.iter().map(Vec::len).sum()
+    }
+
+    /// Borrow the phase layers.
+    pub fn phase_layers(&self) -> &[Vec<f64>] {
+        &self.phase_layers
+    }
+
+    /// Randomizes every phase uniformly in `[0, 2 pi)` (optimization
+    /// restarts).
+    pub fn randomize_phases<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for layer in &mut self.phase_layers {
+            for p in layer.iter_mut() {
+                *p = rng.gen_range(0.0..std::f64::consts::TAU);
+            }
+        }
+        for p in &mut self.output_phases {
+            *p = rng.gen_range(0.0..std::f64::consts::TAU);
+        }
+    }
+
+    /// Perturbs every coupler angle by independent Gaussian errors of
+    /// standard deviation `sigma` \[rad\] (static fabrication imbalance).
+    pub fn perturb_couplers<R: Rng + ?Sized>(&mut self, rng: &mut R, sigma: f64) {
+        for col in &mut self.coupler_kappa {
+            for k in col.iter_mut() {
+                *k += sigma * neuropulsim_linalg::random::gaussian(rng);
+            }
+        }
+    }
+
+    /// Adds independent Gaussian errors of standard deviation `sigma` to
+    /// every programmed phase (post-programming drift / crosstalk).
+    pub fn perturb_phases<R: Rng + ?Sized>(&mut self, rng: &mut R, sigma: f64) {
+        for layer in &mut self.phase_layers {
+            for p in layer.iter_mut() {
+                *p += sigma * neuropulsim_linalg::random::gaussian(rng);
+            }
+        }
+        for p in &mut self.output_phases {
+            *p += sigma * neuropulsim_linalg::random::gaussian(rng);
+        }
+    }
+
+    /// Applies the coupler column of `layer` to `u` from the left.
+    fn apply_coupler_column(&self, u: &mut CMatrix, layer: usize) {
+        let offset = layer % 2;
+        for (p, &kappa) in self.coupler_kappa[layer].iter().enumerate() {
+            let top = offset + 2 * p;
+            let c = C64::real(kappa.cos());
+            let s = C64::new(0.0, kappa.sin());
+            u.apply_left_2x2(top, top + 1, c, s, s, c);
+        }
+    }
+
+    /// Applies a diagonal phase column to `u` from the left.
+    fn apply_phase_column(u: &mut CMatrix, phases: &[f64]) {
+        for (i, &p) in phases.iter().enumerate() {
+            let e = C64::cis(p);
+            for j in 0..u.cols() {
+                u[(i, j)] *= e;
+            }
+        }
+    }
+
+    /// The realized transfer matrix (including any coupler imbalance).
+    pub fn transfer_matrix(&self) -> CMatrix {
+        let mut u = CMatrix::identity(self.n);
+        for l in 0..self.num_layers() {
+            Self::apply_phase_column(&mut u, &self.phase_layers[l]);
+            self.apply_coupler_column(&mut u, l);
+        }
+        Self::apply_phase_column(&mut u, &self.output_phases);
+        u
+    }
+
+    /// Product of all columns strictly *before* the phase column of `layer`.
+    fn prefix(&self, layer: usize) -> CMatrix {
+        let mut u = CMatrix::identity(self.n);
+        for l in 0..layer {
+            Self::apply_phase_column(&mut u, &self.phase_layers[l]);
+            self.apply_coupler_column(&mut u, l);
+        }
+        u
+    }
+
+    /// Product of all columns strictly *after* the phase column of `layer`
+    /// (starting with that layer's coupler column).
+    fn suffix(&self, layer: usize) -> CMatrix {
+        let mut u = CMatrix::identity(self.n);
+        for l in layer..self.num_layers() {
+            if l > layer {
+                Self::apply_phase_column(&mut u, &self.phase_layers[l]);
+            }
+            self.apply_coupler_column(&mut u, l);
+        }
+        // Start of the chain for `l == layer` skips that layer's phases but
+        // must include its coupler column first — handled by the loop above
+        // because we apply phases only for l > layer.
+        Self::apply_phase_column(&mut u, &self.output_phases);
+        u
+    }
+
+    /// Programs the mesh to realize `target` by cyclic phase-column
+    /// optimization: for each phase column, the overlap
+    /// `t = Tr(T† * Suf * P * Pre) = sum_k M_kk e^{i phi_k}` is maximized
+    /// exactly by phasor alignment, where `M = Pre * T† * Suf`.
+    ///
+    /// Returns the achieved fidelity and sweep count. The optimizer uses
+    /// the mesh's actual couplers, so imbalance is compensated as far as
+    /// the architecture allows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not `n x n`.
+    pub fn program_unitary(&mut self, target: &CMatrix, options: ProgramOptions) -> ProgramReport {
+        assert_eq!(
+            (target.rows(), target.cols()),
+            (self.n, self.n),
+            "target must match mesh size"
+        );
+        let t_adj = target.adjoint();
+        let mut last_fidelity = metrics::unitary_fidelity(target, &self.transfer_matrix());
+        let mut sweeps = 0;
+
+        for sweep in 0..options.max_sweeps {
+            sweeps = sweep + 1;
+            // Optimize each interior phase column.
+            for l in 0..self.num_layers() {
+                let pre = self.prefix(l);
+                let suf = self.suffix(l);
+                let m = pre.mul_mat(&t_adj).mul_mat(&suf);
+                Self::align_phases(&m, &mut self.phase_layers[l]);
+            }
+            // Optimize the output screen: U = D * Rest, overlap
+            // Tr(T† D Rest) = Tr(Rest T† D) = sum_k (Rest T†)_kk e^{i d_k}.
+            let rest = {
+                let mut u = CMatrix::identity(self.n);
+                for l in 0..self.num_layers() {
+                    Self::apply_phase_column(&mut u, &self.phase_layers[l]);
+                    self.apply_coupler_column(&mut u, l);
+                }
+                u
+            };
+            let m = rest.mul_mat(&t_adj);
+            Self::align_phases(&m, &mut self.output_phases);
+
+            let fidelity = metrics::unitary_fidelity(target, &self.transfer_matrix());
+            if (fidelity - last_fidelity).abs() < options.tol {
+                last_fidelity = fidelity;
+                break;
+            }
+            last_fidelity = fidelity;
+        }
+
+        ProgramReport {
+            fidelity: last_fidelity,
+            sweeps,
+        }
+    }
+
+    /// Given `M` with overlap `t(phi) = sum_k M_kk e^{i phi_k}`, sets the
+    /// phases to (locally) maximize `|t|` by iterated phasor alignment.
+    fn align_phases(m: &CMatrix, phases: &mut [f64]) {
+        let diag: Vec<C64> = (0..phases.len()).map(|k| m[(k, k)]).collect();
+        for _round in 0..4 {
+            for k in 0..phases.len() {
+                let rest: C64 = diag
+                    .iter()
+                    .zip(phases.iter())
+                    .enumerate()
+                    .filter(|&(j, _)| j != k)
+                    .map(|(_, (&d, &p))| d * C64::cis(p))
+                    .sum();
+                if diag[k].abs() < 1e-300 {
+                    continue;
+                }
+                if rest.abs() < 1e-300 {
+                    phases[k] = -diag[k].arg();
+                } else {
+                    phases[k] = rest.arg() - diag[k].arg();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neuropulsim_linalg::random::haar_unitary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fresh_mesh_is_unitary_any_depth() {
+        for layers in [1, 3, 8] {
+            let mesh = LayeredMesh::new(5, layers);
+            assert!(mesh.transfer_matrix().is_unitary(1e-12));
+        }
+    }
+
+    #[test]
+    fn randomized_mesh_stays_unitary() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut mesh = LayeredMesh::universal(4);
+        mesh.randomize_phases(&mut rng);
+        assert!(mesh.transfer_matrix().is_unitary(1e-12));
+        mesh.perturb_couplers(&mut rng, 0.05);
+        // Couplers stay lossless even when imbalanced.
+        assert!(mesh.transfer_matrix().is_unitary(1e-12));
+    }
+
+    #[test]
+    fn counts() {
+        let mesh = LayeredMesh::new(4, 8);
+        // Even layers pair (0,1),(2,3): 2 couplers; odd layers pair (1,2): 1.
+        assert_eq!(mesh.coupler_count(), 4 * 2 + 4);
+        assert_eq!(mesh.phase_count(), 36);
+        assert_eq!(mesh.num_layers(), 8);
+        assert_eq!(mesh.modes(), 4);
+    }
+
+    #[test]
+    fn programs_haar_unitary_to_high_fidelity() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 4;
+        let target = haar_unitary(&mut rng, n);
+        let mut mesh = LayeredMesh::universal(n);
+        mesh.randomize_phases(&mut rng);
+        let report = mesh.program_unitary(&target, ProgramOptions::default());
+        assert!(
+            report.fidelity > 0.999,
+            "fidelity {} after {} sweeps",
+            report.fidelity,
+            report.sweeps
+        );
+    }
+
+    #[test]
+    fn programs_identity_easily() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 4;
+        let target = CMatrix::identity(n);
+        let mut mesh = LayeredMesh::universal(n);
+        mesh.randomize_phases(&mut rng);
+        let report = mesh.program_unitary(&target, ProgramOptions::default());
+        assert!(report.fidelity > 0.999, "fidelity {}", report.fidelity);
+    }
+
+    #[test]
+    fn error_aware_programming_compensates_imbalance() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let n = 4;
+        let target = haar_unitary(&mut rng, n);
+        let mut mesh = LayeredMesh::universal(n);
+        mesh.perturb_couplers(&mut rng, 0.05);
+        mesh.randomize_phases(&mut rng);
+        let report = mesh.program_unitary(&target, ProgramOptions::default());
+        assert!(
+            report.fidelity > 0.99,
+            "should compensate moderate imbalance, got {}",
+            report.fidelity
+        );
+    }
+
+    #[test]
+    fn shallow_mesh_cannot_reach_universality() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 6;
+        let target = haar_unitary(&mut rng, n);
+        let mut mesh = LayeredMesh::new(n, 2); // far too shallow
+        mesh.randomize_phases(&mut rng);
+        let report = mesh.program_unitary(&target, ProgramOptions::default());
+        assert!(
+            report.fidelity < 0.9,
+            "2 layers must not be universal, got {}",
+            report.fidelity
+        );
+    }
+
+    #[test]
+    fn phase_perturbation_reduces_fidelity() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let n = 4;
+        let target = haar_unitary(&mut rng, n);
+        let mut mesh = LayeredMesh::universal(n);
+        mesh.randomize_phases(&mut rng);
+        let report = mesh.program_unitary(&target, ProgramOptions::default());
+        mesh.perturb_phases(&mut rng, 0.1);
+        let after = metrics::unitary_fidelity(&target, &mesh.transfer_matrix());
+        assert!(after < report.fidelity);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 modes")]
+    fn rejects_single_mode() {
+        let _ = LayeredMesh::new(1, 4);
+    }
+}

@@ -1,0 +1,60 @@
+//! # neuropulsim-core
+//!
+//! The paper's primary contribution, in simulation: programmable MZI-mesh
+//! photonic cores for in-memory matrix–vector multiplication, evaluated
+//! for **performance, matrix expressivity and robustness** (DAC'24
+//! NEUROPULS overview, §4).
+//!
+//! Layers of the stack:
+//!
+//! - [`program`]: mesh "software" — ordered 2×2 MZI blocks + phase screen;
+//! - [`clements`]: exact decomposition of any unitary onto the optimal
+//!   rectangular mesh (Clements et al. 2016);
+//! - [`layered`]: the error-tolerant Fldzhyan layered architecture with
+//!   numerical, error-aware programming;
+//! - [`architecture`]: the architectures behind one interface
+//!   ([`architecture::MeshArchitecture`]);
+//! - [`error`]: hardware imperfections — phase noise, coupler imbalance,
+//!   loss, thermo-optic vs multilevel-PCM shifters;
+//! - [`mvm`]: the SVD-based arbitrary-matrix photonic MVM core;
+//! - [`gemm`]: GeMM via time-division or dense-WDM multiplexing;
+//! - [`perf`]: speed/energy/power modelling (volatile vs non-volatile
+//!   weights);
+//! - [`footprint`]: area, component-count and loss budgets (SWaP);
+//! - [`analysis`]: expressivity/robustness sweep primitives and stats.
+//!
+//! # Examples
+//!
+//! Program an 8×8 photonic core with a random weight matrix and multiply:
+//!
+//! ```
+//! use neuropulsim_core::mvm::MvmCore;
+//! use neuropulsim_linalg::RMatrix;
+//!
+//! let w = RMatrix::from_fn(8, 8, |i, j| ((i * 8 + j) as f64).sin());
+//! let core = MvmCore::new(&w);
+//! let x = vec![0.5; 8];
+//! let y = core.multiply(&x);
+//! let want = w.mul_vec(&x);
+//! for (a, b) in y.iter().zip(&want) {
+//!     assert!((a - b).abs() < 1e-9);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod architecture;
+pub mod calibrate;
+pub mod clements;
+pub mod crossbar;
+pub mod error;
+pub mod footprint;
+pub mod gemm;
+pub mod inference;
+pub mod layered;
+pub mod mvm;
+pub mod perf;
+pub mod program;
+pub mod puf;
+pub mod reck;

@@ -1,0 +1,400 @@
+//! The photonic matrix–vector-multiplication (MVM) core: the paper's §4
+//! "in-memory optical computing" engine.
+//!
+//! An arbitrary real weight matrix `M` is factored as `M = U Σ V†` (SVD)
+//! and realized as:
+//!
+//! ```text
+//!   input x → [modulators] → [mesh V†] → [attenuators Σ/σ_max]
+//!           → [mesh U] → [homodyne detectors] → y = M x
+//! ```
+//!
+//! The two meshes are programmed Clements-style (or any architecture); the
+//! diagonal is a column of amplitude attenuators (realizable as MZIs in
+//! bar-configuration or PCM absorbers). Weights live *in* the mesh —
+//! reading them costs nothing per inference, which is the in-memory
+//! computing claim the paper builds on.
+
+use crate::clements::decompose;
+use crate::error::HardwareModel;
+use crate::program::MeshProgram;
+use neuropulsim_linalg::decomp::svd;
+use neuropulsim_linalg::{CMatrix, CVector, RMatrix};
+
+use rand::Rng;
+
+/// Noise/imperfection configuration for a physical MVM execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MvmNoiseConfig {
+    /// Hardware imperfections of both meshes.
+    pub hardware: HardwareModel,
+    /// Additive Gaussian noise RMS on each homodyne readout, relative to
+    /// a unit-amplitude field.
+    pub readout_sigma: f64,
+    /// Relative RMS error of each diagonal attenuator setting.
+    pub attenuator_sigma: f64,
+}
+
+impl MvmNoiseConfig {
+    /// A noiseless, ideal configuration.
+    pub fn ideal() -> Self {
+        MvmNoiseConfig {
+            hardware: HardwareModel::ideal(),
+            readout_sigma: 0.0,
+            attenuator_sigma: 0.0,
+        }
+    }
+}
+
+impl Default for MvmNoiseConfig {
+    fn default() -> Self {
+        MvmNoiseConfig::ideal()
+    }
+}
+
+/// A programmed photonic MVM core holding one `n x n` real matrix.
+///
+/// # Examples
+///
+/// ```
+/// use neuropulsim_core::mvm::MvmCore;
+/// use neuropulsim_linalg::RMatrix;
+///
+/// let m = RMatrix::from_rows(2, 2, &[1.0, -0.5, 0.25, 2.0]);
+/// let core = MvmCore::new(&m);
+/// let y = core.multiply(&[1.0, 1.0]);
+/// assert!((y[0] - 0.5).abs() < 1e-9);
+/// assert!((y[1] - 2.25).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MvmCore {
+    n: usize,
+    target: RMatrix,
+    u_program: MeshProgram,
+    v_program: MeshProgram,
+    /// Attenuator amplitudes in `[0, 1]` (singular values / sigma_max).
+    attenuation: Vec<f64>,
+    /// Overall scale `sigma_max` restoring physical magnitudes.
+    scale: f64,
+}
+
+impl MvmCore {
+    /// Programs a core for the given square real matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not square or is empty.
+    pub fn new(m: &RMatrix) -> Self {
+        assert_eq!(m.rows(), m.cols(), "MVM core needs a square matrix");
+        assert!(m.rows() > 0, "MVM core needs a non-empty matrix");
+        let n = m.rows();
+        let complex = m.to_complex();
+        let d = svd(&complex);
+        let sigma_max = d.sigma.first().copied().unwrap_or(0.0);
+        let (attenuation, scale) = if sigma_max > 0.0 {
+            (d.sigma.iter().map(|s| s / sigma_max).collect(), sigma_max)
+        } else {
+            (vec![0.0; n], 0.0)
+        };
+        MvmCore {
+            n,
+            target: m.clone(),
+            u_program: decompose(&d.u),
+            v_program: decompose(&d.v.adjoint()),
+            attenuation,
+            scale,
+        }
+    }
+
+    /// The matrix dimension `n`.
+    pub fn modes(&self) -> usize {
+        self.n
+    }
+
+    /// The target matrix this core was programmed for.
+    pub fn target(&self) -> &RMatrix {
+        &self.target
+    }
+
+    /// The output scale factor (`sigma_max` of the target).
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The normalized attenuator settings in `[0, 1]`.
+    pub fn attenuation(&self) -> &[f64] {
+        &self.attenuation
+    }
+
+    /// The mesh program of the left (U) unitary.
+    pub fn u_program(&self) -> &MeshProgram {
+        &self.u_program
+    }
+
+    /// The mesh program of the right (V†) unitary.
+    pub fn v_program(&self) -> &MeshProgram {
+        &self.v_program
+    }
+
+    /// Total number of MZI blocks across both meshes.
+    pub fn block_count(&self) -> usize {
+        self.u_program.block_count() + self.v_program.block_count()
+    }
+
+    /// Ideal optical multiply: returns `M * x` computed through the
+    /// photonic pipeline with perfect components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != modes()`.
+    pub fn multiply(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n, "multiply: dimension mismatch");
+        let mut v = self.v_program.apply(&CVector::from_reals(x));
+        for (i, &a) in self.attenuation.iter().enumerate() {
+            v[i] = v[i] * a;
+        }
+        let y = self.u_program.apply(&v);
+        y.iter().map(|z| z.re * self.scale).collect()
+    }
+
+    /// Physical optical multiply with sampled hardware imperfections and
+    /// readout noise. Each call re-samples the static imperfections (i.e.
+    /// models one fabricated instance); reuse [`MvmCore::realize`] to fix
+    /// an instance across many multiplies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != modes()`.
+    pub fn multiply_noisy<R: Rng + ?Sized>(
+        &self,
+        x: &[f64],
+        config: &MvmNoiseConfig,
+        rng: &mut R,
+    ) -> Vec<f64> {
+        self.realize(config, rng).multiply_noisy(x, rng)
+    }
+
+    /// Realizes one physical instance of the core under the given noise
+    /// configuration (static imperfections frozen in).
+    pub fn realize<R: Rng + ?Sized>(&self, config: &MvmNoiseConfig, rng: &mut R) -> RealizedMvm {
+        let u = config.hardware.realize(&self.u_program, rng);
+        let v = config.hardware.realize(&self.v_program, rng);
+        let attenuation: Vec<f64> = self
+            .attenuation
+            .iter()
+            .map(|&a| {
+                let noisy =
+                    a * (1.0 + config.attenuator_sigma * neuropulsim_linalg::random::gaussian(rng));
+                noisy.clamp(0.0, 1.0)
+            })
+            .collect();
+        RealizedMvm {
+            u,
+            v,
+            attenuation,
+            scale: self.scale,
+            readout_sigma: config.readout_sigma,
+        }
+    }
+
+    /// The effective real matrix seen by a carrier whose wavelength
+    /// detuning scales every mesh phase by `factor` (1.0 = the design
+    /// wavelength). First-order chromatic-dispersion model for DWDM
+    /// operation.
+    pub fn dispersed_matrix(&self, factor: f64) -> RMatrix {
+        let u = self.u_program.with_scaled_phases(factor).transfer_matrix();
+        let v = self.v_program.with_scaled_phases(factor).transfer_matrix();
+        let d = CMatrix::diagonal_real(&self.attenuation);
+        let m = u.mul_mat(&d).mul_mat(&v);
+        RMatrix::from_fn(self.n, self.n, |i, j| m[(i, j)].re * self.scale)
+    }
+
+    /// The effective matrix realized by one sampled physical instance.
+    pub fn realized_matrix<R: Rng + ?Sized>(
+        &self,
+        config: &MvmNoiseConfig,
+        rng: &mut R,
+    ) -> RMatrix {
+        self.realize(config, rng).effective_matrix()
+    }
+}
+
+/// One physical instance of an MVM core: frozen imperfect meshes plus
+/// per-shot readout noise.
+#[derive(Debug, Clone)]
+pub struct RealizedMvm {
+    u: CMatrix,
+    v: CMatrix,
+    attenuation: Vec<f64>,
+    scale: f64,
+    readout_sigma: f64,
+}
+
+impl RealizedMvm {
+    /// Multiplies through the frozen imperfect hardware, adding fresh
+    /// readout noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` does not match the core dimension.
+    pub fn multiply_noisy<R: Rng + ?Sized>(&self, x: &[f64], rng: &mut R) -> Vec<f64> {
+        assert_eq!(x.len(), self.attenuation.len(), "dimension mismatch");
+        let mut v = self.v.mul_vec(&CVector::from_reals(x));
+        for (i, &a) in self.attenuation.iter().enumerate() {
+            v[i] = v[i] * a;
+        }
+        let y = self.u.mul_vec(&v);
+        y.iter()
+            .map(|z| {
+                (z.re + self.readout_sigma * neuropulsim_linalg::random::gaussian(rng)) * self.scale
+            })
+            .collect()
+    }
+
+    /// The effective real matrix implemented by this instance (real part
+    /// of `U * diag(a) * V` times scale).
+    pub fn effective_matrix(&self) -> RMatrix {
+        let n = self.attenuation.len();
+        let d = CMatrix::diagonal_real(&self.attenuation);
+        let m = self.u.mul_mat(&d).mul_mat(&self.v);
+        RMatrix::from_fn(n, n, |i, j| m[(i, j)].re * self.scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neuropulsim_linalg::metrics::mse;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_matrix(n: usize, seed: u64) -> RMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        RMatrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0))
+    }
+
+    #[test]
+    fn ideal_multiply_matches_digital() {
+        for n in [2, 4, 8] {
+            let m = random_matrix(n, n as u64);
+            let core = MvmCore::new(&m);
+            let mut rng = StdRng::seed_from_u64(77);
+            for _ in 0..5 {
+                let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let want = m.mul_vec(&x);
+                let got = core.multiply(&x);
+                assert!(mse(&want, &got) < 1e-16, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn handles_negative_and_asymmetric_matrices() {
+        let m = RMatrix::from_rows(3, 3, &[-2.0, 0.5, 0.0, 1.0, -1.0, 3.0, 0.0, 0.0, 0.1]);
+        let core = MvmCore::new(&m);
+        let y = core.multiply(&[1.0, -1.0, 0.5]);
+        let want = m.mul_vec(&[1.0, -1.0, 0.5]);
+        assert!(mse(&want, &y) < 1e-16);
+    }
+
+    #[test]
+    fn zero_matrix_multiplies_to_zero() {
+        let m = RMatrix::zeros(3, 3);
+        let core = MvmCore::new(&m);
+        let y = core.multiply(&[1.0, 2.0, 3.0]);
+        assert!(y.iter().all(|v| v.abs() < 1e-12));
+        assert_eq!(core.scale(), 0.0);
+    }
+
+    #[test]
+    fn attenuators_are_physical() {
+        let m = random_matrix(6, 3);
+        let core = MvmCore::new(&m);
+        for &a in core.attenuation() {
+            assert!((0.0..=1.0 + 1e-12).contains(&a), "attenuation {a}");
+        }
+        assert!((core.attenuation()[0] - 1.0).abs() < 1e-9, "largest = 1");
+    }
+
+    #[test]
+    fn block_count_is_two_meshes() {
+        let core = MvmCore::new(&random_matrix(6, 5));
+        assert_eq!(core.block_count(), 2 * (6 * 5 / 2));
+    }
+
+    #[test]
+    fn noisy_multiply_approaches_ideal_as_noise_vanishes() {
+        let m = random_matrix(4, 7);
+        let core = MvmCore::new(&m);
+        let x = [0.3, -0.4, 0.9, 0.1];
+        let mut rng = StdRng::seed_from_u64(5);
+        let got = core.multiply_noisy(&x, &MvmNoiseConfig::ideal(), &mut rng);
+        let want = core.multiply(&x);
+        assert!(mse(&want, &got) < 1e-16);
+    }
+
+    #[test]
+    fn readout_noise_perturbs_output() {
+        let m = random_matrix(4, 9);
+        let core = MvmCore::new(&m);
+        let x = [1.0, 0.0, 0.0, 0.0];
+        let config = MvmNoiseConfig {
+            readout_sigma: 0.01,
+            ..MvmNoiseConfig::ideal()
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = core.multiply_noisy(&x, &config, &mut rng);
+        let b = core.multiply_noisy(&x, &config, &mut rng);
+        assert!(mse(&a, &b) > 0.0, "independent shots must differ");
+        // But error stays bounded: noise scaled by core scale.
+        let want = core.multiply(&x);
+        assert!(mse(&want, &a).sqrt() < 0.1 * core.scale().max(1.0));
+    }
+
+    #[test]
+    fn dispersed_matrix_at_design_wavelength_is_target() {
+        let m = random_matrix(4, 21);
+        let core = MvmCore::new(&m);
+        assert!(core.dispersed_matrix(1.0).approx_eq(&m, 1e-9));
+        let detuned = core.dispersed_matrix(0.999);
+        assert!(!detuned.approx_eq(&m, 1e-6), "detuning must perturb");
+        // Error grows with detuning.
+        let e1 = (&core.dispersed_matrix(0.999) - &m).frobenius_norm();
+        let e2 = (&core.dispersed_matrix(0.995) - &m).frobenius_norm();
+        assert!(e2 > e1);
+    }
+
+    #[test]
+    fn effective_matrix_of_ideal_instance_is_target() {
+        let m = random_matrix(5, 11);
+        let core = MvmCore::new(&m);
+        let mut rng = StdRng::seed_from_u64(2);
+        let eff = core.realized_matrix(&MvmNoiseConfig::ideal(), &mut rng);
+        assert!(eff.approx_eq(&m, 1e-9));
+    }
+
+    #[test]
+    fn frozen_instance_is_deterministic_without_readout_noise() {
+        let m = random_matrix(4, 13);
+        let core = MvmCore::new(&m);
+        let config = MvmNoiseConfig {
+            hardware: HardwareModel {
+                phase_noise_sigma: 0.05,
+                ..HardwareModel::ideal()
+            },
+            ..MvmNoiseConfig::ideal()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let inst = core.realize(&config, &mut rng);
+        let x = [0.5, 0.5, -0.5, 0.25];
+        let a = inst.multiply_noisy(&x, &mut rng);
+        let b = inst.multiply_noisy(&x, &mut rng);
+        assert!(mse(&a, &b) < 1e-18, "same instance, no readout noise");
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_rectangular() {
+        let _ = MvmCore::new(&RMatrix::zeros(2, 3));
+    }
+}

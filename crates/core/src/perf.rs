@@ -1,0 +1,288 @@
+//! Accelerator-level performance model: latency, throughput, power and
+//! energy-per-inference for a photonic MVM core, contrasting volatile
+//! (thermo-optic) and non-volatile (PCM) weight storage — experiments
+//! E4/E5 and the "speed, energy consumption" axis of §5.
+
+use crate::architecture::MeshArchitecture;
+use crate::error::ShifterTech;
+use neuropulsim_photonics::energy::{EnergyLedger, TechnologyProfile};
+use neuropulsim_photonics::pcm::PcmMaterial;
+use neuropulsim_photonics::phase::{PcmPhaseShifter, PhaseShifter};
+use std::f64::consts::PI;
+
+/// A workload: `batch` MVMs of size `n x n` between weight updates, with
+/// `reprograms` weight loads during the run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Input vectors processed per weight configuration.
+    pub batch: usize,
+    /// Number of weight (re)programming events.
+    pub reprograms: usize,
+}
+
+/// Performance estimate of running a [`Workload`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// Wall-clock compute time \[s\] (streaming at the symbol rate).
+    pub compute_time_s: f64,
+    /// Time spent reprogramming weights \[s\].
+    pub programming_time_s: f64,
+    /// Throughput during compute \[MAC/s\].
+    pub macs_per_second: f64,
+    /// Full energy breakdown \[J\].
+    pub energy: EnergyLedger,
+    /// Energy per MAC \[J\].
+    pub energy_per_mac: f64,
+    /// Average electrical power over the run \[W\].
+    pub average_power_w: f64,
+}
+
+/// The accelerator performance model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfModel {
+    /// Mesh architecture of both unitaries.
+    pub architecture: MeshArchitecture,
+    /// Phase-shifter (weight-storage) technology.
+    pub shifter_tech: ShifterTech,
+    /// Electro-optic technology constants.
+    pub tech: TechnologyProfile,
+}
+
+impl PerfModel {
+    /// Creates a model with default technology constants.
+    pub fn new(architecture: MeshArchitecture, shifter_tech: ShifterTech) -> Self {
+        PerfModel {
+            architecture,
+            shifter_tech,
+            tech: TechnologyProfile::default(),
+        }
+    }
+
+    /// Number of programmable phases in the full MVM core (two meshes +
+    /// attenuator column).
+    pub fn phase_count(&self, n: usize) -> usize {
+        2 * self.architecture.phase_shifter_count(n) + n
+    }
+
+    /// Static weight-hold power of the core \[W\]. The headline number:
+    /// thermo-optic pays `~P_pi/2` per shifter on average, PCM pays zero.
+    pub fn hold_power(&self, n: usize) -> f64 {
+        match self.shifter_tech {
+            ShifterTech::Ideal | ShifterTech::Pcm { .. } => 0.0,
+            ShifterTech::ThermoOptic => {
+                // Random phases average pi (uniform in [0, 2 pi)), i.e.
+                // one P_pi per shifter on average.
+                self.phase_count(n) as f64 * self.tech.thermo_p_pi
+            }
+        }
+    }
+
+    /// Energy of one full weight (re)programming event \[J\].
+    pub fn programming_energy(&self, n: usize) -> f64 {
+        match self.shifter_tech {
+            ShifterTech::Ideal => 0.0,
+            ShifterTech::ThermoOptic => {
+                // Settle transient: hold power during one response time.
+                self.hold_power(n) * self.tech.thermo_response
+            }
+            ShifterTech::Pcm { material, levels } => {
+                // Representative mid-range write per shifter.
+                let mut s = PcmPhaseShifter::new(material, levels.max(2));
+                s.set_phase(PI);
+                self.phase_count(n) as f64 * s.programming_energy()
+                    + self.phase_count(n) as f64 * self.tech.dac_energy_per_sample
+            }
+        }
+    }
+
+    /// Time of one weight (re)programming event \[s\] (parallel drivers).
+    pub fn programming_time(&self, _n: usize) -> f64 {
+        match self.shifter_tech {
+            ShifterTech::Ideal => 0.0,
+            ShifterTech::ThermoOptic => self.tech.thermo_response,
+            ShifterTech::Pcm { material, levels } => {
+                let mut s = PcmPhaseShifter::new(material, levels.max(2));
+                s.set_phase(PI);
+                s.programming_time()
+            }
+        }
+    }
+
+    /// Full performance estimate for a workload.
+    pub fn run(&self, w: Workload) -> PerfReport {
+        let n = w.n;
+        let vectors = w.batch * w.reprograms.max(1);
+        let compute_time_s = self.tech.streaming_time(vectors);
+        let programming_time_s = self.programming_time(n) * w.reprograms as f64;
+        let total_time = compute_time_s + programming_time_s;
+        let macs = (n * n * vectors) as f64;
+
+        let mut energy = EnergyLedger::new();
+        energy.add("laser", self.tech.laser_power(n) * compute_time_s);
+        energy.add(
+            "modulators",
+            self.tech.modulator_energy_per_symbol * (n * vectors) as f64,
+        );
+        energy.add(
+            "receivers",
+            self.tech.receiver_energy_per_sample * (n * vectors) as f64,
+        );
+        energy.add(
+            "dac",
+            self.tech.dac_energy_per_sample * (n * vectors) as f64,
+        );
+        energy.add("weight-hold", self.hold_power(n) * total_time);
+        energy.add(
+            "weight-programming",
+            self.programming_energy(n) * w.reprograms as f64,
+        );
+
+        let total = energy.total();
+        PerfReport {
+            compute_time_s,
+            programming_time_s,
+            macs_per_second: macs / compute_time_s.max(f64::MIN_POSITIVE),
+            energy_per_mac: total / macs.max(1.0),
+            average_power_w: total / total_time.max(f64::MIN_POSITIVE),
+            energy,
+        }
+    }
+}
+
+/// Convenience: the PCM-vs-thermo-optic energy ratio for a workload —
+/// the paper's motivating quantity (how much the non-volatile platform
+/// saves).
+pub fn nonvolatility_energy_ratio(arch: MeshArchitecture, w: Workload) -> f64 {
+    let thermo = PerfModel::new(arch, ShifterTech::ThermoOptic).run(w);
+    let pcm = PerfModel::new(
+        arch,
+        ShifterTech::Pcm {
+            material: PcmMaterial::Gsst,
+            levels: 16,
+        },
+    )
+    .run(w);
+    thermo.energy.total() / pcm.energy.total()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload(n: usize, batch: usize, reprograms: usize) -> Workload {
+        Workload {
+            n,
+            batch,
+            reprograms,
+        }
+    }
+
+    #[test]
+    fn pcm_has_zero_hold_power() {
+        let m = PerfModel::new(
+            MeshArchitecture::Clements,
+            ShifterTech::Pcm {
+                material: PcmMaterial::Gsst,
+                levels: 16,
+            },
+        );
+        assert_eq!(m.hold_power(16), 0.0);
+        assert!(m.programming_energy(16) > 0.0);
+    }
+
+    #[test]
+    fn thermo_hold_power_is_significant() {
+        let m = PerfModel::new(MeshArchitecture::Clements, ShifterTech::ThermoOptic);
+        // 8x8 core: 2*(64) + 8 = 136 shifters * 20 mW = 2.72 W.
+        let p = m.hold_power(8);
+        assert!((p - 136.0 * 20e-3).abs() < 1e-9, "got {p}");
+    }
+
+    #[test]
+    fn pcm_wins_at_long_batches() {
+        // With static weights (1 program, many inferences), non-volatile
+        // storage dominates.
+        let ratio =
+            nonvolatility_energy_ratio(MeshArchitecture::Clements, workload(16, 100_000, 1));
+        assert!(
+            ratio > 1.5,
+            "PCM should win on static weights, ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn nonvolatile_weights_win_across_batch_sizes() {
+        // Thermo-optic pays both a slow, powered settling transient per
+        // reprogram and continuous hold power, so the PCM core wins at
+        // every batch size under this technology profile.
+        for batch in [1, 100, 100_000] {
+            let r = nonvolatility_energy_ratio(MeshArchitecture::Clements, workload(16, batch, 1));
+            assert!(r > 1.0, "batch {batch}: ratio {r} should exceed 1");
+        }
+    }
+
+    #[test]
+    fn pcm_reprogramming_dominates_its_budget_at_batch_one() {
+        let m = PerfModel::new(
+            MeshArchitecture::Clements,
+            ShifterTech::Pcm {
+                material: PcmMaterial::Gsst,
+                levels: 16,
+            },
+        );
+        let rapid = m.run(workload(16, 1, 1000));
+        let frac = rapid.energy.get("weight-programming") / rapid.energy.total();
+        assert!(frac > 0.5, "programming share {frac} should dominate");
+        let settled = m.run(workload(16, 10_000_000, 1));
+        let frac2 = settled.energy.get("weight-programming") / settled.energy.total();
+        assert!(
+            frac2 < 0.05,
+            "programming share {frac2} should amortize away"
+        );
+    }
+
+    #[test]
+    fn throughput_scales_quadratically_with_n() {
+        let m = PerfModel::new(MeshArchitecture::Clements, ShifterTech::ThermoOptic);
+        let r8 = m.run(workload(8, 1000, 1));
+        let r16 = m.run(workload(16, 1000, 1));
+        assert!((r16.macs_per_second / r8.macs_per_second - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn energy_per_mac_drops_with_n() {
+        // Larger meshes amortize per-vector I/O over n MACs per element.
+        let m = PerfModel::new(MeshArchitecture::Clements, ShifterTech::ThermoOptic);
+        let r8 = m.run(workload(8, 1000, 1));
+        let r64 = m.run(workload(64, 1000, 1));
+        assert!(
+            r64.energy_per_mac < r8.energy_per_mac,
+            "{} !< {}",
+            r64.energy_per_mac,
+            r8.energy_per_mac
+        );
+    }
+
+    #[test]
+    fn report_fields_consistent() {
+        let m = PerfModel::new(MeshArchitecture::Clements, ShifterTech::ThermoOptic);
+        let w = workload(8, 100, 2);
+        let r = m.run(w);
+        assert!(r.compute_time_s > 0.0);
+        assert!(r.programming_time_s > 0.0);
+        assert!(r.average_power_w > 0.0);
+        let macs = (8 * 8 * 100 * 2) as f64;
+        assert!((r.energy.total() / macs - r.energy_per_mac).abs() < 1e-20);
+    }
+
+    #[test]
+    fn ideal_tech_has_no_weight_costs() {
+        let m = PerfModel::new(MeshArchitecture::Clements, ShifterTech::Ideal);
+        let r = m.run(workload(8, 10, 1));
+        assert_eq!(r.energy.get("weight-hold"), 0.0);
+        assert_eq!(r.energy.get("weight-programming"), 0.0);
+        assert!(r.energy.total() > 0.0); // I/O still costs
+    }
+}

@@ -1,0 +1,289 @@
+//! Mesh programs: an ordered list of programmable 2×2 MZI blocks plus an
+//! output phase screen — the "software" loaded onto an interferometer mesh.
+
+use neuropulsim_linalg::{CMatrix, CVector, C64};
+use neuropulsim_photonics::mzi::Mzi;
+
+/// One programmable MZI acting on adjacent modes `(mode, mode + 1)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MziBlock {
+    /// Top mode index; the block couples `mode` and `mode + 1`.
+    pub mode: usize,
+    /// Internal phase \[rad\] (sets the splitting ratio).
+    pub theta: f64,
+    /// External phase \[rad\] (on the top input arm).
+    pub phi: f64,
+}
+
+impl MziBlock {
+    /// Creates a block.
+    pub fn new(mode: usize, theta: f64, phi: f64) -> Self {
+        MziBlock { mode, theta, phi }
+    }
+
+    /// The ideal 2×2 transfer-matrix elements of this block.
+    pub fn elements(&self) -> (C64, C64, C64, C64) {
+        Mzi::new(self.theta, self.phi).elements()
+    }
+}
+
+/// A fully programmed rectangular mesh: blocks applied in order (first
+/// block acts on the input first), then a final column of output phase
+/// shifters.
+///
+/// The ideal transfer matrix is
+/// `U = diag(e^{i * output_phases}) * B_k * ... * B_2 * B_1`.
+///
+/// # Examples
+///
+/// ```
+/// use neuropulsim_core::program::{MeshProgram, MziBlock};
+///
+/// // A single cross-state MZI on a 2-mode mesh swaps the inputs
+/// // (up to phase).
+/// let program = MeshProgram::new(2, vec![MziBlock::new(0, 0.0, 0.0)], vec![0.0; 2]);
+/// let u = program.transfer_matrix();
+/// assert!(u.is_unitary(1e-12));
+/// assert!(u[(0, 0)].abs() < 1e-12);
+/// assert!((u[(0, 1)].abs() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeshProgram {
+    n: usize,
+    blocks: Vec<MziBlock>,
+    output_phases: Vec<f64>,
+}
+
+impl MeshProgram {
+    /// Creates a program over `n` modes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block's modes fall outside the mesh, or if
+    /// `output_phases.len() != n`.
+    pub fn new(n: usize, blocks: Vec<MziBlock>, output_phases: Vec<f64>) -> Self {
+        assert_eq!(output_phases.len(), n, "need one output phase per mode");
+        for b in &blocks {
+            assert!(
+                b.mode + 1 < n,
+                "block on modes ({}, {}) exceeds mesh of {} modes",
+                b.mode,
+                b.mode + 1,
+                n
+            );
+        }
+        MeshProgram {
+            n,
+            blocks,
+            output_phases,
+        }
+    }
+
+    /// The identity program (no blocks, zero phases).
+    pub fn identity(n: usize) -> Self {
+        MeshProgram {
+            n,
+            blocks: Vec::new(),
+            output_phases: vec![0.0; n],
+        }
+    }
+
+    /// Number of optical modes.
+    pub fn modes(&self) -> usize {
+        self.n
+    }
+
+    /// The MZI blocks in application order.
+    pub fn blocks(&self) -> &[MziBlock] {
+        &self.blocks
+    }
+
+    /// Mutable access to the blocks (used by error-injection experiments).
+    pub fn blocks_mut(&mut self) -> &mut [MziBlock] {
+        &mut self.blocks
+    }
+
+    /// The output phase screen \[rad\].
+    pub fn output_phases(&self) -> &[f64] {
+        &self.output_phases
+    }
+
+    /// Mutable access to the output phase screen.
+    pub fn output_phases_mut(&mut self) -> &mut [f64] {
+        &mut self.output_phases
+    }
+
+    /// Number of MZI blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of mesh layers (columns) when blocks are packed greedily:
+    /// two blocks share a layer iff their mode pairs don't overlap and
+    /// order allows it. This is the optical depth of the circuit.
+    pub fn depth(&self) -> usize {
+        // Greedy ASAP scheduling: layer[b] = 1 + max(layer of conflicting
+        // earlier block).
+        let mut mode_free_at = vec![0usize; self.n];
+        let mut depth = 0;
+        for b in &self.blocks {
+            let layer = mode_free_at[b.mode].max(mode_free_at[b.mode + 1]);
+            mode_free_at[b.mode] = layer + 1;
+            mode_free_at[b.mode + 1] = layer + 1;
+            depth = depth.max(layer + 1);
+        }
+        depth
+    }
+
+    /// Returns a copy with every programmed phase multiplied by `factor`
+    /// — the first-order effect of operating the mesh at a wavelength
+    /// detuned from the design wavelength (phase ∝ 1/λ), used by the WDM
+    /// dispersion model.
+    pub fn with_scaled_phases(&self, factor: f64) -> MeshProgram {
+        let blocks = self
+            .blocks
+            .iter()
+            .map(|b| MziBlock::new(b.mode, b.theta * factor, b.phi * factor))
+            .collect();
+        let output_phases = self.output_phases.iter().map(|p| p * factor).collect();
+        MeshProgram {
+            n: self.n,
+            blocks,
+            output_phases,
+        }
+    }
+
+    /// The ideal (lossless, perfect-coupler) transfer matrix.
+    pub fn transfer_matrix(&self) -> CMatrix {
+        let mut u = CMatrix::identity(self.n);
+        for b in &self.blocks {
+            let (a, bb, c, d) = b.elements();
+            u.apply_left_2x2(b.mode, b.mode + 1, a, bb, c, d);
+        }
+        for (i, &p) in self.output_phases.iter().enumerate() {
+            let phase = C64::cis(p);
+            for j in 0..self.n {
+                u[(i, j)] *= phase;
+            }
+        }
+        u
+    }
+
+    /// Applies the ideal mesh to an input field vector (O(blocks) instead
+    /// of building the full matrix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != modes()`.
+    pub fn apply(&self, input: &CVector) -> CVector {
+        assert_eq!(input.len(), self.n, "apply: dimension mismatch");
+        let mut v = input.clone();
+        for b in &self.blocks {
+            let (a, bb, c, d) = b.elements();
+            let (p, q) = (b.mode, b.mode + 1);
+            let xp = v[p];
+            let xq = v[q];
+            v[p] = a * xp + bb * xq;
+            v[q] = c * xp + d * xq;
+        }
+        for (i, &ph) in self.output_phases.iter().enumerate() {
+            v[i] *= C64::cis(ph);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn identity_program_is_identity() {
+        let p = MeshProgram::identity(4);
+        assert!(p.transfer_matrix().approx_eq(&CMatrix::identity(4), 1e-12));
+        assert_eq!(p.depth(), 0);
+        assert_eq!(p.block_count(), 0);
+    }
+
+    #[test]
+    fn apply_matches_transfer_matrix() {
+        let p = MeshProgram::new(
+            3,
+            vec![
+                MziBlock::new(0, 1.1, 0.3),
+                MziBlock::new(1, 2.0, 0.7),
+                MziBlock::new(0, 0.4, 1.9),
+            ],
+            vec![0.1, 0.2, 0.3],
+        );
+        let u = p.transfer_matrix();
+        let x = CVector::from_reals(&[0.3, -0.5, 0.8]);
+        let via_matrix = u.mul_vec(&x);
+        let via_apply = p.apply(&x);
+        assert!(via_matrix.distance(&via_apply) < 1e-12);
+    }
+
+    #[test]
+    fn programs_are_unitary() {
+        let p = MeshProgram::new(
+            4,
+            vec![
+                MziBlock::new(0, 0.5, 0.1),
+                MziBlock::new(2, 1.5, 2.1),
+                MziBlock::new(1, PI, 0.0),
+            ],
+            vec![0.0, 0.5, 1.0, 1.5],
+        );
+        assert!(p.transfer_matrix().is_unitary(1e-12));
+    }
+
+    #[test]
+    fn depth_packs_parallel_blocks() {
+        // Blocks on (0,1) and (2,3) fit in one layer; a following (1,2)
+        // block needs a second layer.
+        let p = MeshProgram::new(
+            4,
+            vec![
+                MziBlock::new(0, 0.1, 0.0),
+                MziBlock::new(2, 0.2, 0.0),
+                MziBlock::new(1, 0.3, 0.0),
+            ],
+            vec![0.0; 4],
+        );
+        assert_eq!(p.depth(), 2);
+    }
+
+    #[test]
+    fn scaled_phases_identity_at_factor_one() {
+        let p = MeshProgram::new(
+            3,
+            vec![MziBlock::new(0, 1.1, 0.3), MziBlock::new(1, 2.0, 0.7)],
+            vec![0.1, 0.2, 0.3],
+        );
+        assert_eq!(p.with_scaled_phases(1.0), p);
+        let q = p.with_scaled_phases(0.99);
+        assert!(q.transfer_matrix().is_unitary(1e-12));
+        assert!(!q.transfer_matrix().approx_eq(&p.transfer_matrix(), 1e-6));
+    }
+
+    #[test]
+    fn output_phase_screen_applied_last() {
+        let p = MeshProgram::new(2, vec![], vec![PI, 0.0]);
+        let u = p.transfer_matrix();
+        assert!(u[(0, 0)].approx_eq(C64::real(-1.0), 1e-12));
+        assert!(u[(1, 1)].approx_eq(C64::ONE, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds mesh")]
+    fn rejects_out_of_range_block() {
+        let _ = MeshProgram::new(2, vec![MziBlock::new(1, 0.0, 0.0)], vec![0.0; 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one output phase per mode")]
+    fn rejects_wrong_phase_count() {
+        let _ = MeshProgram::new(3, vec![], vec![0.0; 2]);
+    }
+}

@@ -1,0 +1,47 @@
+//! # neuropulsim-linalg
+//!
+//! Self-contained complex linear algebra for the `neuropulsim` workspace —
+//! the numerical substrate beneath the photonic transfer-matrix models.
+//!
+//! Provides:
+//!
+//! - [`C64`]: a double-precision complex scalar;
+//! - [`CVector`] / [`CMatrix`]: dense complex vectors and matrices with the
+//!   operations needed by interferometer meshes (adjoint, two-level
+//!   embeddings, in-place 2×2 rotations);
+//! - [`RMatrix`]: dense real matrices for the digital NN baseline;
+//! - [`decomp`]: QR and one-sided-Jacobi SVD (`M = U Σ V†`), the key step
+//!   for mapping arbitrary weight matrices onto photonic meshes;
+//! - [`random`]: Haar-random unitaries and Gaussian ensembles;
+//! - [`metrics`]: fidelity / error metrics used for "expressivity" and
+//!   "robustness" scoring.
+//!
+//! # Examples
+//!
+//! ```
+//! use neuropulsim_linalg::{decomp, metrics, random};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let u = random::haar_unitary(&mut rng, 8);
+//! let svd = decomp::svd(&u);
+//! // A unitary has all singular values equal to 1.
+//! assert!(svd.sigma.iter().all(|s| (s - 1.0).abs() < 1e-9));
+//! assert!(metrics::relative_error(&u, &svd.reconstruct()) < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+
+mod complex;
+mod matrix;
+mod real;
+mod vector;
+
+pub mod decomp;
+pub mod metrics;
+pub mod random;
+
+pub use complex::C64;
+pub use matrix::CMatrix;
+pub use real::RMatrix;
+pub use vector::CVector;

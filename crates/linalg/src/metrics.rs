@@ -1,0 +1,130 @@
+//! Similarity metrics between matrices — the "expressivity" and
+//! "robustness" scores of the paper's §4 are defined in terms of these.
+
+use crate::CMatrix;
+
+/// Normalized unitary fidelity
+/// `F(U, V) = |Tr(U^dagger V)|^2 / (N * Tr(V^dagger V))`.
+///
+/// Equals 1 iff `V = e^{i phi} U` (global phase is physically irrelevant for
+/// an interferometer), and is the standard mesh-programming quality metric.
+///
+/// # Panics
+///
+/// Panics if shapes differ or the matrices are not square.
+pub fn unitary_fidelity(target: &CMatrix, realized: &CMatrix) -> f64 {
+    assert!(target.is_square(), "fidelity: matrices must be square");
+    assert_eq!(
+        (target.rows(), target.cols()),
+        (realized.rows(), realized.cols()),
+        "fidelity: shape mismatch"
+    );
+    let n = target.rows() as f64;
+    let overlap = target.adjoint().mul_mat(realized).trace().abs2();
+    let gram = realized.adjoint().mul_mat(realized).trace().re;
+    if gram <= 0.0 {
+        return 0.0;
+    }
+    overlap / (n * gram)
+}
+
+/// Infidelity `1 - F`, convenient for log-scale plots.
+pub fn unitary_infidelity(target: &CMatrix, realized: &CMatrix) -> f64 {
+    (1.0 - unitary_fidelity(target, realized)).max(0.0)
+}
+
+/// Relative Frobenius error `||A - B||_F / ||A||_F`.
+///
+/// Used for non-unitary (SVD-core) matrix targets where global phase and
+/// scale both matter.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn relative_error(target: &CMatrix, realized: &CMatrix) -> f64 {
+    assert_eq!(
+        (target.rows(), target.cols()),
+        (realized.rows(), realized.cols()),
+        "relative_error: shape mismatch"
+    );
+    let denom = target.frobenius_norm();
+    if denom == 0.0 {
+        return realized.frobenius_norm();
+    }
+    (target - realized).frobenius_norm() / denom
+}
+
+/// Mean squared error between row-major real matrices of identical shape,
+/// used for detector-plane (intensity) comparisons.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn mse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "mse: length mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f64>() / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::haar_unitary;
+    use crate::{CMatrix, C64};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fidelity_of_identical_is_one() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let u = haar_unitary(&mut rng, 6);
+        assert!((unitary_fidelity(&u, &u) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_is_global_phase_invariant() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let u = haar_unitary(&mut rng, 5);
+        let v = u.scaled(C64::cis(1.234));
+        assert!((unitary_fidelity(&u, &v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_of_unrelated_unitaries_is_small() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let u = haar_unitary(&mut rng, 16);
+        let v = haar_unitary(&mut rng, 16);
+        // Expected value for independent Haar pair is 1/N^2.
+        assert!(unitary_fidelity(&u, &v) < 0.2);
+    }
+
+    #[test]
+    fn infidelity_nonnegative() {
+        let id = CMatrix::identity(3);
+        assert_eq!(unitary_infidelity(&id, &id), 0.0);
+    }
+
+    #[test]
+    fn relative_error_basics() {
+        let a = CMatrix::identity(2);
+        let b = a.scaled(C64::real(1.1));
+        let e = relative_error(&a, &b);
+        assert!((e - 0.1).abs() < 1e-12);
+        assert_eq!(relative_error(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn relative_error_zero_target() {
+        let z = CMatrix::zeros(2, 2);
+        let b = CMatrix::identity(2);
+        assert!((relative_error(&z, &b) - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mse_basics() {
+        assert_eq!(mse(&[], &[]), 0.0);
+        assert!((mse(&[1.0, 2.0], &[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,299 @@
+//! Dense real matrices, used by the digital-baseline neural-network code
+//! (`neuropulsim-nn`) and for intensity-domain results.
+
+use crate::CMatrix;
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense, row-major `f64` matrix.
+///
+/// # Examples
+///
+/// ```
+/// use neuropulsim_linalg::RMatrix;
+///
+/// let a = RMatrix::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+/// let b = RMatrix::identity(2);
+/// assert_eq!(a.mul_mat(&b), a);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl RMatrix {
+    /// Creates an all-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        RMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = RMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), rows * cols, "from_rows: size mismatch");
+        RMatrix {
+            rows,
+            cols,
+            data: data.to_vec(),
+        }
+    }
+
+    /// Builds a matrix entry-by-entry from a closure `f(row, col)`.
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut m = RMatrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrows the row-major backing storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrows the row-major backing storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Returns row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index out of range");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != cols`.
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "mul_vec: dimension mismatch");
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.rows`.
+    pub fn mul_mat(&self, rhs: &RMatrix) -> RMatrix {
+        assert_eq!(self.cols, rhs.rows, "mul_mat: dimension mismatch");
+        let mut out = RMatrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> RMatrix {
+        RMatrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Scales all entries by `s`.
+    pub fn scaled(&self, s: f64) -> RMatrix {
+        RMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| x * s).collect(),
+        }
+    }
+
+    /// Applies `f` elementwise, returning a new matrix.
+    pub fn map<F: Fn(f64) -> f64>(&self, f: F) -> RMatrix {
+        RMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Largest entry magnitude.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().map(|x| x.abs()).fold(0.0, f64::max)
+    }
+
+    /// Lifts to a complex matrix with zero imaginary parts.
+    pub fn to_complex(&self) -> CMatrix {
+        CMatrix::from_reals(self.rows, self.cols, &self.data)
+    }
+
+    /// Entrywise approximate equality within `tol`.
+    pub fn approx_eq(&self, other: &RMatrix, tol: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+}
+
+impl Index<(usize, usize)> for RMatrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for RMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for &RMatrix {
+    type Output = RMatrix;
+    fn add(self, rhs: &RMatrix) -> RMatrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add: shape");
+        RMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+}
+
+impl Sub for &RMatrix {
+    type Output = RMatrix;
+    fn sub(self, rhs: &RMatrix) -> RMatrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub: shape");
+        RMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+}
+
+impl Mul for &RMatrix {
+    type Output = RMatrix;
+    fn mul(self, rhs: &RMatrix) -> RMatrix {
+        self.mul_mat(rhs)
+    }
+}
+
+impl fmt::Display for RMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            writeln!(f, "{:?}", self.row(i))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_mul() {
+        let a = RMatrix::from_rows(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let id = RMatrix::identity(2);
+        assert_eq!(id.mul_mat(&a), a);
+        let v = a.mul_vec(&[1.0, 0.0, -1.0]);
+        assert_eq!(v, vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = RMatrix::from_rows(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn elementwise_and_norms() {
+        let a = RMatrix::from_rows(1, 3, &[3.0, 0.0, 4.0]);
+        assert_eq!(a.frobenius_norm(), 5.0);
+        assert_eq!(a.max_abs(), 4.0);
+        assert_eq!(a.map(|x| x * 2.0).as_slice(), &[6.0, 0.0, 8.0]);
+        assert_eq!(a.scaled(0.5).as_slice(), &[1.5, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = RMatrix::from_rows(2, 2, &[1., 2., 3., 4.]);
+        let b = RMatrix::from_rows(2, 2, &[4., 3., 2., 1.]);
+        let s = &a + &b;
+        assert!((&s - &b).approx_eq(&a, 1e-15));
+    }
+
+    #[test]
+    fn complex_lift() {
+        let a = RMatrix::from_rows(2, 2, &[1., 2., 3., 4.]);
+        let c = a.to_complex();
+        assert_eq!(c[(1, 0)].re, 3.0);
+        assert_eq!(c[(1, 0)].im, 0.0);
+    }
+}

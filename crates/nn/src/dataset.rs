@@ -1,0 +1,223 @@
+//! Synthetic classification datasets standing in for the edge-AI
+//! workloads the paper's introduction motivates.
+//!
+//! The generator produces "photonic digits": `d`-dimensional class
+//! prototypes drawn once per class, with per-sample Gaussian feature
+//! noise — a controllable-difficulty stand-in for MNIST-class data that
+//! keeps the whole benchmark self-contained and reproducible.
+
+use neuropulsim_linalg::random::gaussian;
+use rand::Rng;
+
+/// A labelled dataset: row-major samples and integer labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Feature dimension.
+    pub dim: usize,
+    /// Number of classes.
+    pub classes: usize,
+    /// Samples, each of length `dim`.
+    pub samples: Vec<Vec<f64>>,
+    /// Labels in `0..classes`.
+    pub labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Splits into `(train, test)` with `train_fraction` of samples in
+    /// the training set (interleaved split, preserving class balance for
+    /// generators that interleave classes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_fraction` is not in `(0, 1)`.
+    pub fn split(&self, train_fraction: f64) -> (Dataset, Dataset) {
+        assert!(
+            train_fraction > 0.0 && train_fraction < 1.0,
+            "train fraction must be in (0, 1)"
+        );
+        let period = (1.0 / (1.0 - train_fraction)).round().max(2.0) as usize;
+        let mut train = Dataset {
+            dim: self.dim,
+            classes: self.classes,
+            samples: Vec::new(),
+            labels: Vec::new(),
+        };
+        let mut test = train.clone();
+        for (k, (s, &l)) in self.samples.iter().zip(&self.labels).enumerate() {
+            if k % period == period - 1 {
+                test.samples.push(s.clone());
+                test.labels.push(l);
+            } else {
+                train.samples.push(s.clone());
+                train.labels.push(l);
+            }
+        }
+        (train, test)
+    }
+}
+
+/// Parameters of the synthetic-digit generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DigitsConfig {
+    /// Feature dimension.
+    pub dim: usize,
+    /// Number of classes.
+    pub classes: usize,
+    /// Samples per class.
+    pub samples_per_class: usize,
+    /// Per-feature Gaussian noise added to the prototype.
+    pub noise: f64,
+}
+
+impl Default for DigitsConfig {
+    /// 16-dimensional, 4-class, 50 samples/class, moderate noise — small
+    /// enough for photonic 16×16 cores.
+    fn default() -> Self {
+        DigitsConfig {
+            dim: 16,
+            classes: 4,
+            samples_per_class: 50,
+            noise: 0.25,
+        }
+    }
+}
+
+/// Generates a synthetic-digit dataset: class prototypes with binary-ish
+/// structure (features on/off per class) plus Gaussian noise, values
+/// clipped to `[0, 1]`. Classes are interleaved sample-by-sample.
+pub fn synthetic_digits<R: Rng + ?Sized>(rng: &mut R, config: DigitsConfig) -> Dataset {
+    assert!(config.classes >= 2, "need at least 2 classes");
+    assert!(config.dim >= config.classes, "dim must be >= classes");
+    // Prototypes: each class lights up a random ~half of the features.
+    let prototypes: Vec<Vec<f64>> = (0..config.classes)
+        .map(|_| {
+            (0..config.dim)
+                .map(|_| if rng.gen_bool(0.5) { 0.9 } else { 0.1 })
+                .collect()
+        })
+        .collect();
+    let mut samples = Vec::new();
+    let mut labels = Vec::new();
+    for k in 0..config.samples_per_class {
+        for (c, proto) in prototypes.iter().enumerate() {
+            let _ = k;
+            let sample: Vec<f64> = proto
+                .iter()
+                .map(|&p| (p + config.noise * gaussian(rng)).clamp(0.0, 1.0))
+                .collect();
+            samples.push(sample);
+            labels.push(c);
+        }
+    }
+    Dataset {
+        dim: config.dim,
+        classes: config.classes,
+        samples,
+        labels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generator_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = synthetic_digits(&mut rng, DigitsConfig::default());
+        assert_eq!(d.len(), 4 * 50);
+        assert_eq!(d.dim, 16);
+        assert_eq!(d.classes, 4);
+        assert!(d.samples.iter().all(|s| s.len() == 16));
+        assert!(d.labels.iter().all(|&l| l < 4));
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn values_are_clipped() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = synthetic_digits(
+            &mut rng,
+            DigitsConfig {
+                noise: 2.0,
+                ..Default::default()
+            },
+        );
+        for s in &d.samples {
+            for &v in s {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn classes_are_balanced() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = synthetic_digits(&mut rng, DigitsConfig::default());
+        let mut counts = vec![0usize; d.classes];
+        for &l in &d.labels {
+            counts[l] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 50));
+    }
+
+    #[test]
+    fn split_partitions_all_samples() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = synthetic_digits(&mut rng, DigitsConfig::default());
+        let (train, test) = d.split(0.75);
+        assert_eq!(train.len() + test.len(), d.len());
+        assert!(test.len() >= d.len() / 5, "test set not degenerate");
+        assert!(train.len() > test.len());
+    }
+
+    #[test]
+    fn classes_are_distinguishable() {
+        // Same-class samples should be closer than cross-class ones on
+        // average (otherwise no classifier can work).
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = synthetic_digits(
+            &mut rng,
+            DigitsConfig {
+                samples_per_class: 20,
+                ..Default::default()
+            },
+        );
+        let dist = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f64>()
+        };
+        let mut same = (0.0, 0usize);
+        let mut diff = (0.0, 0usize);
+        for i in 0..d.len() {
+            for j in (i + 1)..d.len() {
+                let dd = dist(&d.samples[i], &d.samples[j]);
+                if d.labels[i] == d.labels[j] {
+                    same = (same.0 + dd, same.1 + 1);
+                } else {
+                    diff = (diff.0 + dd, diff.1 + 1);
+                }
+            }
+        }
+        assert!(same.0 / (same.1 as f64) < diff.0 / (diff.1 as f64));
+    }
+
+    #[test]
+    #[should_panic(expected = "train fraction")]
+    fn split_rejects_bad_fraction() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let d = synthetic_digits(&mut rng, DigitsConfig::default());
+        let _ = d.split(1.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # neuropulsim-nn
+//!
+//! The digital neural-network reference: a dense MLP trained with SGD on
+//! a synthetic edge-AI dataset. The trained weight matrices are what the
+//! photonic MVM cores get programmed with; [`mlp::Mlp::forward_with`]
+//! lets the same network run through *any* matrix–vector multiply — the
+//! hook the accuracy experiments (E3, E10) use to swap in the photonic
+//! path.
+//!
+//! # Examples
+//!
+//! ```
+//! use neuropulsim_nn::dataset::{synthetic_digits, DigitsConfig};
+//! use neuropulsim_nn::mlp::Mlp;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let data = synthetic_digits(&mut rng, DigitsConfig::default());
+//! let (train, test) = data.split(0.8);
+//! let mut mlp = Mlp::new(&mut rng, &[16, 16, 4]);
+//! mlp.fit(&train, 5, 0.05);
+//! assert!(mlp.accuracy(&test) > 0.5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod conv;
+pub mod dataset;
+pub mod mlp;

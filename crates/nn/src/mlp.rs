@@ -1,0 +1,436 @@
+//! A dense multilayer perceptron with SGD training — the digital
+//! reference model whose weight matrices get mapped onto photonic MVM
+//! cores (experiments E3/E10).
+//!
+//! The forward pass is factored so the matrix–vector products can be
+//! swapped out: [`Mlp::forward_with`] takes a custom multiply, which is
+//! how the benchmarks run the *same trained network* through the
+//! photonic pipeline (noise, quantization, loss and all) and compare
+//! accuracies.
+
+use crate::dataset::Dataset;
+use neuropulsim_linalg::random::gaussian;
+use neuropulsim_linalg::RMatrix;
+use rand::Rng;
+
+/// One dense layer: `y = relu_or_identity(W x + b)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseLayer {
+    /// Weight matrix (`outputs x inputs`).
+    pub weights: RMatrix,
+    /// Bias vector (`outputs`).
+    pub bias: Vec<f64>,
+    /// Apply ReLU after the affine map (last layer usually does not).
+    pub relu: bool,
+}
+
+impl DenseLayer {
+    /// He-initialized layer.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, inputs: usize, outputs: usize, relu: bool) -> Self {
+        let scale = (2.0 / inputs as f64).sqrt();
+        DenseLayer {
+            weights: RMatrix::from_fn(outputs, inputs, |_, _| scale * gaussian(rng)),
+            bias: vec![0.0; outputs],
+            relu,
+        }
+    }
+}
+
+/// A feedforward network of dense layers.
+///
+/// # Examples
+///
+/// ```
+/// use neuropulsim_nn::mlp::Mlp;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mlp = Mlp::new(&mut rng, &[4, 8, 3]);
+/// let out = mlp.forward(&[0.1, 0.2, 0.3, 0.4]);
+/// assert_eq!(out.len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    layers: Vec<DenseLayer>,
+}
+
+impl Mlp {
+    /// Creates an MLP with the given layer sizes, ReLU on all hidden
+    /// layers and a linear output layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 2 sizes are given.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, sizes: &[usize]) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        let layers = sizes
+            .windows(2)
+            .enumerate()
+            .map(|(k, w)| DenseLayer::new(rng, w[0], w[1], k + 2 < sizes.len()))
+            .collect();
+        Mlp { layers }
+    }
+
+    /// The layers, input to output.
+    pub fn layers(&self) -> &[DenseLayer] {
+        &self.layers
+    }
+
+    /// Mutable layer access (weight surgery in experiments).
+    pub fn layers_mut(&mut self) -> &mut [DenseLayer] {
+        &mut self.layers
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().map(|l| l.weights.cols()).unwrap_or(0)
+    }
+
+    /// Output dimension (class count).
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().map(|l| l.weights.rows()).unwrap_or(0)
+    }
+
+    /// Standard forward pass (digital float arithmetic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != input_dim()`.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        self.forward_with(x, |w, v| w.mul_vec(v))
+    }
+
+    /// Forward pass with a custom matrix–vector multiply (e.g. a photonic
+    /// core). Biases and activations stay digital, matching the paper's
+    /// split of linear-optics compute + electronic nonlinearity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != input_dim()` or the multiply returns a
+    /// wrong-sized vector.
+    pub fn forward_with<F>(&self, x: &[f64], mut multiply: F) -> Vec<f64>
+    where
+        F: FnMut(&RMatrix, &[f64]) -> Vec<f64>,
+    {
+        assert_eq!(x.len(), self.input_dim(), "forward: input size mismatch");
+        let mut v = x.to_vec();
+        for layer in &self.layers {
+            let mut y = multiply(&layer.weights, &v);
+            assert_eq!(y.len(), layer.bias.len(), "multiply returned wrong size");
+            for (yi, bi) in y.iter_mut().zip(&layer.bias) {
+                *yi += bi;
+                if layer.relu && *yi < 0.0 {
+                    *yi = 0.0;
+                }
+            }
+            v = y;
+        }
+        v
+    }
+
+    /// Predicted class (argmax of logits).
+    pub fn predict(&self, x: &[f64]) -> usize {
+        argmax(&self.forward(x))
+    }
+
+    /// Classification accuracy on a dataset.
+    pub fn accuracy(&self, data: &Dataset) -> f64 {
+        self.accuracy_with(data, |w, v| w.mul_vec(v))
+    }
+
+    /// Accuracy with a custom multiply (photonic inference path).
+    pub fn accuracy_with<F>(&self, data: &Dataset, mut multiply: F) -> f64
+    where
+        F: FnMut(&RMatrix, &[f64]) -> Vec<f64>,
+    {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let correct = data
+            .samples
+            .iter()
+            .zip(&data.labels)
+            .filter(|(x, &l)| argmax(&self.forward_with(x, &mut multiply)) == l)
+            .count();
+        correct as f64 / data.len() as f64
+    }
+
+    /// One epoch of SGD with softmax cross-entropy loss. Returns the mean
+    /// loss over the epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset dimension does not match the network.
+    pub fn train_epoch(&mut self, data: &Dataset, learning_rate: f64) -> f64 {
+        assert_eq!(data.dim, self.input_dim(), "dataset dimension mismatch");
+        let mut total_loss = 0.0;
+        for (x, &label) in data.samples.iter().zip(&data.labels) {
+            total_loss += self.train_sample(x, label, learning_rate);
+        }
+        total_loss / data.len().max(1) as f64
+    }
+
+    /// One SGD step on a single sample; returns its loss.
+    fn train_sample(&mut self, x: &[f64], label: usize, lr: f64) -> f64 {
+        // Forward with caches.
+        let mut activations: Vec<Vec<f64>> = vec![x.to_vec()];
+        let mut pre_relu_masks: Vec<Vec<bool>> = Vec::new();
+        for layer in &self.layers {
+            let input = activations.last().expect("nonempty");
+            let mut y = layer.weights.mul_vec(input);
+            let mut mask = vec![true; y.len()];
+            for ((yi, bi), m) in y.iter_mut().zip(&layer.bias).zip(mask.iter_mut()) {
+                *yi += bi;
+                if layer.relu && *yi < 0.0 {
+                    *yi = 0.0;
+                    *m = false;
+                }
+            }
+            pre_relu_masks.push(mask);
+            activations.push(y);
+        }
+        let logits = activations.last().expect("nonempty").clone();
+        let probs = softmax(&logits);
+        let loss = -probs[label].max(1e-12).ln();
+
+        // Backward.
+        let mut grad: Vec<f64> = probs;
+        grad[label] -= 1.0;
+        for (k, layer) in self.layers.iter_mut().enumerate().rev() {
+            // ReLU gate (the mask of THIS layer's output, except for the
+            // linear output layer where all gates are open).
+            if layer.relu {
+                for (g, &open) in grad.iter_mut().zip(&pre_relu_masks[k]) {
+                    if !open {
+                        *g = 0.0;
+                    }
+                }
+            }
+            let input = &activations[k];
+            // Gradient w.r.t. input for the next (earlier) layer.
+            let mut grad_in = vec![0.0; input.len()];
+            #[allow(clippy::needless_range_loop)] // i indexes weights rows AND grad
+            for i in 0..layer.weights.rows() {
+                let g = grad[i];
+                if g == 0.0 {
+                    continue;
+                }
+                for j in 0..layer.weights.cols() {
+                    grad_in[j] += layer.weights[(i, j)] * g;
+                    layer.weights[(i, j)] -= lr * g * input[j];
+                }
+                layer.bias[i] -= lr * g;
+            }
+            grad = grad_in;
+        }
+        loss
+    }
+
+    /// Trains for `epochs` epochs; returns the loss curve.
+    pub fn fit(&mut self, data: &Dataset, epochs: usize, learning_rate: f64) -> Vec<f64> {
+        (0..epochs)
+            .map(|_| self.train_epoch(data, learning_rate))
+            .collect()
+    }
+
+    /// Projects every weight onto a uniform grid of `levels` values over
+    /// `[-w_max, w_max]` — the representable set of a coarse photonic
+    /// (PCM-level-limited) deployment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels < 2` or `w_max <= 0`.
+    pub fn project_weights(&mut self, levels: u32, w_max: f64) {
+        assert!(levels >= 2, "need at least 2 weight levels");
+        assert!(w_max > 0.0, "w_max must be positive");
+        let step = 2.0 * w_max / (levels - 1) as f64;
+        for layer in &mut self.layers {
+            for w in layer.weights.as_mut_slice() {
+                let clipped = w.clamp(-w_max, w_max);
+                *w = ((clipped + w_max) / step).round() * step - w_max;
+            }
+        }
+    }
+
+    /// Quantization-aware training: alternates SGD epochs with projection
+    /// onto the `levels`-value weight grid, so the network settles into a
+    /// quantization-robust minimum. Returns the loss curve. This is the
+    /// standard recovery technique for coarse photonic weight storage
+    /// (experiment E10 ablation).
+    pub fn fit_quantized(
+        &mut self,
+        data: &Dataset,
+        epochs: usize,
+        learning_rate: f64,
+        levels: u32,
+        w_max: f64,
+    ) -> Vec<f64> {
+        (0..epochs)
+            .map(|_| {
+                let loss = self.train_epoch(data, learning_rate);
+                self.project_weights(levels, w_max);
+                loss
+            })
+            .collect()
+    }
+}
+
+/// Softmax with max-shift for numerical stability.
+pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&z| (z - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.iter().map(|e| e / sum).collect()
+}
+
+/// Index of the largest element (first on ties).
+pub fn argmax(v: &[f64]) -> usize {
+    let mut best = 0;
+    let mut best_value = f64::NEG_INFINITY;
+    for (i, &x) in v.iter().enumerate() {
+        if x > best_value {
+            best = i;
+            best_value = x;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{synthetic_digits, DigitsConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mlp = Mlp::new(&mut rng, &[8, 16, 4]);
+        assert_eq!(mlp.input_dim(), 8);
+        assert_eq!(mlp.output_dim(), 4);
+        assert_eq!(mlp.forward(&[0.0; 8]).len(), 4);
+        assert_eq!(mlp.layers().len(), 2);
+        assert!(mlp.layers()[0].relu);
+        assert!(!mlp.layers()[1].relu);
+    }
+
+    #[test]
+    fn softmax_properties() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+        // Stability with huge logits.
+        let q = softmax(&[1000.0, 1000.0]);
+        assert!((q[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argmax_ties_and_order() {
+        assert_eq!(argmax(&[1.0, 3.0, 2.0]), 1);
+        assert_eq!(argmax(&[5.0, 5.0]), 0);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let data = synthetic_digits(&mut rng, DigitsConfig::default());
+        let mut mlp = Mlp::new(&mut rng, &[16, 16, 4]);
+        let losses = mlp.fit(&data, 10, 0.05);
+        assert!(
+            losses.last().unwrap() < &(losses[0] * 0.5),
+            "loss should halve: {losses:?}"
+        );
+    }
+
+    #[test]
+    fn trained_network_classifies_held_out_data() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let data = synthetic_digits(&mut rng, DigitsConfig::default());
+        let (train, test) = data.split(0.8);
+        let mut mlp = Mlp::new(&mut rng, &[16, 16, 4]);
+        let before = mlp.accuracy(&test);
+        mlp.fit(&train, 25, 0.05);
+        let after = mlp.accuracy(&test);
+        assert!(after > 0.9, "test accuracy {after} too low (was {before})");
+    }
+
+    #[test]
+    fn forward_with_custom_multiply_matches_default() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mlp = Mlp::new(&mut rng, &[4, 6, 3]);
+        let x = [0.1, -0.2, 0.3, 0.4];
+        let a = mlp.forward(&x);
+        let b = mlp.forward_with(&x, |w, v| w.mul_vec(v));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noisy_multiply_degrades_gracefully() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let data = synthetic_digits(&mut rng, DigitsConfig::default());
+        let (train, test) = data.split(0.8);
+        let mut mlp = Mlp::new(&mut rng, &[16, 16, 4]);
+        mlp.fit(&train, 25, 0.05);
+        let clean = mlp.accuracy(&test);
+        // A violently noisy multiply should hurt; mild noise should not.
+        let mut noise_rng = StdRng::seed_from_u64(1);
+        let noisy = mlp.accuracy_with(&test, |w, v| {
+            w.mul_vec(v)
+                .into_iter()
+                .map(|y| y + 5.0 * neuropulsim_linalg::random::gaussian(&mut noise_rng))
+                .collect()
+        });
+        assert!(noisy < clean, "heavy noise must reduce accuracy");
+    }
+
+    #[test]
+    fn projection_snaps_to_grid() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut mlp = Mlp::new(&mut rng, &[4, 3]);
+        mlp.project_weights(5, 1.0); // grid {-1, -0.5, 0, 0.5, 1}
+        for layer in mlp.layers() {
+            for &w in layer.weights.as_slice() {
+                let snapped = (w * 2.0).round() / 2.0;
+                assert!((w - snapped).abs() < 1e-12, "weight {w} off grid");
+                assert!(w.abs() <= 1.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn quantization_aware_training_beats_post_hoc_projection() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let data = synthetic_digits(&mut rng, DigitsConfig::default());
+        let (train, test) = data.split(0.8);
+        let levels = 8;
+        let w_max = 1.5;
+
+        // Post-hoc: train in float, then project once.
+        let mut post_hoc = Mlp::new(&mut rng, &[16, 16, 4]);
+        post_hoc.fit(&train, 25, 0.05);
+        post_hoc.project_weights(levels, w_max);
+        let acc_post_hoc = post_hoc.accuracy(&test);
+
+        // QAT: project after every epoch.
+        let mut rng2 = StdRng::seed_from_u64(29);
+        let _ = synthetic_digits(&mut rng2, DigitsConfig::default());
+        let mut qat = Mlp::new(&mut rng2, &[16, 16, 4]);
+        qat.fit_quantized(&train, 25, 0.05, levels, w_max);
+        let acc_qat = qat.accuracy(&test);
+
+        assert!(
+            acc_qat >= acc_post_hoc,
+            "QAT {acc_qat} should not lose to post-hoc {acc_post_hoc}"
+        );
+        assert!(acc_qat > 0.8, "QAT accuracy {acc_qat} too low");
+    }
+
+    #[test]
+    #[should_panic(expected = "input size mismatch")]
+    fn forward_rejects_wrong_dim() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let mlp = Mlp::new(&mut rng, &[4, 2]);
+        let _ = mlp.forward(&[0.0; 3]);
+    }
+}

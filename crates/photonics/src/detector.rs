@@ -1,0 +1,204 @@
+//! Photodetector models: responsivity, shot noise, thermal noise and the
+//! readout of a detector array at the mesh output plane.
+//!
+//! The paper's platform advertises >50 GHz detectors (§2); bandwidth
+//! enters here through the noise-equivalent bandwidth of each sample.
+
+use crate::units::ELEMENTARY_CHARGE;
+use neuropulsim_linalg::CVector;
+use rand::Rng;
+
+/// A PIN photodetector with Gaussian shot + thermal noise.
+///
+/// Converts optical power \[W\] into photocurrent \[A\]:
+/// `I = R * P + n_shot + n_thermal`, with
+/// `sigma_shot^2 = 2 q R P B` and `sigma_thermal^2 = (4 k T / R_load) B`
+/// folded into a single input-referred thermal current density.
+///
+/// # Examples
+///
+/// ```
+/// use neuropulsim_photonics::detector::Photodetector;
+///
+/// let det = Photodetector::default();
+/// // Noiseless mean response: 1 mW in, ~1 mA out at R = 1 A/W.
+/// assert!((det.mean_current(1e-3) - 1e-3).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Photodetector {
+    /// Responsivity \[A/W\]. ~1 A/W for Ge-on-Si at 1550 nm.
+    pub responsivity: f64,
+    /// Noise-equivalent bandwidth \[Hz\].
+    pub bandwidth: f64,
+    /// Input-referred thermal noise current density \[A/sqrt(Hz)\].
+    pub thermal_noise_density: f64,
+    /// Dark current \[A\].
+    pub dark_current: f64,
+}
+
+impl Photodetector {
+    /// Creates a detector with the given responsivity \[A/W\] and
+    /// bandwidth \[Hz\], using typical receiver thermal noise.
+    pub fn new(responsivity: f64, bandwidth: f64) -> Self {
+        Photodetector {
+            responsivity,
+            bandwidth,
+            thermal_noise_density: 10e-12, // 10 pA/sqrt(Hz) TIA-class
+            dark_current: 50e-9,
+        }
+    }
+
+    /// Mean (noise-free) photocurrent for incident power `power_w`.
+    pub fn mean_current(&self, power_w: f64) -> f64 {
+        self.responsivity * power_w.max(0.0) + self.dark_current
+    }
+
+    /// RMS noise current at incident power `power_w` \[A\].
+    pub fn noise_sigma(&self, power_w: f64) -> f64 {
+        let i_mean = self.mean_current(power_w);
+        let shot_var = 2.0 * ELEMENTARY_CHARGE * i_mean * self.bandwidth;
+        let thermal_var = self.thermal_noise_density.powi(2) * self.bandwidth;
+        (shot_var + thermal_var).sqrt()
+    }
+
+    /// Samples a noisy photocurrent for incident power `power_w`.
+    pub fn sample_current<R: Rng + ?Sized>(&self, rng: &mut R, power_w: f64) -> f64 {
+        self.mean_current(power_w)
+            + self.noise_sigma(power_w) * neuropulsim_linalg::random::gaussian(rng)
+    }
+
+    /// Signal-to-noise ratio (power SNR) at incident power `power_w`.
+    pub fn snr(&self, power_w: f64) -> f64 {
+        let sig = self.responsivity * power_w.max(0.0);
+        let sigma = self.noise_sigma(power_w);
+        if sigma == 0.0 {
+            f64::INFINITY
+        } else {
+            (sig / sigma).powi(2)
+        }
+    }
+}
+
+impl Default for Photodetector {
+    /// A 50 GHz, 1 A/W receiver matching the paper's platform claims.
+    fn default() -> Self {
+        Photodetector::new(1.0, 50e9)
+    }
+}
+
+/// A bank of identical photodetectors reading out the output ports of a
+/// mesh, optionally in a *differential* (balanced) configuration that
+/// recovers signed values from intensity pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DetectorArray {
+    /// The per-port detector model.
+    pub detector: Photodetector,
+}
+
+impl DetectorArray {
+    /// Creates an array with the given per-port detector.
+    pub fn new(detector: Photodetector) -> Self {
+        DetectorArray { detector }
+    }
+
+    /// Reads the optical powers on every port without noise \[W in, A out\].
+    pub fn read_mean(&self, fields: &CVector) -> Vec<f64> {
+        fields
+            .powers()
+            .iter()
+            .map(|&p| self.detector.mean_current(p))
+            .collect()
+    }
+
+    /// Reads every port with sampled noise.
+    pub fn read_noisy<R: Rng + ?Sized>(&self, rng: &mut R, fields: &CVector) -> Vec<f64> {
+        fields
+            .powers()
+            .iter()
+            .map(|&p| self.detector.sample_current(rng, p))
+            .collect()
+    }
+
+    /// Coherent (homodyne) readout of the *real part* of each field
+    /// amplitude against a unit local oscillator, with additive Gaussian
+    /// noise of RMS `sigma` per port. This is the readout mode that lets a
+    /// photonic MVM return signed values directly.
+    pub fn read_homodyne<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        fields: &CVector,
+        sigma: f64,
+    ) -> Vec<f64> {
+        fields
+            .iter()
+            .map(|z| z.re + sigma * neuropulsim_linalg::random::gaussian(rng))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neuropulsim_linalg::C64;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_current_linear_in_power() {
+        let det = Photodetector::new(0.8, 10e9);
+        let base = det.mean_current(0.0);
+        assert!((det.mean_current(1e-3) - base - 0.8e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_power_clamped() {
+        let det = Photodetector::default();
+        assert_eq!(det.mean_current(-1.0), det.mean_current(0.0));
+    }
+
+    #[test]
+    fn snr_increases_with_power() {
+        let det = Photodetector::default();
+        assert!(det.snr(1e-3) > det.snr(1e-6));
+        assert!(det.snr(1e-6) > det.snr(1e-9));
+    }
+
+    #[test]
+    fn shot_noise_grows_with_power() {
+        let det = Photodetector::default();
+        assert!(det.noise_sigma(1e-3) > det.noise_sigma(1e-6));
+    }
+
+    #[test]
+    fn sampled_current_statistics() {
+        let det = Photodetector::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = 1e-4;
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| det.sample_current(&mut rng, p)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let sd = (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64).sqrt();
+        assert!((mean - det.mean_current(p)).abs() < 5.0 * det.noise_sigma(p) / (n as f64).sqrt());
+        assert!((sd / det.noise_sigma(p) - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn array_reads_powers() {
+        let arr = DetectorArray::default();
+        let v = CVector::from_slice(&[C64::new(0.0, 0.01), C64::real(0.02)]);
+        let out = arr.read_mean(&v);
+        let d = arr.detector.dark_current;
+        assert!((out[0] - 1e-4 - d).abs() < 1e-12);
+        assert!((out[1] - 4e-4 - d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn homodyne_reads_signed_values() {
+        let arr = DetectorArray::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let v = CVector::from_reals(&[-0.5, 0.25]);
+        let out = arr.read_homodyne(&mut rng, &v, 0.0);
+        assert!((out[0] + 0.5).abs() < 1e-12);
+        assert!((out[1] - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,341 @@
+//! Excitable Q-switched laser neuron — the Yamada model.
+//!
+//! §3 of the paper explores "Q-switched III-V on-chip lasers ... as
+//! chipscale excitable spiking sources". The canonical dynamical model of
+//! a laser with saturable absorber is the Yamada system
+//!
+//! ```text
+//!   dG/dt = gamma * (A - G - G*I)          (gain)
+//!   dQ/dt = gamma * (B - Q - a*Q*I)        (saturable absorption)
+//!   dI/dt = (G - Q - 1) * I + eps + u(t)   (intensity, + injection)
+//! ```
+//!
+//! In the excitable regime (`A - B - 1 < 0`) the off state is stable, but a
+//! perturbation that pushes net gain past threshold fires one large,
+//! stereotyped intensity spike followed by a refractory period — exactly
+//! the leaky-integrate-and-fire-like behaviour a photonic SNN neuron needs.
+//! Time is normalized to the cavity photon lifetime; [`YamadaParams::time_unit`]
+//! converts to seconds (sub-ns spikes, per the paper).
+
+/// Parameters of the Yamada excitable-laser model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YamadaParams {
+    /// Pump parameter `A` (small-signal gain bias).
+    pub pump: f64,
+    /// Absorption parameter `B`.
+    pub absorption: f64,
+    /// Absorber saturation ratio `a`.
+    pub saturation: f64,
+    /// Carrier relaxation rate `gamma` (slow timescale).
+    pub gamma: f64,
+    /// Spontaneous-emission floor `eps` keeping `I > 0`.
+    pub epsilon: f64,
+    /// Integration step in normalized time units.
+    pub dt: f64,
+    /// Intensity level above which the neuron is considered spiking.
+    pub spike_threshold: f64,
+    /// Seconds per normalized time unit (photon-lifetime scale).
+    pub time_unit: f64,
+}
+
+impl YamadaParams {
+    /// Distance of the rest state from the lasing threshold:
+    /// `A - B - 1`. Negative means excitable (off state stable).
+    pub fn threshold_margin(&self) -> f64 {
+        self.pump - self.absorption - 1.0
+    }
+}
+
+impl Default for YamadaParams {
+    /// A class-1 excitable operating point used widely in the literature:
+    /// `A = 6.5, B = 5.8, a = 1.8` (margin -0.3), slow recovery
+    /// `gamma = 0.02`, 10 ps per normalized unit (sub-ns spikes).
+    fn default() -> Self {
+        YamadaParams {
+            pump: 6.5,
+            absorption: 5.8,
+            saturation: 1.8,
+            gamma: 0.02,
+            epsilon: 1e-6,
+            dt: 0.02,
+            spike_threshold: 1.0,
+            time_unit: 10e-12,
+        }
+    }
+}
+
+/// State of the laser: gain, absorption, intensity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YamadaState {
+    /// Gain `G`.
+    pub gain: f64,
+    /// Absorption `Q`.
+    pub absorption: f64,
+    /// Intensity `I` (normalized photon number).
+    pub intensity: f64,
+}
+
+/// An excitable spiking laser integrated with RK4.
+///
+/// # Examples
+///
+/// ```
+/// use neuropulsim_photonics::laser::YamadaLaser;
+///
+/// let mut laser = YamadaLaser::new(Default::default());
+/// laser.settle();
+/// // A strong gain kick fires a spike; a weak one does not.
+/// assert!(laser.fire_probe(1.0));
+/// laser.settle();
+/// assert!(!laser.fire_probe(0.05));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct YamadaLaser {
+    params: YamadaParams,
+    state: YamadaState,
+    time: f64,
+    spiking: bool,
+    spike_times: Vec<f64>,
+}
+
+impl YamadaLaser {
+    /// Creates a laser at its rest state (`G = A, Q = B, I ~ 0`).
+    pub fn new(params: YamadaParams) -> Self {
+        YamadaLaser {
+            state: YamadaState {
+                gain: params.pump,
+                absorption: params.absorption,
+                intensity: params.epsilon,
+            },
+            params,
+            time: 0.0,
+            spiking: false,
+            spike_times: Vec::new(),
+        }
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &YamadaParams {
+        &self.params
+    }
+
+    /// The current dynamical state.
+    pub fn state(&self) -> YamadaState {
+        self.state
+    }
+
+    /// Elapsed normalized time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Times (normalized units) at which spikes were detected.
+    pub fn spike_times(&self) -> &[f64] {
+        &self.spike_times
+    }
+
+    /// Number of spikes fired so far.
+    pub fn spike_count(&self) -> usize {
+        self.spike_times.len()
+    }
+
+    fn derivatives(&self, s: &YamadaState, injection: f64) -> (f64, f64, f64) {
+        let p = &self.params;
+        let dg = p.gamma * (p.pump - s.gain - s.gain * s.intensity);
+        let dq =
+            p.gamma * (p.absorption - s.absorption - p.saturation * s.absorption * s.intensity);
+        let di = (s.gain - s.absorption - 1.0) * s.intensity + p.epsilon + injection;
+        (dg, dq, di)
+    }
+
+    /// Advances one RK4 step with constant optical/electrical injection
+    /// `injection` (added to `dI/dt`) over the step.
+    pub fn step(&mut self, injection: f64) {
+        let h = self.params.dt;
+        let s0 = self.state;
+        let k1 = self.derivatives(&s0, injection);
+        let s1 = advance(&s0, &k1, h / 2.0);
+        let k2 = self.derivatives(&s1, injection);
+        let s2 = advance(&s0, &k2, h / 2.0);
+        let k3 = self.derivatives(&s2, injection);
+        let s3 = advance(&s0, &k3, h);
+        let k4 = self.derivatives(&s3, injection);
+        self.state = YamadaState {
+            gain: s0.gain + h / 6.0 * (k1.0 + 2.0 * k2.0 + 2.0 * k3.0 + k4.0),
+            absorption: s0.absorption + h / 6.0 * (k1.1 + 2.0 * k2.1 + 2.0 * k3.1 + k4.1),
+            intensity: (s0.intensity + h / 6.0 * (k1.2 + 2.0 * k2.2 + 2.0 * k3.2 + k4.2)).max(0.0),
+        };
+        self.time += h;
+        // Rising-edge spike detection.
+        let above = self.state.intensity > self.params.spike_threshold;
+        if above && !self.spiking {
+            self.spike_times.push(self.time);
+        }
+        self.spiking = above;
+    }
+
+    /// Instantaneously kicks the gain by `amplitude` (a pump/injection
+    /// perturbation — how upstream spikes drive the neuron).
+    pub fn perturb_gain(&mut self, amplitude: f64) {
+        self.state.gain += amplitude;
+    }
+
+    /// Runs for `duration` normalized units with no injection, recording
+    /// the intensity every step. Returns the trace.
+    pub fn run(&mut self, duration: f64) -> Vec<f64> {
+        let steps = (duration / self.params.dt).ceil() as usize;
+        let mut trace = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            self.step(0.0);
+            trace.push(self.state.intensity);
+        }
+        trace
+    }
+
+    /// Lets the laser relax to its rest state (long quiet evolution) and
+    /// clears the spike log.
+    pub fn settle(&mut self) {
+        let _ = self.run(2000.0);
+        self.spike_times.clear();
+        self.spiking = false;
+    }
+
+    /// Applies a gain kick of `amplitude`, evolves long enough for a spike
+    /// to develop, and reports whether one fired. (Test/characterization
+    /// helper — the excitability threshold probe.)
+    pub fn fire_probe(&mut self, amplitude: f64) -> bool {
+        let before = self.spike_count();
+        self.perturb_gain(amplitude);
+        let _ = self.run(300.0);
+        self.spike_count() > before
+    }
+
+    /// Finds the minimum gain-kick amplitude that fires a spike, by
+    /// bisection on `[0, hi]` to precision `tol`. The laser is settled
+    /// before each probe.
+    pub fn excitability_threshold(&mut self, hi: f64, tol: f64) -> f64 {
+        let mut lo = 0.0;
+        let mut hi = hi;
+        while hi - lo > tol {
+            let mid = 0.5 * (lo + hi);
+            self.settle();
+            if self.fire_probe(mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+fn advance(s: &YamadaState, k: &(f64, f64, f64), h: f64) -> YamadaState {
+    YamadaState {
+        gain: s.gain + k.0 * h,
+        absorption: s.absorption + k.1 * h,
+        intensity: (s.intensity + k.2 * h).max(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rest_state_is_stable() {
+        let mut laser = YamadaLaser::new(Default::default());
+        let trace = laser.run(1000.0);
+        assert!(trace.iter().all(|&i| i < 1e-3), "should stay off");
+        assert_eq!(laser.spike_count(), 0);
+    }
+
+    #[test]
+    fn default_params_are_excitable() {
+        let p = YamadaParams::default();
+        assert!(
+            p.threshold_margin() < 0.0,
+            "rest state must be below threshold"
+        );
+    }
+
+    #[test]
+    fn strong_kick_fires_exactly_one_spike() {
+        let mut laser = YamadaLaser::new(Default::default());
+        laser.settle();
+        laser.perturb_gain(1.0);
+        let trace = laser.run(400.0);
+        assert_eq!(laser.spike_count(), 1, "one kick, one spike");
+        let peak = trace.iter().cloned().fold(0.0f64, f64::max);
+        assert!(peak > 1.0, "spike should be large, got {peak}");
+    }
+
+    #[test]
+    fn weak_kick_does_not_fire() {
+        let mut laser = YamadaLaser::new(Default::default());
+        laser.settle();
+        assert!(!laser.fire_probe(0.05));
+    }
+
+    #[test]
+    fn all_or_none_response() {
+        // Spike amplitude is stereotyped: 2x threshold kick gives nearly the
+        // same peak as 1.2x threshold kick.
+        let mut a = YamadaLaser::new(Default::default());
+        a.settle();
+        a.perturb_gain(1.0);
+        let peak_a = a.run(400.0).iter().cloned().fold(0.0f64, f64::max);
+        let mut b = YamadaLaser::new(Default::default());
+        b.settle();
+        b.perturb_gain(2.0);
+        let peak_b = b.run(400.0).iter().cloned().fold(0.0f64, f64::max);
+        assert!(peak_a > 1.0 && peak_b > 1.0);
+        assert!((peak_a - peak_b).abs() / peak_b < 0.5, "stereotyped spikes");
+    }
+
+    #[test]
+    fn refractory_period_blocks_second_spike() {
+        let mut laser = YamadaLaser::new(Default::default());
+        laser.settle();
+        laser.perturb_gain(1.0);
+        let _ = laser.run(60.0); // fires and begins recovery
+        let spikes_after_first = laser.spike_count();
+        assert_eq!(spikes_after_first, 1);
+        // Same kick immediately again: gain is depleted, no spike.
+        laser.perturb_gain(1.0);
+        let _ = laser.run(60.0);
+        assert_eq!(
+            laser.spike_count(),
+            1,
+            "refractory must block the second kick"
+        );
+        // After full recovery the same kick fires again.
+        let _ = laser.run(2000.0);
+        laser.perturb_gain(1.0);
+        let _ = laser.run(300.0);
+        assert_eq!(laser.spike_count(), 2);
+    }
+
+    #[test]
+    fn threshold_is_near_margin() {
+        let mut laser = YamadaLaser::new(Default::default());
+        let th = laser.excitability_threshold(2.0, 0.02);
+        // The static margin is 0.3; dynamic threshold is the same order.
+        assert!(
+            th > 0.05 && th < 1.0,
+            "threshold {th} out of expected range"
+        );
+    }
+
+    #[test]
+    fn spike_duration_is_subnanosecond() {
+        let mut laser = YamadaLaser::new(Default::default());
+        laser.settle();
+        laser.perturb_gain(1.0);
+        let trace = laser.run(400.0);
+        let p = *laser.params();
+        let above: usize = trace.iter().filter(|&&i| i > p.spike_threshold).count();
+        let width_s = above as f64 * p.dt * p.time_unit;
+        assert!(width_s < 1e-9, "spike width {width_s} s should be sub-ns");
+        assert!(width_s > 0.0);
+    }
+}

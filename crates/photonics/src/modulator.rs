@@ -1,0 +1,169 @@
+//! High-speed Mach–Zehnder modulators: the input encoders of the MVM core.
+//!
+//! §4 of the paper: "input vectors are encoded into amplitude/phase of
+//! individual inputs (typically using high-speed Mach Zehnder modulators)".
+//! The platform provides >50 GHz devices (§2); the modulator's bandwidth
+//! bounds the vector rate of the accelerator and its energy/bit enters the
+//! energy model.
+
+use neuropulsim_linalg::{CVector, C64};
+
+/// A high-speed Mach–Zehnder amplitude/phase modulator.
+///
+/// Encodes a real value `x in [-1, 1]` into an optical field amplitude
+/// `sqrt(P_in) * x` (negative values as a pi phase flip), limited by a
+/// finite extinction ratio.
+///
+/// # Examples
+///
+/// ```
+/// use neuropulsim_photonics::modulator::Modulator;
+///
+/// let m = Modulator::default();
+/// let field = m.encode(0.5, 1e-3);
+/// // x^2 * carrier * insertion loss
+/// let expected = 0.25 * 1e-3 * m.insertion_transmission;
+/// assert!((field.abs2() - expected).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Modulator {
+    /// Electro-optic 3-dB bandwidth \[Hz\].
+    pub bandwidth: f64,
+    /// Power extinction ratio (on/off) as a linear factor, e.g. 1000 = 30 dB.
+    pub extinction_ratio: f64,
+    /// Electrical energy per encoded symbol \[J\].
+    pub energy_per_symbol: f64,
+    /// Field insertion transmission (loss of the modulator itself).
+    pub insertion_transmission: f64,
+}
+
+impl Modulator {
+    /// Creates a modulator with the given bandwidth \[Hz\] and extinction
+    /// ratio \[linear\].
+    pub fn new(bandwidth: f64, extinction_ratio: f64) -> Self {
+        Modulator {
+            bandwidth,
+            extinction_ratio,
+            energy_per_symbol: 50e-15, // ~50 fJ/symbol, silicon MZM class
+            insertion_transmission: 0.89, // ~1 dB insertion loss (power)
+        }
+    }
+
+    /// Maximum symbol (vector-element) rate \[symbols/s\], taken as the
+    /// 3-dB bandwidth for NRZ-style encoding.
+    pub fn max_symbol_rate(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Encodes `x in [-1, 1]` onto a carrier of power `carrier_power_w`,
+    /// returning the output field amplitude. The finite extinction ratio
+    /// leaves a residual floor amplitude even at `x = 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is outside `[-1, 1]` or the carrier power is negative.
+    pub fn encode(&self, x: f64, carrier_power_w: f64) -> C64 {
+        assert!((-1.0..=1.0).contains(&x), "modulator input out of [-1, 1]");
+        assert!(carrier_power_w >= 0.0, "carrier power must be >= 0");
+        let floor = (1.0 / self.extinction_ratio).sqrt();
+        let magnitude = x.abs().max(floor);
+        let amplitude = (carrier_power_w * self.insertion_transmission).sqrt() * magnitude;
+        if x < 0.0 {
+            C64::real(-amplitude)
+        } else {
+            C64::real(amplitude)
+        }
+    }
+
+    /// Encodes a whole vector onto equal-power carriers such that the
+    /// largest entry uses the full carrier. Returns the field vector and
+    /// the scale factor needed to recover physical values downstream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the carrier power is negative.
+    pub fn encode_vector(&self, x: &[f64], carrier_power_w: f64) -> (CVector, f64) {
+        assert!(carrier_power_w >= 0.0, "carrier power must be >= 0");
+        let max = x.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let scale = if max > 0.0 { max } else { 1.0 };
+        let fields: CVector = x
+            .iter()
+            .map(|&v| self.encode(v / scale, carrier_power_w))
+            .collect();
+        (fields, scale)
+    }
+
+    /// Electrical energy to encode an `n`-element vector \[J\].
+    pub fn vector_energy(&self, n: usize) -> f64 {
+        self.energy_per_symbol * n as f64
+    }
+}
+
+impl Default for Modulator {
+    /// The platform's >50 GHz modulator with 25 dB extinction.
+    fn default() -> Self {
+        Modulator::new(50e9, 316.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_scales_amplitude() {
+        let m = Modulator::default();
+        let p = 1e-3;
+        let full = m.encode(1.0, p).abs2();
+        let half = m.encode(0.5, p).abs2();
+        assert!((half / full - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sign_becomes_phase_flip() {
+        let m = Modulator::default();
+        let pos = m.encode(0.7, 1e-3);
+        let neg = m.encode(-0.7, 1e-3);
+        assert!((pos + neg).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extinction_ratio_floors_zero() {
+        let m = Modulator::new(50e9, 100.0); // 20 dB
+        let z = m.encode(0.0, 1e-3);
+        // Power floor is carrier/ER (with insertion loss).
+        let expected = 1e-3 * m.insertion_transmission / 100.0;
+        assert!((z.abs2() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vector_encoding_normalizes_to_max() {
+        let m = Modulator::default();
+        let (fields, scale) = m.encode_vector(&[0.2, -0.8, 0.4], 1e-3);
+        assert_eq!(scale, 0.8);
+        // Largest element maps to full amplitude.
+        let full = m.encode(1.0, 1e-3).abs();
+        assert!((fields[1].abs() - full).abs() < 1e-12);
+        assert!(fields[1].re < 0.0);
+    }
+
+    #[test]
+    fn zero_vector_encodes_without_panic() {
+        let m = Modulator::default();
+        let (fields, scale) = m.encode_vector(&[0.0, 0.0], 1e-3);
+        assert_eq!(scale, 1.0);
+        assert_eq!(fields.len(), 2);
+    }
+
+    #[test]
+    fn energy_scales_with_length() {
+        let m = Modulator::default();
+        assert!((m.vector_energy(8) - 8.0 * m.energy_per_symbol).abs() < 1e-20);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [-1, 1]")]
+    fn rejects_overrange_input() {
+        let _ = Modulator::default().encode(1.5, 1e-3);
+    }
+}

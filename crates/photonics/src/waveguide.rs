@@ -1,0 +1,121 @@
+//! Waveguide propagation: loss, group delay and time-of-flight — the
+//! "low-loss signal propagation without Joule heating" the paper's §2
+//! credits to the photonic platform, and the source of the accelerator's
+//! optical latency floor.
+
+use crate::units::{db_per_cm_to_alpha, SPEED_OF_LIGHT};
+
+/// A straight waveguide segment.
+///
+/// # Examples
+///
+/// ```
+/// use neuropulsim_photonics::waveguide::Waveguide;
+///
+/// let wg = Waveguide::new(0.01, 2.0); // 1 cm at 2 dB/cm
+/// assert!((wg.power_transmission() - 0.631).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Waveguide {
+    /// Physical length \[m\].
+    pub length: f64,
+    /// Propagation loss \[dB/cm\].
+    pub loss_db_per_cm: f64,
+    /// Group index (signal-velocity divisor).
+    pub group_index: f64,
+}
+
+impl Waveguide {
+    /// Creates a waveguide with the platform's default group index (4.2,
+    /// SOI strip).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` or the loss is negative.
+    pub fn new(length: f64, loss_db_per_cm: f64) -> Self {
+        assert!(length >= 0.0, "length must be non-negative");
+        assert!(loss_db_per_cm >= 0.0, "loss must be non-negative");
+        Waveguide {
+            length,
+            loss_db_per_cm,
+            group_index: 4.2,
+        }
+    }
+
+    /// Power transmission over the full length.
+    pub fn power_transmission(&self) -> f64 {
+        (-db_per_cm_to_alpha(self.loss_db_per_cm) * self.length).exp()
+    }
+
+    /// Field (amplitude) transmission over the full length.
+    pub fn field_transmission(&self) -> f64 {
+        self.power_transmission().sqrt()
+    }
+
+    /// Total insertion loss \[dB\] (positive).
+    pub fn loss_db(&self) -> f64 {
+        self.loss_db_per_cm * self.length * 100.0
+    }
+
+    /// Group delay (time of flight) \[s\].
+    pub fn delay(&self) -> f64 {
+        self.group_index * self.length / SPEED_OF_LIGHT
+    }
+}
+
+/// Optical latency of a mesh accelerator: time of flight through `depth`
+/// columns of `column_pitch`-long cells — the physical floor under the
+/// `setup_cycles` of the system simulator's accelerator device.
+pub fn mesh_time_of_flight(depth: usize, column_pitch: f64) -> f64 {
+    Waveguide::new(depth as f64 * column_pitch, 0.0).delay()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_zero_length() {
+        let wg = Waveguide::new(0.0, 2.0);
+        assert_eq!(wg.power_transmission(), 1.0);
+        assert_eq!(wg.delay(), 0.0);
+        assert_eq!(wg.loss_db(), 0.0);
+    }
+
+    #[test]
+    fn loss_compounds_exponentially() {
+        let one = Waveguide::new(0.01, 2.0).power_transmission();
+        let two = Waveguide::new(0.02, 2.0).power_transmission();
+        assert!((two - one * one).abs() < 1e-12);
+        assert!((Waveguide::new(0.01, 2.0).loss_db() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn field_is_sqrt_of_power() {
+        let wg = Waveguide::new(0.005, 3.0);
+        assert!((wg.field_transmission().powi(2) - wg.power_transmission()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn delay_matches_group_velocity() {
+        // 1 mm at n_g = 4.2: ~14 ps.
+        let wg = Waveguide::new(1e-3, 0.0);
+        let d = wg.delay();
+        assert!((d - 14e-12).abs() < 1e-12, "delay {d}");
+    }
+
+    #[test]
+    fn mesh_flight_time_is_picoseconds() {
+        // 16-column mesh at 120 um pitch: ~27 ps — far below one symbol
+        // slot at 10 GS/s (100 ps); latency is I/O-dominated, as the
+        // accelerator device model assumes.
+        let t = mesh_time_of_flight(16, 120e-6);
+        assert!(t > 1e-12 && t < 100e-12, "flight {t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_length() {
+        let _ = Waveguide::new(-1.0, 1.0);
+    }
+}

@@ -1,0 +1,690 @@
+//! A small RV32IM assembler for writing offload firmware in tests and
+//! examples without an external toolchain.
+//!
+//! Supports the instructions in [`crate::isa`], labels (`name:`),
+//! comments (`#` or `;` to end of line), decimal/hex immediates, ABI
+//! register names (`a0`, `sp`, ...) and the common pseudo-instructions
+//! `nop`, `li`, `mv`, `j`, `jr`, `ret`, `call`, `beqz`, `bnez`.
+//!
+//! # Examples
+//!
+//! ```
+//! let code = neuropulsim_riscv::asm::assemble(
+//!     "
+//!     li   a0, 10
+//!     li   a1, 0
+//! loop:
+//!     add  a1, a1, a0
+//!     addi a0, a0, -1
+//!     bnez a0, loop
+//!     ecall
+//!     ",
+//! )?;
+//! assert_eq!(code.len(), 6); // each li fits one addi here
+//! # Ok::<(), neuropulsim_riscv::asm::AsmError>(())
+//! ```
+
+use crate::isa::{encode, Instruction};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An assembly error with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Parses a register name: `x0`–`x31` or ABI names.
+fn parse_reg(token: &str, line: usize) -> Result<u8, AsmError> {
+    let t = token.trim_end_matches(',');
+    let abi = [
+        ("zero", 0),
+        ("ra", 1),
+        ("sp", 2),
+        ("gp", 3),
+        ("tp", 4),
+        ("t0", 5),
+        ("t1", 6),
+        ("t2", 7),
+        ("s0", 8),
+        ("fp", 8),
+        ("s1", 9),
+        ("a0", 10),
+        ("a1", 11),
+        ("a2", 12),
+        ("a3", 13),
+        ("a4", 14),
+        ("a5", 15),
+        ("a6", 16),
+        ("a7", 17),
+        ("s2", 18),
+        ("s3", 19),
+        ("s4", 20),
+        ("s5", 21),
+        ("s6", 22),
+        ("s7", 23),
+        ("s8", 24),
+        ("s9", 25),
+        ("s10", 26),
+        ("s11", 27),
+        ("t3", 28),
+        ("t4", 29),
+        ("t5", 30),
+        ("t6", 31),
+    ];
+    for (name, idx) in abi {
+        if t == name {
+            return Ok(idx);
+        }
+    }
+    if let Some(num) = t.strip_prefix('x') {
+        if let Ok(v) = num.parse::<u8>() {
+            if v < 32 {
+                return Ok(v);
+            }
+        }
+    }
+    err(line, format!("unknown register '{t}'"))
+}
+
+/// Parses an immediate: decimal (possibly negative) or `0x` hex.
+fn parse_imm(token: &str, line: usize) -> Result<i64, AsmError> {
+    let t = token.trim_end_matches(',');
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t),
+    };
+    let value = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        t.parse::<i64>()
+    };
+    match value {
+        Ok(v) => Ok(if neg { -v } else { v }),
+        Err(_) => err(line, format!("bad immediate '{t}'")),
+    }
+}
+
+/// Parses `offset(reg)` memory-operand syntax.
+fn parse_mem(token: &str, line: usize) -> Result<(i64, u8), AsmError> {
+    let t = token.trim_end_matches(',');
+    let open = t.find('(').ok_or_else(|| AsmError {
+        line,
+        message: format!("expected offset(reg), got '{t}'"),
+    })?;
+    let close = t.len() - 1;
+    if !t.ends_with(')') {
+        return err(line, format!("expected offset(reg), got '{t}'"));
+    }
+    let off = if open == 0 {
+        0
+    } else {
+        parse_imm(&t[..open], line)?
+    };
+    let reg = parse_reg(&t[open + 1..close], line)?;
+    Ok((off, reg))
+}
+
+/// One parsed source statement, pre-label-resolution.
+#[derive(Debug, Clone)]
+enum Stmt {
+    /// A fully resolved instruction.
+    Ready(Instruction),
+    /// A branch/jump needing a label target.
+    Branch {
+        mnemonic: String,
+        rs1: u8,
+        rs2: u8,
+        label: String,
+        line: usize,
+    },
+    /// `jal rd, label` / `j label` / `call label`.
+    Jump { rd: u8, label: String, line: usize },
+}
+
+/// Assembles a source string into instruction words.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] describing the first problem found.
+pub fn assemble(source: &str) -> Result<Vec<u32>, AsmError> {
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut stmts: Vec<(usize, Stmt)> = Vec::new();
+
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw_line
+            .split(['#', ';'])
+            .next()
+            .unwrap_or("")
+            .trim()
+            .to_string();
+        if line.is_empty() {
+            continue;
+        }
+        let mut rest = line.as_str();
+        // Labels (possibly several) at line start.
+        while let Some(colon) = rest.find(':') {
+            let (label, after) = rest.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                break;
+            }
+            labels.insert(label.to_string(), (stmts.len() as u32) * 4);
+            rest = after[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        let stmt = parse_statement(rest, line_no)?;
+        for s in stmt {
+            stmts.push((line_no, s));
+        }
+    }
+
+    let mut words = Vec::with_capacity(stmts.len());
+    for (pc_index, (line, stmt)) in stmts.iter().enumerate() {
+        let pc = (pc_index as u32) * 4;
+        let inst = match stmt {
+            Stmt::Ready(i) => *i,
+            Stmt::Branch {
+                mnemonic,
+                rs1,
+                rs2,
+                label,
+                line,
+            } => {
+                let target = *labels.get(label).ok_or_else(|| AsmError {
+                    line: *line,
+                    message: format!("unknown label '{label}'"),
+                })?;
+                let offset = target as i64 - pc as i64;
+                branch_instruction(mnemonic, *rs1, *rs2, offset as i32, *line)?
+            }
+            Stmt::Jump { rd, label, line } => {
+                let target = *labels.get(label).ok_or_else(|| AsmError {
+                    line: *line,
+                    message: format!("unknown label '{label}'"),
+                })?;
+                Instruction::Jal {
+                    rd: *rd,
+                    offset: target as i64 as i32 - pc as i32,
+                }
+            }
+        };
+        let _ = line;
+        words.push(encode(inst));
+    }
+    Ok(words)
+}
+
+fn branch_instruction(
+    mnemonic: &str,
+    rs1: u8,
+    rs2: u8,
+    offset: i32,
+    line: usize,
+) -> Result<Instruction, AsmError> {
+    use Instruction::*;
+    Ok(match mnemonic {
+        "beq" | "beqz" => Beq { rs1, rs2, offset },
+        "bne" | "bnez" => Bne { rs1, rs2, offset },
+        "blt" => Blt { rs1, rs2, offset },
+        "bge" => Bge { rs1, rs2, offset },
+        "bltu" => Bltu { rs1, rs2, offset },
+        "bgeu" => Bgeu { rs1, rs2, offset },
+        "bgt" => Blt {
+            rs1: rs2,
+            rs2: rs1,
+            offset,
+        },
+        "ble" => Bge {
+            rs1: rs2,
+            rs2: rs1,
+            offset,
+        },
+        _ => return err(line, format!("unknown branch '{mnemonic}'")),
+    })
+}
+
+/// Parses one statement, possibly expanding a pseudo-instruction into
+/// several real ones.
+fn parse_statement(text: &str, line: usize) -> Result<Vec<Stmt>, AsmError> {
+    use Instruction::*;
+    let mut parts = text.split_whitespace();
+    let mnemonic = parts.next().expect("nonempty").to_lowercase();
+    let ops: Vec<&str> = parts.collect();
+    let mn_for_err = mnemonic.clone();
+    let op = {
+        let ops = &ops;
+        move |k: usize| -> Result<&str, AsmError> {
+            ops.get(k).copied().ok_or_else(|| AsmError {
+                line,
+                message: format!("{mn_for_err}: missing operand {k}"),
+            })
+        }
+    };
+
+    let ready = |i: Instruction| Ok(vec![Stmt::Ready(i)]);
+
+    match mnemonic.as_str() {
+        "nop" => ready(Addi {
+            rd: 0,
+            rs1: 0,
+            imm: 0,
+        }),
+        "ecall" => ready(Ecall),
+        "ebreak" => ready(Ebreak),
+        "fence" => ready(Fence),
+        "wfi" => ready(Wfi),
+        "ret" => ready(Jalr {
+            rd: 0,
+            rs1: 1,
+            offset: 0,
+        }),
+        "li" => {
+            let rd = parse_reg(op(0)?, line)?;
+            let imm = parse_imm(op(1)?, line)?;
+            if !(-2147483648..=4294967295).contains(&imm) {
+                return err(line, format!("li immediate {imm} out of 32-bit range"));
+            }
+            let imm = imm as i32;
+            if (-2048..=2047).contains(&imm) {
+                ready(Addi { rd, rs1: 0, imm })
+            } else {
+                // lui + addi pair with sign-adjustment for the low part.
+                let low = (imm << 20) >> 20;
+                let high = imm.wrapping_sub(low) as u32;
+                let mut v = vec![Stmt::Ready(Lui {
+                    rd,
+                    imm: high as i32,
+                })];
+                if low != 0 {
+                    v.push(Stmt::Ready(Addi {
+                        rd,
+                        rs1: rd,
+                        imm: low,
+                    }));
+                }
+                Ok(v)
+            }
+        }
+        "mv" => {
+            let rd = parse_reg(op(0)?, line)?;
+            let rs = parse_reg(op(1)?, line)?;
+            ready(Addi {
+                rd,
+                rs1: rs,
+                imm: 0,
+            })
+        }
+        "not" => {
+            let rd = parse_reg(op(0)?, line)?;
+            let rs = parse_reg(op(1)?, line)?;
+            ready(Xori {
+                rd,
+                rs1: rs,
+                imm: -1,
+            })
+        }
+        "neg" => {
+            let rd = parse_reg(op(0)?, line)?;
+            let rs = parse_reg(op(1)?, line)?;
+            ready(Sub {
+                rd,
+                rs1: 0,
+                rs2: rs,
+            })
+        }
+        "j" => Ok(vec![Stmt::Jump {
+            rd: 0,
+            label: op(0)?.trim_end_matches(',').to_string(),
+            line,
+        }]),
+        "call" => Ok(vec![Stmt::Jump {
+            rd: 1,
+            label: op(0)?.trim_end_matches(',').to_string(),
+            line,
+        }]),
+        "jal" => {
+            // jal rd, label  |  jal label
+            if ops.len() == 1 {
+                Ok(vec![Stmt::Jump {
+                    rd: 1,
+                    label: op(0)?.trim_end_matches(',').to_string(),
+                    line,
+                }])
+            } else {
+                let rd = parse_reg(op(0)?, line)?;
+                Ok(vec![Stmt::Jump {
+                    rd,
+                    label: op(1)?.trim_end_matches(',').to_string(),
+                    line,
+                }])
+            }
+        }
+        "jr" => {
+            let rs = parse_reg(op(0)?, line)?;
+            ready(Jalr {
+                rd: 0,
+                rs1: rs,
+                offset: 0,
+            })
+        }
+        "jalr" => {
+            let rd = parse_reg(op(0)?, line)?;
+            let (offset, rs1) = parse_mem(op(1)?, line)?;
+            ready(Jalr {
+                rd,
+                rs1,
+                offset: offset as i32,
+            })
+        }
+        "lui" => {
+            let rd = parse_reg(op(0)?, line)?;
+            let imm = parse_imm(op(1)?, line)?;
+            ready(Lui {
+                rd,
+                imm: (imm as i32) << 12,
+            })
+        }
+        "auipc" => {
+            let rd = parse_reg(op(0)?, line)?;
+            let imm = parse_imm(op(1)?, line)?;
+            ready(Auipc {
+                rd,
+                imm: (imm as i32) << 12,
+            })
+        }
+        "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" | "bgt" | "ble" => {
+            let rs1 = parse_reg(op(0)?, line)?;
+            let rs2 = parse_reg(op(1)?, line)?;
+            Ok(vec![Stmt::Branch {
+                mnemonic,
+                rs1,
+                rs2,
+                label: op(2)?.trim_end_matches(',').to_string(),
+                line,
+            }])
+        }
+        "beqz" | "bnez" => {
+            let rs1 = parse_reg(op(0)?, line)?;
+            Ok(vec![Stmt::Branch {
+                mnemonic,
+                rs1,
+                rs2: 0,
+                label: op(1)?.trim_end_matches(',').to_string(),
+                line,
+            }])
+        }
+        "lb" | "lh" | "lw" | "lbu" | "lhu" => {
+            let rd = parse_reg(op(0)?, line)?;
+            let (offset, rs1) = parse_mem(op(1)?, line)?;
+            let offset = offset as i32;
+            ready(match mnemonic.as_str() {
+                "lb" => Lb { rd, rs1, offset },
+                "lh" => Lh { rd, rs1, offset },
+                "lw" => Lw { rd, rs1, offset },
+                "lbu" => Lbu { rd, rs1, offset },
+                _ => Lhu { rd, rs1, offset },
+            })
+        }
+        "sb" | "sh" | "sw" => {
+            let rs2 = parse_reg(op(0)?, line)?;
+            let (offset, rs1) = parse_mem(op(1)?, line)?;
+            let offset = offset as i32;
+            ready(match mnemonic.as_str() {
+                "sb" => Sb { rs1, rs2, offset },
+                "sh" => Sh { rs1, rs2, offset },
+                _ => Sw { rs1, rs2, offset },
+            })
+        }
+        "addi" | "slti" | "sltiu" | "xori" | "ori" | "andi" => {
+            let rd = parse_reg(op(0)?, line)?;
+            let rs1 = parse_reg(op(1)?, line)?;
+            let imm = parse_imm(op(2)?, line)? as i32;
+            if !(-2048..=2047).contains(&imm) && !matches!(mnemonic.as_str(), "sltiu") {
+                return err(line, format!("{mnemonic} immediate {imm} out of range"));
+            }
+            ready(match mnemonic.as_str() {
+                "addi" => Addi { rd, rs1, imm },
+                "slti" => Slti { rd, rs1, imm },
+                "sltiu" => Sltiu { rd, rs1, imm },
+                "xori" => Xori { rd, rs1, imm },
+                "ori" => Ori { rd, rs1, imm },
+                _ => Andi { rd, rs1, imm },
+            })
+        }
+        "slli" | "srli" | "srai" => {
+            let rd = parse_reg(op(0)?, line)?;
+            let rs1 = parse_reg(op(1)?, line)?;
+            let shamt = parse_imm(op(2)?, line)?;
+            if !(0..32).contains(&shamt) {
+                return err(line, format!("shift amount {shamt} out of range"));
+            }
+            let shamt = shamt as u8;
+            ready(match mnemonic.as_str() {
+                "slli" => Slli { rd, rs1, shamt },
+                "srli" => Srli { rd, rs1, shamt },
+                _ => Srai { rd, rs1, shamt },
+            })
+        }
+        "add" | "sub" | "sll" | "slt" | "sltu" | "xor" | "srl" | "sra" | "or" | "and" | "mul"
+        | "mulh" | "mulhsu" | "mulhu" | "div" | "divu" | "rem" | "remu" => {
+            let rd = parse_reg(op(0)?, line)?;
+            let rs1 = parse_reg(op(1)?, line)?;
+            let rs2 = parse_reg(op(2)?, line)?;
+            ready(match mnemonic.as_str() {
+                "add" => Add { rd, rs1, rs2 },
+                "sub" => Sub { rd, rs1, rs2 },
+                "sll" => Sll { rd, rs1, rs2 },
+                "slt" => Slt { rd, rs1, rs2 },
+                "sltu" => Sltu { rd, rs1, rs2 },
+                "xor" => Xor { rd, rs1, rs2 },
+                "srl" => Srl { rd, rs1, rs2 },
+                "sra" => Sra { rd, rs1, rs2 },
+                "or" => Or { rd, rs1, rs2 },
+                "and" => And { rd, rs1, rs2 },
+                "mul" => Mul { rd, rs1, rs2 },
+                "mulh" => Mulh { rd, rs1, rs2 },
+                "mulhsu" => Mulhsu { rd, rs1, rs2 },
+                "mulhu" => Mulhu { rd, rs1, rs2 },
+                "div" => Div { rd, rs1, rs2 },
+                "divu" => Divu { rd, rs1, rs2 },
+                "rem" => Rem { rd, rs1, rs2 },
+                _ => Remu { rd, rs1, rs2 },
+            })
+        }
+        "csrr" => {
+            let rd = parse_reg(op(0)?, line)?;
+            let csr = parse_imm(op(1)?, line)? as u16;
+            ready(Csrrs { rd, rs1: 0, csr })
+        }
+        "csrw" => {
+            let csr = parse_imm(op(0)?, line)? as u16;
+            let rs1 = parse_reg(op(1)?, line)?;
+            ready(Csrrw { rd: 0, rs1, csr })
+        }
+        other => err(line, format!("unknown mnemonic '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::FlatMemory;
+    use crate::cpu::{Cpu, Halt};
+
+    fn run(source: &str) -> Cpu {
+        let code = assemble(source).expect("assembles");
+        let mut mem = FlatMemory::new(64 * 1024);
+        mem.load_words(0, &code);
+        let mut cpu = Cpu::new(0);
+        let halt = cpu.run(&mut mem, 1_000_000).expect("no trap");
+        assert_eq!(halt, Halt::Ecall);
+        cpu
+    }
+
+    #[test]
+    fn loop_sum() {
+        let cpu = run("
+            li   a0, 10
+            li   a1, 0
+        loop:
+            add  a1, a1, a0
+            addi a0, a0, -1
+            bnez a0, loop
+            ecall
+        ");
+        assert_eq!(cpu.reg(11), 55);
+    }
+
+    #[test]
+    fn li_expands_large_immediates() {
+        let cpu = run("
+            li t0, 0x12345678
+            li t1, -100000
+            li t2, 2047
+            ecall
+        ");
+        assert_eq!(cpu.reg(5), 0x12345678);
+        assert_eq!(cpu.reg(6) as i32, -100000);
+        assert_eq!(cpu.reg(7), 2047);
+    }
+
+    #[test]
+    fn li_edge_immediates() {
+        // Values whose low 12 bits sign-extend negatively.
+        let cpu = run("
+            li t0, 0x00000800
+            li t1, 0x7FFFFFFF
+            li t2, -2048
+            ecall
+        ");
+        assert_eq!(cpu.reg(5), 0x800);
+        assert_eq!(cpu.reg(6), 0x7FFF_FFFF);
+        assert_eq!(cpu.reg(7) as i32, -2048);
+    }
+
+    #[test]
+    fn memory_operands() {
+        let cpu = run("
+            li   t0, 0x1000
+            li   t1, 0xABCD
+            sw   t1, 8(t0)
+            lw   t2, 8(t0)
+            lhu  t3, (t0)      # zero offset form reads the zeroed word
+            ecall
+        ");
+        assert_eq!(cpu.reg(7), 0xABCD);
+        assert_eq!(cpu.reg(28), 0);
+    }
+
+    #[test]
+    fn functions_with_call_ret() {
+        let cpu = run("
+            li   a0, 21
+            call double
+            ecall
+        double:
+            add  a0, a0, a0
+            ret
+        ");
+        assert_eq!(cpu.reg(10), 42);
+    }
+
+    #[test]
+    fn forward_and_backward_branches() {
+        let cpu = run("
+            li   a0, 0
+            j    skip
+            li   a0, 111     # never executed
+        skip:
+            li   a1, 3
+        back:
+            addi a0, a0, 1
+            addi a1, a1, -1
+            bnez a1, back
+            ecall
+        ");
+        assert_eq!(cpu.reg(10), 3);
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let cpu = run("
+            # full-line comment
+            li a0, 5   ; trailing comment
+
+            ecall
+        ");
+        assert_eq!(cpu.reg(10), 5);
+    }
+
+    #[test]
+    fn csr_pseudo_ops() {
+        let cpu = run("
+            nop
+            nop
+            csrr a0, 0xB00   # mcycle
+            ecall
+        ");
+        assert_eq!(cpu.reg(10), 2);
+    }
+
+    #[test]
+    fn mul_div_ops() {
+        let cpu = run("
+            li a0, 6
+            li a1, 7
+            mul a2, a0, a1
+            div a3, a2, a0
+            rem a4, a2, a1
+            ecall
+        ");
+        assert_eq!(cpu.reg(12), 42);
+        assert_eq!(cpu.reg(13), 7);
+        assert_eq!(cpu.reg(14), 0);
+    }
+
+    #[test]
+    fn error_reporting() {
+        let e = assemble("bogus a0, a1").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.to_string().contains("bogus"));
+
+        let e = assemble("add a0, a1").unwrap_err();
+        assert!(e.message.contains("missing operand"));
+
+        let e = assemble("beq a0, a1, nowhere").unwrap_err();
+        assert!(e.message.contains("unknown label"));
+
+        let e = assemble("addi a0, a1, 5000").unwrap_err();
+        assert!(e.message.contains("out of range"));
+    }
+
+    #[test]
+    fn abi_and_numeric_registers_agree() {
+        let a = assemble("add a0, sp, ra").unwrap();
+        let b = assemble("add x10, x2, x1").unwrap();
+        assert_eq!(a, b);
+    }
+}

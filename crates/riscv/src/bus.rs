@@ -1,0 +1,222 @@
+//! The memory bus abstraction between the CPU and the system: the sim
+//! crate implements [`Bus`] over its memory map (DRAM, scratchpads,
+//! memory-mapped accelerator registers).
+
+use std::fmt;
+
+/// Access fault raised by a bus device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusFault {
+    /// The faulting address.
+    pub addr: u32,
+    /// Whether the access was a store.
+    pub is_store: bool,
+}
+
+impl fmt::Display for BusFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bus fault on {} at {:#010x}",
+            if self.is_store { "store" } else { "load" },
+            self.addr
+        )
+    }
+}
+
+impl std::error::Error for BusFault {}
+
+/// A 32-bit little-endian memory bus.
+///
+/// Only word-width primitives are required; byte and halfword accessors
+/// have default implementations that read-modify-write the containing
+/// word, which is correct for memories and acceptable for the register
+/// devices in this workspace.
+pub trait Bus {
+    /// Loads the aligned 32-bit word containing `addr` (low 2 bits
+    /// ignored).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusFault`] for unmapped addresses.
+    fn load_word(&mut self, addr: u32) -> Result<u32, BusFault>;
+
+    /// Stores an aligned 32-bit word (low 2 bits of `addr` ignored).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusFault`] for unmapped or read-only addresses.
+    fn store_word(&mut self, addr: u32, value: u32) -> Result<(), BusFault>;
+
+    /// Loads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the word access fault.
+    fn load_byte(&mut self, addr: u32) -> Result<u8, BusFault> {
+        let w = self.load_word(addr & !3)?;
+        Ok((w >> ((addr & 3) * 8)) as u8)
+    }
+
+    /// Loads one little-endian halfword.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the word access fault.
+    fn load_half(&mut self, addr: u32) -> Result<u16, BusFault> {
+        let w = self.load_word(addr & !3)?;
+        Ok((w >> ((addr & 2) * 8)) as u16)
+    }
+
+    /// Stores one byte (read-modify-write).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the word access fault.
+    fn store_byte(&mut self, addr: u32, value: u8) -> Result<(), BusFault> {
+        let aligned = addr & !3;
+        let shift = (addr & 3) * 8;
+        let w = self.load_word(aligned)?;
+        let w = (w & !(0xffu32 << shift)) | ((value as u32) << shift);
+        self.store_word(aligned, w)
+    }
+
+    /// Stores one halfword (read-modify-write).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the word access fault.
+    fn store_half(&mut self, addr: u32, value: u16) -> Result<(), BusFault> {
+        let aligned = addr & !3;
+        let shift = (addr & 2) * 8;
+        let w = self.load_word(aligned)?;
+        let w = (w & !(0xffffu32 << shift)) | ((value as u32) << shift);
+        self.store_word(aligned, w)
+    }
+}
+
+/// A flat little-endian RAM starting at address 0 — enough to run
+/// standalone CPU tests without the full system simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatMemory {
+    data: Vec<u8>,
+}
+
+impl FlatMemory {
+    /// Creates a zeroed memory of `size` bytes (rounded up to a word).
+    pub fn new(size: usize) -> Self {
+        FlatMemory {
+            data: vec![0; (size + 3) & !3],
+        }
+    }
+
+    /// Size in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the memory has zero size.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copies `bytes` into memory at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the memory size.
+    pub fn load_program(&mut self, addr: u32, bytes: &[u8]) {
+        let start = addr as usize;
+        self.data[start..start + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Copies instruction words into memory at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the memory size.
+    pub fn load_words(&mut self, addr: u32, words: &[u32]) {
+        for (k, w) in words.iter().enumerate() {
+            let bytes = w.to_le_bytes();
+            self.load_program(addr + (k as u32) * 4, &bytes);
+        }
+    }
+}
+
+impl Bus for FlatMemory {
+    fn load_word(&mut self, addr: u32) -> Result<u32, BusFault> {
+        let a = (addr & !3) as usize;
+        if a + 4 > self.data.len() {
+            return Err(BusFault {
+                addr,
+                is_store: false,
+            });
+        }
+        Ok(u32::from_le_bytes([
+            self.data[a],
+            self.data[a + 1],
+            self.data[a + 2],
+            self.data[a + 3],
+        ]))
+    }
+
+    fn store_word(&mut self, addr: u32, value: u32) -> Result<(), BusFault> {
+        let a = (addr & !3) as usize;
+        if a + 4 > self.data.len() {
+            return Err(BusFault {
+                addr,
+                is_store: true,
+            });
+        }
+        self.data[a..a + 4].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_roundtrip() {
+        let mut m = FlatMemory::new(64);
+        m.store_word(8, 0xDEAD_BEEF).unwrap();
+        assert_eq!(m.load_word(8).unwrap(), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn little_endian_bytes() {
+        let mut m = FlatMemory::new(16);
+        m.store_word(0, 0x0403_0201).unwrap();
+        assert_eq!(m.load_byte(0).unwrap(), 0x01);
+        assert_eq!(m.load_byte(3).unwrap(), 0x04);
+        assert_eq!(m.load_half(2).unwrap(), 0x0403);
+    }
+
+    #[test]
+    fn sub_word_stores_preserve_neighbors() {
+        let mut m = FlatMemory::new(16);
+        m.store_word(0, 0xAABB_CCDD).unwrap();
+        m.store_byte(1, 0x11).unwrap();
+        assert_eq!(m.load_word(0).unwrap(), 0xAABB_11DD);
+        m.store_half(2, 0x2233).unwrap();
+        assert_eq!(m.load_word(0).unwrap(), 0x2233_11DD);
+    }
+
+    #[test]
+    fn out_of_range_faults() {
+        let mut m = FlatMemory::new(8);
+        assert!(m.load_word(8).is_err());
+        let f = m.store_word(100, 1).unwrap_err();
+        assert!(f.is_store);
+        assert!(f.to_string().contains("store"));
+    }
+
+    #[test]
+    fn load_words_places_program() {
+        let mut m = FlatMemory::new(32);
+        m.load_words(4, &[0x11111111, 0x22222222]);
+        assert_eq!(m.load_word(4).unwrap(), 0x11111111);
+        assert_eq!(m.load_word(8).unwrap(), 0x22222222);
+    }
+}

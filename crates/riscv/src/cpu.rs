@@ -1,0 +1,837 @@
+//! The RV32IM interpreter core with a simple cycle-accounting model —
+//! the host processor of the gem5-style full-system simulation (paper §5).
+
+use crate::bus::{Bus, BusFault};
+use crate::isa::{decode, Instruction};
+use std::fmt;
+
+/// CSR addresses implemented by the core.
+pub mod csr {
+    /// Cycle counter (read-only).
+    pub const MCYCLE: u16 = 0xB00;
+    /// Retired-instruction counter (read-only).
+    pub const MINSTRET: u16 = 0xB02;
+    /// Scratch register.
+    pub const MSCRATCH: u16 = 0x340;
+}
+
+/// Why execution stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Halt {
+    /// An `ecall` was executed (the firmware's "done" convention).
+    Ecall,
+    /// An `ebreak` was executed.
+    Ebreak,
+    /// The cycle budget ran out.
+    CycleLimit,
+}
+
+/// A trap: the program did something the machine cannot continue from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trap {
+    /// Instruction fetch or decode failed.
+    IllegalInstruction {
+        /// Program counter of the offending instruction.
+        pc: u32,
+        /// The raw word, if the fetch itself succeeded.
+        word: Option<u32>,
+    },
+    /// A data access faulted.
+    MemoryFault {
+        /// Program counter of the faulting instruction.
+        pc: u32,
+        /// The bus fault.
+        fault: BusFault,
+    },
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::IllegalInstruction { pc, word } => {
+                write!(f, "illegal instruction at {pc:#010x} ({word:?})")
+            }
+            Trap::MemoryFault { pc, fault } => write!(f, "{fault} at pc {pc:#010x}"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+/// Per-class instruction latencies \[cycles\] — the timing model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleModel {
+    /// ALU / branch-not-taken.
+    pub alu: u64,
+    /// Taken branch / jump (pipeline refill).
+    pub branch_taken: u64,
+    /// Load from memory.
+    pub load: u64,
+    /// Store to memory.
+    pub store: u64,
+    /// Multiply.
+    pub mul: u64,
+    /// Divide / remainder.
+    pub div: u64,
+}
+
+impl Default for CycleModel {
+    /// A small in-order core: 1-cycle ALU, 3-cycle taken branches,
+    /// 2/1-cycle load/store (hits), 3-cycle multiply, 20-cycle divide.
+    fn default() -> Self {
+        CycleModel {
+            alu: 1,
+            branch_taken: 3,
+            load: 2,
+            store: 1,
+            mul: 3,
+            div: 20,
+        }
+    }
+}
+
+/// The RV32IM processor state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cpu {
+    /// General-purpose registers; `x0` is hardwired to zero.
+    regs: [u32; 32],
+    /// Program counter.
+    pub pc: u32,
+    /// Cycle counter.
+    pub cycles: u64,
+    /// Retired instruction counter.
+    pub instret: u64,
+    /// Timing model.
+    pub cycle_model: CycleModel,
+    mscratch: u32,
+    /// Set while the core sleeps in `wfi`.
+    pub waiting_for_interrupt: bool,
+}
+
+impl Cpu {
+    /// Creates a CPU with zeroed registers at `pc = reset_vector`.
+    pub fn new(reset_vector: u32) -> Self {
+        Cpu {
+            regs: [0; 32],
+            pc: reset_vector,
+            cycles: 0,
+            instret: 0,
+            cycle_model: CycleModel::default(),
+            mscratch: 0,
+            waiting_for_interrupt: false,
+        }
+    }
+
+    /// Reads register `r` (x0 reads as 0).
+    pub fn reg(&self, r: u8) -> u32 {
+        if r == 0 {
+            0
+        } else {
+            self.regs[r as usize]
+        }
+    }
+
+    /// Writes register `r` (writes to x0 are discarded).
+    pub fn set_reg(&mut self, r: u8, value: u32) {
+        if r != 0 {
+            self.regs[r as usize] = value;
+        }
+    }
+
+    /// Delivers an interrupt: wakes the core if it is in `wfi`.
+    pub fn interrupt(&mut self) {
+        self.waiting_for_interrupt = false;
+    }
+
+    fn read_csr(&self, addr: u16) -> u32 {
+        match addr {
+            csr::MCYCLE => self.cycles as u32,
+            csr::MINSTRET => self.instret as u32,
+            csr::MSCRATCH => self.mscratch,
+            _ => 0,
+        }
+    }
+
+    fn write_csr(&mut self, addr: u16, value: u32) {
+        if addr == csr::MSCRATCH {
+            self.mscratch = value;
+        }
+    }
+
+    /// Executes one instruction.
+    ///
+    /// Returns `Ok(Some(halt))` when the program signalled completion
+    /// (`ecall`/`ebreak`), `Ok(None)` to continue.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] on illegal instructions or memory faults.
+    pub fn step<B: Bus + ?Sized>(&mut self, bus: &mut B) -> Result<Option<Halt>, Trap> {
+        if self.waiting_for_interrupt {
+            // Sleeping: time passes, nothing retires.
+            self.cycles += 1;
+            return Ok(None);
+        }
+        let pc = self.pc;
+        let word = bus
+            .load_word(pc)
+            .map_err(|fault| Trap::MemoryFault { pc, fault })?;
+        let inst = decode(word).map_err(|_| Trap::IllegalInstruction {
+            pc,
+            word: Some(word),
+        })?;
+        let mut next_pc = pc.wrapping_add(4);
+        let model = self.cycle_model;
+        let mut cost = model.alu;
+
+        use Instruction::*;
+        match inst {
+            Lui { rd, imm } => self.set_reg(rd, imm as u32),
+            Auipc { rd, imm } => self.set_reg(rd, pc.wrapping_add(imm as u32)),
+            Jal { rd, offset } => {
+                self.set_reg(rd, next_pc);
+                next_pc = pc.wrapping_add(offset as u32);
+                cost = model.branch_taken;
+            }
+            Jalr { rd, rs1, offset } => {
+                let target = self.reg(rs1).wrapping_add(offset as u32) & !1;
+                self.set_reg(rd, next_pc);
+                next_pc = target;
+                cost = model.branch_taken;
+            }
+            Beq { rs1, rs2, offset } => {
+                if self.reg(rs1) == self.reg(rs2) {
+                    next_pc = pc.wrapping_add(offset as u32);
+                    cost = model.branch_taken;
+                }
+            }
+            Bne { rs1, rs2, offset } => {
+                if self.reg(rs1) != self.reg(rs2) {
+                    next_pc = pc.wrapping_add(offset as u32);
+                    cost = model.branch_taken;
+                }
+            }
+            Blt { rs1, rs2, offset } => {
+                if (self.reg(rs1) as i32) < (self.reg(rs2) as i32) {
+                    next_pc = pc.wrapping_add(offset as u32);
+                    cost = model.branch_taken;
+                }
+            }
+            Bge { rs1, rs2, offset } => {
+                if (self.reg(rs1) as i32) >= (self.reg(rs2) as i32) {
+                    next_pc = pc.wrapping_add(offset as u32);
+                    cost = model.branch_taken;
+                }
+            }
+            Bltu { rs1, rs2, offset } => {
+                if self.reg(rs1) < self.reg(rs2) {
+                    next_pc = pc.wrapping_add(offset as u32);
+                    cost = model.branch_taken;
+                }
+            }
+            Bgeu { rs1, rs2, offset } => {
+                if self.reg(rs1) >= self.reg(rs2) {
+                    next_pc = pc.wrapping_add(offset as u32);
+                    cost = model.branch_taken;
+                }
+            }
+            Lb { rd, rs1, offset } => {
+                let addr = self.reg(rs1).wrapping_add(offset as u32);
+                let v = bus
+                    .load_byte(addr)
+                    .map_err(|fault| Trap::MemoryFault { pc, fault })?;
+                self.set_reg(rd, v as i8 as i32 as u32);
+                cost = model.load;
+            }
+            Lh { rd, rs1, offset } => {
+                let addr = self.reg(rs1).wrapping_add(offset as u32);
+                let v = bus
+                    .load_half(addr)
+                    .map_err(|fault| Trap::MemoryFault { pc, fault })?;
+                self.set_reg(rd, v as i16 as i32 as u32);
+                cost = model.load;
+            }
+            Lw { rd, rs1, offset } => {
+                let addr = self.reg(rs1).wrapping_add(offset as u32);
+                let v = bus
+                    .load_word(addr)
+                    .map_err(|fault| Trap::MemoryFault { pc, fault })?;
+                self.set_reg(rd, v);
+                cost = model.load;
+            }
+            Lbu { rd, rs1, offset } => {
+                let addr = self.reg(rs1).wrapping_add(offset as u32);
+                let v = bus
+                    .load_byte(addr)
+                    .map_err(|fault| Trap::MemoryFault { pc, fault })?;
+                self.set_reg(rd, v as u32);
+                cost = model.load;
+            }
+            Lhu { rd, rs1, offset } => {
+                let addr = self.reg(rs1).wrapping_add(offset as u32);
+                let v = bus
+                    .load_half(addr)
+                    .map_err(|fault| Trap::MemoryFault { pc, fault })?;
+                self.set_reg(rd, v as u32);
+                cost = model.load;
+            }
+            Sb { rs1, rs2, offset } => {
+                let addr = self.reg(rs1).wrapping_add(offset as u32);
+                bus.store_byte(addr, self.reg(rs2) as u8)
+                    .map_err(|fault| Trap::MemoryFault { pc, fault })?;
+                cost = model.store;
+            }
+            Sh { rs1, rs2, offset } => {
+                let addr = self.reg(rs1).wrapping_add(offset as u32);
+                bus.store_half(addr, self.reg(rs2) as u16)
+                    .map_err(|fault| Trap::MemoryFault { pc, fault })?;
+                cost = model.store;
+            }
+            Sw { rs1, rs2, offset } => {
+                let addr = self.reg(rs1).wrapping_add(offset as u32);
+                bus.store_word(addr, self.reg(rs2))
+                    .map_err(|fault| Trap::MemoryFault { pc, fault })?;
+                cost = model.store;
+            }
+            Addi { rd, rs1, imm } => self.set_reg(rd, self.reg(rs1).wrapping_add(imm as u32)),
+            Slti { rd, rs1, imm } => self.set_reg(rd, ((self.reg(rs1) as i32) < imm) as u32),
+            Sltiu { rd, rs1, imm } => self.set_reg(rd, (self.reg(rs1) < imm as u32) as u32),
+            Xori { rd, rs1, imm } => self.set_reg(rd, self.reg(rs1) ^ imm as u32),
+            Ori { rd, rs1, imm } => self.set_reg(rd, self.reg(rs1) | imm as u32),
+            Andi { rd, rs1, imm } => self.set_reg(rd, self.reg(rs1) & imm as u32),
+            Slli { rd, rs1, shamt } => self.set_reg(rd, self.reg(rs1) << shamt),
+            Srli { rd, rs1, shamt } => self.set_reg(rd, self.reg(rs1) >> shamt),
+            Srai { rd, rs1, shamt } => self.set_reg(rd, ((self.reg(rs1) as i32) >> shamt) as u32),
+            Add { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1).wrapping_add(self.reg(rs2))),
+            Sub { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1).wrapping_sub(self.reg(rs2))),
+            Sll { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1) << (self.reg(rs2) & 0x1f)),
+            Slt { rd, rs1, rs2 } => {
+                self.set_reg(rd, ((self.reg(rs1) as i32) < (self.reg(rs2) as i32)) as u32)
+            }
+            Sltu { rd, rs1, rs2 } => self.set_reg(rd, (self.reg(rs1) < self.reg(rs2)) as u32),
+            Xor { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1) ^ self.reg(rs2)),
+            Srl { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1) >> (self.reg(rs2) & 0x1f)),
+            Sra { rd, rs1, rs2 } => self.set_reg(
+                rd,
+                ((self.reg(rs1) as i32) >> (self.reg(rs2) & 0x1f)) as u32,
+            ),
+            Or { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1) | self.reg(rs2)),
+            And { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1) & self.reg(rs2)),
+            Mul { rd, rs1, rs2 } => {
+                self.set_reg(rd, self.reg(rs1).wrapping_mul(self.reg(rs2)));
+                cost = model.mul;
+            }
+            Mulh { rd, rs1, rs2 } => {
+                let p = (self.reg(rs1) as i32 as i64) * (self.reg(rs2) as i32 as i64);
+                self.set_reg(rd, (p >> 32) as u32);
+                cost = model.mul;
+            }
+            Mulhsu { rd, rs1, rs2 } => {
+                let p = (self.reg(rs1) as i32 as i64) * (self.reg(rs2) as u64 as i64);
+                self.set_reg(rd, (p >> 32) as u32);
+                cost = model.mul;
+            }
+            Mulhu { rd, rs1, rs2 } => {
+                let p = (self.reg(rs1) as u64) * (self.reg(rs2) as u64);
+                self.set_reg(rd, (p >> 32) as u32);
+                cost = model.mul;
+            }
+            Div { rd, rs1, rs2 } => {
+                let a = self.reg(rs1) as i32;
+                let b = self.reg(rs2) as i32;
+                let q = if b == 0 {
+                    -1
+                } else if a == i32::MIN && b == -1 {
+                    i32::MIN
+                } else {
+                    a / b
+                };
+                self.set_reg(rd, q as u32);
+                cost = model.div;
+            }
+            Divu { rd, rs1, rs2 } => {
+                let b = self.reg(rs2);
+                let q = self.reg(rs1).checked_div(b).unwrap_or(u32::MAX);
+                self.set_reg(rd, q);
+                cost = model.div;
+            }
+            Rem { rd, rs1, rs2 } => {
+                let a = self.reg(rs1) as i32;
+                let b = self.reg(rs2) as i32;
+                let r = if b == 0 {
+                    a
+                } else if a == i32::MIN && b == -1 {
+                    0
+                } else {
+                    a % b
+                };
+                self.set_reg(rd, r as u32);
+                cost = model.div;
+            }
+            Remu { rd, rs1, rs2 } => {
+                let b = self.reg(rs2);
+                let r = if b == 0 {
+                    self.reg(rs1)
+                } else {
+                    self.reg(rs1) % b
+                };
+                self.set_reg(rd, r);
+                cost = model.div;
+            }
+            Fence => {}
+            Ecall => {
+                self.pc = next_pc;
+                self.cycles += cost;
+                self.instret += 1;
+                return Ok(Some(Halt::Ecall));
+            }
+            Ebreak => {
+                self.pc = next_pc;
+                self.cycles += cost;
+                self.instret += 1;
+                return Ok(Some(Halt::Ebreak));
+            }
+            Wfi => {
+                self.waiting_for_interrupt = true;
+            }
+            Csrrw { rd, rs1, csr } => {
+                let old = self.read_csr(csr);
+                self.write_csr(csr, self.reg(rs1));
+                self.set_reg(rd, old);
+            }
+            Csrrs { rd, rs1, csr } => {
+                let old = self.read_csr(csr);
+                if rs1 != 0 {
+                    self.write_csr(csr, old | self.reg(rs1));
+                }
+                self.set_reg(rd, old);
+            }
+            Csrrc { rd, rs1, csr } => {
+                let old = self.read_csr(csr);
+                if rs1 != 0 {
+                    self.write_csr(csr, old & !self.reg(rs1));
+                }
+                self.set_reg(rd, old);
+            }
+        }
+
+        self.pc = next_pc;
+        self.cycles += cost;
+        self.instret += 1;
+        Ok(None)
+    }
+
+    /// Runs until the program halts or `max_cycles` elapse.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Trap`] raised.
+    pub fn run<B: Bus + ?Sized>(&mut self, bus: &mut B, max_cycles: u64) -> Result<Halt, Trap> {
+        let limit = self.cycles + max_cycles;
+        while self.cycles < limit {
+            if let Some(halt) = self.step(bus)? {
+                return Ok(halt);
+            }
+        }
+        Ok(Halt::CycleLimit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::FlatMemory;
+    use crate::isa::{encode, Instruction::*};
+
+    fn run_program(words: &[Instruction]) -> (Cpu, FlatMemory) {
+        let mut mem = FlatMemory::new(4096);
+        let code: Vec<u32> = words.iter().map(|&i| encode(i)).collect();
+        mem.load_words(0, &code);
+        let mut cpu = Cpu::new(0);
+        let halt = cpu.run(&mut mem, 100_000).expect("no trap");
+        assert_eq!(halt, Halt::Ecall, "programs should end with ecall");
+        (cpu, mem)
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let (cpu, _) = run_program(&[
+            Addi {
+                rd: 1,
+                rs1: 0,
+                imm: 40,
+            },
+            Addi {
+                rd: 2,
+                rs1: 0,
+                imm: 2,
+            },
+            Add {
+                rd: 3,
+                rs1: 1,
+                rs2: 2,
+            },
+            Sub {
+                rd: 4,
+                rs1: 1,
+                rs2: 2,
+            },
+            Mul {
+                rd: 5,
+                rs1: 1,
+                rs2: 2,
+            },
+            Div {
+                rd: 6,
+                rs1: 1,
+                rs2: 2,
+            },
+            Rem {
+                rd: 7,
+                rs1: 1,
+                rs2: 2,
+            },
+            Ecall,
+        ]);
+        assert_eq!(cpu.reg(3), 42);
+        assert_eq!(cpu.reg(4), 38);
+        assert_eq!(cpu.reg(5), 80);
+        assert_eq!(cpu.reg(6), 20);
+        assert_eq!(cpu.reg(7), 0);
+    }
+
+    #[test]
+    fn x0_is_hardwired_zero() {
+        let (cpu, _) = run_program(&[
+            Addi {
+                rd: 0,
+                rs1: 0,
+                imm: 99,
+            },
+            Ecall,
+        ]);
+        assert_eq!(cpu.reg(0), 0);
+    }
+
+    #[test]
+    fn memory_load_store() {
+        let (cpu, mut mem) = run_program(&[
+            Addi {
+                rd: 1,
+                rs1: 0,
+                imm: 0x123,
+            },
+            Sw {
+                rs1: 0,
+                rs2: 1,
+                offset: 256,
+            },
+            Lw {
+                rd: 2,
+                rs1: 0,
+                offset: 256,
+            },
+            Lb {
+                rd: 3,
+                rs1: 0,
+                offset: 256,
+            },
+            Lhu {
+                rd: 4,
+                rs1: 0,
+                offset: 256,
+            },
+            Ecall,
+        ]);
+        assert_eq!(cpu.reg(2), 0x123);
+        assert_eq!(cpu.reg(3), 0x23);
+        assert_eq!(cpu.reg(4), 0x123);
+        assert_eq!(mem.load_word(256).unwrap(), 0x123);
+    }
+
+    #[test]
+    fn sign_extension_on_loads() {
+        let (cpu, _) = run_program(&[
+            Addi {
+                rd: 1,
+                rs1: 0,
+                imm: -1,
+            }, // 0xFFFFFFFF
+            Sw {
+                rs1: 0,
+                rs2: 1,
+                offset: 128,
+            },
+            Lb {
+                rd: 2,
+                rs1: 0,
+                offset: 128,
+            },
+            Lbu {
+                rd: 3,
+                rs1: 0,
+                offset: 128,
+            },
+            Lh {
+                rd: 4,
+                rs1: 0,
+                offset: 128,
+            },
+            Ecall,
+        ]);
+        assert_eq!(cpu.reg(2), 0xFFFF_FFFF);
+        assert_eq!(cpu.reg(3), 0xFF);
+        assert_eq!(cpu.reg(4), 0xFFFF_FFFF);
+    }
+
+    #[test]
+    fn branch_loop_sums() {
+        // sum 1..=10 via a loop.
+        let (cpu, _) = run_program(&[
+            Addi {
+                rd: 1,
+                rs1: 0,
+                imm: 0,
+            }, // sum
+            Addi {
+                rd: 2,
+                rs1: 0,
+                imm: 1,
+            }, // i
+            Addi {
+                rd: 3,
+                rs1: 0,
+                imm: 10,
+            }, // limit
+            // loop: sum += i; i++; if i <= limit goto loop
+            Add {
+                rd: 1,
+                rs1: 1,
+                rs2: 2,
+            },
+            Addi {
+                rd: 2,
+                rs1: 2,
+                imm: 1,
+            },
+            Bge {
+                rs1: 3,
+                rs2: 2,
+                offset: -8,
+            },
+            Ecall,
+        ]);
+        assert_eq!(cpu.reg(1), 55);
+    }
+
+    #[test]
+    fn jal_and_jalr_link() {
+        let (cpu, _) = run_program(&[
+            Jal { rd: 1, offset: 8 }, // skip next instruction
+            Addi {
+                rd: 2,
+                rs1: 0,
+                imm: 99,
+            }, // skipped
+            Addi {
+                rd: 3,
+                rs1: 0,
+                imm: 7,
+            },
+            Ecall,
+        ]);
+        assert_eq!(cpu.reg(2), 0, "jal must skip");
+        assert_eq!(cpu.reg(3), 7);
+        assert_eq!(cpu.reg(1), 4, "link register holds return address");
+    }
+
+    #[test]
+    fn shifts_and_logic() {
+        let (cpu, _) = run_program(&[
+            Addi {
+                rd: 1,
+                rs1: 0,
+                imm: -8,
+            },
+            Srai {
+                rd: 2,
+                rs1: 1,
+                shamt: 1,
+            },
+            Srli {
+                rd: 3,
+                rs1: 1,
+                shamt: 28,
+            },
+            Slli {
+                rd: 4,
+                rs1: 1,
+                shamt: 1,
+            },
+            Andi {
+                rd: 5,
+                rs1: 1,
+                imm: 0xf,
+            },
+            Ecall,
+        ]);
+        assert_eq!(cpu.reg(2) as i32, -4);
+        assert_eq!(cpu.reg(3), 0xF);
+        assert_eq!(cpu.reg(4) as i32, -16);
+        assert_eq!(cpu.reg(5), 8);
+    }
+
+    #[test]
+    fn division_edge_cases() {
+        let (cpu, _) = run_program(&[
+            Addi {
+                rd: 1,
+                rs1: 0,
+                imm: 7,
+            },
+            Addi {
+                rd: 2,
+                rs1: 0,
+                imm: 0,
+            },
+            Div {
+                rd: 3,
+                rs1: 1,
+                rs2: 2,
+            }, // div by zero -> -1
+            Remu {
+                rd: 4,
+                rs1: 1,
+                rs2: 2,
+            }, // rem by zero -> dividend
+            Lui {
+                rd: 5,
+                imm: i32::MIN,
+            }, // 0x80000000
+            Addi {
+                rd: 6,
+                rs1: 0,
+                imm: -1,
+            },
+            Div {
+                rd: 7,
+                rs1: 5,
+                rs2: 6,
+            }, // overflow -> i32::MIN
+            Rem {
+                rd: 8,
+                rs1: 5,
+                rs2: 6,
+            }, // overflow -> 0
+            Ecall,
+        ]);
+        assert_eq!(cpu.reg(3) as i32, -1);
+        assert_eq!(cpu.reg(4), 7);
+        assert_eq!(cpu.reg(7), 0x8000_0000);
+        assert_eq!(cpu.reg(8), 0);
+    }
+
+    #[test]
+    fn cycle_accounting() {
+        let (cpu, _) = run_program(&[
+            Addi {
+                rd: 1,
+                rs1: 0,
+                imm: 1,
+            }, // 1 cycle
+            Mul {
+                rd: 2,
+                rs1: 1,
+                rs2: 1,
+            }, // 3 cycles
+            Lw {
+                rd: 3,
+                rs1: 0,
+                offset: 64,
+            }, // 2 cycles
+            Ecall, // 1 cycle
+        ]);
+        assert_eq!(cpu.cycles, 1 + 3 + 2 + 1);
+        assert_eq!(cpu.instret, 4);
+    }
+
+    #[test]
+    fn csr_counters_readable() {
+        let (cpu, _) = run_program(&[
+            Addi {
+                rd: 1,
+                rs1: 0,
+                imm: 5,
+            },
+            Csrrs {
+                rd: 2,
+                rs1: 0,
+                csr: csr::MCYCLE,
+            },
+            Csrrs {
+                rd: 3,
+                rs1: 0,
+                csr: csr::MINSTRET,
+            },
+            Ecall,
+        ]);
+        assert_eq!(cpu.reg(2), 1, "one cycle retired before the read");
+        assert_eq!(cpu.reg(3), 2, "addi + csrrs retired before the read");
+    }
+
+    #[test]
+    fn wfi_sleeps_until_interrupt() {
+        let mut mem = FlatMemory::new(256);
+        mem.load_words(
+            0,
+            &[
+                encode(Wfi),
+                encode(Addi {
+                    rd: 1,
+                    rs1: 0,
+                    imm: 9,
+                }),
+                encode(Ecall),
+            ],
+        );
+        let mut cpu = Cpu::new(0);
+        // Without an interrupt the core never retires past the wfi.
+        let halt = cpu.run(&mut mem, 50).expect("no trap");
+        assert_eq!(halt, Halt::CycleLimit);
+        assert_eq!(cpu.reg(1), 0);
+        // Deliver the interrupt: execution resumes.
+        cpu.interrupt();
+        let halt = cpu.run(&mut mem, 50).expect("no trap");
+        assert_eq!(halt, Halt::Ecall);
+        assert_eq!(cpu.reg(1), 9);
+    }
+
+    #[test]
+    fn illegal_instruction_traps() {
+        let mut mem = FlatMemory::new(64);
+        mem.load_words(0, &[0xFFFF_FFFF]);
+        let mut cpu = Cpu::new(0);
+        match cpu.step(&mut mem) {
+            Err(Trap::IllegalInstruction { pc: 0, .. }) => {}
+            other => panic!("expected trap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_fault_traps() {
+        let mut mem = FlatMemory::new(64);
+        mem.load_words(
+            0,
+            &[encode(Lw {
+                rd: 1,
+                rs1: 0,
+                offset: 2044,
+            })],
+        );
+        let mut cpu = Cpu::new(0);
+        match cpu.step(&mut mem) {
+            Err(Trap::MemoryFault { .. }) => {}
+            other => panic!("expected fault, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,879 @@
+//! RV32IM instruction decoding.
+//!
+//! Covers the RV32I base integer ISA (minus `FENCE.I`) plus the M
+//! extension (multiply/divide) and the `CSRRx` Zicsr instructions needed
+//! for cycle counters — everything the accelerator-offload firmware in
+//! `neuropulsim-sim` requires.
+
+use std::fmt;
+
+/// A register index (x0–x31).
+pub type Reg = u8;
+
+/// A decoded RV32IM instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // variants mirror the ISA mnemonic directly
+pub enum Instruction {
+    Lui {
+        rd: Reg,
+        imm: i32,
+    },
+    Auipc {
+        rd: Reg,
+        imm: i32,
+    },
+    Jal {
+        rd: Reg,
+        offset: i32,
+    },
+    Jalr {
+        rd: Reg,
+        rs1: Reg,
+        offset: i32,
+    },
+    Beq {
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
+    Bne {
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
+    Blt {
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
+    Bge {
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
+    Bltu {
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
+    Bgeu {
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
+    Lb {
+        rd: Reg,
+        rs1: Reg,
+        offset: i32,
+    },
+    Lh {
+        rd: Reg,
+        rs1: Reg,
+        offset: i32,
+    },
+    Lw {
+        rd: Reg,
+        rs1: Reg,
+        offset: i32,
+    },
+    Lbu {
+        rd: Reg,
+        rs1: Reg,
+        offset: i32,
+    },
+    Lhu {
+        rd: Reg,
+        rs1: Reg,
+        offset: i32,
+    },
+    Sb {
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
+    Sh {
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
+    Sw {
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
+    Addi {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Slti {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Sltiu {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Xori {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Ori {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Andi {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Slli {
+        rd: Reg,
+        rs1: Reg,
+        shamt: u8,
+    },
+    Srli {
+        rd: Reg,
+        rs1: Reg,
+        shamt: u8,
+    },
+    Srai {
+        rd: Reg,
+        rs1: Reg,
+        shamt: u8,
+    },
+    Add {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Sub {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Sll {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Slt {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Sltu {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Xor {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Srl {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Sra {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Or {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    And {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Mul {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Mulh {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Mulhsu {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Mulhu {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Div {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Divu {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Rem {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Remu {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Fence,
+    Ecall,
+    Ebreak,
+    Csrrw {
+        rd: Reg,
+        rs1: Reg,
+        csr: u16,
+    },
+    Csrrs {
+        rd: Reg,
+        rs1: Reg,
+        csr: u16,
+    },
+    Csrrc {
+        rd: Reg,
+        rs1: Reg,
+        csr: u16,
+    },
+    /// Wait-for-interrupt: the host-polling idle instruction.
+    Wfi,
+}
+
+/// Error returned when a word does not decode to a supported instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The raw instruction word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unsupported instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[inline]
+fn bits(word: u32, lo: u32, hi: u32) -> u32 {
+    (word >> lo) & ((1 << (hi - lo + 1)) - 1)
+}
+
+fn imm_i(word: u32) -> i32 {
+    (word as i32) >> 20
+}
+
+fn imm_s(word: u32) -> i32 {
+    (((word & 0xfe00_0000) as i32) >> 20) | (bits(word, 7, 11) as i32)
+}
+
+fn imm_b(word: u32) -> i32 {
+    (((word & 0x8000_0000) as i32) >> 19)
+        | ((bits(word, 7, 7) as i32) << 11)
+        | ((bits(word, 25, 30) as i32) << 5)
+        | ((bits(word, 8, 11) as i32) << 1)
+}
+
+fn imm_u(word: u32) -> i32 {
+    (word & 0xffff_f000) as i32
+}
+
+fn imm_j(word: u32) -> i32 {
+    (((word & 0x8000_0000) as i32) >> 11)
+        | ((bits(word, 12, 19) as i32) << 12)
+        | ((bits(word, 20, 20) as i32) << 11)
+        | ((bits(word, 21, 30) as i32) << 1)
+}
+
+/// Decodes one 32-bit instruction word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for unsupported or malformed encodings.
+pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
+    use Instruction::*;
+    let opcode = bits(word, 0, 6);
+    let rd = bits(word, 7, 11) as Reg;
+    let funct3 = bits(word, 12, 14);
+    let rs1 = bits(word, 15, 19) as Reg;
+    let rs2 = bits(word, 20, 24) as Reg;
+    let funct7 = bits(word, 25, 31);
+    let err = Err(DecodeError { word });
+
+    let inst = match opcode {
+        0b0110111 => Lui {
+            rd,
+            imm: imm_u(word),
+        },
+        0b0010111 => Auipc {
+            rd,
+            imm: imm_u(word),
+        },
+        0b1101111 => Jal {
+            rd,
+            offset: imm_j(word),
+        },
+        0b1100111 if funct3 == 0 => Jalr {
+            rd,
+            rs1,
+            offset: imm_i(word),
+        },
+        0b1100011 => {
+            let offset = imm_b(word);
+            match funct3 {
+                0b000 => Beq { rs1, rs2, offset },
+                0b001 => Bne { rs1, rs2, offset },
+                0b100 => Blt { rs1, rs2, offset },
+                0b101 => Bge { rs1, rs2, offset },
+                0b110 => Bltu { rs1, rs2, offset },
+                0b111 => Bgeu { rs1, rs2, offset },
+                _ => return err,
+            }
+        }
+        0b0000011 => {
+            let offset = imm_i(word);
+            match funct3 {
+                0b000 => Lb { rd, rs1, offset },
+                0b001 => Lh { rd, rs1, offset },
+                0b010 => Lw { rd, rs1, offset },
+                0b100 => Lbu { rd, rs1, offset },
+                0b101 => Lhu { rd, rs1, offset },
+                _ => return err,
+            }
+        }
+        0b0100011 => {
+            let offset = imm_s(word);
+            match funct3 {
+                0b000 => Sb { rs1, rs2, offset },
+                0b001 => Sh { rs1, rs2, offset },
+                0b010 => Sw { rs1, rs2, offset },
+                _ => return err,
+            }
+        }
+        0b0010011 => {
+            let imm = imm_i(word);
+            let shamt = rs2;
+            match funct3 {
+                0b000 => Addi { rd, rs1, imm },
+                0b010 => Slti { rd, rs1, imm },
+                0b011 => Sltiu { rd, rs1, imm },
+                0b100 => Xori { rd, rs1, imm },
+                0b110 => Ori { rd, rs1, imm },
+                0b111 => Andi { rd, rs1, imm },
+                0b001 if funct7 == 0 => Slli { rd, rs1, shamt },
+                0b101 if funct7 == 0 => Srli { rd, rs1, shamt },
+                0b101 if funct7 == 0b0100000 => Srai { rd, rs1, shamt },
+                _ => return err,
+            }
+        }
+        0b0110011 => match (funct7, funct3) {
+            (0b0000000, 0b000) => Add { rd, rs1, rs2 },
+            (0b0100000, 0b000) => Sub { rd, rs1, rs2 },
+            (0b0000000, 0b001) => Sll { rd, rs1, rs2 },
+            (0b0000000, 0b010) => Slt { rd, rs1, rs2 },
+            (0b0000000, 0b011) => Sltu { rd, rs1, rs2 },
+            (0b0000000, 0b100) => Xor { rd, rs1, rs2 },
+            (0b0000000, 0b101) => Srl { rd, rs1, rs2 },
+            (0b0100000, 0b101) => Sra { rd, rs1, rs2 },
+            (0b0000000, 0b110) => Or { rd, rs1, rs2 },
+            (0b0000000, 0b111) => And { rd, rs1, rs2 },
+            (0b0000001, 0b000) => Mul { rd, rs1, rs2 },
+            (0b0000001, 0b001) => Mulh { rd, rs1, rs2 },
+            (0b0000001, 0b010) => Mulhsu { rd, rs1, rs2 },
+            (0b0000001, 0b011) => Mulhu { rd, rs1, rs2 },
+            (0b0000001, 0b100) => Div { rd, rs1, rs2 },
+            (0b0000001, 0b101) => Divu { rd, rs1, rs2 },
+            (0b0000001, 0b110) => Rem { rd, rs1, rs2 },
+            (0b0000001, 0b111) => Remu { rd, rs1, rs2 },
+            _ => return err,
+        },
+        0b0001111 => Fence,
+        0b1110011 => {
+            let csr = bits(word, 20, 31) as u16;
+            match funct3 {
+                0b000 => match word {
+                    0x0000_0073 => Ecall,
+                    0x0010_0073 => Ebreak,
+                    0x1050_0073 => Wfi,
+                    _ => return err,
+                },
+                0b001 => Csrrw { rd, rs1, csr },
+                0b010 => Csrrs { rd, rs1, csr },
+                0b011 => Csrrc { rd, rs1, csr },
+                _ => return err,
+            }
+        }
+        _ => return err,
+    };
+    Ok(inst)
+}
+
+/// Encodes an instruction back to its 32-bit word (the assembler's
+/// back-end). Inverse of [`decode`] for every supported instruction.
+pub fn encode(inst: Instruction) -> u32 {
+    use Instruction::*;
+    let r = |opcode: u32, rd: Reg, f3: u32, rs1: Reg, rs2: Reg, f7: u32| {
+        opcode
+            | ((rd as u32) << 7)
+            | (f3 << 12)
+            | ((rs1 as u32) << 15)
+            | ((rs2 as u32) << 20)
+            | (f7 << 25)
+    };
+    let i = |opcode: u32, rd: Reg, f3: u32, rs1: Reg, imm: i32| {
+        opcode
+            | ((rd as u32) << 7)
+            | (f3 << 12)
+            | ((rs1 as u32) << 15)
+            | (((imm as u32) & 0xfff) << 20)
+    };
+    let s = |opcode: u32, f3: u32, rs1: Reg, rs2: Reg, imm: i32| {
+        let imm = imm as u32;
+        opcode
+            | ((imm & 0x1f) << 7)
+            | (f3 << 12)
+            | ((rs1 as u32) << 15)
+            | ((rs2 as u32) << 20)
+            | (((imm >> 5) & 0x7f) << 25)
+    };
+    let b = |opcode: u32, f3: u32, rs1: Reg, rs2: Reg, imm: i32| {
+        let imm = imm as u32;
+        opcode
+            | (((imm >> 11) & 1) << 7)
+            | (((imm >> 1) & 0xf) << 8)
+            | (f3 << 12)
+            | ((rs1 as u32) << 15)
+            | ((rs2 as u32) << 20)
+            | (((imm >> 5) & 0x3f) << 25)
+            | (((imm >> 12) & 1) << 31)
+    };
+    let u =
+        |opcode: u32, rd: Reg, imm: i32| opcode | ((rd as u32) << 7) | ((imm as u32) & 0xffff_f000);
+    let j = |opcode: u32, rd: Reg, imm: i32| {
+        let imm = imm as u32;
+        opcode
+            | ((rd as u32) << 7)
+            | (((imm >> 12) & 0xff) << 12)
+            | (((imm >> 11) & 1) << 20)
+            | (((imm >> 1) & 0x3ff) << 21)
+            | (((imm >> 20) & 1) << 31)
+    };
+
+    match inst {
+        Lui { rd, imm } => u(0b0110111, rd, imm),
+        Auipc { rd, imm } => u(0b0010111, rd, imm),
+        Jal { rd, offset } => j(0b1101111, rd, offset),
+        Jalr { rd, rs1, offset } => i(0b1100111, rd, 0, rs1, offset),
+        Beq { rs1, rs2, offset } => b(0b1100011, 0b000, rs1, rs2, offset),
+        Bne { rs1, rs2, offset } => b(0b1100011, 0b001, rs1, rs2, offset),
+        Blt { rs1, rs2, offset } => b(0b1100011, 0b100, rs1, rs2, offset),
+        Bge { rs1, rs2, offset } => b(0b1100011, 0b101, rs1, rs2, offset),
+        Bltu { rs1, rs2, offset } => b(0b1100011, 0b110, rs1, rs2, offset),
+        Bgeu { rs1, rs2, offset } => b(0b1100011, 0b111, rs1, rs2, offset),
+        Lb { rd, rs1, offset } => i(0b0000011, rd, 0b000, rs1, offset),
+        Lh { rd, rs1, offset } => i(0b0000011, rd, 0b001, rs1, offset),
+        Lw { rd, rs1, offset } => i(0b0000011, rd, 0b010, rs1, offset),
+        Lbu { rd, rs1, offset } => i(0b0000011, rd, 0b100, rs1, offset),
+        Lhu { rd, rs1, offset } => i(0b0000011, rd, 0b101, rs1, offset),
+        Sb { rs1, rs2, offset } => s(0b0100011, 0b000, rs1, rs2, offset),
+        Sh { rs1, rs2, offset } => s(0b0100011, 0b001, rs1, rs2, offset),
+        Sw { rs1, rs2, offset } => s(0b0100011, 0b010, rs1, rs2, offset),
+        Addi { rd, rs1, imm } => i(0b0010011, rd, 0b000, rs1, imm),
+        Slti { rd, rs1, imm } => i(0b0010011, rd, 0b010, rs1, imm),
+        Sltiu { rd, rs1, imm } => i(0b0010011, rd, 0b011, rs1, imm),
+        Xori { rd, rs1, imm } => i(0b0010011, rd, 0b100, rs1, imm),
+        Ori { rd, rs1, imm } => i(0b0010011, rd, 0b110, rs1, imm),
+        Andi { rd, rs1, imm } => i(0b0010011, rd, 0b111, rs1, imm),
+        Slli { rd, rs1, shamt } => r(0b0010011, rd, 0b001, rs1, shamt, 0),
+        Srli { rd, rs1, shamt } => r(0b0010011, rd, 0b101, rs1, shamt, 0),
+        Srai { rd, rs1, shamt } => r(0b0010011, rd, 0b101, rs1, shamt, 0b0100000),
+        Add { rd, rs1, rs2 } => r(0b0110011, rd, 0b000, rs1, rs2, 0),
+        Sub { rd, rs1, rs2 } => r(0b0110011, rd, 0b000, rs1, rs2, 0b0100000),
+        Sll { rd, rs1, rs2 } => r(0b0110011, rd, 0b001, rs1, rs2, 0),
+        Slt { rd, rs1, rs2 } => r(0b0110011, rd, 0b010, rs1, rs2, 0),
+        Sltu { rd, rs1, rs2 } => r(0b0110011, rd, 0b011, rs1, rs2, 0),
+        Xor { rd, rs1, rs2 } => r(0b0110011, rd, 0b100, rs1, rs2, 0),
+        Srl { rd, rs1, rs2 } => r(0b0110011, rd, 0b101, rs1, rs2, 0),
+        Sra { rd, rs1, rs2 } => r(0b0110011, rd, 0b101, rs1, rs2, 0b0100000),
+        Or { rd, rs1, rs2 } => r(0b0110011, rd, 0b110, rs1, rs2, 0),
+        And { rd, rs1, rs2 } => r(0b0110011, rd, 0b111, rs1, rs2, 0),
+        Mul { rd, rs1, rs2 } => r(0b0110011, rd, 0b000, rs1, rs2, 1),
+        Mulh { rd, rs1, rs2 } => r(0b0110011, rd, 0b001, rs1, rs2, 1),
+        Mulhsu { rd, rs1, rs2 } => r(0b0110011, rd, 0b010, rs1, rs2, 1),
+        Mulhu { rd, rs1, rs2 } => r(0b0110011, rd, 0b011, rs1, rs2, 1),
+        Div { rd, rs1, rs2 } => r(0b0110011, rd, 0b100, rs1, rs2, 1),
+        Divu { rd, rs1, rs2 } => r(0b0110011, rd, 0b101, rs1, rs2, 1),
+        Rem { rd, rs1, rs2 } => r(0b0110011, rd, 0b110, rs1, rs2, 1),
+        Remu { rd, rs1, rs2 } => r(0b0110011, rd, 0b111, rs1, rs2, 1),
+        Fence => 0x0000_000f,
+        Ecall => 0x0000_0073,
+        Ebreak => 0x0010_0073,
+        Wfi => 0x1050_0073,
+        Csrrw { rd, rs1, csr } => i(0b1110011, rd, 0b001, rs1, csr as i32),
+        Csrrs { rd, rs1, csr } => i(0b1110011, rd, 0b010, rs1, csr as i32),
+        Csrrc { rd, rs1, csr } => i(0b1110011, rd, 0b011, rs1, csr as i32),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Instruction::*;
+
+    #[test]
+    fn decode_reference_words() {
+        // Hand-assembled reference encodings.
+        assert_eq!(
+            decode(0x00000013).unwrap(),
+            Addi {
+                rd: 0,
+                rs1: 0,
+                imm: 0
+            }
+        ); // nop
+        assert_eq!(
+            decode(0x02A00093).unwrap(),
+            Addi {
+                rd: 1,
+                rs1: 0,
+                imm: 42
+            }
+        );
+        assert_eq!(
+            decode(0x00208133).unwrap(),
+            Add {
+                rd: 2,
+                rs1: 1,
+                rs2: 2
+            }
+        );
+        assert_eq!(decode(0x00000073).unwrap(), Ecall);
+        assert_eq!(decode(0x00100073).unwrap(), Ebreak);
+        assert_eq!(
+            decode(0xFFF00093).unwrap(),
+            Addi {
+                rd: 1,
+                rs1: 0,
+                imm: -1
+            }
+        );
+    }
+
+    #[test]
+    fn decode_branch_offsets() {
+        // beq x1, x2, +8  => 0x00208463
+        match decode(0x00208463).unwrap() {
+            Beq {
+                rs1: 1,
+                rs2: 2,
+                offset: 8,
+            } => {}
+            other => panic!("got {other:?}"),
+        }
+        // jal x1, -4
+        match decode(encode(Jal { rd: 1, offset: -4 })).unwrap() {
+            Jal { rd: 1, offset: -4 } => {}
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_exhaustive_variants() {
+        let cases = vec![
+            Lui {
+                rd: 5,
+                imm: 0x12345 << 12,
+            },
+            Auipc { rd: 6, imm: -4096 },
+            Jal {
+                rd: 1,
+                offset: 2044,
+            },
+            Jalr {
+                rd: 1,
+                rs1: 2,
+                offset: -8,
+            },
+            Beq {
+                rs1: 1,
+                rs2: 2,
+                offset: -16,
+            },
+            Bne {
+                rs1: 3,
+                rs2: 4,
+                offset: 32,
+            },
+            Blt {
+                rs1: 5,
+                rs2: 6,
+                offset: 64,
+            },
+            Bge {
+                rs1: 7,
+                rs2: 8,
+                offset: -64,
+            },
+            Bltu {
+                rs1: 9,
+                rs2: 10,
+                offset: 128,
+            },
+            Bgeu {
+                rs1: 11,
+                rs2: 12,
+                offset: -128,
+            },
+            Lb {
+                rd: 1,
+                rs1: 2,
+                offset: -1,
+            },
+            Lh {
+                rd: 3,
+                rs1: 4,
+                offset: 2,
+            },
+            Lw {
+                rd: 5,
+                rs1: 6,
+                offset: 100,
+            },
+            Lbu {
+                rd: 7,
+                rs1: 8,
+                offset: 0,
+            },
+            Lhu {
+                rd: 9,
+                rs1: 10,
+                offset: 6,
+            },
+            Sb {
+                rs1: 1,
+                rs2: 2,
+                offset: -3,
+            },
+            Sh {
+                rs1: 3,
+                rs2: 4,
+                offset: 10,
+            },
+            Sw {
+                rs1: 5,
+                rs2: 6,
+                offset: 2047,
+            },
+            Addi {
+                rd: 1,
+                rs1: 2,
+                imm: -2048,
+            },
+            Slti {
+                rd: 3,
+                rs1: 4,
+                imm: 7,
+            },
+            Sltiu {
+                rd: 5,
+                rs1: 6,
+                imm: 9,
+            },
+            Xori {
+                rd: 7,
+                rs1: 8,
+                imm: -1,
+            },
+            Ori {
+                rd: 9,
+                rs1: 10,
+                imm: 0x7f,
+            },
+            Andi {
+                rd: 11,
+                rs1: 12,
+                imm: 0xf,
+            },
+            Slli {
+                rd: 1,
+                rs1: 2,
+                shamt: 31,
+            },
+            Srli {
+                rd: 3,
+                rs1: 4,
+                shamt: 1,
+            },
+            Srai {
+                rd: 5,
+                rs1: 6,
+                shamt: 16,
+            },
+            Add {
+                rd: 1,
+                rs1: 2,
+                rs2: 3,
+            },
+            Sub {
+                rd: 4,
+                rs1: 5,
+                rs2: 6,
+            },
+            Sll {
+                rd: 7,
+                rs1: 8,
+                rs2: 9,
+            },
+            Slt {
+                rd: 10,
+                rs1: 11,
+                rs2: 12,
+            },
+            Sltu {
+                rd: 13,
+                rs1: 14,
+                rs2: 15,
+            },
+            Xor {
+                rd: 16,
+                rs1: 17,
+                rs2: 18,
+            },
+            Srl {
+                rd: 19,
+                rs1: 20,
+                rs2: 21,
+            },
+            Sra {
+                rd: 22,
+                rs1: 23,
+                rs2: 24,
+            },
+            Or {
+                rd: 25,
+                rs1: 26,
+                rs2: 27,
+            },
+            And {
+                rd: 28,
+                rs1: 29,
+                rs2: 30,
+            },
+            Mul {
+                rd: 1,
+                rs1: 2,
+                rs2: 3,
+            },
+            Mulh {
+                rd: 4,
+                rs1: 5,
+                rs2: 6,
+            },
+            Mulhsu {
+                rd: 7,
+                rs1: 8,
+                rs2: 9,
+            },
+            Mulhu {
+                rd: 10,
+                rs1: 11,
+                rs2: 12,
+            },
+            Div {
+                rd: 13,
+                rs1: 14,
+                rs2: 15,
+            },
+            Divu {
+                rd: 16,
+                rs1: 17,
+                rs2: 18,
+            },
+            Rem {
+                rd: 19,
+                rs1: 20,
+                rs2: 21,
+            },
+            Remu {
+                rd: 22,
+                rs1: 23,
+                rs2: 24,
+            },
+            Fence,
+            Ecall,
+            Ebreak,
+            Wfi,
+            Csrrw {
+                rd: 1,
+                rs1: 2,
+                csr: 0xC00,
+            },
+            Csrrs {
+                rd: 3,
+                rs1: 0,
+                csr: 0xC80,
+            },
+            Csrrc {
+                rd: 4,
+                rs1: 5,
+                csr: 0x300,
+            },
+        ];
+        for inst in cases {
+            let word = encode(inst);
+            let back = decode(word).unwrap_or_else(|e| panic!("{inst:?}: {e}"));
+            assert_eq!(back, inst, "word {word:#010x}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode(0xFFFF_FFFF).is_err());
+        assert!(decode(0x0000_0000).is_err());
+        let e = decode(0).unwrap_err();
+        assert!(e.to_string().contains("0x00000000"));
+    }
+
+    #[test]
+    fn immediate_sign_extension() {
+        // lw x1, -4(x2)
+        let w = encode(Lw {
+            rd: 1,
+            rs1: 2,
+            offset: -4,
+        });
+        match decode(w).unwrap() {
+            Lw { offset: -4, .. } => {}
+            other => panic!("{other:?}"),
+        }
+        // Branch with the most negative 13-bit offset.
+        let w = encode(Beq {
+            rs1: 0,
+            rs2: 0,
+            offset: -4096,
+        });
+        match decode(w).unwrap() {
+            Beq { offset: -4096, .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+}

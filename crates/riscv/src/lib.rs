@@ -1,0 +1,35 @@
+//! # neuropulsim-riscv
+//!
+//! A self-contained RV32IM instruction-set simulator: the host CPU of the
+//! gem5-style full-system platform in the paper's §5 (which ports
+//! gem5-SALAM to the RISC-V ISA). Provides:
+//!
+//! - [`isa`]: instruction decode/encode for RV32I + M + Zicsr subset;
+//! - [`cpu`]: an interpreter with a per-class cycle model, traps, CSR
+//!   cycle counters and `wfi` interrupt semantics;
+//! - [`bus`]: the memory-bus trait the system simulator implements, plus
+//!   a flat test memory;
+//! - [`asm`]: a small assembler (labels, ABI names, pseudo-instructions)
+//!   for writing offload firmware inline.
+//!
+//! # Examples
+//!
+//! ```
+//! use neuropulsim_riscv::{asm, bus::FlatMemory, cpu::Cpu};
+//!
+//! let code = asm::assemble("li a0, 2\nli a1, 3\nadd a0, a0, a1\necall")?;
+//! let mut mem = FlatMemory::new(4096);
+//! mem.load_words(0, &code);
+//! let mut cpu = Cpu::new(0);
+//! cpu.run(&mut mem, 1000)?;
+//! assert_eq!(cpu.reg(10), 5);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod bus;
+pub mod cpu;
+pub mod disasm;
+pub mod isa;

@@ -1,0 +1,364 @@
+//! The memory-mapped photonic MVM accelerator — the "Compute Unit +
+//! Communications Interface" of the paper's Fig. 3.
+//!
+//! The Compute Unit wraps a [`MvmCore`]; the Communications Interface is
+//! a bank of memory-mapped registers (MMRs), scratchpad-resident operand
+//! buffers, and an interrupt line, exactly the gem5-MARVEL device
+//! template: "MMRs consist of configurable status, control, and data
+//! registers ... the host can utilize the provided interrupt signals for
+//! synchronization without the need for constant polling."
+
+use crate::fixed::{from_fixed, to_fixed};
+use crate::ram::Ram;
+use neuropulsim_core::mvm::{MvmCore, MvmNoiseConfig, RealizedMvm};
+use neuropulsim_linalg::RMatrix;
+use neuropulsim_photonics::energy::TechnologyProfile;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// MMR offsets (bytes from the device base).
+pub mod mmr {
+    /// Write 1 to start; write 2 to clear `done`.
+    pub const CTRL: u32 = 0x00;
+    /// Bit 0 = busy, bit 1 = done.
+    pub const STATUS: u32 = 0x04;
+    /// Matrix dimension `n` (read-only, set by the host API).
+    pub const DIM: u32 = 0x08;
+    /// SPM byte address of the input vectors.
+    pub const IN_ADDR: u32 = 0x0C;
+    /// SPM byte address for the output vectors.
+    pub const OUT_ADDR: u32 = 0x10;
+    /// Number of vectors to stream.
+    pub const BATCH: u32 = 0x14;
+    /// Bit 0 enables the completion interrupt.
+    pub const IRQ_ENABLE: u32 = 0x18;
+    /// Cycles the last job took (read-only).
+    pub const LAST_CYCLES: u32 = 0x1C;
+    /// Size of the register bank.
+    pub const SIZE: u32 = 0x20;
+}
+
+/// Status bits.
+pub mod status {
+    /// Device is processing a job.
+    pub const BUSY: u32 = 1;
+    /// A job finished and `done` has not been cleared.
+    pub const DONE: u32 = 2;
+}
+
+/// The accelerator device state.
+#[derive(Debug, Clone)]
+pub struct AccelDevice {
+    core: Option<MvmCore>,
+    instance: Option<RealizedMvm>,
+    noise: MvmNoiseConfig,
+    rng: StdRng,
+    // MMRs
+    in_addr: u32,
+    out_addr: u32,
+    batch: u32,
+    irq_enable: bool,
+    busy: bool,
+    done: bool,
+    busy_until: u64,
+    last_cycles: u32,
+    // Timing parameters.
+    /// Host clock frequency \[Hz\].
+    pub cpu_hz: f64,
+    /// Fixed start-up latency per job \[cycles\] (doorbell, DAC settle).
+    pub setup_cycles: u64,
+    /// Electro-optic technology profile (for the energy report).
+    pub tech: TechnologyProfile,
+    // Stats.
+    /// Vectors processed in total.
+    pub vectors_processed: u64,
+    /// Jobs completed.
+    pub jobs_completed: u64,
+}
+
+impl AccelDevice {
+    /// Creates an unconfigured device (host must load a matrix first).
+    pub fn new(cpu_hz: f64) -> Self {
+        AccelDevice {
+            core: None,
+            instance: None,
+            noise: MvmNoiseConfig::ideal(),
+            rng: StdRng::seed_from_u64(0x5EED),
+            in_addr: 0,
+            out_addr: 0,
+            batch: 1,
+            irq_enable: false,
+            busy: false,
+            done: false,
+            busy_until: 0,
+            last_cycles: 0,
+            cpu_hz,
+            setup_cycles: 20,
+            tech: TechnologyProfile::default(),
+            vectors_processed: 0,
+            jobs_completed: 0,
+        }
+    }
+
+    /// Loads (programs) a weight matrix into the photonic core. This is
+    /// the host-driver step that burns PCM programming pulses / sets
+    /// heaters; it happens out-of-band of the MMR interface.
+    pub fn load_matrix(&mut self, w: &RMatrix) {
+        let core = MvmCore::new(w);
+        self.instance = Some(core.realize(&self.noise, &mut self.rng));
+        self.core = Some(core);
+    }
+
+    /// Sets the noise configuration for subsequent [`AccelDevice::load_matrix`]
+    /// calls (and re-realizes the current matrix if one is loaded).
+    pub fn set_noise(&mut self, noise: MvmNoiseConfig) {
+        self.noise = noise;
+        if let Some(core) = &self.core {
+            self.instance = Some(core.realize(&self.noise, &mut self.rng));
+        }
+    }
+
+    /// The configured dimension, 0 if no matrix loaded.
+    pub fn dim(&self) -> u32 {
+        self.core.as_ref().map(|c| c.modes() as u32).unwrap_or(0)
+    }
+
+    /// `true` while a job is in flight.
+    pub fn is_busy(&self) -> bool {
+        self.busy
+    }
+
+    /// `true` when a completed job's results are ready.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Handles an MMR read at byte offset `offset`.
+    pub fn mmr_load(&mut self, offset: u32) -> u32 {
+        match offset & !3 {
+            mmr::CTRL => 0,
+            mmr::STATUS => {
+                (if self.busy { status::BUSY } else { 0 })
+                    | (if self.done { status::DONE } else { 0 })
+            }
+            mmr::DIM => self.dim(),
+            mmr::IN_ADDR => self.in_addr,
+            mmr::OUT_ADDR => self.out_addr,
+            mmr::BATCH => self.batch,
+            mmr::IRQ_ENABLE => self.irq_enable as u32,
+            mmr::LAST_CYCLES => self.last_cycles,
+            _ => 0,
+        }
+    }
+
+    /// Handles an MMR write. Returns `true` if a job start was requested.
+    pub fn mmr_store(&mut self, offset: u32, value: u32) -> bool {
+        match offset & !3 {
+            mmr::CTRL => {
+                if value & 2 != 0 {
+                    self.done = false;
+                }
+                if value & 1 != 0 && !self.busy {
+                    return true;
+                }
+                false
+            }
+            mmr::IN_ADDR => {
+                self.in_addr = value;
+                false
+            }
+            mmr::OUT_ADDR => {
+                self.out_addr = value;
+                false
+            }
+            mmr::BATCH => {
+                self.batch = value.max(1);
+                false
+            }
+            mmr::IRQ_ENABLE => {
+                self.irq_enable = value & 1 != 0;
+                false
+            }
+            _ => false,
+        }
+    }
+
+    /// Job latency in host cycles for `batch` vectors: fixed setup plus
+    /// streaming at the electro-optic symbol rate. The optical core
+    /// retires one full `n`-element vector per symbol slot — this is the
+    /// photonic throughput advantage in cycle form.
+    pub fn job_cycles(&self, batch: u32) -> u64 {
+        let streaming = (batch as f64 * self.cpu_hz / self.tech.symbol_rate).ceil() as u64;
+        self.setup_cycles + streaming.max(1)
+    }
+
+    /// Starts a job at time `now`: consumes inputs from SPM, computes, and
+    /// schedules completion. Returns `false` if no matrix is loaded or the
+    /// operands are out of SPM range (the device sets `done` with garbage
+    /// in real hardware; here we fail fast).
+    pub fn start(&mut self, now: u64, spm: &mut Ram) -> bool {
+        let Some(instance) = &self.instance else {
+            return false;
+        };
+        let n = self.dim() as usize;
+        let batch = self.batch;
+        let mut in_addr = self.in_addr;
+        let mut out_addr = self.out_addr;
+        for _ in 0..batch {
+            let mut x = vec![0.0f64; n];
+            for v in x.iter_mut() {
+                let Ok(word) = spm.load(in_addr) else {
+                    return false;
+                };
+                *v = from_fixed(word as i32);
+                in_addr += 4;
+            }
+            let y = instance.multiply_noisy(&x, &mut self.rng);
+            for &val in &y {
+                if spm.store(out_addr, to_fixed(val) as u32).is_err() {
+                    return false;
+                }
+                out_addr += 4;
+            }
+            self.vectors_processed += 1;
+        }
+        let cycles = self.job_cycles(batch);
+        self.busy = true;
+        self.done = false;
+        self.busy_until = now + cycles;
+        self.last_cycles = cycles as u32;
+        true
+    }
+
+    /// Advances device time. Returns `true` when the completion interrupt
+    /// fires on this call.
+    pub fn tick(&mut self, now: u64) -> bool {
+        if self.busy && now >= self.busy_until {
+            self.busy = false;
+            self.done = true;
+            self.jobs_completed += 1;
+            return self.irq_enable;
+        }
+        false
+    }
+
+    /// Optical + electro-optic energy consumed so far \[J\], from the
+    /// technology profile: per-vector modulator/receiver/DAC work plus
+    /// laser power over the streaming time.
+    pub fn energy(&self) -> f64 {
+        let n = self.dim() as usize;
+        let vectors = self.vectors_processed as f64;
+        let io = vectors
+            * n as f64
+            * (self.tech.modulator_energy_per_symbol
+                + self.tech.receiver_energy_per_sample
+                + self.tech.dac_energy_per_sample);
+        let streaming_time = vectors / self.tech.symbol_rate;
+        io + self.tech.laser_power(n) * streaming_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device_with_identity(n: usize) -> AccelDevice {
+        let mut d = AccelDevice::new(1e9);
+        d.load_matrix(&RMatrix::identity(n));
+        d
+    }
+
+    #[test]
+    fn mmr_roundtrip() {
+        let mut d = device_with_identity(4);
+        d.mmr_store(mmr::IN_ADDR, 0x100);
+        d.mmr_store(mmr::OUT_ADDR, 0x200);
+        d.mmr_store(mmr::BATCH, 3);
+        d.mmr_store(mmr::IRQ_ENABLE, 1);
+        assert_eq!(d.mmr_load(mmr::IN_ADDR), 0x100);
+        assert_eq!(d.mmr_load(mmr::OUT_ADDR), 0x200);
+        assert_eq!(d.mmr_load(mmr::BATCH), 3);
+        assert_eq!(d.mmr_load(mmr::IRQ_ENABLE), 1);
+        assert_eq!(d.mmr_load(mmr::DIM), 4);
+    }
+
+    #[test]
+    fn start_requires_ctrl_write() {
+        let mut d = device_with_identity(2);
+        assert!(!d.mmr_store(mmr::BATCH, 1));
+        assert!(d.mmr_store(mmr::CTRL, 1), "CTRL=1 requests start");
+    }
+
+    #[test]
+    fn identity_job_copies_vector() {
+        let mut d = device_with_identity(3);
+        let mut spm = Ram::new(0, 4096);
+        // Input vector [1.5, -2.0, 0.25] at 0x100.
+        let inputs = [1.5, -2.0, 0.25];
+        for (k, &x) in inputs.iter().enumerate() {
+            spm.poke(0x100 + 4 * k as u32, to_fixed(x) as u32).unwrap();
+        }
+        d.mmr_store(mmr::IN_ADDR, 0x100);
+        d.mmr_store(mmr::OUT_ADDR, 0x200);
+        d.mmr_store(mmr::BATCH, 1);
+        assert!(d.start(0, &mut spm));
+        assert!(d.is_busy());
+        for (k, &x) in inputs.iter().enumerate() {
+            let got = from_fixed(spm.peek(0x200 + 4 * k as u32).unwrap() as i32);
+            assert!((got - x).abs() < 1e-3, "element {k}: {got} vs {x}");
+        }
+    }
+
+    #[test]
+    fn completion_and_interrupt() {
+        let mut d = device_with_identity(2);
+        let mut spm = Ram::new(0, 1024);
+        d.mmr_store(mmr::IRQ_ENABLE, 1);
+        d.mmr_store(mmr::BATCH, 1);
+        assert!(d.start(0, &mut spm));
+        let cycles = d.job_cycles(1);
+        assert!(!d.tick(cycles - 1), "not done yet");
+        assert!(d.tick(cycles), "irq fires at completion");
+        assert!(d.is_done());
+        assert!(!d.is_busy());
+        assert_eq!(d.mmr_load(mmr::STATUS), status::DONE);
+        // Clearing done via CTRL bit 1.
+        d.mmr_store(mmr::CTRL, 2);
+        assert!(!d.is_done());
+    }
+
+    #[test]
+    fn job_cycles_scale_sublinearly_with_small_batches() {
+        let d = device_with_identity(8);
+        // 1 GHz host, 10 GS/s optics: 10 vectors per host cycle.
+        assert_eq!(d.job_cycles(1), d.setup_cycles + 1);
+        assert_eq!(d.job_cycles(100), d.setup_cycles + 10);
+    }
+
+    #[test]
+    fn start_fails_without_matrix() {
+        let mut d = AccelDevice::new(1e9);
+        let mut spm = Ram::new(0, 64);
+        assert!(!d.start(0, &mut spm));
+    }
+
+    #[test]
+    fn start_fails_on_bad_addresses() {
+        let mut d = device_with_identity(4);
+        let mut spm = Ram::new(0, 16); // too small
+        d.mmr_store(mmr::IN_ADDR, 0);
+        d.mmr_store(mmr::OUT_ADDR, 0x4000);
+        assert!(!d.start(0, &mut spm));
+    }
+
+    #[test]
+    fn energy_grows_with_work() {
+        let mut d = device_with_identity(4);
+        let mut spm = Ram::new(0, 4096);
+        d.mmr_store(mmr::BATCH, 10);
+        let e0 = d.energy();
+        assert!(d.start(0, &mut spm));
+        assert!(d.energy() > e0);
+        assert_eq!(d.vectors_processed, 10);
+    }
+}

@@ -1,0 +1,450 @@
+//! Microarchitecture-level fault injection — the gem5-MARVEL capability
+//! the paper folds into its simulation platform (§5): "supports transient
+//! and permanent fault injections to all hardware structures", used for
+//! the reliability experiments (E8).
+//!
+//! A campaign runs a golden (fault-free) execution, then re-runs the same
+//! workload once per fault, classifying each outcome as *masked* (same
+//! result), *SDC* (silent data corruption: halted but wrong result),
+//! *crash* (trap) or *hang* (timeout).
+
+use crate::system::{RunOutcome, System};
+use rand::Rng;
+
+/// Hardware structure targeted by a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultTarget {
+    /// Main memory data word (absolute address).
+    Dram {
+        /// Word-aligned absolute address.
+        addr: u32,
+    },
+    /// Scratchpad data word (absolute address).
+    Spm {
+        /// Word-aligned absolute address.
+        addr: u32,
+    },
+    /// CPU architectural register.
+    Register {
+        /// Register index 1–31 (x0 is immune).
+        index: u8,
+    },
+}
+
+/// Fault persistence model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Single bit flip at injection time (SEU).
+    Transient,
+    /// Bit stuck at the flipped value: re-applied every `period` cycles to
+    /// emulate a permanent defect under this state-based simulator.
+    Permanent,
+}
+
+/// One fault to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fault {
+    /// Where.
+    pub target: FaultTarget,
+    /// Which bit (0–31).
+    pub bit: u8,
+    /// When (cycle at which the fault first manifests).
+    pub cycle: u64,
+    /// Transient or permanent.
+    pub kind: FaultKind,
+}
+
+/// Outcome classification, following the gem5-MARVEL taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultOutcome {
+    /// Execution completed with a correct result.
+    Masked,
+    /// Execution completed but the result differs (silent data corruption).
+    SilentDataCorruption,
+    /// The CPU trapped.
+    Crash,
+    /// The run exceeded its cycle budget.
+    Hang,
+}
+
+/// Aggregate campaign statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CampaignStats {
+    /// Faults whose effect was masked.
+    pub masked: usize,
+    /// Silent data corruptions.
+    pub sdc: usize,
+    /// Crashes.
+    pub crashes: usize,
+    /// Hangs.
+    pub hangs: usize,
+}
+
+impl CampaignStats {
+    /// Total injections.
+    pub fn total(&self) -> usize {
+        self.masked + self.sdc + self.crashes + self.hangs
+    }
+
+    /// Fraction of injections with any architecturally visible effect
+    /// (an AVF-style number).
+    pub fn vulnerability(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            (self.sdc + self.crashes + self.hangs) as f64 / t as f64
+        }
+    }
+
+    fn record(&mut self, outcome: FaultOutcome) {
+        match outcome {
+            FaultOutcome::Masked => self.masked += 1,
+            FaultOutcome::SilentDataCorruption => self.sdc += 1,
+            FaultOutcome::Crash => self.crashes += 1,
+            FaultOutcome::Hang => self.hangs += 1,
+        }
+    }
+}
+
+/// A fault-injection campaign over a reproducible workload.
+///
+/// The workload is described by two closures: `setup` builds a fresh
+/// [`System`] with firmware and data loaded; `readout` extracts the
+/// result signature from a finished system (compared against the golden
+/// run for SDC detection).
+pub struct Campaign<'a> {
+    setup: Box<dyn Fn() -> System + 'a>,
+    #[allow(clippy::type_complexity)] // one-off callback signature
+    readout: Box<dyn Fn(&System) -> Vec<u32> + 'a>,
+    /// Cycle budget per run.
+    pub max_cycles: u64,
+}
+
+impl<'a> Campaign<'a> {
+    /// Creates a campaign from a workload builder and a result extractor.
+    pub fn new<S, R>(setup: S, readout: R, max_cycles: u64) -> Self
+    where
+        S: Fn() -> System + 'a,
+        R: Fn(&System) -> Vec<u32> + 'a,
+    {
+        Campaign {
+            setup: Box::new(setup),
+            readout: Box::new(readout),
+            max_cycles,
+        }
+    }
+
+    /// Runs the golden execution and returns its result signature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the golden run does not halt cleanly — the workload
+    /// itself must be correct before faults are injected.
+    pub fn golden(&self) -> Vec<u32> {
+        let mut sys = (self.setup)();
+        let report = sys.run(self.max_cycles);
+        assert!(
+            matches!(report.outcome, RunOutcome::Halted(_)),
+            "golden run must halt, got {:?}",
+            report.outcome
+        );
+        (self.readout)(&sys)
+    }
+
+    /// Injects one fault and classifies the outcome.
+    pub fn inject(&self, fault: Fault, golden: &[u32]) -> FaultOutcome {
+        let mut sys = (self.setup)();
+        // Run up to the injection cycle.
+        let pre = sys.run_cycles_bounded(fault.cycle, self.max_cycles);
+        if let Some(outcome) = pre {
+            // Finished before the fault hit: it can only be masked.
+            return match outcome {
+                RunOutcome::Halted(_) => {
+                    if (self.readout)(&sys) == golden {
+                        FaultOutcome::Masked
+                    } else {
+                        FaultOutcome::SilentDataCorruption
+                    }
+                }
+                RunOutcome::Trapped(_) => FaultOutcome::Crash,
+                RunOutcome::TimedOut => FaultOutcome::Hang,
+            };
+        }
+        apply_fault(&mut sys, fault);
+        let remaining = self.max_cycles.saturating_sub(fault.cycle).max(1);
+        let mut budget = remaining;
+        let outcome = loop {
+            if fault.kind == FaultKind::Permanent {
+                apply_stuck(&mut sys, fault);
+            }
+            let chunk = match fault.kind {
+                FaultKind::Permanent => 64.min(budget),
+                FaultKind::Transient => budget,
+            };
+            let report = sys.run(chunk);
+            match report.outcome {
+                RunOutcome::TimedOut => {
+                    budget = budget.saturating_sub(chunk);
+                    if budget == 0 {
+                        break RunOutcome::TimedOut;
+                    }
+                }
+                other => break other,
+            }
+        };
+        match outcome {
+            RunOutcome::Halted(_) => {
+                if (self.readout)(&sys) == golden {
+                    FaultOutcome::Masked
+                } else {
+                    FaultOutcome::SilentDataCorruption
+                }
+            }
+            RunOutcome::Trapped(_) => FaultOutcome::Crash,
+            RunOutcome::TimedOut => FaultOutcome::Hang,
+        }
+    }
+
+    /// Runs a whole campaign of `faults`, returning per-fault outcomes and
+    /// aggregate statistics.
+    pub fn run(&self, faults: &[Fault]) -> (Vec<FaultOutcome>, CampaignStats) {
+        let golden = self.golden();
+        let mut stats = CampaignStats::default();
+        let outcomes: Vec<FaultOutcome> = faults
+            .iter()
+            .map(|&f| {
+                let o = self.inject(f, &golden);
+                stats.record(o);
+                o
+            })
+            .collect();
+        (outcomes, stats)
+    }
+}
+
+/// Generates `count` random faults over the given targets.
+pub fn random_faults<R: Rng + ?Sized>(
+    rng: &mut R,
+    count: usize,
+    kind: FaultKind,
+    max_cycle: u64,
+    targets: &[FaultTarget],
+) -> Vec<Fault> {
+    (0..count)
+        .map(|_| Fault {
+            target: targets[rng.gen_range(0..targets.len())],
+            bit: rng.gen_range(0..32),
+            cycle: rng.gen_range(0..max_cycle.max(1)),
+            kind,
+        })
+        .collect()
+}
+
+fn apply_fault(sys: &mut System, fault: Fault) {
+    match fault.target {
+        FaultTarget::Dram { addr } => {
+            let _ = sys.platform.dram.flip_bit(addr, fault.bit);
+        }
+        FaultTarget::Spm { addr } => {
+            let _ = sys.platform.spm.flip_bit(addr, fault.bit);
+        }
+        FaultTarget::Register { index } => {
+            let v = sys.cpu.reg(index);
+            sys.cpu.set_reg(index, v ^ (1 << (fault.bit & 31)));
+        }
+    }
+}
+
+fn apply_stuck(sys: &mut System, fault: Fault) {
+    // Stuck-at-one on the chosen bit, re-asserted periodically.
+    match fault.target {
+        FaultTarget::Dram { addr } => {
+            if let Ok(v) = sys.platform.dram.peek(addr) {
+                let _ = sys.platform.dram.poke(addr, v | (1 << (fault.bit & 31)));
+            }
+        }
+        FaultTarget::Spm { addr } => {
+            if let Ok(v) = sys.platform.spm.peek(addr) {
+                let _ = sys.platform.spm.poke(addr, v | (1 << (fault.bit & 31)));
+            }
+        }
+        FaultTarget::Register { index } => {
+            let v = sys.cpu.reg(index);
+            sys.cpu.set_reg(index, v | (1 << (fault.bit & 31)));
+        }
+    }
+}
+
+impl System {
+    /// Runs for exactly `cycles` (bounded by `max`), returning the final
+    /// outcome if the program ended early, else `None`.
+    pub fn run_cycles_bounded(&mut self, cycles: u64, max: u64) -> Option<RunOutcome> {
+        let budget = cycles.min(max);
+        if budget == 0 {
+            return None;
+        }
+        let report = self.run(budget);
+        match report.outcome {
+            RunOutcome::TimedOut => None,
+            other => Some(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::firmware::{software_mvm, DramLayout};
+    use neuropulsim_linalg::RMatrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn workload() -> Campaign<'static> {
+        let layout = DramLayout::default();
+        let n = 3;
+        Campaign::new(
+            move || {
+                let mut sys = System::new();
+                let w = RMatrix::identity(n);
+                let flat: Vec<f64> = w.as_slice().to_vec();
+                sys.write_fixed_vector(layout.w_addr, &flat);
+                sys.write_fixed_vector(layout.x_addr, &[1.0, 2.0, 3.0]);
+                sys.load_firmware_source(&software_mvm(n, 1, layout));
+                sys
+            },
+            move |sys| {
+                (0..n)
+                    .map(|k| {
+                        sys.platform
+                            .dram
+                            .peek(layout.y_addr + 4 * k as u32)
+                            .unwrap_or(0)
+                    })
+                    .collect()
+            },
+            1_000_000,
+        )
+    }
+
+    #[test]
+    fn golden_run_is_correct() {
+        let c = workload();
+        let golden = c.golden();
+        assert_eq!(golden.len(), 3);
+        assert_eq!(golden[0], crate::fixed::to_fixed(1.0) as u32);
+    }
+
+    #[test]
+    fn fault_in_input_vector_is_sdc() {
+        let c = workload();
+        let golden = c.golden();
+        // Flip a magnitude bit of x[0] before the program reads it.
+        let fault = Fault {
+            target: FaultTarget::Dram {
+                addr: DramLayout::default().x_addr,
+            },
+            bit: 18,
+            cycle: 1,
+            kind: FaultKind::Transient,
+        };
+        let outcome = c.inject(fault, &golden);
+        assert_eq!(outcome, FaultOutcome::SilentDataCorruption);
+    }
+
+    #[test]
+    fn fault_in_unused_memory_is_masked() {
+        let c = workload();
+        let golden = c.golden();
+        let fault = Fault {
+            target: FaultTarget::Dram { addr: 0x003F_0000 },
+            bit: 5,
+            cycle: 10,
+            kind: FaultKind::Transient,
+        };
+        assert_eq!(c.inject(fault, &golden), FaultOutcome::Masked);
+    }
+
+    #[test]
+    fn campaign_statistics_accumulate() {
+        let c = workload();
+        let mut rng = StdRng::seed_from_u64(1);
+        let layout = DramLayout::default();
+        let targets: Vec<FaultTarget> = (0..8)
+            .map(|k| FaultTarget::Dram {
+                addr: layout.w_addr + 4 * k,
+            })
+            .chain((1..8).map(|r| FaultTarget::Register { index: r }))
+            .collect();
+        let faults = random_faults(&mut rng, 12, FaultKind::Transient, 500, &targets);
+        let (outcomes, stats) = c.run(&faults);
+        assert_eq!(outcomes.len(), 12);
+        assert_eq!(stats.total(), 12);
+        assert!(stats.vulnerability() <= 1.0);
+    }
+
+    #[test]
+    fn weight_bit_flips_cause_sdc_more_than_masking_high_bits() {
+        // Flipping a high bit of a weight early corrupts the result.
+        let c = workload();
+        let golden = c.golden();
+        let fault = Fault {
+            target: FaultTarget::Dram {
+                addr: DramLayout::default().w_addr, // W[0][0]
+            },
+            bit: 18, // magnitude bits of Q16.16
+            cycle: 5,
+            kind: FaultKind::Transient,
+        };
+        assert_eq!(c.inject(fault, &golden), FaultOutcome::SilentDataCorruption);
+    }
+
+    #[test]
+    fn low_bit_weight_flip_is_masked_by_quantization_tolerance() {
+        // Bit 0 of Q16.16 is 1.5e-5 — the readout signature is exact
+        // words, so even this is SDC; but flipping a bit in W *after* the
+        // last use is masked. Use a late cycle.
+        let c = workload();
+        let golden = c.golden();
+        let fault = Fault {
+            target: FaultTarget::Dram {
+                addr: DramLayout::default().w_addr,
+            },
+            bit: 0,
+            cycle: 999_000, // beyond program end; applied after halt
+            kind: FaultKind::Transient,
+        };
+        assert_eq!(c.inject(fault, &golden), FaultOutcome::Masked);
+    }
+
+    #[test]
+    fn permanent_register_fault_disrupts_execution() {
+        let c = workload();
+        let golden = c.golden();
+        // Stuck-at-one on a high bit of the accumulator register t1 (x6).
+        let fault = Fault {
+            target: FaultTarget::Register { index: 6 },
+            bit: 30,
+            cycle: 20,
+            kind: FaultKind::Permanent,
+        };
+        let outcome = c.inject(fault, &golden);
+        assert_ne!(
+            outcome,
+            FaultOutcome::Masked,
+            "stuck accumulator bit must matter"
+        );
+    }
+
+    #[test]
+    fn random_fault_generator_respects_ranges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let targets = [FaultTarget::Register { index: 1 }];
+        let faults = random_faults(&mut rng, 50, FaultKind::Transient, 100, &targets);
+        assert_eq!(faults.len(), 50);
+        for f in faults {
+            assert!(f.bit < 32);
+            assert!(f.cycle < 100);
+        }
+    }
+}

@@ -1,0 +1,478 @@
+//! Canned RISC-V firmware for the system-level experiments (E7): a
+//! software fixed-point MVM baseline and the accelerator-offload driver
+//! (DMA in → doorbell → `wfi` → DMA out).
+
+use crate::system::{ACCEL_BASE, DMA_BASE, PE_STRIDE, SPM_BASE};
+
+/// Default DRAM layout used by the canned firmware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramLayout {
+    /// Weight matrix base (row-major Q16.16).
+    pub w_addr: u32,
+    /// Input vectors base (column after column).
+    pub x_addr: u32,
+    /// Output vectors base.
+    pub y_addr: u32,
+}
+
+impl Default for DramLayout {
+    fn default() -> Self {
+        DramLayout {
+            w_addr: 0x0010_0000,
+            x_addr: 0x0020_0000,
+            y_addr: 0x0030_0000,
+        }
+    }
+}
+
+/// Generates the software fixed-point MVM firmware: computes
+/// `Y[:, v] = W * X[:, v]` for `batch` vectors entirely on the CPU with
+/// Q16.16 `mul`/`mulh` arithmetic. The digital baseline of E7.
+pub fn software_mvm(n: usize, batch: usize, layout: DramLayout) -> String {
+    format!(
+        "
+        li   a0, {w}          # W base
+        li   a1, {x}          # X base (current vector)
+        li   a2, {y}          # Y base (current vector)
+        li   a3, {n}          # n
+        li   a4, {batch}      # vectors remaining
+    vec_loop:
+        beqz a4, done_all
+        li   t0, 0            # i = 0
+    row_loop:
+        bge  t0, a3, next_vec
+        li   t1, 0            # acc
+        mul  t2, t0, a3
+        slli t2, t2, 2
+        add  t2, t2, a0       # &W[i][0]
+        mv   t3, a1           # &x[0]
+        li   t4, 0            # j = 0
+    col_loop:
+        bge  t4, a3, store_y
+        lw   t5, (t2)
+        lw   t6, (t3)
+        mulh s0, t5, t6       # Q16.16 multiply: (t5*t6) >> 16
+        mul  s1, t5, t6
+        slli s0, s0, 16
+        srli s1, s1, 16
+        or   s1, s1, s0
+        add  t1, t1, s1
+        addi t2, t2, 4
+        addi t3, t3, 4
+        addi t4, t4, 1
+        j    col_loop
+    store_y:
+        slli s0, t0, 2
+        add  s0, s0, a2
+        sw   t1, (s0)
+        addi t0, t0, 1
+        j    row_loop
+    next_vec:
+        slli s0, a3, 2
+        add  a1, a1, s0
+        add  a2, a2, s0
+        addi a4, a4, -1
+        j    vec_loop
+    done_all:
+        ecall
+        ",
+        w = layout.w_addr,
+        x = layout.x_addr,
+        y = layout.y_addr,
+        n = n,
+        batch = batch,
+    )
+}
+
+/// Generates the accelerator-offload driver: DMA the input block from
+/// DRAM to SPM, ring the accelerator doorbell for the whole batch, sleep
+/// in `wfi` until the completion interrupt, then DMA the results back.
+/// The weights are assumed pre-programmed into the photonic core.
+pub fn accel_offload(n: usize, batch: usize, layout: DramLayout) -> String {
+    let bytes = (n * batch * 4) as u32;
+    let spm_in = SPM_BASE + 0x100;
+    let spm_out = SPM_BASE + 0x100 + bytes;
+    format!(
+        "
+        # --- DMA inputs DRAM -> SPM -------------------------------
+        li   t0, {dma}
+        li   t1, {x}
+        sw   t1, 8(t0)        # SRC
+        li   t1, {spm_in}
+        sw   t1, 12(t0)       # DST
+        li   t1, {bytes}
+        sw   t1, 16(t0)       # LEN
+        li   t1, 1
+        sw   t1, 20(t0)       # IRQ_ENABLE
+        sw   t1, 0(t0)        # start
+        wfi
+        li   t1, 2
+        sw   t1, 0(t0)        # ack
+        # --- run the photonic job ---------------------------------
+        li   t0, {accel}
+        li   t1, {spm_in}
+        sw   t1, 12(t0)       # IN_ADDR
+        li   t1, {spm_out}
+        sw   t1, 16(t0)       # OUT_ADDR
+        li   t1, {batch}
+        sw   t1, 20(t0)       # BATCH
+        li   t1, 1
+        sw   t1, 24(t0)       # IRQ_ENABLE
+        sw   t1, 0(t0)        # doorbell
+        wfi
+        li   t1, 2
+        sw   t1, 0(t0)        # clear done
+        # --- DMA results SPM -> DRAM ------------------------------
+        li   t0, {dma}
+        li   t1, {spm_out}
+        sw   t1, 8(t0)        # SRC
+        li   t1, {y}
+        sw   t1, 12(t0)       # DST
+        li   t1, {bytes}
+        sw   t1, 16(t0)       # LEN
+        li   t1, 1
+        sw   t1, 0(t0)        # start
+        wfi
+        li   t1, 2
+        sw   t1, 0(t0)        # ack
+        ecall
+        ",
+        dma = DMA_BASE,
+        accel = ACCEL_BASE,
+        x = layout.x_addr,
+        y = layout.y_addr,
+        spm_in = spm_in,
+        spm_out = spm_out,
+        bytes = bytes,
+        batch = batch,
+    )
+}
+
+/// Generates a two-layer neural-network firmware for a 2-PE cluster:
+/// `y = W2 * relu(W1 * x)` with `W1` on PE 0, `W2` on PE 1, the ReLU
+/// applied by the host on the scratchpad-resident intermediate, and DMA
+/// at both ends. This is the paper's Fig. 3 PE-cluster flow: MMRs
+/// coordinate "communication between the accelerator and the host, as
+/// well as between multiple accelerators (i.e., processing elements)".
+pub fn two_layer_offload(n: usize, layout: DramLayout) -> String {
+    let bytes = (n * 4) as u32;
+    let spm_in = SPM_BASE + 0x100;
+    let spm_mid = spm_in + bytes;
+    let spm_out = spm_mid + bytes;
+    let pe1 = ACCEL_BASE + PE_STRIDE;
+    format!(
+        "
+        # --- DMA x: DRAM -> SPM -----------------------------------
+        li   t0, {dma}
+        li   t1, {x}
+        sw   t1, 8(t0)
+        li   t1, {spm_in}
+        sw   t1, 12(t0)
+        li   t1, {bytes}
+        sw   t1, 16(t0)
+        li   t1, 1
+        sw   t1, 20(t0)
+        sw   t1, 0(t0)
+        wfi
+        li   t1, 2
+        sw   t1, 0(t0)
+        # --- layer 1 on PE 0 ---------------------------------------
+        li   t0, {pe0}
+        li   t1, {spm_in}
+        sw   t1, 12(t0)
+        li   t1, {spm_mid}
+        sw   t1, 16(t0)
+        li   t1, 1
+        sw   t1, 20(t0)
+        sw   t1, 24(t0)
+        sw   t1, 0(t0)
+        wfi
+        li   t1, 2
+        sw   t1, 0(t0)
+        # --- host ReLU over the intermediate -----------------------
+        li   t0, {spm_mid}
+        li   t2, {n}
+    relu:
+        lw   t1, (t0)
+        srai t3, t1, 31       # all-ones if negative
+        not  t3, t3
+        and  t1, t1, t3
+        sw   t1, (t0)
+        addi t0, t0, 4
+        addi t2, t2, -1
+        bnez t2, relu
+        # --- layer 2 on PE 1 ---------------------------------------
+        li   t0, {pe1}
+        li   t1, {spm_mid}
+        sw   t1, 12(t0)
+        li   t1, {spm_out}
+        sw   t1, 16(t0)
+        li   t1, 1
+        sw   t1, 20(t0)
+        sw   t1, 24(t0)
+        sw   t1, 0(t0)
+        wfi
+        li   t1, 2
+        sw   t1, 0(t0)
+        # --- DMA y: SPM -> DRAM ------------------------------------
+        li   t0, {dma}
+        li   t1, {spm_out}
+        sw   t1, 8(t0)
+        li   t1, {y}
+        sw   t1, 12(t0)
+        li   t1, {bytes}
+        sw   t1, 16(t0)
+        li   t1, 1
+        sw   t1, 0(t0)
+        wfi
+        li   t1, 2
+        sw   t1, 0(t0)
+        ecall
+        ",
+        dma = DMA_BASE,
+        pe0 = ACCEL_BASE,
+        pe1 = pe1,
+        x = layout.x_addr,
+        y = layout.y_addr,
+        spm_in = spm_in,
+        spm_mid = spm_mid,
+        spm_out = spm_out,
+        bytes = bytes,
+        n = n,
+    )
+}
+
+/// The software twin of [`two_layer_offload`]: both MVMs and the ReLU in
+/// fixed-point on the CPU. `W1` at `layout.w_addr`, `W2` immediately
+/// after it (`n*n` words later).
+pub fn two_layer_software(n: usize, layout: DramLayout) -> String {
+    let w2_addr = layout.w_addr + (n * n * 4) as u32;
+    let mid_addr = layout.y_addr + (n * 4) as u32; // scratch after y
+    format!(
+        "
+        # mid = W1 * x
+        li   a0, {w1}
+        li   a1, {x}
+        li   a2, {mid}
+        li   a3, {n}
+        call mvm
+        # relu(mid)
+        li   t0, {mid}
+        li   t2, {n}
+    relu:
+        lw   t1, (t0)
+        srai t3, t1, 31
+        not  t3, t3
+        and  t1, t1, t3
+        sw   t1, (t0)
+        addi t0, t0, 4
+        addi t2, t2, -1
+        bnez t2, relu
+        # y = W2 * mid
+        li   a0, {w2}
+        li   a1, {mid}
+        li   a2, {y}
+        li   a3, {n}
+        call mvm
+        ecall
+
+        # ---- mvm(a0 = W, a1 = x, a2 = y, a3 = n) -------------------
+    mvm:
+        li   t0, 0            # i
+    mvm_row:
+        bge  t0, a3, mvm_done
+        li   t1, 0            # acc
+        mul  t2, t0, a3
+        slli t2, t2, 2
+        add  t2, t2, a0
+        mv   t3, a1
+        li   t4, 0
+    mvm_col:
+        bge  t4, a3, mvm_store
+        lw   t5, (t2)
+        lw   t6, (t3)
+        mulh s0, t5, t6
+        mul  s1, t5, t6
+        slli s0, s0, 16
+        srli s1, s1, 16
+        or   s1, s1, s0
+        add  t1, t1, s1
+        addi t2, t2, 4
+        addi t3, t3, 4
+        addi t4, t4, 1
+        j    mvm_col
+    mvm_store:
+        slli s0, t0, 2
+        add  s0, s0, a2
+        sw   t1, (s0)
+        addi t0, t0, 1
+        j    mvm_row
+    mvm_done:
+        ret
+        ",
+        w1 = layout.w_addr,
+        w2 = w2_addr,
+        x = layout.x_addr,
+        y = layout.y_addr,
+        mid = mid_addr,
+        n = n,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{RunOutcome, System};
+    use neuropulsim_linalg::RMatrix;
+    use neuropulsim_riscv::cpu::Halt;
+
+    fn test_matrix(n: usize) -> RMatrix {
+        RMatrix::from_fn(n, n, |i, j| {
+            0.5 * ((i as f64 - j as f64) * 0.37).sin() + if i == j { 0.5 } else { 0.0 }
+        })
+    }
+
+    fn write_operands(sys: &mut System, w: &RMatrix, x: &[Vec<f64>], layout: DramLayout) {
+        let n = w.rows();
+        let w_flat: Vec<f64> = (0..n * n).map(|k| w.as_slice()[k]).collect();
+        sys.write_fixed_vector(layout.w_addr, &w_flat);
+        for (v, col) in x.iter().enumerate() {
+            sys.write_fixed_vector(layout.x_addr + (v * n * 4) as u32, col);
+        }
+    }
+
+    #[test]
+    fn software_mvm_computes_correctly() {
+        let n = 4;
+        let batch = 3;
+        let w = test_matrix(n);
+        let x: Vec<Vec<f64>> = (0..batch)
+            .map(|v| {
+                (0..n)
+                    .map(|k| 0.25 * (v as f64 + 1.0) * ((k + 1) as f64) / n as f64)
+                    .collect()
+            })
+            .collect();
+        let layout = DramLayout::default();
+        let mut sys = System::new();
+        write_operands(&mut sys, &w, &x, layout);
+        sys.load_firmware_source(&software_mvm(n, batch, layout));
+        let report = sys.run(10_000_000);
+        assert_eq!(report.outcome, RunOutcome::Halted(Halt::Ecall));
+        for (v, col) in x.iter().enumerate() {
+            let want = w.mul_vec(col);
+            let got = sys.read_fixed_vector(layout.y_addr + (v * n * 4) as u32, n);
+            for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+                assert!((a - b).abs() < 1e-3, "vector {v} element {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn offload_matches_software_results() {
+        let n = 4;
+        let batch = 3;
+        let w = test_matrix(n);
+        let x: Vec<Vec<f64>> = (0..batch)
+            .map(|v| (0..n).map(|k| 0.1 * ((v * n + k) as f64).cos()).collect())
+            .collect();
+        let layout = DramLayout::default();
+        let mut sys = System::new();
+        sys.platform.accel.load_matrix(&w);
+        write_operands(&mut sys, &w, &x, layout);
+        sys.load_firmware_source(&accel_offload(n, batch, layout));
+        let report = sys.run(10_000_000);
+        assert_eq!(report.outcome, RunOutcome::Halted(Halt::Ecall));
+        for (v, col) in x.iter().enumerate() {
+            let want = w.mul_vec(col);
+            let got = sys.read_fixed_vector(layout.y_addr + (v * n * 4) as u32, n);
+            for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+                assert!((a - b).abs() < 1e-3, "vector {v} element {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_layer_cluster_matches_digital_reference() {
+        let n = 4;
+        let layout = DramLayout::default();
+        let w1 = test_matrix(n);
+        let w2 = RMatrix::from_fn(n, n, |i, j| 0.4 * ((2 * i + j) as f64 * 0.23).cos());
+        let x: Vec<f64> = (0..n).map(|k| 0.3 * (k as f64 - 1.5)).collect();
+
+        let mut sys = System::new();
+        sys.platform.accel.load_matrix(&w1);
+        let pe1_base = sys.platform.add_pe();
+        assert_eq!(
+            pe1_base,
+            crate::system::ACCEL_BASE + crate::system::PE_STRIDE
+        );
+        sys.platform.extra_pes[0].load_matrix(&w2);
+        sys.write_fixed_vector(layout.x_addr, &x);
+        sys.load_firmware_source(&two_layer_offload(n, layout));
+        let report = sys.run(10_000_000);
+        assert_eq!(report.outcome, RunOutcome::Halted(Halt::Ecall));
+
+        let mid: Vec<f64> = w1.mul_vec(&x).iter().map(|&v| v.max(0.0)).collect();
+        let want = w2.mul_vec(&mid);
+        let got = sys.read_fixed_vector(layout.y_addr, n);
+        for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+            assert!((a - b).abs() < 2e-3, "element {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn two_layer_software_matches_digital_reference() {
+        let n = 4;
+        let layout = DramLayout::default();
+        let w1 = test_matrix(n);
+        let w2 = RMatrix::from_fn(n, n, |i, j| 0.4 * ((2 * i + j) as f64 * 0.23).cos());
+        let x: Vec<f64> = (0..n).map(|k| 0.3 * (k as f64 - 1.5)).collect();
+
+        let mut sys = System::new();
+        sys.write_fixed_vector(layout.w_addr, w1.as_slice());
+        sys.write_fixed_vector(layout.w_addr + (n * n * 4) as u32, w2.as_slice());
+        sys.write_fixed_vector(layout.x_addr, &x);
+        sys.load_firmware_source(&two_layer_software(n, layout));
+        let report = sys.run(10_000_000);
+        assert_eq!(report.outcome, RunOutcome::Halted(Halt::Ecall));
+
+        let mid: Vec<f64> = w1.mul_vec(&x).iter().map(|&v| v.max(0.0)).collect();
+        let want = w2.mul_vec(&mid);
+        let got = sys.read_fixed_vector(layout.y_addr, n);
+        for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+            assert!((a - b).abs() < 2e-3, "element {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn offload_is_faster_than_software_at_scale() {
+        let n = 8;
+        let batch = 16;
+        let w = test_matrix(n);
+        let x: Vec<Vec<f64>> = (0..batch)
+            .map(|v| (0..n).map(|k| 0.05 * ((v + k) as f64)).collect())
+            .collect();
+        let layout = DramLayout::default();
+
+        let mut sw = System::new();
+        write_operands(&mut sw, &w, &x, layout);
+        sw.load_firmware_source(&software_mvm(n, batch, layout));
+        let sw_report = sw.run(100_000_000);
+        assert_eq!(sw_report.outcome, RunOutcome::Halted(Halt::Ecall));
+
+        let mut hw = System::new();
+        hw.platform.accel.load_matrix(&w);
+        write_operands(&mut hw, &w, &x, layout);
+        hw.load_firmware_source(&accel_offload(n, batch, layout));
+        let hw_report = hw.run(100_000_000);
+        assert_eq!(hw_report.outcome, RunOutcome::Halted(Halt::Ecall));
+
+        assert!(
+            hw_report.cycles < sw_report.cycles / 2,
+            "offload {} cycles should beat software {} cycles",
+            hw_report.cycles,
+            sw_report.cycles
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Q16.16 fixed-point conversions — the number format the host firmware
+//! and the accelerator's Communications Interface exchange through SPM.
+
+/// Fractional bits of the Q16.16 format.
+pub const FRAC_BITS: u32 = 16;
+
+/// Scale factor `2^16`.
+pub const SCALE: f64 = 65536.0;
+
+/// Converts a float to Q16.16 with saturation.
+pub fn to_fixed(x: f64) -> i32 {
+    let v = (x * SCALE).round();
+    if v >= i32::MAX as f64 {
+        i32::MAX
+    } else if v <= i32::MIN as f64 {
+        i32::MIN
+    } else {
+        v as i32
+    }
+}
+
+/// Converts Q16.16 back to a float.
+pub fn from_fixed(x: i32) -> f64 {
+    x as f64 / SCALE
+}
+
+/// Q16.16 multiply (the operation the software-GeMM firmware performs
+/// with `mul`/`mulh` pairs).
+pub fn fixed_mul(a: i32, b: i32) -> i32 {
+    (((a as i64) * (b as i64)) >> FRAC_BITS) as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_precision() {
+        for x in [-3.75, -0.001, 0.0, 0.5, 1.0, 123.456] {
+            let err = (from_fixed(to_fixed(x)) - x).abs();
+            assert!(err < 1.0 / SCALE, "x={x}, err={err}");
+        }
+    }
+
+    #[test]
+    fn saturation() {
+        assert_eq!(to_fixed(1e9), i32::MAX);
+        assert_eq!(to_fixed(-1e9), i32::MIN);
+    }
+
+    #[test]
+    fn multiplication() {
+        let a = to_fixed(1.5);
+        let b = to_fixed(-2.0);
+        assert!((from_fixed(fixed_mul(a, b)) + 3.0).abs() < 1e-3);
+        assert_eq!(fixed_mul(to_fixed(1.0), to_fixed(1.0)), to_fixed(1.0));
+    }
+}

@@ -1,0 +1,50 @@
+//! # neuropulsim-sim
+//!
+//! A gem5-MARVEL-style full-system simulator (paper §5, Fig. 3): a RISC-V
+//! host CPU attached over a memory bus to DRAM, a scratchpad memory, a
+//! DMA engine, and the memory-mapped photonic MVM accelerator, with
+//! level-triggered completion interrupts and a fault-injection framework
+//! for reliability analysis.
+//!
+//! - [`system`]: the platform, memory map, run loop and energy report;
+//! - [`accel`]: the photonic Compute Unit + Communications Interface
+//!   (MMRs, SPM operands, IRQ);
+//! - [`dma`]: the block-transfer engine;
+//! - [`ram`]: DRAM/SPM with access accounting;
+//! - [`firmware`]: canned RISC-V programs — the software-MVM baseline and
+//!   the accelerator-offload driver;
+//! - [`fault`]: transient/permanent fault injection with the
+//!   masked/SDC/crash/hang taxonomy;
+//! - [`fixed`]: the Q16.16 operand format.
+//!
+//! # Examples
+//!
+//! Offload one MVM to the photonic accelerator:
+//!
+//! ```
+//! use neuropulsim_linalg::RMatrix;
+//! use neuropulsim_sim::firmware::{accel_offload, DramLayout};
+//! use neuropulsim_sim::system::{RunOutcome, System};
+//!
+//! let n = 2;
+//! let layout = DramLayout::default();
+//! let mut sys = System::new();
+//! sys.platform.accel.load_matrix(&RMatrix::identity(n));
+//! sys.write_fixed_vector(layout.x_addr, &[0.5, -0.25]);
+//! sys.load_firmware_source(&accel_offload(n, 1, layout));
+//! let report = sys.run(1_000_000);
+//! assert!(matches!(report.outcome, RunOutcome::Halted(_)));
+//! let y = sys.read_fixed_vector(layout.y_addr, n);
+//! assert!((y[0] - 0.5).abs() < 1e-3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod accel;
+pub mod cache;
+pub mod dma;
+pub mod fault;
+pub mod firmware;
+pub mod fixed;
+pub mod ram;
+pub mod system;

@@ -1,0 +1,198 @@
+//! Memory devices: DRAM and scratchpad memory (SPM) with access
+//! accounting for the energy model.
+//!
+//! The paper's §5 notes that scratchpads and register banks "occupy the
+//! largest part of the area of many accelerators"; SPM accesses are also
+//! a first-class energy line item here.
+
+use std::fmt;
+
+/// A word-addressable RAM with base address and access counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ram {
+    base: u32,
+    data: Vec<u32>,
+    /// Number of word reads served.
+    pub reads: u64,
+    /// Number of word writes served.
+    pub writes: u64,
+}
+
+/// Error for out-of-range RAM access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RamFault {
+    /// The absolute faulting address.
+    pub addr: u32,
+}
+
+impl fmt::Display for RamFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RAM access out of range at {:#010x}", self.addr)
+    }
+}
+
+impl std::error::Error for RamFault {}
+
+impl Ram {
+    /// Creates a zeroed RAM of `size_bytes` at `base` (size rounded up to
+    /// a word).
+    pub fn new(base: u32, size_bytes: usize) -> Self {
+        Ram {
+            base,
+            data: vec![0; size_bytes.div_ceil(4)],
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Base address.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Size in bytes.
+    pub fn size(&self) -> usize {
+        self.data.len() * 4
+    }
+
+    /// `true` if `addr` falls inside this RAM.
+    pub fn contains(&self, addr: u32) -> bool {
+        addr >= self.base && ((addr - self.base) as usize) < self.size()
+    }
+
+    fn index(&self, addr: u32) -> Result<usize, RamFault> {
+        if !self.contains(addr) {
+            return Err(RamFault { addr });
+        }
+        Ok(((addr - self.base) / 4) as usize)
+    }
+
+    /// Loads the word containing absolute address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RamFault`] when out of range.
+    pub fn load(&mut self, addr: u32) -> Result<u32, RamFault> {
+        let i = self.index(addr)?;
+        self.reads += 1;
+        Ok(self.data[i])
+    }
+
+    /// Stores a word at absolute address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RamFault`] when out of range.
+    pub fn store(&mut self, addr: u32, value: u32) -> Result<(), RamFault> {
+        let i = self.index(addr)?;
+        self.writes += 1;
+        self.data[i] = value;
+        Ok(())
+    }
+
+    /// Reads without counting (host-side debug access).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RamFault`] when out of range.
+    pub fn peek(&self, addr: u32) -> Result<u32, RamFault> {
+        if !self.contains(addr) {
+            return Err(RamFault { addr });
+        }
+        Ok(self.data[((addr - self.base) / 4) as usize])
+    }
+
+    /// Writes without counting (host-side program loading).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RamFault`] when out of range.
+    pub fn poke(&mut self, addr: u32, value: u32) -> Result<(), RamFault> {
+        if !self.contains(addr) {
+            return Err(RamFault { addr });
+        }
+        self.data[((addr - self.base) / 4) as usize] = value;
+        Ok(())
+    }
+
+    /// Loads a slice of words starting at `addr` (host-side).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn poke_words(&mut self, addr: u32, words: &[u32]) {
+        for (k, &w) in words.iter().enumerate() {
+            self.poke(addr + 4 * k as u32, w)
+                .expect("poke_words in range");
+        }
+    }
+
+    /// Flips bit `bit` of the word at `addr` (fault injection).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RamFault`] when out of range.
+    pub fn flip_bit(&mut self, addr: u32, bit: u8) -> Result<(), RamFault> {
+        let i = self.index(addr)?;
+        self.data[i] ^= 1 << (bit & 31);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_store_roundtrip() {
+        let mut r = Ram::new(0x1000, 64);
+        r.store(0x1008, 0xCAFEBABE).unwrap();
+        assert_eq!(r.load(0x1008).unwrap(), 0xCAFEBABE);
+        assert_eq!(r.reads, 1);
+        assert_eq!(r.writes, 1);
+    }
+
+    #[test]
+    fn bounds_checking() {
+        let mut r = Ram::new(0x1000, 16);
+        assert!(r.contains(0x1000));
+        assert!(r.contains(0x100F));
+        assert!(!r.contains(0x1010));
+        assert!(!r.contains(0xFFF));
+        assert!(r.load(0x1010).is_err());
+        assert!(r.store(0x0, 1).is_err());
+    }
+
+    #[test]
+    fn peek_poke_do_not_count() {
+        let mut r = Ram::new(0, 32);
+        r.poke(4, 7).unwrap();
+        assert_eq!(r.peek(4).unwrap(), 7);
+        assert_eq!(r.reads, 0);
+        assert_eq!(r.writes, 0);
+    }
+
+    #[test]
+    fn poke_words_sequences() {
+        let mut r = Ram::new(0x100, 32);
+        r.poke_words(0x104, &[1, 2, 3]);
+        assert_eq!(r.peek(0x108).unwrap(), 2);
+    }
+
+    #[test]
+    fn bit_flip() {
+        let mut r = Ram::new(0, 16);
+        r.poke(0, 0b1000).unwrap();
+        r.flip_bit(0, 3).unwrap();
+        assert_eq!(r.peek(0).unwrap(), 0);
+        r.flip_bit(0, 31).unwrap();
+        assert_eq!(r.peek(0).unwrap(), 0x8000_0000);
+    }
+
+    #[test]
+    fn fault_display() {
+        let mut r = Ram::new(0, 4);
+        let e = r.load(100).unwrap_err();
+        assert!(e.to_string().contains("0x00000064"));
+    }
+}

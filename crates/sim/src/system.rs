@@ -1,0 +1,618 @@
+//! The full-system platform of the paper's Fig. 3: a RISC-V host CPU, a
+//! DRAM main memory, a scratchpad, a DMA engine and the memory-mapped
+//! photonic accelerator, glued by a bus and level-triggered interrupt
+//! lines.
+//!
+//! Memory map:
+//!
+//! | region      | base          | size    |
+//! |-------------|---------------|---------|
+//! | DRAM        | `0x0000_0000` | 4 MiB   |
+//! | SPM         | `0x1000_0000` | 256 KiB |
+//! | Accel MMRs  | `0x4000_0000` | 0x20    |
+//! | DMA MMRs    | `0x4100_0000` | 0x18    |
+
+use crate::accel::AccelDevice;
+use crate::cache::DirectMappedCache;
+use crate::dma::DmaDevice;
+use crate::fixed::{from_fixed, to_fixed};
+use crate::ram::Ram;
+use neuropulsim_photonics::energy::EnergyLedger;
+use neuropulsim_riscv::bus::{Bus, BusFault};
+use neuropulsim_riscv::cpu::{Cpu, Halt, Trap};
+
+/// DRAM base address.
+pub const DRAM_BASE: u32 = 0x0000_0000;
+/// DRAM size in bytes.
+pub const DRAM_SIZE: usize = 4 * 1024 * 1024;
+/// Scratchpad base address.
+pub const SPM_BASE: u32 = 0x1000_0000;
+/// Scratchpad size in bytes.
+pub const SPM_SIZE: usize = 256 * 1024;
+/// Accelerator MMR base address (PE 0).
+pub const ACCEL_BASE: u32 = 0x4000_0000;
+/// Address stride between processing elements in a cluster.
+pub const PE_STRIDE: u32 = 0x1000;
+/// DMA MMR base address.
+pub const DMA_BASE: u32 = 0x4100_0000;
+
+/// Per-event energy constants of the digital side \[J\].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DigitalEnergy {
+    /// CPU energy per retired instruction.
+    pub cpu_per_instruction: f64,
+    /// DRAM energy per word access.
+    pub dram_per_access: f64,
+    /// SPM energy per word access.
+    pub spm_per_access: f64,
+}
+
+impl Default for DigitalEnergy {
+    /// 10 pJ/instruction in-order core, 200 pJ/word DRAM, 10 pJ/word SPM.
+    fn default() -> Self {
+        DigitalEnergy {
+            cpu_per_instruction: 10e-12,
+            dram_per_access: 200e-12,
+            spm_per_access: 10e-12,
+        }
+    }
+}
+
+/// Everything on the bus except the CPU.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    /// Main memory.
+    pub dram: Ram,
+    /// Scratchpad memory.
+    pub spm: Ram,
+    /// The photonic MVM accelerator (processing element 0).
+    pub accel: AccelDevice,
+    /// Additional processing elements in the cluster, mapped at
+    /// `ACCEL_BASE + PE_STRIDE * (1 + index)` (paper Fig. 3, right side).
+    pub extra_pes: Vec<AccelDevice>,
+    /// The DMA engine.
+    pub dma: DmaDevice,
+    /// Current cycle (synced from the CPU by [`System`]).
+    pub now: u64,
+    /// DRAM access latency \[cycles\] charged when no cache absorbs it
+    /// (0 = the idealized flat-memory model).
+    pub dram_latency: u64,
+    /// Optional unified L1 cache over DRAM traffic (timing-only).
+    pub l1_cache: Option<DirectMappedCache>,
+    stall_cycles: u64,
+    accel_irq_enabled: bool,
+    extra_irq_enabled: Vec<bool>,
+    dma_irq_enabled: bool,
+}
+
+impl Platform {
+    /// Creates the platform with a CPU clock of `cpu_hz`.
+    pub fn new(cpu_hz: f64) -> Self {
+        Platform {
+            dram: Ram::new(DRAM_BASE, DRAM_SIZE),
+            spm: Ram::new(SPM_BASE, SPM_SIZE),
+            accel: AccelDevice::new(cpu_hz),
+            extra_pes: Vec::new(),
+            dma: DmaDevice::default(),
+            now: 0,
+            dram_latency: 0,
+            l1_cache: None,
+            stall_cycles: 0,
+            accel_irq_enabled: false,
+            extra_irq_enabled: Vec::new(),
+            dma_irq_enabled: false,
+        }
+    }
+
+    /// Adds another processing element to the cluster, returning its MMR
+    /// base address.
+    pub fn add_pe(&mut self) -> u32 {
+        let cpu_hz = self.accel.cpu_hz;
+        self.extra_pes.push(AccelDevice::new(cpu_hz));
+        self.extra_irq_enabled.push(false);
+        ACCEL_BASE + PE_STRIDE * self.extra_pes.len() as u32
+    }
+
+    /// Number of processing elements (PE 0 + extras).
+    pub fn pe_count(&self) -> usize {
+        1 + self.extra_pes.len()
+    }
+
+    /// Advances all devices one cycle. Returns `true` if any interrupt
+    /// line is raised on this cycle.
+    pub fn tick(&mut self) -> bool {
+        self.now += 1;
+        let mut raised = self.accel.tick(self.now);
+        for pe in &mut self.extra_pes {
+            raised |= pe.tick(self.now);
+        }
+        raised |= self.dma.tick(&mut self.dram, &mut self.spm);
+        raised
+    }
+
+    /// Level-triggered interrupt line: high while any enabled device has
+    /// an unacknowledged completion. This is what makes the
+    /// start-then-`wfi` firmware pattern race-free.
+    pub fn irq_level(&self) -> bool {
+        (self.accel_irq_enabled && self.accel.is_done())
+            || (self.dma_irq_enabled && self.dma.is_done())
+            || self
+                .extra_pes
+                .iter()
+                .zip(&self.extra_irq_enabled)
+                .any(|(pe, &en)| en && pe.is_done())
+    }
+
+    /// Charges the memory-hierarchy cost of one CPU access to DRAM.
+    fn charge_dram(&mut self, addr: u32) {
+        if self.dram_latency == 0 {
+            return;
+        }
+        match &mut self.l1_cache {
+            Some(cache) => {
+                // Cache with its own miss penalty tied to the DRAM latency.
+                if cache.access(addr) > 0 {
+                    self.stall_cycles += self.dram_latency;
+                }
+            }
+            None => self.stall_cycles += self.dram_latency,
+        }
+    }
+
+    /// Takes and clears the accumulated stall cycles (consumed by
+    /// [`System::run`] after each instruction).
+    pub fn take_stalls(&mut self) -> u64 {
+        std::mem::take(&mut self.stall_cycles)
+    }
+
+    /// Resolves an address to a PE slot (`0` = the primary accelerator).
+    fn pe_slot(&self, addr: u32) -> Option<(usize, u32)> {
+        if addr < ACCEL_BASE {
+            return None;
+        }
+        let rel = addr - ACCEL_BASE;
+        let slot = (rel / PE_STRIDE) as usize;
+        if slot < self.pe_count() {
+            Some((slot, rel % PE_STRIDE))
+        } else {
+            None
+        }
+    }
+}
+
+impl Bus for Platform {
+    fn load_word(&mut self, addr: u32) -> Result<u32, BusFault> {
+        let a = addr & !3;
+        if self.dram.contains(a) {
+            self.charge_dram(a);
+            return self.dram.load(a).map_err(|_| BusFault {
+                addr,
+                is_store: false,
+            });
+        }
+        if self.spm.contains(a) {
+            return self.spm.load(a).map_err(|_| BusFault {
+                addr,
+                is_store: false,
+            });
+        }
+        if (DMA_BASE..DMA_BASE + crate::dma::mmr::SIZE).contains(&a) {
+            return Ok(self.dma.mmr_load(a - DMA_BASE));
+        }
+        if let Some((slot, offset)) = self.pe_slot(a) {
+            return Ok(if slot == 0 {
+                self.accel.mmr_load(offset)
+            } else {
+                self.extra_pes[slot - 1].mmr_load(offset)
+            });
+        }
+        Err(BusFault {
+            addr,
+            is_store: false,
+        })
+    }
+
+    fn store_word(&mut self, addr: u32, value: u32) -> Result<(), BusFault> {
+        let a = addr & !3;
+        if self.dram.contains(a) {
+            self.charge_dram(a);
+            return self.dram.store(a, value).map_err(|_| BusFault {
+                addr,
+                is_store: true,
+            });
+        }
+        if self.spm.contains(a) {
+            return self.spm.store(a, value).map_err(|_| BusFault {
+                addr,
+                is_store: true,
+            });
+        }
+        if (ACCEL_BASE..DMA_BASE).contains(&a) {
+            if let Some((slot, offset)) = self.pe_slot(a) {
+                if slot == 0 {
+                    if offset == crate::accel::mmr::IRQ_ENABLE {
+                        self.accel_irq_enabled = value & 1 != 0;
+                    }
+                    if self.accel.mmr_store(offset, value) {
+                        // Doorbell: consume operands, schedule completion.
+                        let _ = self.accel.start(self.now, &mut self.spm);
+                    }
+                } else {
+                    if offset == crate::accel::mmr::IRQ_ENABLE {
+                        self.extra_irq_enabled[slot - 1] = value & 1 != 0;
+                    }
+                    if self.extra_pes[slot - 1].mmr_store(offset, value) {
+                        let _ = self.extra_pes[slot - 1].start(self.now, &mut self.spm);
+                    }
+                }
+                return Ok(());
+            }
+            return Err(BusFault {
+                addr,
+                is_store: true,
+            });
+        }
+        if (DMA_BASE..DMA_BASE + crate::dma::mmr::SIZE).contains(&a) {
+            let offset = a - DMA_BASE;
+            if offset == crate::dma::mmr::IRQ_ENABLE {
+                self.dma_irq_enabled = value & 1 != 0;
+            }
+            let _ = self.dma.mmr_store(offset, value);
+            return Ok(());
+        }
+        Err(BusFault {
+            addr,
+            is_store: true,
+        })
+    }
+}
+
+/// Why a [`System`] run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The firmware finished (`ecall`/`ebreak`).
+    Halted(Halt),
+    /// The cycle budget was exhausted (possible hang).
+    TimedOut,
+    /// The CPU trapped (crash).
+    Trapped(Trap),
+}
+
+/// Statistics of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Total cycles.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Wall-clock time at the CPU clock \[s\].
+    pub time_s: f64,
+    /// Energy breakdown \[J\].
+    pub energy: EnergyLedger,
+}
+
+/// The complete system: CPU + platform.
+#[derive(Debug, Clone)]
+pub struct System {
+    /// The RISC-V host.
+    pub cpu: Cpu,
+    /// Everything else on the bus.
+    pub platform: Platform,
+    /// CPU clock \[Hz\].
+    pub cpu_hz: f64,
+    /// Digital energy constants.
+    pub digital_energy: DigitalEnergy,
+}
+
+impl System {
+    /// Creates a 1 GHz system.
+    pub fn new() -> Self {
+        System::with_clock(1e9)
+    }
+
+    /// Creates a system with the given CPU clock.
+    pub fn with_clock(cpu_hz: f64) -> Self {
+        System {
+            cpu: Cpu::new(DRAM_BASE),
+            platform: Platform::new(cpu_hz),
+            cpu_hz,
+            digital_energy: DigitalEnergy::default(),
+        }
+    }
+
+    /// Loads firmware words at the reset vector.
+    pub fn load_firmware(&mut self, words: &[u32]) {
+        self.platform.dram.poke_words(DRAM_BASE, words);
+    }
+
+    /// Assembles and loads firmware source.
+    ///
+    /// # Panics
+    ///
+    /// Panics on assembly errors (firmware is workspace-internal code).
+    pub fn load_firmware_source(&mut self, source: &str) {
+        let words = neuropulsim_riscv::asm::assemble(source).expect("firmware must assemble");
+        self.load_firmware(&words);
+    }
+
+    /// Writes a float vector into DRAM as Q16.16 at `addr`.
+    pub fn write_fixed_vector(&mut self, addr: u32, values: &[f64]) {
+        for (k, &v) in values.iter().enumerate() {
+            self.platform
+                .dram
+                .poke(addr + 4 * k as u32, to_fixed(v) as u32)
+                .expect("vector in DRAM range");
+        }
+    }
+
+    /// Reads `len` Q16.16 values from DRAM at `addr`.
+    pub fn read_fixed_vector(&self, addr: u32, len: usize) -> Vec<f64> {
+        (0..len)
+            .map(|k| {
+                from_fixed(
+                    self.platform
+                        .dram
+                        .peek(addr + 4 * k as u32)
+                        .expect("in range") as i32,
+                )
+            })
+            .collect()
+    }
+
+    /// Runs until halt, trap or `max_cycles`. Devices advance in lockstep
+    /// with CPU cycles; the level-triggered IRQ line wakes `wfi`.
+    pub fn run(&mut self, max_cycles: u64) -> RunReport {
+        let start_cycles = self.cpu.cycles;
+        let outcome = loop {
+            if self.cpu.cycles - start_cycles >= max_cycles {
+                break RunOutcome::TimedOut;
+            }
+            if self.platform.irq_level() {
+                self.cpu.interrupt();
+            }
+            match self.cpu.step(&mut self.platform) {
+                Ok(Some(halt)) => {
+                    self.cpu.cycles += self.platform.take_stalls();
+                    break RunOutcome::Halted(halt);
+                }
+                Ok(None) => {
+                    self.cpu.cycles += self.platform.take_stalls();
+                }
+                Err(trap) => break RunOutcome::Trapped(trap),
+            }
+            // Devices catch up to CPU time, cycle by cycle.
+            while self.platform.now < self.cpu.cycles {
+                if self.platform.tick() {
+                    self.cpu.interrupt();
+                }
+            }
+        };
+        self.report(outcome, start_cycles)
+    }
+
+    fn report(&self, outcome: RunOutcome, start_cycles: u64) -> RunReport {
+        let cycles = self.cpu.cycles - start_cycles;
+        let mut energy = EnergyLedger::new();
+        let de = &self.digital_energy;
+        energy.add("cpu", self.cpu.instret as f64 * de.cpu_per_instruction);
+        energy.add(
+            "dram",
+            (self.platform.dram.reads + self.platform.dram.writes) as f64 * de.dram_per_access,
+        );
+        energy.add(
+            "spm",
+            (self.platform.spm.reads + self.platform.spm.writes) as f64 * de.spm_per_access,
+        );
+        let mut accel_energy = self.platform.accel.energy();
+        for pe in &self.platform.extra_pes {
+            accel_energy += pe.energy();
+        }
+        energy.add("photonic-accel", accel_energy);
+        RunReport {
+            outcome,
+            cycles,
+            instructions: self.cpu.instret,
+            time_s: cycles as f64 / self.cpu_hz,
+            energy,
+        }
+    }
+}
+
+impl Default for System {
+    fn default() -> Self {
+        System::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neuropulsim_linalg::RMatrix;
+
+    #[test]
+    fn plain_program_runs() {
+        let mut sys = System::new();
+        sys.load_firmware_source("li a0, 7\nli a1, 6\nmul a0, a0, a1\necall");
+        let report = sys.run(1000);
+        assert_eq!(report.outcome, RunOutcome::Halted(Halt::Ecall));
+        assert_eq!(sys.cpu.reg(10), 42);
+        assert!(report.energy.get("cpu") > 0.0);
+        assert!(report.time_s > 0.0);
+    }
+
+    #[test]
+    fn cpu_reaches_spm_and_mmrs() {
+        let mut sys = System::new();
+        sys.platform.accel.load_matrix(&RMatrix::identity(4));
+        sys.load_firmware_source(
+            "
+            li t0, 0x10000000     # SPM
+            li t1, 123
+            sw t1, 16(t0)
+            lw a0, 16(t0)
+            li t0, 0x40000000     # accel MMRs
+            lw a1, 8(t0)          # DIM
+            ecall
+            ",
+        );
+        let report = sys.run(1000);
+        assert_eq!(report.outcome, RunOutcome::Halted(Halt::Ecall));
+        assert_eq!(sys.cpu.reg(10), 123);
+        assert_eq!(sys.cpu.reg(11), 4);
+        assert!(report.energy.get("spm") > 0.0);
+    }
+
+    #[test]
+    fn unmapped_access_traps() {
+        let mut sys = System::new();
+        sys.load_firmware_source("li t0, 0x70000000\nlw a0, (t0)\necall");
+        let report = sys.run(1000);
+        assert!(matches!(report.outcome, RunOutcome::Trapped(_)));
+    }
+
+    #[test]
+    fn timeout_on_infinite_loop() {
+        let mut sys = System::new();
+        sys.load_firmware_source("spin: j spin");
+        let report = sys.run(500);
+        assert_eq!(report.outcome, RunOutcome::TimedOut);
+    }
+
+    #[test]
+    fn dma_transfer_with_wfi() {
+        let mut sys = System::new();
+        sys.write_fixed_vector(0x1000, &[1.0, 2.0, 3.0, 4.0]);
+        sys.load_firmware_source(
+            "
+            li t0, 0x41000000     # DMA
+            li t1, 0x1000
+            sw t1, 8(t0)          # SRC
+            li t1, 0x10000100
+            sw t1, 12(t0)         # DST
+            li t1, 16
+            sw t1, 16(t0)         # LEN
+            li t1, 1
+            sw t1, 20(t0)         # IRQ_ENABLE
+            sw t1, 0(t0)          # start
+            wfi
+            li t1, 2
+            sw t1, 0(t0)          # ack
+            ecall
+            ",
+        );
+        let report = sys.run(10_000);
+        assert_eq!(report.outcome, RunOutcome::Halted(Halt::Ecall));
+        let v = sys.platform.spm.peek(0x1000_0100).unwrap();
+        assert_eq!(from_fixed(v as i32), 1.0);
+        assert_eq!(sys.platform.dma.bytes_moved, 16);
+    }
+
+    #[test]
+    fn accel_offload_end_to_end() {
+        let mut sys = System::new();
+        let w = RMatrix::from_rows(2, 2, &[2.0, 0.0, 0.0, 3.0]);
+        sys.platform.accel.load_matrix(&w);
+        // Input [1.5, -1.0] directly in SPM at 0x100.
+        sys.platform
+            .spm
+            .poke(SPM_BASE + 0x100, to_fixed(1.5) as u32)
+            .unwrap();
+        sys.platform
+            .spm
+            .poke(SPM_BASE + 0x104, to_fixed(-1.0) as u32)
+            .unwrap();
+        sys.load_firmware_source(
+            "
+            li t0, 0x40000000
+            li t1, 0x10000100
+            sw t1, 12(t0)         # IN_ADDR
+            li t1, 0x10000200
+            sw t1, 16(t0)         # OUT_ADDR
+            li t1, 1
+            sw t1, 20(t0)         # BATCH
+            sw t1, 24(t0)         # IRQ_ENABLE
+            sw t1, 0(t0)          # start
+            wfi
+            li t1, 2
+            sw t1, 0(t0)          # ack/clear done
+            lw a0, 28(t0)         # LAST_CYCLES
+            ecall
+            ",
+        );
+        let report = sys.run(100_000);
+        assert_eq!(report.outcome, RunOutcome::Halted(Halt::Ecall));
+        let y0 = from_fixed(sys.platform.spm.peek(SPM_BASE + 0x200).unwrap() as i32);
+        let y1 = from_fixed(sys.platform.spm.peek(SPM_BASE + 0x204).unwrap() as i32);
+        assert!((y0 - 3.0).abs() < 1e-3, "y0 = {y0}");
+        assert!((y1 + 3.0).abs() < 1e-3, "y1 = {y1}");
+        assert!(sys.cpu.reg(10) > 0, "LAST_CYCLES visible to host");
+        assert!(report.energy.get("photonic-accel") > 0.0);
+    }
+
+    #[test]
+    fn dram_latency_slows_execution_and_cache_recovers() {
+        let firmware = "
+            li   t0, 0x1000
+            li   t1, 200
+        loop:
+            lw   t2, (t0)
+            addi t2, t2, 1
+            sw   t2, (t0)
+            addi t1, t1, -1
+            bnez t1, loop
+            ecall
+        ";
+        let run = |latency: u64, cache: bool| -> u64 {
+            let mut sys = System::new();
+            sys.platform.dram_latency = latency;
+            if cache {
+                sys.platform.l1_cache = Some(crate::cache::DirectMappedCache::new(256, 8, latency));
+            }
+            sys.load_firmware_source(firmware);
+            let report = sys.run(10_000_000);
+            assert_eq!(report.outcome, RunOutcome::Halted(Halt::Ecall));
+            report.cycles
+        };
+        let flat = run(0, false);
+        let slow = run(20, false);
+        let cached = run(20, true);
+        assert!(slow > 2 * flat, "uncached DRAM must hurt: {flat} -> {slow}");
+        assert!(
+            cached < slow / 2,
+            "cache must recover most of it: {slow} -> {cached}"
+        );
+        assert!(cached >= flat, "cache cannot beat flat memory");
+    }
+
+    #[test]
+    fn irq_race_is_level_triggered() {
+        // Device completes before the CPU reaches wfi: the level-triggered
+        // line must still wake it (no lost-wakeup hang).
+        let mut sys = System::new();
+        sys.platform.accel.load_matrix(&RMatrix::identity(2));
+        sys.platform.accel.setup_cycles = 0; // completes almost instantly
+        sys.load_firmware_source(
+            "
+            li t0, 0x40000000
+            li t1, 0x10000000
+            sw t1, 12(t0)
+            li t1, 0x10000100
+            sw t1, 16(t0)
+            li t1, 1
+            sw t1, 20(t0)
+            sw t1, 24(t0)
+            sw t1, 0(t0)
+            nop
+            nop
+            nop
+            nop
+            wfi
+            ecall
+            ",
+        );
+        let report = sys.run(100_000);
+        assert_eq!(report.outcome, RunOutcome::Halted(Halt::Ecall));
+    }
+}

@@ -1,0 +1,183 @@
+//! Spike encodings: turning analog feature vectors into spike trains for
+//! the photonic SNN (sub-ns optical pulses in hardware).
+
+/// A spike train on one channel: sorted spike times.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SpikeTrain {
+    times: Vec<f64>,
+}
+
+impl SpikeTrain {
+    /// Creates an empty train.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a train from (unsorted) times.
+    pub fn from_times(mut times: Vec<f64>) -> Self {
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite spike times"));
+        SpikeTrain { times }
+    }
+
+    /// The sorted spike times.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Number of spikes.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` if the train has no spikes.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Appends a spike (must be at or after the last spike).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the last recorded spike.
+    pub fn push(&mut self, t: f64) {
+        if let Some(&last) = self.times.last() {
+            assert!(t >= last, "spike times must be non-decreasing");
+        }
+        self.times.push(t);
+    }
+
+    /// Number of spikes in `[t0, t1)`.
+    pub fn count_in(&self, t0: f64, t1: f64) -> usize {
+        self.times.iter().filter(|&&t| t >= t0 && t < t1).count()
+    }
+
+    /// Mean firing rate over `[0, duration)`.
+    pub fn rate(&self, duration: f64) -> f64 {
+        if duration <= 0.0 {
+            return 0.0;
+        }
+        self.count_in(0.0, duration) as f64 / duration
+    }
+}
+
+impl FromIterator<f64> for SpikeTrain {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        SpikeTrain::from_times(iter.into_iter().collect())
+    }
+}
+
+/// Latency (time-to-first-spike) coding: larger values spike *earlier*.
+///
+/// A value `x in [0, 1]` maps to one spike at `t = t_max * (1 - x)`;
+/// `x = 0` produces no spike.
+///
+/// # Panics
+///
+/// Panics if any value is outside `[0, 1]` or `t_max <= 0`.
+///
+/// # Examples
+///
+/// ```
+/// use neuropulsim_snn::encoding::latency_encode;
+///
+/// let trains = latency_encode(&[1.0, 0.5, 0.0], 10.0);
+/// assert_eq!(trains[0].times(), &[0.0]);
+/// assert_eq!(trains[1].times(), &[5.0]);
+/// assert!(trains[2].is_empty());
+/// ```
+pub fn latency_encode(values: &[f64], t_max: f64) -> Vec<SpikeTrain> {
+    assert!(t_max > 0.0, "t_max must be positive");
+    values
+        .iter()
+        .map(|&x| {
+            assert!((0.0..=1.0).contains(&x), "values must be in [0, 1]");
+            if x > 0.0 {
+                SpikeTrain::from_times(vec![t_max * (1.0 - x)])
+            } else {
+                SpikeTrain::new()
+            }
+        })
+        .collect()
+}
+
+/// Rate coding: value `x in [0, 1]` maps to a regular train of
+/// `ceil(x * max_spikes)` evenly spaced spikes over `[0, duration)`.
+///
+/// # Panics
+///
+/// Panics if any value is outside `[0, 1]`, or `duration <= 0`.
+pub fn rate_encode(values: &[f64], duration: f64, max_spikes: usize) -> Vec<SpikeTrain> {
+    assert!(duration > 0.0, "duration must be positive");
+    values
+        .iter()
+        .map(|&x| {
+            assert!((0.0..=1.0).contains(&x), "values must be in [0, 1]");
+            let count = (x * max_spikes as f64).ceil() as usize;
+            let times: Vec<f64> = (0..count)
+                .map(|k| duration * k as f64 / count.max(1) as f64)
+                .collect();
+            SpikeTrain::from_times(times)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn train_basics() {
+        let mut t = SpikeTrain::new();
+        assert!(t.is_empty());
+        t.push(1.0);
+        t.push(2.0);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.count_in(0.0, 1.5), 1);
+        assert_eq!(t.count_in(0.0, 3.0), 2);
+        assert!((t.rate(4.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn push_rejects_out_of_order() {
+        let mut t = SpikeTrain::from_times(vec![2.0]);
+        t.push(1.0);
+    }
+
+    #[test]
+    fn from_times_sorts() {
+        let t = SpikeTrain::from_times(vec![3.0, 1.0, 2.0]);
+        assert_eq!(t.times(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn latency_orders_by_value() {
+        let trains = latency_encode(&[0.9, 0.3, 0.6], 10.0);
+        let t0 = trains[0].times()[0];
+        let t1 = trains[1].times()[0];
+        let t2 = trains[2].times()[0];
+        assert!(t0 < t2 && t2 < t1, "bigger value fires earlier");
+    }
+
+    #[test]
+    fn rate_encode_scales_count() {
+        let trains = rate_encode(&[1.0, 0.5, 0.0], 100.0, 10);
+        assert_eq!(trains[0].len(), 10);
+        assert_eq!(trains[1].len(), 5);
+        assert_eq!(trains[2].len(), 0);
+        // All spikes inside the window.
+        assert_eq!(trains[0].count_in(0.0, 100.0), 10);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let t: SpikeTrain = [2.0, 1.0].into_iter().collect();
+        assert_eq!(t.times(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0, 1]")]
+    fn latency_rejects_out_of_range() {
+        let _ = latency_encode(&[1.5], 10.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # neuropulsim-snn
+//!
+//! Photonic spiking neural networks for the paper's §3: excitable
+//! Q-switched laser neurons, non-volatile PCM synapses with accumulation
+//! behaviour, spike-timing-dependent plasticity and winner-take-all
+//! unsupervised learning.
+//!
+//! - [`neuron`]: Yamada-laser neurons ([`neuron::PhotonicNeuron`]) and the
+//!   calibrated fast LIF stand-in ([`neuron::LifNeuron`]);
+//! - [`synapse`]: PCM synapses whose optical transmission is the weight;
+//! - [`stdp`]: the pairwise exponential STDP window, quantized to PCM
+//!   programming pulses;
+//! - [`encoding`]: latency and rate spike codes;
+//! - [`network`]: a feedforward WTA layer that learns spike patterns
+//!   unsupervised (experiment E6).
+//!
+//! # Examples
+//!
+//! ```
+//! use neuropulsim_snn::encoding::latency_encode;
+//! use neuropulsim_snn::network::SpikingLayer;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut layer = SpikingLayer::new(4, 2, &mut rng);
+//! let stimulus = latency_encode(&[1.0, 1.0, 1.0, 1.0], 20.0);
+//! let response = layer.present(&stimulus, 30.0, 0.5, false);
+//! assert_eq!(response.outputs.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod encoding;
+pub mod network;
+pub mod neuron;
+pub mod stdp;
+pub mod synapse;

@@ -1,0 +1,251 @@
+//! Spiking neuron models for photonic SNNs.
+//!
+//! Two levels of abstraction:
+//!
+//! - [`PhotonicNeuron`] wraps the full Yamada excitable-laser ODEs from
+//!   [`neuropulsim_photonics::laser`] — the ground-truth device model;
+//! - [`LifNeuron`] is a fast leaky-integrate-and-fire behavioural model
+//!   whose threshold and refractory period are calibrated against the
+//!   Yamada dynamics, used to simulate whole networks cheaply.
+//!
+//! The calibration claim (LIF reproduces the laser's threshold / spike /
+//! refractory behaviour) is enforced by tests in this module.
+
+use neuropulsim_photonics::laser::{YamadaLaser, YamadaParams};
+
+/// A neuron driven by the full Yamada excitable-laser model.
+///
+/// Inputs arrive as gain perturbations (optical pumping by upstream
+/// spikes); the output is the laser's intensity spike train.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhotonicNeuron {
+    laser: YamadaLaser,
+    /// Gain kick per unit of weighted input.
+    input_gain: f64,
+}
+
+impl PhotonicNeuron {
+    /// Creates a neuron with default Yamada parameters and the given
+    /// input coupling gain.
+    pub fn new(input_gain: f64) -> Self {
+        let mut laser = YamadaLaser::new(YamadaParams::default());
+        laser.settle();
+        PhotonicNeuron { laser, input_gain }
+    }
+
+    /// Injects a weighted input (an upstream spike through a synapse of
+    /// weight `w`) and evolves for `duration` normalized time units.
+    /// Returns `true` if the neuron spiked during the window.
+    pub fn excite(&mut self, w: f64, duration: f64) -> bool {
+        let before = self.laser.spike_count();
+        self.laser.perturb_gain(self.input_gain * w);
+        let _ = self.laser.run(duration);
+        self.laser.spike_count() > before
+    }
+
+    /// Evolves quietly for `duration` units (recovery).
+    pub fn relax(&mut self, duration: f64) {
+        let _ = self.laser.run(duration);
+    }
+
+    /// Total spikes fired since creation/settle.
+    pub fn spike_count(&self) -> usize {
+        self.laser.spike_count()
+    }
+
+    /// Borrow the underlying laser.
+    pub fn laser(&self) -> &YamadaLaser {
+        &self.laser
+    }
+}
+
+/// A leaky-integrate-and-fire neuron, the behavioural stand-in for the
+/// excitable laser in network-scale simulations.
+///
+/// Dynamics per step of length `dt`:
+/// `v += (input - v / tau) * dt`; on `v >= threshold` (outside the
+/// refractory window) the neuron emits a spike and resets.
+///
+/// # Examples
+///
+/// ```
+/// use neuropulsim_snn::neuron::LifNeuron;
+///
+/// let mut n = LifNeuron::default();
+/// let mut spiked = false;
+/// for _ in 0..100 {
+///     spiked |= n.step(1.0, 0.1);
+/// }
+/// assert!(spiked);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LifNeuron {
+    /// Membrane potential (dimensionless).
+    v: f64,
+    /// Leak time constant.
+    pub tau: f64,
+    /// Firing threshold.
+    pub threshold: f64,
+    /// Refractory period (time units).
+    pub refractory: f64,
+    refractory_left: f64,
+}
+
+impl LifNeuron {
+    /// Creates a neuron with explicit parameters.
+    pub fn new(tau: f64, threshold: f64, refractory: f64) -> Self {
+        LifNeuron {
+            v: 0.0,
+            tau,
+            threshold,
+            refractory,
+            refractory_left: 0.0,
+        }
+    }
+
+    /// Current membrane potential.
+    pub fn potential(&self) -> f64 {
+        self.v
+    }
+
+    /// `true` if the neuron is inside its refractory window.
+    pub fn is_refractory(&self) -> bool {
+        self.refractory_left > 0.0
+    }
+
+    /// Advances one step of length `dt` under input drive `input`.
+    /// Returns `true` if the neuron fires on this step.
+    pub fn step(&mut self, input: f64, dt: f64) -> bool {
+        if self.refractory_left > 0.0 {
+            self.refractory_left -= dt;
+            self.v = 0.0;
+            return false;
+        }
+        self.v += (input - self.v / self.tau) * dt;
+        if self.v >= self.threshold {
+            self.v = 0.0;
+            self.refractory_left = self.refractory;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Resets potential and refractory state.
+    pub fn reset(&mut self) {
+        self.v = 0.0;
+        self.refractory_left = 0.0;
+    }
+}
+
+impl Default for LifNeuron {
+    /// Parameters calibrated to the default Yamada operating point:
+    /// threshold comparable to the laser's dynamic excitability threshold
+    /// (~0.5 gain-kick units) and a refractory period of ~50 normalized
+    /// units (the gain-recovery timescale `1/gamma`).
+    fn default() -> Self {
+        LifNeuron::new(10.0, 0.5, 50.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lif_integrates_and_fires() {
+        let mut n = LifNeuron::new(10.0, 1.0, 5.0);
+        let mut fired = 0;
+        for _ in 0..200 {
+            if n.step(0.5, 0.1) {
+                fired += 1;
+            }
+        }
+        assert!(fired > 0, "constant drive above threshold must fire");
+    }
+
+    #[test]
+    fn lif_subthreshold_never_fires() {
+        let mut n = LifNeuron::new(10.0, 1.0, 5.0);
+        // Steady state of v is input * tau = 0.05 * 10 = 0.5 < threshold.
+        for _ in 0..2000 {
+            assert!(!n.step(0.05, 0.1));
+        }
+        assert!(n.potential() < 1.0);
+    }
+
+    #[test]
+    fn lif_refractory_blocks_firing() {
+        let mut n = LifNeuron::new(10.0, 0.5, 10.0);
+        // Drive hard until first spike.
+        let mut t_first = None;
+        for k in 0..1000 {
+            if n.step(2.0, 0.1) {
+                t_first = Some(k);
+                break;
+            }
+        }
+        let t_first = t_first.expect("must fire");
+        // Next spike cannot come within the refractory window (100 steps).
+        let mut gap = 0;
+        for _ in 0..1000 {
+            gap += 1;
+            if n.step(2.0, 0.1) {
+                break;
+            }
+        }
+        assert!(
+            gap >= 100,
+            "spike gap {gap} steps < refractory (first at {t_first})"
+        );
+    }
+
+    #[test]
+    fn lif_reset_clears_state() {
+        let mut n = LifNeuron::default();
+        let _ = n.step(5.0, 0.1);
+        n.reset();
+        assert_eq!(n.potential(), 0.0);
+        assert!(!n.is_refractory());
+    }
+
+    #[test]
+    fn photonic_neuron_threshold_behaviour() {
+        let mut n = PhotonicNeuron::new(1.0);
+        assert!(!n.excite(0.1, 300.0), "weak input must not fire");
+        n.relax(1000.0);
+        assert!(n.excite(1.0, 300.0), "strong input must fire");
+    }
+
+    #[test]
+    fn photonic_neuron_refractoriness() {
+        // Near-threshold kicks (rest threshold ~0.76) expose the
+        // refractory window; far-above-threshold kicks can re-fire early
+        // (relative refractoriness), so probe just above threshold.
+        let mut n = PhotonicNeuron::new(1.0);
+        assert!(n.excite(0.85, 60.0), "suprathreshold kick fires");
+        // ~20 units after the spike the gain is still depleted.
+        assert!(!n.excite(0.85, 60.0), "refractory window must block");
+        n.relax(2000.0);
+        assert!(n.excite(0.85, 300.0), "recovers after relaxation");
+    }
+
+    #[test]
+    fn lif_matches_laser_threshold_qualitatively() {
+        // The LIF default threshold must separate the same weak/strong
+        // inputs as the Yamada neuron (applied as one-step impulses).
+        let weak = 0.1;
+        let strong = 1.0;
+        let impulse = |w: f64| {
+            let mut n = LifNeuron::default();
+            // Impulse: deliver w over one short step, then coast.
+            let mut fired = n.step(w / 0.1, 0.1);
+            for _ in 0..100 {
+                fired |= n.step(0.0, 0.1);
+            }
+            fired
+        };
+        assert!(!impulse(weak));
+        assert!(impulse(strong));
+    }
+}

@@ -1,0 +1,201 @@
+//! Spike-timing-dependent plasticity (STDP) — the bio-inspired learning
+//! rule the paper's §3 proposes to implement with PCM accumulation.
+//!
+//! The canonical pairwise exponential window:
+//!
+//! ```text
+//!   dw(dt) = +A_plus  * exp(-dt / tau_plus)    if dt > 0 (pre before post)
+//!   dw(dt) = -A_minus * exp(+dt / tau_minus)   if dt < 0 (post before pre)
+//! ```
+//!
+//! where `dt = t_post - t_pre`. On PCM hardware the continuous `dw` is
+//! realized as a discrete number of SET/partial-RESET pulses, which
+//! [`StdpRule::steps`] computes for a synapse with a given level count.
+
+use crate::synapse::PcmSynapse;
+
+/// Parameters of the pairwise exponential STDP window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StdpRule {
+    /// Potentiation amplitude (weight units) at `dt -> 0+`.
+    pub a_plus: f64,
+    /// Depression amplitude (weight units) at `dt -> 0-`.
+    pub a_minus: f64,
+    /// Potentiation decay constant (time units).
+    pub tau_plus: f64,
+    /// Depression decay constant (time units).
+    pub tau_minus: f64,
+}
+
+impl StdpRule {
+    /// A commonly used asymmetric window: slightly stronger depression,
+    /// equal time constants.
+    pub fn new(a_plus: f64, a_minus: f64, tau_plus: f64, tau_minus: f64) -> Self {
+        StdpRule {
+            a_plus,
+            a_minus,
+            tau_plus,
+            tau_minus,
+        }
+    }
+
+    /// The continuous weight change for a pre→post delay
+    /// `dt = t_post - t_pre`.
+    pub fn delta_w(&self, dt: f64) -> f64 {
+        if dt == 0.0 {
+            0.0
+        } else if dt > 0.0 {
+            self.a_plus * (-dt / self.tau_plus).exp()
+        } else {
+            -self.a_minus * (dt / self.tau_minus).exp()
+        }
+    }
+
+    /// The number of discrete plasticity steps (positive = potentiate)
+    /// that realizes `delta_w(dt)` on a synapse with `levels` levels and
+    /// unit weight range.
+    pub fn steps(&self, dt: f64, levels: u32) -> i32 {
+        let dw = self.delta_w(dt);
+        let step_size = 1.0 / (levels.max(2) - 1) as f64;
+        (dw / step_size).round() as i32
+    }
+
+    /// Applies the rule for one spike pair to a PCM synapse.
+    pub fn apply(&self, synapse: &mut PcmSynapse, dt: f64) {
+        let steps = self.steps(dt, synapse.levels());
+        synapse.apply_steps(steps);
+    }
+}
+
+impl Default for StdpRule {
+    /// `A+ = 0.2, A- = 0.22, tau+ = tau- = 20` time units — a window that
+    /// moves a 16-level synapse by up to ~3 levels per causal pair.
+    fn default() -> Self {
+        StdpRule::new(0.2, 0.22, 20.0, 20.0)
+    }
+}
+
+/// An online STDP tracker for one synapse: remembers the last pre- and
+/// post-synaptic spike times and applies the nearest-pair rule.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StdpTracker {
+    last_pre: Option<f64>,
+    last_post: Option<f64>,
+}
+
+impl StdpTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a presynaptic spike at time `t`; if a postsynaptic spike
+    /// happened earlier, applies the (negative-`dt`) depression branch.
+    pub fn on_pre(&mut self, t: f64, rule: &StdpRule, synapse: &mut PcmSynapse) {
+        self.last_pre = Some(t);
+        if let Some(t_post) = self.last_post {
+            rule.apply(synapse, t_post - t);
+        }
+    }
+
+    /// Records a postsynaptic spike at time `t`; if a presynaptic spike
+    /// happened earlier, applies the (positive-`dt`) potentiation branch.
+    pub fn on_post(&mut self, t: f64, rule: &StdpRule, synapse: &mut PcmSynapse) {
+        self.last_post = Some(t);
+        if let Some(t_pre) = self.last_pre {
+            rule.apply(synapse, t - t_pre);
+        }
+    }
+
+    /// Clears spike memory (between trials).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_signs() {
+        let r = StdpRule::default();
+        assert!(r.delta_w(5.0) > 0.0, "causal pair potentiates");
+        assert!(r.delta_w(-5.0) < 0.0, "anti-causal pair depresses");
+        assert_eq!(r.delta_w(0.0), 0.0);
+    }
+
+    #[test]
+    fn window_decays_with_delay() {
+        let r = StdpRule::default();
+        assert!(r.delta_w(1.0) > r.delta_w(10.0));
+        assert!(r.delta_w(10.0) > r.delta_w(100.0));
+        assert!(r.delta_w(-1.0) < r.delta_w(-10.0));
+    }
+
+    #[test]
+    fn window_peak_amplitudes() {
+        let r = StdpRule::new(0.3, 0.4, 10.0, 10.0);
+        assert!((r.delta_w(1e-9) - 0.3).abs() < 1e-6);
+        assert!((r.delta_w(-1e-9) + 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn steps_quantize_the_window() {
+        let r = StdpRule::default();
+        // Near-coincident causal pair on a 16-level synapse:
+        // 0.2 / (1/15) = 3 steps.
+        assert_eq!(r.steps(0.1, 16), 3);
+        // Long delay: no change.
+        assert_eq!(r.steps(200.0, 16), 0);
+        // Anti-causal: negative steps.
+        assert!(r.steps(-0.1, 16) < 0);
+    }
+
+    #[test]
+    fn apply_moves_synapse_in_the_right_direction() {
+        let r = StdpRule::default();
+        let mut s = PcmSynapse::new();
+        // Depress from full weight (potentiation saturates at level 0).
+        r.apply(&mut s, -1.0);
+        let depressed = s.weight();
+        assert!(depressed < 1.0);
+        // Causal pair now potentiates back up.
+        r.apply(&mut s, 1.0);
+        assert!(s.weight() > depressed);
+    }
+
+    #[test]
+    fn tracker_applies_on_both_orders() {
+        let r = StdpRule::default();
+        let mut s = PcmSynapse::new();
+        s.apply_steps(-8); // mid-range start
+        let w0 = s.weight();
+
+        // pre at t=0, post at t=2 -> potentiation.
+        let mut tr = StdpTracker::new();
+        tr.on_pre(0.0, &r, &mut s);
+        tr.on_post(2.0, &r, &mut s);
+        assert!(s.weight() > w0, "causal order should potentiate");
+
+        let w1 = s.weight();
+        // post at t=10, pre at t=12 -> depression.
+        let mut tr2 = StdpTracker::new();
+        tr2.on_post(10.0, &r, &mut s);
+        tr2.on_pre(12.0, &r, &mut s);
+        assert!(s.weight() < w1, "anti-causal order should depress");
+    }
+
+    #[test]
+    fn tracker_reset_forgets() {
+        let r = StdpRule::default();
+        let mut s = PcmSynapse::new();
+        s.apply_steps(-8);
+        let w = s.weight();
+        let mut tr = StdpTracker::new();
+        tr.on_pre(0.0, &r, &mut s);
+        tr.reset();
+        tr.on_post(1.0, &r, &mut s); // no remembered pre: no change
+        assert_eq!(s.weight(), w);
+    }
+}

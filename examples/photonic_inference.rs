@@ -1,0 +1,121 @@
+//! End-to-end photonic neural-network inference: train a small MLP
+//! digitally on the synthetic-digit dataset, then run the *same* trained
+//! network with every matrix–vector product executed by a noisy,
+//! PCM-quantized photonic MVM core, and compare accuracies.
+//!
+//! Run with: `cargo run --release --example photonic_inference`
+
+use neuropulsim::core::error::{HardwareModel, ShifterTech};
+use neuropulsim::core::mvm::{MvmCore, MvmNoiseConfig};
+use neuropulsim::linalg::RMatrix;
+use neuropulsim::nn::dataset::{synthetic_digits, DigitsConfig};
+use neuropulsim::nn::mlp::Mlp;
+use neuropulsim::photonics::pcm::PcmMaterial;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Pads a rectangular weight matrix into the smallest square core that
+/// holds it (photonic meshes are square), returning the core.
+fn core_for(weights: &RMatrix) -> (MvmCore, usize, usize) {
+    let rows = weights.rows();
+    let cols = weights.cols();
+    let n = rows.max(cols);
+    let padded = RMatrix::from_fn(n, n, |i, j| {
+        if i < rows && j < cols {
+            weights[(i, j)]
+        } else {
+            0.0
+        }
+    });
+    (MvmCore::new(&padded), rows, cols)
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let data = synthetic_digits(&mut rng, DigitsConfig::default());
+    let (train, test) = data.split(0.8);
+
+    // --- digital training -------------------------------------------
+    let mut mlp = Mlp::new(&mut rng, &[16, 16, 4]);
+    let losses = mlp.fit(&train, 30, 0.05);
+    println!(
+        "trained 16-16-4 MLP: loss {:.3} -> {:.3}",
+        losses[0],
+        losses.last().expect("nonempty")
+    );
+    let digital_accuracy = mlp.accuracy(&test);
+    println!("digital test accuracy: {:.1}%", 100.0 * digital_accuracy);
+
+    // --- photonic inference ------------------------------------------
+    // Program one core per layer, cached by layer identity.
+    let mut cores: HashMap<usize, (MvmCore, usize, usize)> = HashMap::new();
+    for (k, layer) in mlp.layers().iter().enumerate() {
+        cores.insert(k, core_for(&layer.weights));
+    }
+
+    for (label, config) in [
+        ("ideal optics", MvmNoiseConfig::ideal()),
+        (
+            "GeSe PCM 32-level + noise",
+            MvmNoiseConfig {
+                hardware: HardwareModel {
+                    phase_noise_sigma: 0.01,
+                    coupler_imbalance_sigma: 0.01,
+                    mzi_arm_transmission: 0.995,
+                    thermal_crosstalk: 0.0,
+                    shifter_tech: ShifterTech::Pcm {
+                        material: PcmMaterial::GeSe,
+                        levels: 32,
+                    },
+                },
+                readout_sigma: 1e-3,
+                attenuator_sigma: 0.005,
+            },
+        ),
+        (
+            "GeSe PCM 8-level",
+            MvmNoiseConfig {
+                hardware: HardwareModel::ideal().with_shifter_tech(ShifterTech::Pcm {
+                    material: PcmMaterial::GeSe,
+                    levels: 8,
+                }),
+                readout_sigma: 0.0,
+                attenuator_sigma: 0.0,
+            },
+        ),
+        (
+            "GSST PCM 32-level (lossy crystalline state)",
+            MvmNoiseConfig {
+                hardware: HardwareModel::ideal().with_shifter_tech(ShifterTech::Pcm {
+                    material: PcmMaterial::Gsst,
+                    levels: 32,
+                }),
+                readout_sigma: 0.0,
+                attenuator_sigma: 0.0,
+            },
+        ),
+    ] {
+        // Freeze one hardware instance per layer for the whole test set.
+        let mut inst_rng = StdRng::seed_from_u64(99);
+        let instances: HashMap<usize, _> = cores
+            .iter()
+            .map(|(&k, (core, rows, cols))| {
+                (k, (core.realize(&config, &mut inst_rng), *rows, *cols))
+            })
+            .collect();
+        let mut shot_rng = StdRng::seed_from_u64(123);
+        let mut layer_index = 0usize;
+        let accuracy = mlp.accuracy_with(&test, |_w, x| {
+            let k = layer_index % instances.len();
+            layer_index += 1;
+            let (instance, rows, cols) = &instances[&k];
+            let n = x.len().max(*rows).max(*cols);
+            let mut padded = vec![0.0; n];
+            padded[..x.len()].copy_from_slice(x);
+            let y = instance.multiply_noisy(&padded, &mut shot_rng);
+            y[..*rows].to_vec()
+        });
+        println!("photonic accuracy [{label}]: {:.1}%", 100.0 * accuracy);
+    }
+}

@@ -1,0 +1,83 @@
+//! Quickstart: program a photonic MZI-mesh core with a weight matrix,
+//! multiply a vector ideally and under realistic hardware noise, and
+//! print the energy story of non-volatile vs volatile weights.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use neuropulsim::core::architecture::MeshArchitecture;
+use neuropulsim::core::error::{HardwareModel, ShifterTech};
+use neuropulsim::core::mvm::{MvmCore, MvmNoiseConfig};
+use neuropulsim::core::perf::{PerfModel, Workload};
+use neuropulsim::linalg::RMatrix;
+use neuropulsim::photonics::pcm::PcmMaterial;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // --- 1. An arbitrary real weight matrix -------------------------
+    let n = 8;
+    let w = RMatrix::from_fn(n, n, |i, j| (0.7 * (i as f64) - 0.3 * (j as f64)).sin());
+
+    // --- 2. Program the photonic MVM core (SVD -> two Clements meshes)
+    let core = MvmCore::new(&w);
+    println!(
+        "programmed an {n}x{n} matrix onto {} MZIs across two meshes",
+        core.block_count()
+    );
+
+    // --- 3. Multiply: ideal optics vs noisy, PCM-quantized hardware --
+    let x: Vec<f64> = (0..n).map(|k| 0.5 * ((k as f64) * 0.9).cos()).collect();
+    let ideal = core.multiply(&x);
+    let digital = w.mul_vec(&x);
+
+    let noisy_config = MvmNoiseConfig {
+        hardware: HardwareModel {
+            phase_noise_sigma: 0.01,
+            coupler_imbalance_sigma: 0.01,
+            mzi_arm_transmission: 0.995,
+            thermal_crosstalk: 0.0,
+            shifter_tech: ShifterTech::Pcm {
+                material: PcmMaterial::Gsst,
+                levels: 32,
+            },
+        },
+        readout_sigma: 1e-3,
+        attenuator_sigma: 0.005,
+    };
+    let mut rng = StdRng::seed_from_u64(42);
+    let noisy = core.multiply_noisy(&x, &noisy_config, &mut rng);
+
+    println!(
+        "\n{:>4} {:>12} {:>12} {:>12}",
+        "out", "digital", "ideal", "noisy-pcm"
+    );
+    for k in 0..n {
+        println!(
+            "{k:>4} {:>12.6} {:>12.6} {:>12.6}",
+            digital[k], ideal[k], noisy[k]
+        );
+    }
+
+    // --- 4. The energy argument: non-volatile weights ---------------
+    let workload = Workload {
+        n,
+        batch: 1_000_000,
+        reprograms: 1,
+    };
+    for (name, tech) in [
+        ("thermo-optic (volatile)", ShifterTech::ThermoOptic),
+        (
+            "PCM (non-volatile)",
+            ShifterTech::Pcm {
+                material: PcmMaterial::Gsst,
+                levels: 32,
+            },
+        ),
+    ] {
+        let report = PerfModel::new(MeshArchitecture::Clements, tech).run(workload);
+        println!(
+            "\n=== {name} ===\n  throughput: {:.2e} MAC/s\n  energy/MAC: {:.2e} J\n{}",
+            report.macs_per_second, report.energy_per_mac, report.energy
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Photonic spiking neural network demo (paper §3): excitable-laser
+//! dynamics, the STDP window, and unsupervised spike-pattern learning on
+//! a winner-take-all layer with PCM synapses.
+//!
+//! Run with: `cargo run --release --example spiking_stdp`
+
+use neuropulsim::photonics::laser::{YamadaLaser, YamadaParams};
+use neuropulsim::snn::network::SpikingLayer;
+use neuropulsim::snn::stdp::StdpRule;
+use neuropulsim::snn::synapse::PcmSynapse;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // --- 1. Excitable laser: threshold and refractoriness ------------
+    println!("=== Yamada excitable laser ===");
+    let mut laser = YamadaLaser::new(YamadaParams::default());
+    let threshold = laser.excitability_threshold(2.0, 0.02);
+    println!("excitability threshold (gain-kick units): {threshold:.3}");
+    laser.settle();
+    laser.perturb_gain(1.2 * threshold);
+    let trace = laser.run(400.0);
+    let peak = trace.iter().cloned().fold(0.0f64, f64::max);
+    let params = *laser.params();
+    println!(
+        "suprathreshold kick: {} spike(s), peak intensity {peak:.2}, \
+         spike width < 1 ns ({} ps/unit)",
+        laser.spike_count(),
+        params.time_unit * 1e12
+    );
+
+    // --- 2. The STDP window, quantized to PCM pulses ------------------
+    println!("\n=== STDP window on a 16-level PCM synapse ===");
+    let rule = StdpRule::default();
+    println!("{:>8} {:>10} {:>8}", "dt", "dw", "pulses");
+    for dt in [-20.0, -5.0, -1.0, 1.0, 5.0, 20.0] {
+        println!(
+            "{dt:>8.1} {:>10.4} {:>8}",
+            rule.delta_w(dt),
+            rule.steps(dt, 16)
+        );
+    }
+    let mut synapse = PcmSynapse::new();
+    synapse.apply_steps(-8);
+    let w0 = synapse.weight();
+    rule.apply(&mut synapse, 1.0);
+    println!(
+        "causal pair moved weight {w0:.3} -> {:.3} using {:.2} nJ so far",
+        synapse.weight(),
+        synapse.programming_energy() * 1e9
+    );
+
+    // --- 3. Unsupervised pattern learning -----------------------------
+    println!("\n=== winner-take-all STDP learning (3 patterns, 3 neurons) ===");
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut layer = SpikingLayer::new(9, 3, &mut rng);
+    let patterns = vec![
+        vec![1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0],
+        vec![0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0],
+    ];
+    let winners = layer.train_patterns(&patterns, 12);
+    for (p, w) in winners.iter().enumerate() {
+        match w {
+            Some(j) => println!("pattern {p} -> neuron {j}"),
+            None => println!("pattern {p} -> (no responder)"),
+        }
+    }
+    println!("learned weights [neuron][input]:");
+    for (j, row) in layer.weights().iter().enumerate() {
+        let formatted: Vec<String> = row.iter().map(|w| format!("{w:.2}")).collect();
+        println!("  n{j}: [{}]", formatted.join(", "));
+    }
+    println!(
+        "total PCM learning energy: {:.2} nJ (held for free afterwards)",
+        layer.learning_energy() * 1e9
+    );
+}

@@ -1,0 +1,215 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the stack: complex arithmetic, mesh unitarity, the
+//! Clements decomposition, fixed-point codecs and the RV32 ISA codec.
+
+use neuropulsim::core::clements::decompose;
+use neuropulsim::core::crossbar::CrossbarCore;
+use neuropulsim::core::mvm::MvmCore;
+use neuropulsim::core::program::{MeshProgram, MziBlock};
+use neuropulsim::core::puf::PhotonicPuf;
+use neuropulsim::core::reck;
+use neuropulsim::linalg::{metrics, random, RMatrix, C64};
+use neuropulsim::nn::conv::{direct_convolve, im2col, ConvLayer, Image};
+use neuropulsim::photonics::pcm::PcmMaterial;
+use neuropulsim::riscv::isa::{decode, encode, Instruction};
+use neuropulsim::sim::fixed::{fixed_mul, from_fixed, to_fixed};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn finite() -> impl Strategy<Value = f64> {
+    -1e6..1e6f64
+}
+
+proptest! {
+    #[test]
+    fn complex_field_axioms(a in finite(), b in finite(), c in finite(), d in finite()) {
+        let x = C64::new(a, b);
+        let y = C64::new(c, d);
+        // Commutativity.
+        prop_assert!((x + y).approx_eq(y + x, 1e-9));
+        prop_assert!((x * y).approx_eq(y * x, 1e-9 * (1.0 + x.abs() * y.abs())));
+        // Conjugation is an involution and distributes.
+        prop_assert!(x.conj().conj().approx_eq(x, 0.0));
+        prop_assert!((x * y).conj().approx_eq(x.conj() * y.conj(), 1e-9 * (1.0 + x.abs() * y.abs())));
+        // |xy| = |x||y|.
+        prop_assert!(((x * y).abs() - x.abs() * y.abs()).abs() < 1e-6 * (1.0 + x.abs() * y.abs()));
+    }
+
+    #[test]
+    fn mesh_programs_are_unitary(
+        seed in 0u64..1000,
+        blocks in 1usize..12,
+        n in 2usize..7,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let blocks: Vec<MziBlock> = (0..blocks)
+            .map(|_| MziBlock::new(
+                rng.gen_range(0..n - 1),
+                rng.gen_range(0.0..std::f64::consts::TAU),
+                rng.gen_range(0.0..std::f64::consts::TAU),
+            ))
+            .collect();
+        let phases: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..std::f64::consts::TAU)).collect();
+        let program = MeshProgram::new(n, blocks, phases);
+        prop_assert!(program.transfer_matrix().is_unitary(1e-9));
+    }
+
+    #[test]
+    fn clements_reconstructs_any_haar_unitary(seed in 0u64..500, n in 2usize..9) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = random::haar_unitary(&mut rng, n);
+        let program = decompose(&u);
+        prop_assert!(program.transfer_matrix().approx_eq(&u, 1e-8));
+        prop_assert_eq!(program.block_count(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn svd_core_multiplies_like_the_matrix(seed in 0u64..500, n in 1usize..7) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let w = RMatrix::from_fn(n, n, |_, _| rng.gen_range(-2.0..2.0));
+        let core = MvmCore::new(&w);
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let got = core.multiply(&x);
+        let want = w.mul_vec(&x);
+        prop_assert!(metrics::mse(&got, &want) < 1e-12);
+    }
+
+    #[test]
+    fn fixed_point_roundtrip(x in -30000.0..30000.0f64) {
+        let err = (from_fixed(to_fixed(x)) - x).abs();
+        prop_assert!(err <= 0.5 / 65536.0 + 1e-12);
+    }
+
+    #[test]
+    fn fixed_point_multiplication_accuracy(a in -100.0..100.0f64, b in -100.0..100.0f64) {
+        let got = from_fixed(fixed_mul(to_fixed(a), to_fixed(b)));
+        // One LSB of each input plus one LSB of truncation.
+        let tol = (a.abs() + b.abs() + 2.0) / 65536.0;
+        prop_assert!((got - a * b).abs() <= tol, "{a} * {b}: got {got}");
+    }
+
+    #[test]
+    fn rv32_codec_roundtrip_r_type(rd in 0u8..32, rs1 in 0u8..32, rs2 in 0u8..32) {
+        for inst in [
+            Instruction::Add { rd, rs1, rs2 },
+            Instruction::Sub { rd, rs1, rs2 },
+            Instruction::Mul { rd, rs1, rs2 },
+            Instruction::Divu { rd, rs1, rs2 },
+        ] {
+            prop_assert_eq!(decode(encode(inst)).unwrap(), inst);
+        }
+    }
+
+    #[test]
+    fn rv32_codec_roundtrip_immediates(rd in 0u8..32, rs1 in 0u8..32, imm in -2048i32..2048) {
+        for inst in [
+            Instruction::Addi { rd, rs1, imm },
+            Instruction::Xori { rd, rs1, imm },
+            Instruction::Lw { rd, rs1, offset: imm },
+            Instruction::Jalr { rd, rs1, offset: imm },
+        ] {
+            prop_assert_eq!(decode(encode(inst)).unwrap(), inst);
+        }
+    }
+
+    #[test]
+    fn rv32_codec_roundtrip_branches(rs1 in 0u8..32, rs2 in 0u8..32, off in -2048i32..2048) {
+        let offset = off * 2; // branch offsets are even
+        for inst in [
+            Instruction::Beq { rs1, rs2, offset },
+            Instruction::Bltu { rs1, rs2, offset },
+        ] {
+            prop_assert_eq!(decode(encode(inst)).unwrap(), inst);
+        }
+        let jal = Instruction::Jal { rd: rs1, offset };
+        prop_assert_eq!(decode(encode(jal)).unwrap(), jal);
+    }
+
+    #[test]
+    fn haar_unitaries_preserve_power(seed in 0u64..300, n in 1usize..9) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = random::haar_unitary(&mut rng, n);
+        let x = random::random_state(&mut rng, n);
+        let y = u.mul_vec(&x);
+        prop_assert!((y.total_power() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fidelity_bounds(seed in 0u64..300, n in 2usize..7) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random::haar_unitary(&mut rng, n);
+        let b = random::haar_unitary(&mut rng, n);
+        let f = metrics::unitary_fidelity(&a, &b);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&f));
+        prop_assert!((metrics::unitary_fidelity(&a, &a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reck_reconstructs_any_haar_unitary(seed in 0u64..300, n in 2usize..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = random::haar_unitary(&mut rng, n);
+        let program = reck::decompose(&u);
+        prop_assert!(program.transfer_matrix().approx_eq(&u, 1e-8));
+        if n >= 2 {
+            prop_assert_eq!(program.depth(), (2 * n).saturating_sub(3));
+        }
+    }
+
+    #[test]
+    fn crossbar_multiply_tracks_effective_matrix(seed in 0u64..200, n in 1usize..7) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let w = RMatrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+        let core = CrossbarCore::new(&w, PcmMaterial::Gst225, 4096);
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let got = core.multiply(&x);
+        let want = core.effective_matrix().mul_vec(&x);
+        prop_assert!(metrics::mse(&got, &want) < 1e-18);
+        // Fine quantization: effective close to target.
+        prop_assert!(core.quantization_error(&w) < 0.02);
+    }
+
+    #[test]
+    fn puf_responses_are_deterministic_and_balanced(seed in 0u64..100, n in 2usize..10) {
+        let n = n * 2; // even port counts
+        let mut rng = StdRng::seed_from_u64(seed);
+        let puf = PhotonicPuf::new(&mut rng, n, Default::default());
+        use rand::Rng;
+        let c: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+        let r1 = puf.respond(&c);
+        let r2 = puf.respond(&c);
+        prop_assert_eq!(&r1, &r2);
+        let ones = r1.iter().filter(|&&b| b).count();
+        prop_assert_eq!(ones, n / 2, "median threshold balances even-N responses");
+    }
+
+    #[test]
+    fn im2col_gemm_equals_direct_convolution(seed in 0u64..200, h in 4usize..9, w in 4usize..9) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let img = Image::from_fn(h, w, |_, _| rng.gen_range(-1.0..1.0));
+        let kernel: Vec<f64> = (0..9).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let layer = ConvLayer::new(RMatrix::from_rows(1, 9, &kernel));
+        let maps = layer.forward(&img);
+        let want = direct_convolve(&img, &kernel, 3);
+        prop_assert_eq!(maps[0].height, want.height);
+        for (a, b) in maps[0].pixels.iter().zip(&want.pixels) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+        // im2col shape invariant.
+        let cols = im2col(&img, 3);
+        prop_assert_eq!(cols.cols(), (h - 2) * (w - 2));
+    }
+
+    #[test]
+    fn phase_scaling_preserves_unitarity(seed in 0u64..200, factor in 0.5..1.5f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = random::haar_unitary(&mut rng, 5);
+        let program = decompose(&u);
+        let scaled = program.with_scaled_phases(factor);
+        prop_assert!(scaled.transfer_matrix().is_unitary(1e-9));
+    }
+}
