@@ -8,7 +8,7 @@ use neuropulsim_core::clements::decompose;
 use neuropulsim_core::layered::{LayeredMesh, ProgramOptions};
 use neuropulsim_linalg::decomp::svd;
 use neuropulsim_linalg::random::haar_unitary;
-use neuropulsim_linalg::CVector;
+use neuropulsim_linalg::{CMatrix, CVector, MatmulScratch};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -44,6 +44,42 @@ fn bench_mesh_apply(c: &mut Criterion) {
         let x = CVector::from_reals(&vec![0.5; n]);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| black_box(program.apply(&x)));
+        });
+        // Compiled plan: trigonometry hoisted to compile time, applied
+        // in place on a reused buffer.
+        let plan = program.compile();
+        let mut buf = x.clone();
+        group.bench_with_input(BenchmarkId::new("compiled", n), &n, |b, _| {
+            b.iter(|| {
+                buf.as_mut_slice().copy_from_slice(x.as_slice());
+                plan.apply_in_place(buf.as_mut_slice());
+                black_box(buf[0])
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_mul_mat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cmatrix_mul_mat");
+    group.sample_size(20);
+    for n in [16usize, 64] {
+        let mut rng = StdRng::seed_from_u64(8);
+        let a = haar_unitary(&mut rng, n);
+        let b_mat = haar_unitary(&mut rng, n);
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| black_box(a.mul_mat_naive(&b_mat)));
+        });
+        group.bench_with_input(BenchmarkId::new("packed", n), &n, |b, _| {
+            b.iter(|| black_box(a.mul_mat(&b_mat)));
+        });
+        let mut out = CMatrix::zeros(n, n);
+        let mut scratch = MatmulScratch::new();
+        group.bench_with_input(BenchmarkId::new("packed_into", n), &n, |b, _| {
+            b.iter(|| {
+                a.mul_mat_into(&b_mat, &mut out, &mut scratch);
+                black_box(out[(0, 0)])
+            });
         });
     }
     group.finish();
@@ -104,6 +140,7 @@ criterion_group!(
     bench_haar,
     bench_clements_decompose,
     bench_mesh_apply,
+    bench_mul_mat,
     bench_transfer_matrix,
     bench_svd,
     bench_fldzhyan_program

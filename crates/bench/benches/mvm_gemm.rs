@@ -6,7 +6,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use neuropulsim_core::error::{HardwareModel, ShifterTech};
 use neuropulsim_core::gemm::{GemmEngine, GemmMode};
 use neuropulsim_core::mvm::{MvmCore, MvmNoiseConfig};
-use neuropulsim_linalg::RMatrix;
+use neuropulsim_linalg::{CVector, RMatrix};
 use neuropulsim_photonics::pcm::PcmMaterial;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -35,6 +35,20 @@ fn bench_multiply(c: &mut Criterion) {
         let x = vec![0.3; n];
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| black_box(core.multiply(&x)));
+        });
+    }
+    // Zero-allocation variant: caller-owned output + scratch reused
+    // across calls — the steady-state GeMM column path.
+    for n in [16usize, 64] {
+        let core = MvmCore::new(&matrix(n, 2));
+        let x = vec![0.3; n];
+        let mut y = vec![0.0; n];
+        let mut scratch = CVector::zeros(n);
+        group.bench_with_input(BenchmarkId::new("into", n), &n, |b, _| {
+            b.iter(|| {
+                core.multiply_into(&x, &mut y, &mut scratch);
+                black_box(y[0])
+            });
         });
     }
     group.finish();
@@ -68,19 +82,23 @@ fn bench_noisy_multiply(c: &mut Criterion) {
 fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm_matmul");
     group.sample_size(20);
-    let n = 16;
-    let cols = 64;
-    let w = matrix(n, 5);
-    let mut rng = StdRng::seed_from_u64(6);
-    let x = RMatrix::from_fn(n, cols, |_, _| rng.gen_range(-1.0..1.0));
-    for (name, mode) in [
-        ("tdm", GemmMode::Tdm),
-        ("wdm8", GemmMode::Wdm { channels: 8 }),
-    ] {
-        let engine = GemmEngine::new(MvmCore::new(&w), mode);
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(engine.matmul(&x)));
-        });
+    for n in [16usize, 64] {
+        let cols = 64;
+        let w = matrix(n, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let x = RMatrix::from_fn(n, cols, |_, _| rng.gen_range(-1.0..1.0));
+        for (name, mode) in [
+            ("tdm", GemmMode::Tdm),
+            ("wdm8", GemmMode::Wdm { channels: 8 }),
+        ] {
+            let engine = GemmEngine::new(MvmCore::new(&w), mode);
+            group.bench_function(BenchmarkId::new(name, n), |b| {
+                b.iter(|| black_box(engine.matmul(&x)));
+            });
+            group.bench_function(BenchmarkId::new(format!("{name}_par2"), n), |b| {
+                b.iter(|| black_box(engine.matmul_par(&x, 2)));
+            });
+        }
     }
     group.finish();
 }

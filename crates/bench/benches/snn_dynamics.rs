@@ -46,6 +46,13 @@ fn bench_layer_presentation(c: &mut Criterion) {
             b.iter(|| black_box(layer.present(&stimulus, 30.0, 0.5, learn)));
         });
     }
+    // Fanned-out drive computation (bit-identical to serial).
+    group.bench_function("inference_par2", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = SpikingLayer::new(9, 3, &mut rng);
+        layer.drive_threads = 2;
+        b.iter(|| black_box(layer.present(&stimulus, 30.0, 0.5, false)));
+    });
     group.finish();
 }
 

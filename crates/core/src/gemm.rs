@@ -7,7 +7,7 @@
 //! additional resource costs".
 
 use crate::mvm::{MvmCore, MvmNoiseConfig};
-use neuropulsim_linalg::RMatrix;
+use neuropulsim_linalg::{parallel, CVector, RMatrix};
 use neuropulsim_photonics::energy::{EnergyLedger, TechnologyProfile};
 use rand::Rng;
 
@@ -49,6 +49,42 @@ pub struct GemmSchedule {
     pub energy: EnergyLedger,
     /// Energy per MAC \[J\].
     pub energy_per_mac: f64,
+}
+
+/// Reusable per-worker buffers for column streaming: the input column,
+/// the complex field vector threaded through the meshes, and the raw
+/// outputs of the symbol group in flight (`[channel][row]`, flattened).
+#[derive(Debug, Clone)]
+struct GemmScratch {
+    col: Vec<f64>,
+    field: CVector,
+    results: Vec<f64>,
+}
+
+impl GemmScratch {
+    fn new(n: usize, par: usize) -> Self {
+        GemmScratch {
+            col: vec![0.0; n],
+            field: CVector::zeros(n),
+            results: vec![0.0; par * n],
+        }
+    }
+
+    /// Output row `r` of in-group channel `gi` after adjacent-channel
+    /// crosstalk mixing across the `width` live channels.
+    fn mixed(&self, gi: usize, r: usize, width: usize, crosstalk: f64) -> f64 {
+        let n = self.col.len();
+        let mut v = self.results[gi * n + r];
+        if crosstalk > 0.0 {
+            if gi > 0 {
+                v += crosstalk * self.results[(gi - 1) * n + r];
+            }
+            if gi + 1 < width {
+                v += crosstalk * self.results[(gi + 1) * n + r];
+            }
+        }
+        v
+    }
 }
 
 /// A GeMM engine wrapping an [`MvmCore`].
@@ -120,11 +156,73 @@ impl GemmEngine {
         assert_eq!(x.rows(), self.core.modes(), "matmul: dimension mismatch");
         let n = self.core.modes();
         let cols = x.cols();
-        let mut out = RMatrix::zeros(n, cols);
         let par = self.mode.parallelism();
-        // Per-channel effective matrices under dispersion (channel offsets
-        // centered on the design wavelength).
-        let channel_matrices: Option<Vec<RMatrix>> = if self.dispersion != 0.0 && par > 1 {
+        let channel_matrices = self.channel_matrices();
+        let mut out = RMatrix::zeros(n, cols);
+        let mut scratch = GemmScratch::new(n, par);
+        let mut group_start = 0;
+        while group_start < cols {
+            let group_end = (group_start + par).min(cols);
+            self.run_group(x, group_start, group_end, &channel_matrices, &mut scratch);
+            for (gi, c) in (group_start..group_end).enumerate() {
+                for r in 0..n {
+                    out[(r, c)] = scratch.mixed(gi, r, group_end - group_start, self.crosstalk);
+                }
+            }
+            group_start = group_end;
+        }
+        out
+    }
+
+    /// [`GemmEngine::matmul`] with symbol groups fanned out over up to
+    /// `threads` scoped workers.
+    ///
+    /// Groups are independent (crosstalk only mixes channels *within* a
+    /// group), so the split is by group index and each worker keeps its
+    /// own scratch. The result is bit-identical to the serial
+    /// [`GemmEngine::matmul`] for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != core.modes()`.
+    pub fn matmul_par(&self, x: &RMatrix, threads: usize) -> RMatrix {
+        assert_eq!(x.rows(), self.core.modes(), "matmul: dimension mismatch");
+        let n = self.core.modes();
+        let cols = x.cols();
+        let par = self.mode.parallelism();
+        let groups = cols.div_ceil(par);
+        let channel_matrices = self.channel_matrices();
+        let group_outputs = parallel::par_map_indexed(groups, threads, |g| {
+            let group_start = g * par;
+            let group_end = (group_start + par).min(cols);
+            let width = group_end - group_start;
+            let mut scratch = GemmScratch::new(n, par);
+            self.run_group(x, group_start, group_end, &channel_matrices, &mut scratch);
+            let mut mixed = vec![0.0; width * n];
+            for gi in 0..width {
+                for r in 0..n {
+                    mixed[gi * n + r] = scratch.mixed(gi, r, width, self.crosstalk);
+                }
+            }
+            mixed
+        });
+        let mut out = RMatrix::zeros(n, cols);
+        for (g, mixed) in group_outputs.iter().enumerate() {
+            let group_start = g * par;
+            for (gi, column) in mixed.chunks_exact(n).enumerate() {
+                for (r, &v) in column.iter().enumerate() {
+                    out[(r, group_start + gi)] = v;
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-channel effective matrices under dispersion (channel offsets
+    /// centered on the design wavelength); `None` when achromatic.
+    fn channel_matrices(&self) -> Option<Vec<RMatrix>> {
+        let par = self.mode.parallelism();
+        if self.dispersion != 0.0 && par > 1 {
             Some(
                 (0..par)
                     .map(|ch| {
@@ -135,39 +233,33 @@ impl GemmEngine {
             )
         } else {
             None
-        };
-        let mut group_start = 0;
-        while group_start < cols {
-            let group_end = (group_start + par).min(cols);
-            // Columns of this group fly simultaneously; compute each, then
-            // apply adjacent-channel crosstalk (WDM) on the *outputs*
-            // (detector-plane mixing of demultiplexed channels).
-            let results: Vec<Vec<f64>> = (group_start..group_end)
-                .map(|c| {
-                    let col: Vec<f64> = (0..n).map(|r| x[(r, c)]).collect();
-                    match &channel_matrices {
-                        Some(mats) => mats[c - group_start].mul_vec(&col),
-                        None => self.core.multiply(&col),
-                    }
-                })
-                .collect();
-            for (gi, c) in (group_start..group_end).enumerate() {
-                for r in 0..n {
-                    let mut v = results[gi][r];
-                    if self.crosstalk > 0.0 {
-                        if gi > 0 {
-                            v += self.crosstalk * results[gi - 1][r];
-                        }
-                        if gi + 1 < results.len() {
-                            v += self.crosstalk * results[gi + 1][r];
-                        }
-                    }
-                    out[(r, c)] = v;
-                }
-            }
-            group_start = group_end;
         }
-        out
+    }
+
+    /// Streams the columns of one symbol group through the core, leaving
+    /// the raw per-channel outputs in `scratch`. Columns of a group fly
+    /// simultaneously; crosstalk mixing happens afterwards on the
+    /// *outputs* (detector-plane mixing of demultiplexed channels) via
+    /// [`GemmScratch::mixed`].
+    fn run_group(
+        &self,
+        x: &RMatrix,
+        group_start: usize,
+        group_end: usize,
+        channel_matrices: &Option<Vec<RMatrix>>,
+        scratch: &mut GemmScratch,
+    ) {
+        let n = self.core.modes();
+        for (gi, c) in (group_start..group_end).enumerate() {
+            for r in 0..n {
+                scratch.col[r] = x[(r, c)];
+            }
+            let y = &mut scratch.results[gi * n..(gi + 1) * n];
+            match channel_matrices {
+                Some(mats) => mats[gi].mul_vec_into(&scratch.col, y),
+                None => self.core.multiply_into(&scratch.col, y, &mut scratch.field),
+            }
+        }
     }
 
     /// Same as [`GemmEngine::matmul`] but through one sampled noisy
@@ -187,9 +279,13 @@ impl GemmEngine {
         let instance = self.core.realize(config, rng);
         let cols = x.cols();
         let mut out = RMatrix::zeros(n, cols);
+        let mut col = vec![0.0; n];
+        let mut y = vec![0.0; n];
         for c in 0..cols {
-            let col: Vec<f64> = (0..n).map(|r| x[(r, c)]).collect();
-            let y = instance.multiply_noisy(&col, rng);
+            for r in 0..n {
+                col[r] = x[(r, c)];
+            }
+            instance.multiply_noisy_into(&col, &mut y, rng);
             for r in 0..n {
                 out[(r, c)] = y[r];
             }
@@ -317,6 +413,24 @@ mod tests {
         assert_eq!(s.macs, 4 * 4 * 10);
         assert!(s.energy_per_mac > 0.0);
         assert!(s.energy.total() > 0.0);
+    }
+
+    #[test]
+    fn parallel_matmul_is_bit_identical_for_any_thread_count() {
+        let w = random_matrix(6, 6, 30);
+        let x = random_matrix(6, 13, 31);
+        for engine in [
+            GemmEngine::new(MvmCore::new(&w), GemmMode::Tdm),
+            GemmEngine::new(MvmCore::new(&w), GemmMode::Wdm { channels: 4 })
+                .with_crosstalk(0.02)
+                .with_dispersion(1e-3),
+        ] {
+            let serial = engine.matmul(&x);
+            for threads in [1, 2, 3, 8] {
+                let par = engine.matmul_par(&x, threads);
+                assert_eq!(par.as_slice(), serial.as_slice(), "threads = {threads}");
+            }
+        }
     }
 
     #[test]

@@ -17,11 +17,20 @@
 
 use crate::clements::decompose;
 use crate::error::HardwareModel;
-use crate::program::MeshProgram;
+use crate::program::{CompiledMesh, MeshProgram};
 use neuropulsim_linalg::decomp::svd;
-use neuropulsim_linalg::{CMatrix, CVector, RMatrix};
+use neuropulsim_linalg::{CMatrix, CVector, RMatrix, C64};
 
 use rand::Rng;
+
+/// Scales column `k` of `m` by `a[k]` in place — `m · diag(a)` without
+/// materializing the diagonal matrix or paying an O(n³) product.
+fn scale_columns(m: &mut CMatrix, a: &[f64]) {
+    let cols = m.cols();
+    for (idx, z) in m.as_mut_slice().iter_mut().enumerate() {
+        *z = z.scale(a[idx % cols]);
+    }
+}
 
 /// Noise/imperfection configuration for a physical MVM execution.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,6 +81,11 @@ pub struct MvmCore {
     target: RMatrix,
     u_program: MeshProgram,
     v_program: MeshProgram,
+    /// Execution plans compiled once at programming time: all MZI
+    /// trigonometry is evaluated here, so the multiply hot path is pure
+    /// complex multiply-adds.
+    u_plan: CompiledMesh,
+    v_plan: CompiledMesh,
     /// Attenuator amplitudes in `[0, 1]` (singular values / sigma_max).
     attenuation: Vec<f64>,
     /// Overall scale `sigma_max` restoring physical magnitudes.
@@ -96,11 +110,17 @@ impl MvmCore {
         } else {
             (vec![0.0; n], 0.0)
         };
+        let u_program = decompose(&d.u);
+        let v_program = decompose(&d.v.adjoint());
+        let u_plan = u_program.compile();
+        let v_plan = v_program.compile();
         MvmCore {
             n,
             target: m.clone(),
-            u_program: decompose(&d.u),
-            v_program: decompose(&d.v.adjoint()),
+            u_program,
+            v_program,
+            u_plan,
+            v_plan,
             attenuation,
             scale,
         }
@@ -148,13 +168,39 @@ impl MvmCore {
     ///
     /// Panics if `x.len() != modes()`.
     pub fn multiply(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.n, "multiply: dimension mismatch");
-        let mut v = self.v_program.apply(&CVector::from_reals(x));
-        for (i, &a) in self.attenuation.iter().enumerate() {
-            v[i] = v[i] * a;
+        let mut y = vec![0.0; self.n];
+        let mut scratch = CVector::zeros(self.n);
+        self.multiply_into(x, &mut y, &mut scratch);
+        y
+    }
+
+    /// Ideal optical multiply into a caller-owned output.
+    ///
+    /// The zero-allocation form of [`MvmCore::multiply`]: the input is
+    /// loaded into `scratch`, both compiled meshes are applied in place
+    /// (O(blocks) multiply-adds, no trigonometry, no fresh buffers), and
+    /// the homodyne readout lands in `y`. Column-streaming callers (GeMM)
+    /// reuse `y` and `scratch` across every call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x`, `y`, or `scratch` are not `modes()` long.
+    pub fn multiply_into(&self, x: &[f64], y: &mut [f64], scratch: &mut CVector) {
+        assert_eq!(x.len(), self.n, "multiply_into: dimension mismatch");
+        assert_eq!(y.len(), self.n, "multiply_into: bad output length");
+        assert_eq!(scratch.len(), self.n, "multiply_into: bad scratch length");
+        let buf = scratch.as_mut_slice();
+        for (s, &xi) in buf.iter_mut().zip(x) {
+            *s = C64::real(xi);
         }
-        let y = self.u_program.apply(&v);
-        y.iter().map(|z| z.re * self.scale).collect()
+        self.v_plan.apply_in_place(buf);
+        for (s, &a) in buf.iter_mut().zip(&self.attenuation) {
+            *s = s.scale(a);
+        }
+        self.u_plan.apply_in_place(buf);
+        for (yi, z) in y.iter_mut().zip(buf.iter()) {
+            *yi = z.re * self.scale;
+        }
     }
 
     /// Physical optical multiply with sampled hardware imperfections and
@@ -188,13 +234,7 @@ impl MvmCore {
                 noisy.clamp(0.0, 1.0)
             })
             .collect();
-        RealizedMvm {
-            u,
-            v,
-            attenuation,
-            scale: self.scale,
-            readout_sigma: config.readout_sigma,
-        }
+        RealizedMvm::new(u, v, attenuation, self.scale, config.readout_sigma)
     }
 
     /// The effective real matrix seen by a carrier whose wavelength
@@ -202,10 +242,12 @@ impl MvmCore {
     /// wavelength). First-order chromatic-dispersion model for DWDM
     /// operation.
     pub fn dispersed_matrix(&self, factor: f64) -> RMatrix {
-        let u = self.u_program.with_scaled_phases(factor).transfer_matrix();
+        let mut u = self.u_program.with_scaled_phases(factor).transfer_matrix();
         let v = self.v_program.with_scaled_phases(factor).transfer_matrix();
-        let d = CMatrix::diagonal_real(&self.attenuation);
-        let m = u.mul_mat(&d).mul_mat(&v);
+        // U · diag(a) is a column scaling — one O(n²) pass instead of an
+        // O(n³) product against a mostly-zero matrix.
+        scale_columns(&mut u, &self.attenuation);
+        let m = u.mul_mat(&v);
         RMatrix::from_fn(self.n, self.n, |i, j| m[(i, j)].re * self.scale)
     }
 
@@ -221,16 +263,41 @@ impl MvmCore {
 
 /// One physical instance of an MVM core: frozen imperfect meshes plus
 /// per-shot readout noise.
+///
+/// The instance's static hardware is fully summarized by one real
+/// matrix — the input is real, so `y = Re(U·diag(a)·V)·x·scale + noise`.
+/// That matrix is computed **once** here at realization time; every
+/// multiply and every [`RealizedMvm::effective_matrix`] call reads the
+/// cached copy instead of re-composing the U/Σ/V chain.
 #[derive(Debug, Clone)]
 pub struct RealizedMvm {
-    u: CMatrix,
-    v: CMatrix,
     attenuation: Vec<f64>,
     scale: f64,
     readout_sigma: f64,
+    /// Cached `Re(U · diag(a) · V) · scale`, frozen at realization.
+    effective: RMatrix,
 }
 
 impl RealizedMvm {
+    fn new(
+        mut u: CMatrix,
+        v: CMatrix,
+        attenuation: Vec<f64>,
+        scale: f64,
+        readout_sigma: f64,
+    ) -> Self {
+        let n = attenuation.len();
+        scale_columns(&mut u, &attenuation);
+        let m = u.mul_mat(&v);
+        let effective = RMatrix::from_fn(n, n, |i, j| m[(i, j)].re * scale);
+        RealizedMvm {
+            attenuation,
+            scale,
+            readout_sigma,
+            effective,
+        }
+    }
+
     /// Multiplies through the frozen imperfect hardware, adding fresh
     /// readout noise.
     ///
@@ -238,26 +305,30 @@ impl RealizedMvm {
     ///
     /// Panics if `x.len()` does not match the core dimension.
     pub fn multiply_noisy<R: Rng + ?Sized>(&self, x: &[f64], rng: &mut R) -> Vec<f64> {
+        let mut y = vec![0.0; self.attenuation.len()];
+        self.multiply_noisy_into(x, &mut y, rng);
+        y
+    }
+
+    /// Zero-allocation form of [`RealizedMvm::multiply_noisy`]: one real
+    /// matrix-vector product against the cached effective matrix plus
+    /// per-detector readout noise, written into `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` or `y.len()` does not match the core dimension.
+    pub fn multiply_noisy_into<R: Rng + ?Sized>(&self, x: &[f64], y: &mut [f64], rng: &mut R) {
         assert_eq!(x.len(), self.attenuation.len(), "dimension mismatch");
-        let mut v = self.v.mul_vec(&CVector::from_reals(x));
-        for (i, &a) in self.attenuation.iter().enumerate() {
-            v[i] = v[i] * a;
+        self.effective.mul_vec_into(x, y);
+        for yi in y.iter_mut() {
+            *yi += self.readout_sigma * neuropulsim_linalg::random::gaussian(rng) * self.scale;
         }
-        let y = self.u.mul_vec(&v);
-        y.iter()
-            .map(|z| {
-                (z.re + self.readout_sigma * neuropulsim_linalg::random::gaussian(rng)) * self.scale
-            })
-            .collect()
     }
 
     /// The effective real matrix implemented by this instance (real part
-    /// of `U * diag(a) * V` times scale).
+    /// of `U * diag(a) * V` times scale), cached at realization time.
     pub fn effective_matrix(&self) -> RMatrix {
-        let n = self.attenuation.len();
-        let d = CMatrix::diagonal_real(&self.attenuation);
-        let m = self.u.mul_mat(&d).mul_mat(&self.v);
-        RMatrix::from_fn(n, n, |i, j| m[(i, j)].re * self.scale)
+        self.effective.clone()
     }
 }
 

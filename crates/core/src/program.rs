@@ -172,6 +172,10 @@ impl MeshProgram {
     /// Applies the ideal mesh to an input field vector (O(blocks) instead
     /// of building the full matrix).
     ///
+    /// Recomputes each block's trigonometry per call; hot loops that
+    /// apply the same program many times should [`MeshProgram::compile`]
+    /// once and use [`CompiledMesh::apply_in_place`] instead.
+    ///
     /// # Panics
     ///
     /// Panics if `input.len() != modes()`.
@@ -190,6 +194,115 @@ impl MeshProgram {
             v[i] *= C64::cis(ph);
         }
         v
+    }
+
+    /// Compiles the program into an execution plan with all per-block
+    /// trigonometry evaluated up front.
+    pub fn compile(&self) -> CompiledMesh {
+        CompiledMesh::new(self)
+    }
+}
+
+/// One precomputed MZI stage: top mode index plus the four complex
+/// transfer-matrix elements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct CompiledStage {
+    mode: usize,
+    a: C64,
+    b: C64,
+    c: C64,
+    d: C64,
+}
+
+/// An execution plan for a [`MeshProgram`]: every block's 2×2 elements
+/// and every output phasor evaluated once at compile time, leaving the
+/// per-application work as pure complex multiply-adds on a caller buffer.
+///
+/// Applying a compiled mesh costs O(blocks) with **zero** allocations
+/// and **zero** trigonometric calls — [`MeshProgram::apply`] pays a
+/// clone plus `sin`/`cos`/`cis` per block per call. The plan is a
+/// snapshot: recompile after mutating the program's phases.
+///
+/// # Examples
+///
+/// ```
+/// use neuropulsim_core::program::{MeshProgram, MziBlock};
+///
+/// let program = MeshProgram::new(2, vec![MziBlock::new(0, 0.3, 1.2)], vec![0.0; 2]);
+/// let plan = program.compile();
+/// let x = neuropulsim_linalg::CVector::from_reals(&[1.0, 0.5]);
+/// let mut buf = x.clone();
+/// plan.apply_in_place(buf.as_mut_slice());
+/// assert!(buf.distance(&program.apply(&x)) < 1e-14);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledMesh {
+    n: usize,
+    stages: Vec<CompiledStage>,
+    output_phasors: Vec<C64>,
+}
+
+impl CompiledMesh {
+    fn new(program: &MeshProgram) -> Self {
+        let stages = program
+            .blocks
+            .iter()
+            .map(|blk| {
+                let (a, b, c, d) = blk.elements();
+                CompiledStage {
+                    mode: blk.mode,
+                    a,
+                    b,
+                    c,
+                    d,
+                }
+            })
+            .collect();
+        let output_phasors = program.output_phases.iter().map(|&p| C64::cis(p)).collect();
+        CompiledMesh {
+            n: program.n,
+            stages,
+            output_phasors,
+        }
+    }
+
+    /// Number of optical modes.
+    pub fn modes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of precomputed MZI stages.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Applies the mesh to a field vector in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != modes()`.
+    pub fn apply_in_place(&self, v: &mut [C64]) {
+        assert_eq!(v.len(), self.n, "apply_in_place: dimension mismatch");
+        for s in &self.stages {
+            let xp = v[s.mode];
+            let xq = v[s.mode + 1];
+            v[s.mode] = s.a * xp + s.b * xq;
+            v[s.mode + 1] = s.c * xp + s.d * xq;
+        }
+        for (x, &ph) in v.iter_mut().zip(&self.output_phasors) {
+            *x *= ph;
+        }
+    }
+
+    /// Copies `input` into `out` and applies the mesh there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != modes()` or `out.len() != modes()`.
+    pub fn apply_into(&self, input: &CVector, out: &mut CVector) {
+        assert_eq!(out.len(), self.n, "apply_into: bad output length");
+        out.as_mut_slice().copy_from_slice(input.as_slice());
+        self.apply_in_place(out.as_mut_slice());
     }
 }
 
@@ -222,6 +335,27 @@ mod tests {
         let via_matrix = u.mul_vec(&x);
         let via_apply = p.apply(&x);
         assert!(via_matrix.distance(&via_apply) < 1e-12);
+    }
+
+    #[test]
+    fn compiled_mesh_matches_apply_and_matrix() {
+        let p = MeshProgram::new(
+            4,
+            vec![
+                MziBlock::new(0, 1.1, 0.3),
+                MziBlock::new(2, 2.0, 0.7),
+                MziBlock::new(1, 0.4, 1.9),
+            ],
+            vec![0.1, 0.2, 0.3, 0.4],
+        );
+        let plan = p.compile();
+        assert_eq!(plan.modes(), 4);
+        assert_eq!(plan.stage_count(), 3);
+        let x = CVector::from_reals(&[0.3, -0.5, 0.8, 0.1]);
+        let mut buf = CVector::zeros(4);
+        plan.apply_into(&x, &mut buf);
+        assert!(buf.distance(&p.apply(&x)) < 1e-14);
+        assert!(buf.distance(&p.transfer_matrix().mul_vec(&x)) < 1e-12);
     }
 
     #[test]

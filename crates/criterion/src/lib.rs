@@ -1,0 +1,359 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace's benches use —
+//! [`Criterion`], benchmark groups, [`BenchmarkId`], [`black_box`] and
+//! the [`criterion_group!`]/[`criterion_main!`] macros — on top of a
+//! plain wall-clock sampling harness (warm-up, then `sample_size` timed
+//! samples; the median sample is reported).
+//!
+//! CLI behaviour mirrors what `cargo bench` relies on:
+//!
+//! - `cargo bench -- --test` runs every benchmark body exactly once
+//!   (smoke mode, used by CI to catch bench bit-rot cheaply);
+//! - any other free argument is a substring filter on benchmark names;
+//! - `NEUROPULSIM_BENCH_JSON=<path>` appends one JSON object per
+//!   benchmark (`name`, `median_ns`, `mean_ns`, `samples`) to `<path>`
+//!   so results can be tracked across commits.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One measured benchmark result.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full benchmark name (`group/id` or bare function name).
+    pub name: String,
+    /// Median time per iteration, in nanoseconds.
+    pub median_ns: f64,
+    /// Mean time per iteration, in nanoseconds.
+    pub mean_ns: f64,
+    /// Number of timed samples taken.
+    pub samples: usize,
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    results: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Builds a driver from the process CLI arguments (see module docs).
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.test_mode = true,
+                // Flags cargo/criterion conventionally pass; ignored.
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                s if s.starts_with("--") => {}
+                s => c.filter = Some(s.to_string()),
+            }
+        }
+        c
+    }
+
+    fn selected(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 50,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        if self.selected(&name) {
+            let m = run_bench(&name, 50, self.test_mode, |b| f(b));
+            self.record(m);
+        }
+        self
+    }
+
+    fn record(&mut self, m: Option<Measurement>) {
+        if let Some(m) = m {
+            println!(
+                "{:<44} {:>12}/iter  ({} samples, mean {})",
+                m.name,
+                fmt_ns(m.median_ns),
+                m.samples,
+                fmt_ns(m.mean_ns),
+            );
+            self.results.push(m);
+        }
+    }
+
+    /// Prints the closing summary and writes the optional JSON sink.
+    pub fn final_summary(&self) {
+        if self.test_mode {
+            println!(
+                "bench smoke test: {} benchmarks executed",
+                self.results.len()
+            );
+        }
+        if let Ok(path) = std::env::var("NEUROPULSIM_BENCH_JSON") {
+            if let Err(e) = self.write_json(&path) {
+                eprintln!("warning: failed to write bench JSON to {path}: {e}");
+            }
+        }
+    }
+
+    fn write_json(&self, path: &str) -> std::io::Result<()> {
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        for m in &self.results {
+            writeln!(
+                file,
+                "{{\"name\":\"{}\",\"median_ns\":{:.1},\"mean_ns\":{:.1},\"samples\":{}}}",
+                m.name.replace('"', "'"),
+                m.median_ns,
+                m.mean_ns,
+                m.samples
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A named collection of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f` under `self.name/id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id);
+        if self.criterion.selected(&name) {
+            let m = run_bench(&name, self.sample_size, self.criterion.test_mode, |b| f(b));
+            self.criterion.record(m);
+        }
+        self
+    }
+
+    /// Benchmarks `f`, passing `input` through (criterion-compatible).
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.0);
+        if self.criterion.selected(&name) {
+            let m = run_bench(&name, self.sample_size, self.criterion.test_mode, |b| {
+                f(b, input)
+            });
+            self.criterion.record(m);
+        }
+        self
+    }
+
+    /// Ends the group (results are reported eagerly; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a displayed parameter value.
+    pub fn from_parameter(p: impl Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// Builds an id from a function name and a parameter.
+    pub fn new(name: impl Display, p: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+impl Display for BenchmarkId {
+    /// Lets a [`BenchmarkId`] be passed wherever a name is expected
+    /// (upstream criterion accepts ids in `bench_function` too).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the body.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    measurement: Option<(f64, f64, usize)>,
+}
+
+impl Bencher {
+    /// Times `f`. In test mode, runs it exactly once.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.measurement = Some((0.0, 0.0, 1));
+            return;
+        }
+        // Warm-up + calibration: find an iteration count whose batch
+        // lasts at least ~1 ms so timer quantization stays negligible.
+        let mut iters_per_sample = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(1) || iters_per_sample >= (1 << 24) {
+                break;
+            }
+            iters_per_sample *= 4;
+        }
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            samples.push(t0.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        self.measurement = Some((median, mean, samples.len()));
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    test_mode: bool,
+    mut f: F,
+) -> Option<Measurement> {
+    let mut b = Bencher {
+        test_mode,
+        sample_size,
+        measurement: None,
+    };
+    f(&mut b);
+    b.measurement
+        .map(|(median_ns, mean_ns, samples)| Measurement {
+            name: name.to_string(),
+            median_ns,
+            mean_ns,
+            samples,
+        })
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Bundles benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),* $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)*
+        }
+    };
+}
+
+/// Emits `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)*
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut count = 0;
+        let m = run_bench("t", 10, true, |b| {
+            b.iter(|| {
+                count += 1;
+            })
+        });
+        assert_eq!(count, 1);
+        let m = m.expect("measured");
+        assert_eq!(m.samples, 1);
+        assert_eq!(m.median_ns, 0.0);
+    }
+
+    #[test]
+    fn timed_mode_reports_positive_times() {
+        let m = run_bench("t", 3, false, |b| b.iter(|| black_box(3u64).pow(7))).expect("measured");
+        assert!(m.median_ns > 0.0);
+        assert!(m.mean_ns > 0.0);
+        assert_eq!(m.samples, 3);
+    }
+
+    #[test]
+    fn group_api_compiles_and_filters() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: Some("keep".into()),
+            results: Vec::new(),
+        };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(5);
+            g.bench_function("keep_me", |b| b.iter(|| ran += 1));
+            g.bench_with_input(BenchmarkId::from_parameter(8), &8usize, |b, &n| {
+                b.iter(|| n * 2) // filtered out: name "g/8" lacks "keep"
+            });
+            g.finish();
+        }
+        assert_eq!(ran, 1);
+        assert_eq!(c.results.len(), 1);
+        assert_eq!(c.results[0].name, "g/keep_me");
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(500.0), "500.0 ns");
+        assert!(fmt_ns(5_000.0).ends_with("us"));
+        assert!(fmt_ns(5_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(5e9).ends_with('s'));
+    }
+}

@@ -39,9 +39,12 @@ mod vector;
 
 pub mod decomp;
 pub mod metrics;
+pub mod parallel;
 pub mod random;
+pub mod soa;
 
 pub use complex::C64;
 pub use matrix::CMatrix;
 pub use real::RMatrix;
+pub use soa::{MatmulScratch, SplitMatrix, SplitVector};
 pub use vector::CVector;

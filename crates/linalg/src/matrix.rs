@@ -182,25 +182,82 @@ impl CMatrix {
     ///
     /// Panics if `v.len() != cols`.
     pub fn mul_vec(&self, v: &CVector) -> CVector {
-        assert_eq!(v.len(), self.cols, "mul_vec: dimension mismatch");
         let mut out = CVector::zeros(self.rows);
-        for i in 0..self.rows {
-            let row = self.row(i);
-            let mut acc = C64::ZERO;
-            for (a, b) in row.iter().zip(v.iter()) {
-                acc += *a * *b;
-            }
-            out[i] = acc;
-        }
+        self.mul_vec_into(v, &mut out);
         out
     }
 
+    /// Matrix-vector product written into a caller-owned output.
+    ///
+    /// The zero-allocation form of [`CMatrix::mul_vec`]: steady-state
+    /// callers (GeMM column streaming, noisy MVM sampling) reuse `out`
+    /// across calls. `out` may not alias `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != cols` or `out.len() != rows`.
+    pub fn mul_vec_into(&self, v: &CVector, out: &mut CVector) {
+        assert_eq!(v.len(), self.cols, "mul_vec_into: dimension mismatch");
+        assert_eq!(out.len(), self.rows, "mul_vec_into: bad output length");
+        let x = v.as_slice();
+        for (i, o) in out.as_mut_slice().iter_mut().enumerate() {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            // Four independent real accumulators vectorize; a single
+            // complex accumulator does not.
+            let mut rr = 0.0;
+            let mut ii = 0.0;
+            let mut ri = 0.0;
+            let mut ir = 0.0;
+            for (a, b) in row.iter().zip(x) {
+                rr += a.re * b.re;
+                ii += a.im * b.im;
+                ri += a.re * b.im;
+                ir += a.im * b.re;
+            }
+            *o = C64::new(rr - ii, ri + ir);
+        }
+    }
+
     /// Matrix product `self * rhs`.
+    ///
+    /// Dispatches to the packed split-complex kernel in [`crate::soa`]
+    /// once the inner dimension is large enough to amortize packing;
+    /// tiny products use the direct triple loop.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols != rhs.rows`.
     pub fn mul_mat(&self, rhs: &CMatrix) -> CMatrix {
+        if self.cols >= 8 {
+            crate::soa::mul_mat(self, rhs)
+        } else {
+            self.mul_mat_naive(rhs)
+        }
+    }
+
+    /// Matrix product into a caller-owned output with reusable scratch.
+    ///
+    /// The zero-allocation form of [`CMatrix::mul_mat`]; see
+    /// [`crate::soa::mul_mat_into`].
+    pub fn mul_mat_into(
+        &self,
+        rhs: &CMatrix,
+        out: &mut CMatrix,
+        scratch: &mut crate::soa::MatmulScratch,
+    ) {
+        crate::soa::mul_mat_into(self, rhs, out, scratch);
+    }
+
+    /// Reference triple-loop matrix product.
+    ///
+    /// Kept as the oracle the fast kernels are property-tested against,
+    /// and used directly for small inner dimensions where packing would
+    /// cost more than it saves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.rows`.
+    pub fn mul_mat_naive(&self, rhs: &CMatrix) -> CMatrix {
         assert_eq!(self.cols, rhs.rows, "mul_mat: dimension mismatch");
         let mut out = CMatrix::zeros(self.rows, rhs.cols);
         for i in 0..self.rows {

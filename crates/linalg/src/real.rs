@@ -107,10 +107,25 @@ impl RMatrix {
     ///
     /// Panics if `v.len() != cols`.
     pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
-        assert_eq!(v.len(), self.cols, "mul_vec: dimension mismatch");
-        (0..self.rows)
-            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect()
+        let mut out = vec![0.0; self.rows];
+        self.mul_vec_into(v, &mut out);
+        out
+    }
+
+    /// Matrix-vector product written into a caller-owned output.
+    ///
+    /// Zero-allocation form of [`RMatrix::mul_vec`] for hot loops
+    /// (crossbar sampling, dot-product SNN drive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != cols` or `out.len() != rows`.
+    pub fn mul_vec_into(&self, v: &[f64], out: &mut [f64]) {
+        assert_eq!(v.len(), self.cols, "mul_vec_into: dimension mismatch");
+        assert_eq!(out.len(), self.rows, "mul_vec_into: bad output length");
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.row(i).iter().zip(v).map(|(a, b)| a * b).sum();
+        }
     }
 
     /// Matrix product `self * rhs`.

@@ -1,0 +1,137 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the subset this workspace's property tests use: the
+//! [`Strategy`] trait (implemented for numeric ranges), the
+//! [`proptest!`] test-case macro, and the `prop_assert*` macros.
+//!
+//! Unlike real proptest there is no shrinking: each test runs a fixed
+//! number of deterministic seeded cases (default 32, override with the
+//! `PROPTEST_CASES` environment variable). Failures report the case
+//! index, and the seed stream is a pure function of the test name, so a
+//! failing case is exactly reproducible by rerunning the test.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+macro_rules! impl_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.start..self.end)
+            }
+        }
+    )*};
+}
+impl_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Number of cases per property (env `PROPTEST_CASES`, default 32).
+pub fn cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32)
+}
+
+/// Deterministic per-test RNG derived from the test's name.
+pub fn test_rng(name: &str) -> StdRng {
+    // FNV-1a over the name: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Everything a property-test module needs in scope.
+pub mod prelude {
+    pub use crate::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Defines property tests: each `arg in strategy` binding is sampled
+/// fresh for every case, and the body runs once per case.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __pt_rng = $crate::test_rng(stringify!($name));
+                for __pt_case in 0..$crate::cases() {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __pt_rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small() -> impl Strategy<Value = f64> {
+        -2.0..2.0f64
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in -1.0..1.0f64, k in 0usize..5) {
+            prop_assert!((-1.0..1.0).contains(&x));
+            prop_assert!(k < 5, "k = {k}");
+        }
+
+        #[test]
+        fn impl_strategy_fns_work(x in small()) {
+            prop_assert!(x.abs() <= 2.0);
+            prop_assert_eq!(x, x);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        use rand::RngCore;
+        assert_eq!(
+            crate::test_rng("alpha").next_u64(),
+            crate::test_rng("alpha").next_u64()
+        );
+        assert_ne!(
+            crate::test_rng("alpha").next_u64(),
+            crate::test_rng("beta").next_u64()
+        );
+    }
+}

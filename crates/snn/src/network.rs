@@ -4,9 +4,10 @@
 //! learning rules" experiment (E6).
 
 use crate::encoding::SpikeTrain;
-use crate::neuron::LifNeuron;
+use crate::neuron::NeuronArray;
 use crate::stdp::StdpRule;
 use crate::synapse::PcmSynapse;
+use neuropulsim_linalg::parallel;
 use neuropulsim_photonics::pcm::PcmMaterial;
 use rand::Rng;
 
@@ -16,12 +17,23 @@ use rand::Rng;
 /// Learning follows STDP with winner-take-all lateral inhibition and a
 /// simple homeostatic threshold adaptation, the standard recipe for
 /// unsupervised pattern specialization.
+///
+/// Internally the layer is laid out structure-of-arrays for the timestep
+/// hot loop: neuron state lives in a [`NeuronArray`], synapses in one
+/// flat row-major vector, and — crucially — the synaptic weights are
+/// **cached** in a flat `f64` plane. A [`PcmSynapse::weight`] read walks
+/// the material model (complex effective index + `exp`), far too costly
+/// to repeat per neuron per impulse per timestep; the cache is refreshed
+/// only when a synapse is actually reprogrammed.
 #[derive(Debug, Clone)]
 pub struct SpikingLayer {
     inputs: usize,
-    neurons: Vec<LifNeuron>,
-    /// `synapses[j][i]`: synapse from input `i` to neuron `j`.
-    synapses: Vec<Vec<PcmSynapse>>,
+    neurons: NeuronArray,
+    /// Flat row-major synapses: `synapses[j * inputs + i]` bridges input
+    /// `i` to neuron `j`.
+    synapses: Vec<PcmSynapse>,
+    /// Cached `PcmSynapse::weight()` per synapse, same indexing.
+    weight_cache: Vec<f64>,
     /// Homeostatic threshold offsets per neuron.
     threshold_offset: Vec<f64>,
     /// Base firing threshold (before homeostatic offsets). Should sit
@@ -34,6 +46,10 @@ pub struct SpikingLayer {
     pub inhibition: bool,
     /// Threshold boost added to a neuron each time it wins.
     pub homeostasis_boost: f64,
+    /// Worker count for the per-timestep drive computation (1 = serial).
+    /// Drives are pure reads of the weight cache, so any value yields
+    /// bit-identical results; widths > 1 only pay off for large layers.
+    pub drive_threads: usize,
 }
 
 /// Result of presenting one stimulus.
@@ -53,26 +69,25 @@ impl SpikingLayer {
     /// Panics if `inputs == 0` or `neurons == 0`.
     pub fn new<R: Rng + ?Sized>(inputs: usize, neurons: usize, rng: &mut R) -> Self {
         assert!(inputs > 0 && neurons > 0, "layer must be non-empty");
-        let synapses = (0..neurons)
+        let synapses: Vec<PcmSynapse> = (0..neurons * inputs)
             .map(|_| {
-                (0..inputs)
-                    .map(|_| {
-                        let mut s = PcmSynapse::with_config(PcmMaterial::Gst225, 16);
-                        s.set_weight(rng.gen_range(0.4..0.8));
-                        s
-                    })
-                    .collect()
+                let mut s = PcmSynapse::with_config(PcmMaterial::Gst225, 16);
+                s.set_weight(rng.gen_range(0.4..0.8));
+                s
             })
             .collect();
+        let weight_cache = synapses.iter().map(PcmSynapse::weight).collect();
         SpikingLayer {
             inputs,
-            neurons: vec![LifNeuron::new(8.0, 2.0, 1e9); neurons],
+            neurons: NeuronArray::uniform(neurons, 8.0, 1.2, 1e9),
             synapses,
+            weight_cache,
             threshold_offset: vec![0.0; neurons],
             base_threshold: 1.2,
             rule: StdpRule::default(),
             inhibition: true,
             homeostasis_boost: 0.12,
+            drive_threads: 1,
         }
     }
 
@@ -88,19 +103,15 @@ impl SpikingLayer {
 
     /// The weight matrix `[neuron][input]`.
     pub fn weights(&self) -> Vec<Vec<f64>> {
-        self.synapses
-            .iter()
-            .map(|row| row.iter().map(|s| s.weight()).collect())
+        self.weight_cache
+            .chunks_exact(self.inputs)
+            .map(<[f64]>::to_vec)
             .collect()
     }
 
     /// Total PCM programming energy spent on learning so far \[J\].
     pub fn learning_energy(&self) -> f64 {
-        self.synapses
-            .iter()
-            .flatten()
-            .map(|s| s.programming_energy())
-            .sum()
+        self.synapses.iter().map(|s| s.programming_energy()).sum()
     }
 
     /// Presents one stimulus (a spike train per input channel) for
@@ -124,21 +135,24 @@ impl SpikingLayer {
         learn: bool,
     ) -> Presentation {
         assert_eq!(stimulus.len(), self.inputs, "stimulus size mismatch");
-        for n in &mut self.neurons {
-            n.reset();
-        }
+        self.neurons.reset_all();
+        let n_neurons = self.neurons.len();
         let steps = (duration / dt).ceil() as usize;
-        let mut outputs = vec![SpikeTrain::new(); self.neurons.len()];
+        let mut outputs = vec![SpikeTrain::new(); n_neurons];
         let mut winner: Option<usize> = None;
-        // Last presynaptic spike time per input within this trial.
+        // Per-trial buffers, allocated once; the per-step loop is
+        // allocation-free apart from recording output spikes.
         let mut last_pre: Vec<Option<f64>> = vec![None; self.inputs];
         let mut spike_cursor = vec![0usize; self.inputs];
-        let mut inhibited = vec![false; self.neurons.len()];
+        let mut inhibited = vec![false; n_neurons];
+        let mut impulses: Vec<usize> = Vec::with_capacity(self.inputs);
+        let mut drives = vec![0.0; n_neurons];
+        let mut fired_this_step: Vec<(usize, f64)> = Vec::with_capacity(n_neurons);
 
         for step in 0..steps {
             let t = step as f64 * dt;
             // Which inputs spike in [t, t + dt)?
-            let mut impulses: Vec<usize> = Vec::new();
+            impulses.clear();
             for (i, train) in stimulus.iter().enumerate() {
                 let times = train.times();
                 while spike_cursor[i] < times.len() && times[spike_cursor[i]] < t + dt {
@@ -147,28 +161,24 @@ impl SpikingLayer {
                     spike_cursor[i] += 1;
                 }
             }
+            self.compute_drives(&impulses, &inhibited, &mut drives);
             // Step every active neuron, collecting simultaneous firers so
             // the winner of a same-step race is the neuron with the
             // largest drive margin — not the lowest index (a tie-break
             // that would otherwise let neuron 0 hog every pattern).
-            let mut fired_this_step: Vec<(usize, f64)> = Vec::new();
-            for (j, neuron) in self.neurons.iter_mut().enumerate() {
+            fired_this_step.clear();
+            for j in 0..n_neurons {
                 if inhibited[j] {
                     continue;
                 }
-                // Impulse drive: add weights of spiking inputs directly.
-                let mut drive = 0.0;
-                for &i in &impulses {
-                    drive += self.synapses[j][i].weight();
-                }
                 let effective_threshold = self.base_threshold + self.threshold_offset[j];
-                neuron.threshold = effective_threshold;
-                if neuron.step(drive / dt, dt) {
-                    fired_this_step.push((j, drive - effective_threshold));
+                self.neurons.set_threshold(j, effective_threshold);
+                if self.neurons.step(j, drives[j] / dt, dt) {
+                    fired_this_step.push((j, drives[j] - effective_threshold));
                 }
             }
             if !fired_this_step.is_empty() {
-                let step_winner = if self.inhibition {
+                let step_winner: Vec<usize> = if self.inhibition {
                     // Largest margin wins the race; the rest are quenched
                     // by the lateral inhibition before their pulse forms.
                     let &(j, _) = fired_this_step
@@ -185,7 +195,7 @@ impl SpikingLayer {
                         winner = Some(j);
                     }
                     if learn {
-                        Self::apply_stdp(&self.rule, &mut self.synapses[j], &last_pre, t);
+                        self.apply_stdp(j, &last_pre, t);
                         self.threshold_offset[j] += self.homeostasis_boost;
                     }
                 }
@@ -206,21 +216,48 @@ impl SpikingLayer {
         Presentation { outputs, winner }
     }
 
-    /// STDP on a post spike at `t_post`: potentiate synapses whose input
-    /// fired before (within the window), depress synapses whose input has
-    /// not fired this trial (presynaptic-absence depression — the variant
-    /// that gives fast pattern selectivity on WTA layers).
-    fn apply_stdp(
-        rule: &StdpRule,
-        synapses: &mut [PcmSynapse],
-        last_pre: &[Option<f64>],
-        t_post: f64,
-    ) {
-        for (i, syn) in synapses.iter_mut().enumerate() {
+    /// Impulse drive per neuron: the sum of cached weights of this step's
+    /// spiking inputs. Pure reads of the weight cache, so fanning rows
+    /// out over `drive_threads` scoped workers cannot change the result.
+    fn compute_drives(&self, impulses: &[usize], inhibited: &[bool], drives: &mut [f64]) {
+        let inputs = self.inputs;
+        let weights = &self.weight_cache;
+        let fill = |start: usize, chunk: &mut [f64]| {
+            for (k, d) in chunk.iter_mut().enumerate() {
+                let j = start + k;
+                if inhibited[j] {
+                    *d = 0.0;
+                    continue;
+                }
+                let row = &weights[j * inputs..(j + 1) * inputs];
+                let mut acc = 0.0;
+                for &i in impulses {
+                    acc += row[i];
+                }
+                *d = acc;
+            }
+        };
+        if self.drive_threads > 1 {
+            parallel::par_chunks_mut(drives, self.drive_threads, fill);
+        } else {
+            fill(0, drives);
+        }
+    }
+
+    /// STDP on a post spike by neuron `j` at `t_post`: potentiate
+    /// synapses whose input fired before (within the window), depress
+    /// synapses whose input has not fired this trial (presynaptic-absence
+    /// depression — the variant that gives fast pattern selectivity on
+    /// WTA layers). Refreshes the weight cache for the touched row.
+    fn apply_stdp(&mut self, j: usize, last_pre: &[Option<f64>], t_post: f64) {
+        let row = &mut self.synapses[j * self.inputs..(j + 1) * self.inputs];
+        let cache_row = &mut self.weight_cache[j * self.inputs..(j + 1) * self.inputs];
+        for (i, (syn, w)) in row.iter_mut().zip(cache_row.iter_mut()).enumerate() {
             match last_pre[i] {
-                Some(t_pre) => rule.apply(syn, t_post - t_pre + 1e-9),
+                Some(t_pre) => self.rule.apply(syn, t_post - t_pre + 1e-9),
                 None => syn.depress(),
             }
+            *w = syn.weight();
         }
     }
 
@@ -279,6 +316,39 @@ mod tests {
             for &wi in row {
                 assert!((0.0..=1.0).contains(&wi));
             }
+        }
+    }
+
+    #[test]
+    fn weight_cache_tracks_programmed_synapses() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let mut layer = SpikingLayer::new(9, 3, &mut rng);
+        let before = layer.weights();
+        let _ = layer.train_patterns(&orthogonal_patterns(), 2);
+        let after = layer.weights();
+        assert_ne!(before, after, "learning must move some weights");
+        // The cache must agree with the ground-truth synapse model.
+        for (j, row) in after.iter().enumerate() {
+            for (i, &w) in row.iter().enumerate() {
+                let truth = layer.synapses[j * layer.inputs + i].weight();
+                assert_eq!(w, truth, "cache stale at [{j}][{i}]");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_drive_is_bit_identical() {
+        let patterns = orthogonal_patterns();
+        let run = |threads: usize| {
+            let mut rng = StdRng::seed_from_u64(21);
+            let mut layer = SpikingLayer::new(9, 3, &mut rng);
+            layer.drive_threads = threads;
+            let winners = layer.train_patterns(&patterns, 6);
+            (winners, layer.weights())
+        };
+        let reference = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), reference, "threads = {threads}");
         }
     }
 

@@ -148,6 +148,79 @@ impl Default for LifNeuron {
     }
 }
 
+/// A population of LIF neurons in structure-of-arrays layout: one
+/// contiguous plane per state variable instead of a `Vec<LifNeuron>`.
+///
+/// Network-scale simulation touches every neuron every timestep; keeping
+/// each state variable contiguous lets those sweeps stream through cache
+/// (and autovectorize) instead of striding over interleaved structs. The
+/// per-neuron dynamics are exactly [`LifNeuron::step`], enforced by test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NeuronArray {
+    v: Vec<f64>,
+    tau: Vec<f64>,
+    threshold: Vec<f64>,
+    refractory: Vec<f64>,
+    refractory_left: Vec<f64>,
+}
+
+impl NeuronArray {
+    /// Creates `count` neurons sharing the same parameters.
+    pub fn uniform(count: usize, tau: f64, threshold: f64, refractory: f64) -> Self {
+        NeuronArray {
+            v: vec![0.0; count],
+            tau: vec![tau; count],
+            threshold: vec![threshold; count],
+            refractory: vec![refractory; count],
+            refractory_left: vec![0.0; count],
+        }
+    }
+
+    /// Number of neurons.
+    pub fn len(&self) -> usize {
+        self.v.len()
+    }
+
+    /// True when the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.v.is_empty()
+    }
+
+    /// Membrane potential of neuron `j`.
+    pub fn potential(&self, j: usize) -> f64 {
+        self.v[j]
+    }
+
+    /// Sets the firing threshold of neuron `j`.
+    pub fn set_threshold(&mut self, j: usize, threshold: f64) {
+        self.threshold[j] = threshold;
+    }
+
+    /// Advances neuron `j` one step of length `dt` under drive `input`;
+    /// returns `true` if it fires. Same dynamics as [`LifNeuron::step`].
+    pub fn step(&mut self, j: usize, input: f64, dt: f64) -> bool {
+        if self.refractory_left[j] > 0.0 {
+            self.refractory_left[j] -= dt;
+            self.v[j] = 0.0;
+            return false;
+        }
+        self.v[j] += (input - self.v[j] / self.tau[j]) * dt;
+        if self.v[j] >= self.threshold[j] {
+            self.v[j] = 0.0;
+            self.refractory_left[j] = self.refractory[j];
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Resets every neuron's potential and refractory state.
+    pub fn reset_all(&mut self) {
+        self.v.fill(0.0);
+        self.refractory_left.fill(0.0);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +280,25 @@ mod tests {
         n.reset();
         assert_eq!(n.potential(), 0.0);
         assert!(!n.is_refractory());
+    }
+
+    #[test]
+    fn neuron_array_matches_lif_step_for_step() {
+        let mut single = LifNeuron::new(8.0, 1.1, 3.0);
+        let mut array = NeuronArray::uniform(2, 8.0, 1.1, 3.0);
+        // A drive pattern that crosses threshold and exercises refractory.
+        for k in 0..400 {
+            let input = 0.8 + 0.6 * ((k % 17) as f64 - 8.0) / 8.0;
+            let a = single.step(input, 0.1);
+            let b = array.step(0, input, 0.1);
+            assert_eq!(a, b, "fire mismatch at step {k}");
+            assert_eq!(single.potential(), array.potential(0), "v at step {k}");
+        }
+        // Neuron 1 was never stepped and stays at rest.
+        assert_eq!(array.potential(1), 0.0);
+        array.reset_all();
+        assert_eq!(array.potential(0), 0.0);
+        assert_eq!(array.len(), 2);
     }
 
     #[test]
