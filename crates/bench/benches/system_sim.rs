@@ -8,7 +8,7 @@ use neuropulsim_linalg::RMatrix;
 use neuropulsim_riscv::asm::assemble;
 use neuropulsim_riscv::bus::FlatMemory;
 use neuropulsim_riscv::cpu::Cpu;
-use neuropulsim_sim::fault::{Campaign, Fault, FaultKind, FaultTarget};
+use neuropulsim_sim::fault::{Campaign, Fault, FaultTarget};
 use neuropulsim_sim::firmware::{accel_offload, software_mvm, DramLayout};
 use neuropulsim_sim::system::System;
 
@@ -92,14 +92,13 @@ fn bench_fault_injection(c: &mut Criterion) {
     c.bench_function("fault_injection_single", |b| {
         b.iter(|| {
             black_box(campaign.inject(
-                Fault {
-                    target: FaultTarget::Dram {
+                Fault::transient(
+                    FaultTarget::Dram {
                         addr: layout.w_addr,
                     },
-                    bit: 17,
-                    cycle: 10,
-                    kind: FaultKind::Transient,
-                },
+                    17,
+                    10,
+                ),
                 &golden,
             ))
         });

@@ -141,14 +141,13 @@ fn main() {
     let mut table = Table::new(&["bit", "outcome"]);
     for &bit in &[0u8, 8, 14, 16, 20, 28, 31] {
         let outcome = c.inject(
-            neuropulsim_sim::fault::Fault {
-                target: FaultTarget::Dram {
+            neuropulsim_sim::fault::Fault::transient(
+                FaultTarget::Dram {
                     addr: layout.w_addr,
                 },
                 bit,
-                cycle: 2,
-                kind: FaultKind::Transient,
-            },
+                2,
+            ),
             &golden,
         );
         table.row(&[bit.to_string(), format!("{outcome:?}")]);

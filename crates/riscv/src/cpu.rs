@@ -90,6 +90,32 @@ impl Default for CycleModel {
     }
 }
 
+/// A point-in-time copy of the complete architectural and timing state
+/// of a [`Cpu`], for checkpoint/restore (fault-injection campaigns
+/// resume from the last checkpoint instead of replaying the warm-up
+/// prefix).
+///
+/// A restored core is indistinguishable from the original: registers,
+/// `pc`, CSRs, the `wfi` sleep flag and both hardware counters all
+/// round-trip, so a resumed run continues the exact same trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuSnapshot {
+    regs: [u32; 32],
+    pc: u32,
+    cycles: u64,
+    instret: u64,
+    cycle_model: CycleModel,
+    mscratch: u32,
+    waiting_for_interrupt: bool,
+}
+
+impl CpuSnapshot {
+    /// Cycle counter value at the time the snapshot was taken.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+}
+
 /// The RV32IM processor state.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Cpu {
@@ -141,6 +167,30 @@ impl Cpu {
     /// Delivers an interrupt: wakes the core if it is in `wfi`.
     pub fn interrupt(&mut self) {
         self.waiting_for_interrupt = false;
+    }
+
+    /// Captures the complete architectural + timing state.
+    pub fn snapshot(&self) -> CpuSnapshot {
+        CpuSnapshot {
+            regs: self.regs,
+            pc: self.pc,
+            cycles: self.cycles,
+            instret: self.instret,
+            cycle_model: self.cycle_model,
+            mscratch: self.mscratch,
+            waiting_for_interrupt: self.waiting_for_interrupt,
+        }
+    }
+
+    /// Restores the state captured by [`Cpu::snapshot`].
+    pub fn restore(&mut self, snapshot: &CpuSnapshot) {
+        self.regs = snapshot.regs;
+        self.pc = snapshot.pc;
+        self.cycles = snapshot.cycles;
+        self.instret = snapshot.instret;
+        self.cycle_model = snapshot.cycle_model;
+        self.mscratch = snapshot.mscratch;
+        self.waiting_for_interrupt = snapshot.waiting_for_interrupt;
     }
 
     fn read_csr(&self, addr: u16) -> u32 {
@@ -804,6 +854,62 @@ mod tests {
         let halt = cpu.run(&mut mem, 50).expect("no trap");
         assert_eq!(halt, Halt::Ecall);
         assert_eq!(cpu.reg(1), 9);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identical_trajectory() {
+        // Run k steps, snapshot, keep running to the end; then restore a
+        // second core from the snapshot and run it to the end too. Both
+        // must halt in exactly the same state.
+        let mut mem = FlatMemory::new(4096);
+        let code: Vec<u32> = [
+            Addi {
+                rd: 1,
+                rs1: 0,
+                imm: 0,
+            },
+            Addi {
+                rd: 2,
+                rs1: 0,
+                imm: 37,
+            },
+            // loop: x1 += x2; x2 -= 1; bnez x2 loop
+            Add {
+                rd: 1,
+                rs1: 1,
+                rs2: 2,
+            },
+            Addi {
+                rd: 2,
+                rs1: 2,
+                imm: -1,
+            },
+            Bne {
+                rs1: 2,
+                rs2: 0,
+                offset: -8,
+            },
+            Ecall,
+        ]
+        .iter()
+        .map(|&i| encode(i))
+        .collect();
+        mem.load_words(0, &code);
+        let mut cpu = Cpu::new(0);
+        for _ in 0..25 {
+            assert_eq!(cpu.step(&mut mem).expect("no trap"), None);
+        }
+        let snap = cpu.snapshot();
+        assert_eq!(snap.cycles(), cpu.cycles);
+        let halt = cpu.run(&mut mem, 100_000).expect("no trap");
+        assert_eq!(halt, Halt::Ecall);
+
+        let mut resumed = Cpu::new(0);
+        resumed.restore(&snap);
+        let halt = resumed.run(&mut mem, 100_000).expect("no trap");
+        assert_eq!(halt, Halt::Ecall);
+        assert_eq!(resumed, cpu, "restored core must converge to same state");
+        assert_eq!(resumed.reg(1), (1..=37).sum::<u32>());
     }
 
     #[test]

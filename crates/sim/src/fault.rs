@@ -7,9 +7,17 @@
 //! workload once per fault, classifying each outcome as *masked* (same
 //! result), *SDC* (silent data corruption: halted but wrong result),
 //! *crash* (trap) or *hang* (timeout).
+//!
+//! This module holds the fault model and the basic sequential campaign;
+//! the checkpointed, parallel, statistical campaign engine is in
+//! [`crate::campaign`].
 
 use crate::system::{RunOutcome, System};
 use rand::Rng;
+
+/// Default re-assertion period \[cycles\] for [`FaultKind::Permanent`]
+/// faults created without an explicit period (e.g. by [`random_faults`]).
+pub const DEFAULT_PERMANENT_PERIOD: u64 = 64;
 
 /// Hardware structure targeted by a fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -26,7 +34,10 @@ pub enum FaultTarget {
     },
     /// CPU architectural register.
     Register {
-        /// Register index 1–31 (x0 is immune).
+        /// Register index 1–31. `x0` is hardwired to zero, so injection
+        /// into index 0 is a guaranteed no-op at the fault layer, and
+        /// out-of-range indices (≥ 32) are rejected as no-ops rather
+        /// than corrupting unrelated state.
         index: u8,
     },
 }
@@ -36,7 +47,7 @@ pub enum FaultTarget {
 pub enum FaultKind {
     /// Single bit flip at injection time (SEU).
     Transient,
-    /// Bit stuck at the flipped value: re-applied every `period` cycles to
+    /// Bit stuck at one: re-applied every [`Fault::period`] cycles to
     /// emulate a permanent defect under this state-based simulator.
     Permanent,
 }
@@ -52,6 +63,36 @@ pub struct Fault {
     pub cycle: u64,
     /// Transient or permanent.
     pub kind: FaultKind,
+    /// Re-assertion period \[cycles\] for [`FaultKind::Permanent`]: the
+    /// stuck-at value is re-applied at least once every `period` cycles
+    /// of the remaining run. Ignored for transient faults. A period of 0
+    /// is treated as 1 (re-assert every cycle).
+    pub period: u64,
+}
+
+impl Fault {
+    /// A single-event upset: one bit flip at `cycle`.
+    pub fn transient(target: FaultTarget, bit: u8, cycle: u64) -> Self {
+        Fault {
+            target,
+            bit,
+            cycle,
+            kind: FaultKind::Transient,
+            period: 0,
+        }
+    }
+
+    /// A stuck-at-one defect from `cycle` onward, re-asserted every
+    /// `period` cycles (0 is treated as 1).
+    pub fn permanent(target: FaultTarget, bit: u8, cycle: u64, period: u64) -> Self {
+        Fault {
+            target,
+            bit,
+            cycle,
+            kind: FaultKind::Permanent,
+            period,
+        }
+    }
 }
 
 /// Outcome classification, following the gem5-MARVEL taxonomy.
@@ -97,7 +138,8 @@ impl CampaignStats {
         }
     }
 
-    fn record(&mut self, outcome: FaultOutcome) {
+    /// Adds one classified outcome to the tallies.
+    pub fn record(&mut self, outcome: FaultOutcome) {
         match outcome {
             FaultOutcome::Masked => self.masked += 1,
             FaultOutcome::SilentDataCorruption => self.sdc += 1,
@@ -113,10 +155,12 @@ impl CampaignStats {
 /// [`System`] with firmware and data loaded; `readout` extracts the
 /// result signature from a finished system (compared against the golden
 /// run for SDC detection).
+/// Both closures are `Sync` so a campaign can be shared by the scoped
+/// worker threads of the parallel runner in [`crate::campaign`].
 pub struct Campaign<'a> {
-    setup: Box<dyn Fn() -> System + 'a>,
+    pub(crate) setup: Box<dyn Fn() -> System + Sync + 'a>,
     #[allow(clippy::type_complexity)] // one-off callback signature
-    readout: Box<dyn Fn(&System) -> Vec<u32> + 'a>,
+    pub(crate) readout: Box<dyn Fn(&System) -> Vec<u32> + Sync + 'a>,
     /// Cycle budget per run.
     pub max_cycles: u64,
 }
@@ -125,8 +169,8 @@ impl<'a> Campaign<'a> {
     /// Creates a campaign from a workload builder and a result extractor.
     pub fn new<S, R>(setup: S, readout: R, max_cycles: u64) -> Self
     where
-        S: Fn() -> System + 'a,
-        R: Fn(&System) -> Vec<u32> + 'a,
+        S: Fn() -> System + Sync + 'a,
+        R: Fn(&System) -> Vec<u32> + Sync + 'a,
     {
         Campaign {
             setup: Box::new(setup),
@@ -159,27 +203,51 @@ impl<'a> Campaign<'a> {
         let pre = sys.run_cycles_bounded(fault.cycle, self.max_cycles);
         if let Some(outcome) = pre {
             // Finished before the fault hit: it can only be masked.
-            return match outcome {
-                RunOutcome::Halted(_) => {
-                    if (self.readout)(&sys) == golden {
-                        FaultOutcome::Masked
-                    } else {
-                        FaultOutcome::SilentDataCorruption
-                    }
-                }
-                RunOutcome::Trapped(_) => FaultOutcome::Crash,
-                RunOutcome::TimedOut => FaultOutcome::Hang,
-            };
+            return self.classify(&sys, outcome, golden);
         }
-        apply_fault(&mut sys, fault);
+        self.finish_with_fault(&mut sys, fault, golden)
+    }
+
+    /// Maps a final [`RunOutcome`] to the campaign taxonomy, comparing
+    /// the readout signature against the golden one for SDC detection.
+    pub(crate) fn classify(
+        &self,
+        sys: &System,
+        outcome: RunOutcome,
+        golden: &[u32],
+    ) -> FaultOutcome {
+        match outcome {
+            RunOutcome::Halted(_) => {
+                if (self.readout)(sys) == golden {
+                    FaultOutcome::Masked
+                } else {
+                    FaultOutcome::SilentDataCorruption
+                }
+            }
+            RunOutcome::Trapped(_) => FaultOutcome::Crash,
+            RunOutcome::TimedOut => FaultOutcome::Hang,
+        }
+    }
+
+    /// Applies `fault` to a system already advanced to the injection
+    /// point and runs to completion. Shared by the sequential
+    /// [`Campaign::inject`] and the checkpointed engine so both follow a
+    /// bit-identical code path after the fault lands.
+    pub(crate) fn finish_with_fault(
+        &self,
+        sys: &mut System,
+        fault: Fault,
+        golden: &[u32],
+    ) -> FaultOutcome {
+        apply_fault(sys, fault);
         let remaining = self.max_cycles.saturating_sub(fault.cycle).max(1);
         let mut budget = remaining;
         let outcome = loop {
             if fault.kind == FaultKind::Permanent {
-                apply_stuck(&mut sys, fault);
+                apply_stuck(sys, fault);
             }
             let chunk = match fault.kind {
-                FaultKind::Permanent => 64.min(budget),
+                FaultKind::Permanent => fault.period.max(1).min(budget),
                 FaultKind::Transient => budget,
             };
             let report = sys.run(chunk);
@@ -193,17 +261,7 @@ impl<'a> Campaign<'a> {
                 other => break other,
             }
         };
-        match outcome {
-            RunOutcome::Halted(_) => {
-                if (self.readout)(&sys) == golden {
-                    FaultOutcome::Masked
-                } else {
-                    FaultOutcome::SilentDataCorruption
-                }
-            }
-            RunOutcome::Trapped(_) => FaultOutcome::Crash,
-            RunOutcome::TimedOut => FaultOutcome::Hang,
-        }
+        self.classify(sys, outcome, golden)
     }
 
     /// Runs a whole campaign of `faults`, returning per-fault outcomes and
@@ -237,11 +295,19 @@ pub fn random_faults<R: Rng + ?Sized>(
             bit: rng.gen_range(0..32),
             cycle: rng.gen_range(0..max_cycle.max(1)),
             kind,
+            period: DEFAULT_PERMANENT_PERIOD,
         })
         .collect()
 }
 
-fn apply_fault(sys: &mut System, fault: Fault) {
+/// `true` when a register fault target can actually disturb state:
+/// `x0` is hardwired to zero and indices ≥ 32 do not exist, so both are
+/// no-ops at the fault layer (never a panic, never collateral damage).
+fn register_index_effective(index: u8) -> bool {
+    (1..32).contains(&index)
+}
+
+pub(crate) fn apply_fault(sys: &mut System, fault: Fault) {
     match fault.target {
         FaultTarget::Dram { addr } => {
             let _ = sys.platform.dram.flip_bit(addr, fault.bit);
@@ -250,13 +316,15 @@ fn apply_fault(sys: &mut System, fault: Fault) {
             let _ = sys.platform.spm.flip_bit(addr, fault.bit);
         }
         FaultTarget::Register { index } => {
-            let v = sys.cpu.reg(index);
-            sys.cpu.set_reg(index, v ^ (1 << (fault.bit & 31)));
+            if register_index_effective(index) {
+                let v = sys.cpu.reg(index);
+                sys.cpu.set_reg(index, v ^ (1 << (fault.bit & 31)));
+            }
         }
     }
 }
 
-fn apply_stuck(sys: &mut System, fault: Fault) {
+pub(crate) fn apply_stuck(sys: &mut System, fault: Fault) {
     // Stuck-at-one on the chosen bit, re-asserted periodically.
     match fault.target {
         FaultTarget::Dram { addr } => {
@@ -270,8 +338,10 @@ fn apply_stuck(sys: &mut System, fault: Fault) {
             }
         }
         FaultTarget::Register { index } => {
-            let v = sys.cpu.reg(index);
-            sys.cpu.set_reg(index, v | (1 << (fault.bit & 31)));
+            if register_index_effective(index) {
+                let v = sys.cpu.reg(index);
+                sys.cpu.set_reg(index, v | (1 << (fault.bit & 31)));
+            }
         }
     }
 }
@@ -340,14 +410,13 @@ mod tests {
         let c = workload();
         let golden = c.golden();
         // Flip a magnitude bit of x[0] before the program reads it.
-        let fault = Fault {
-            target: FaultTarget::Dram {
+        let fault = Fault::transient(
+            FaultTarget::Dram {
                 addr: DramLayout::default().x_addr,
             },
-            bit: 18,
-            cycle: 1,
-            kind: FaultKind::Transient,
-        };
+            18,
+            1,
+        );
         let outcome = c.inject(fault, &golden);
         assert_eq!(outcome, FaultOutcome::SilentDataCorruption);
     }
@@ -356,12 +425,7 @@ mod tests {
     fn fault_in_unused_memory_is_masked() {
         let c = workload();
         let golden = c.golden();
-        let fault = Fault {
-            target: FaultTarget::Dram { addr: 0x003F_0000 },
-            bit: 5,
-            cycle: 10,
-            kind: FaultKind::Transient,
-        };
+        let fault = Fault::transient(FaultTarget::Dram { addr: 0x003F_0000 }, 5, 10);
         assert_eq!(c.inject(fault, &golden), FaultOutcome::Masked);
     }
 
@@ -388,14 +452,13 @@ mod tests {
         // Flipping a high bit of a weight early corrupts the result.
         let c = workload();
         let golden = c.golden();
-        let fault = Fault {
-            target: FaultTarget::Dram {
+        let fault = Fault::transient(
+            FaultTarget::Dram {
                 addr: DramLayout::default().w_addr, // W[0][0]
             },
-            bit: 18, // magnitude bits of Q16.16
-            cycle: 5,
-            kind: FaultKind::Transient,
-        };
+            18, // magnitude bits of Q16.16
+            5,
+        );
         assert_eq!(c.inject(fault, &golden), FaultOutcome::SilentDataCorruption);
     }
 
@@ -406,14 +469,13 @@ mod tests {
         // last use is masked. Use a late cycle.
         let c = workload();
         let golden = c.golden();
-        let fault = Fault {
-            target: FaultTarget::Dram {
+        let fault = Fault::transient(
+            FaultTarget::Dram {
                 addr: DramLayout::default().w_addr,
             },
-            bit: 0,
-            cycle: 999_000, // beyond program end; applied after halt
-            kind: FaultKind::Transient,
-        };
+            0,
+            999_000, // beyond program end; applied after halt
+        );
         assert_eq!(c.inject(fault, &golden), FaultOutcome::Masked);
     }
 
@@ -422,17 +484,124 @@ mod tests {
         let c = workload();
         let golden = c.golden();
         // Stuck-at-one on a high bit of the accumulator register t1 (x6).
-        let fault = Fault {
-            target: FaultTarget::Register { index: 6 },
-            bit: 30,
-            cycle: 20,
-            kind: FaultKind::Permanent,
-        };
+        let fault = Fault::permanent(
+            FaultTarget::Register { index: 6 },
+            30,
+            20,
+            DEFAULT_PERMANENT_PERIOD,
+        );
         let outcome = c.inject(fault, &golden);
         assert_ne!(
             outcome,
             FaultOutcome::Masked,
             "stuck accumulator bit must matter"
+        );
+    }
+
+    #[test]
+    fn x0_injection_is_a_guaranteed_noop() {
+        // x0 is architecturally immune: transient and permanent faults
+        // into register index 0 must be no-ops at the fault layer.
+        let c = workload();
+        let golden = c.golden();
+        let target = FaultTarget::Register { index: 0 };
+        for bit in [0u8, 15, 31] {
+            assert_eq!(
+                c.inject(Fault::transient(target, bit, 3), &golden),
+                FaultOutcome::Masked
+            );
+            assert_eq!(
+                c.inject(Fault::permanent(target, bit, 3, 16), &golden),
+                FaultOutcome::Masked
+            );
+        }
+        // Direct check that the apply layer leaves the CPU untouched.
+        let mut sys = (c.setup)();
+        let before = sys.cpu.clone();
+        apply_fault(&mut sys, Fault::transient(target, 31, 0));
+        apply_stuck(&mut sys, Fault::permanent(target, 31, 0, 1));
+        assert_eq!(sys.cpu, before);
+    }
+
+    #[test]
+    fn out_of_range_register_index_is_rejected() {
+        // Indices >= 32 used to index straight into the register file
+        // and panic; they must now be rejected as no-ops.
+        let c = workload();
+        let golden = c.golden();
+        for index in [32u8, 40, 255] {
+            let target = FaultTarget::Register { index };
+            assert_eq!(
+                c.inject(Fault::transient(target, 7, 2), &golden),
+                FaultOutcome::Masked
+            );
+            assert_eq!(
+                c.inject(Fault::permanent(target, 7, 2, 8), &golden),
+                FaultOutcome::Masked
+            );
+        }
+    }
+
+    #[test]
+    fn permanent_period_controls_reassertion_across_chunks() {
+        // Stuck-at-one on bit 0 of y[0], injected before the program
+        // writes its result. With a 1-cycle period the defect is
+        // re-asserted after the final store and survives to the readout
+        // (SDC). With a period longer than the whole run it is asserted
+        // once at injection time only, and the final store overwrites it
+        // (masked). The golden y[0] is to_fixed(1.0) = 0x10000: bit 0
+        // is clear, so a surviving stuck bit is visible.
+        let c = workload();
+        let golden = c.golden();
+        assert_eq!(golden[0] & 1, 0, "test needs a clear bit 0 in golden");
+        let target = FaultTarget::Dram {
+            addr: DramLayout::default().y_addr,
+        };
+        assert_eq!(
+            c.inject(Fault::permanent(target, 0, 5, 1), &golden),
+            FaultOutcome::SilentDataCorruption,
+            "1-cycle period must re-assert past the final store"
+        );
+        assert_eq!(
+            c.inject(Fault::permanent(target, 0, 5, c.max_cycles * 2), &golden),
+            FaultOutcome::Masked,
+            "a period longer than the run asserts only once"
+        );
+    }
+
+    #[test]
+    fn fault_at_or_beyond_cycle_budget_never_lands() {
+        // The same x[0] fault that is SDC at cycle 1 can never land when
+        // scheduled at or past the campaign cycle budget.
+        let c = workload();
+        let golden = c.golden();
+        let target = FaultTarget::Dram {
+            addr: DramLayout::default().x_addr,
+        };
+        for cycle in [c.max_cycles, c.max_cycles + 123] {
+            assert_eq!(
+                c.inject(Fault::transient(target, 18, cycle), &golden),
+                FaultOutcome::Masked
+            );
+        }
+    }
+
+    #[test]
+    fn fault_exactly_on_halt_cycle_is_masked() {
+        let c = workload();
+        let golden = c.golden();
+        let mut sys = (c.setup)();
+        let report = sys.run(c.max_cycles);
+        assert!(matches!(report.outcome, RunOutcome::Halted(_)));
+        let halt_cycle = report.cycles;
+        // The program is already done when the fault would land, so even
+        // a flip in the live input vector changes nothing.
+        let target = FaultTarget::Dram {
+            addr: DramLayout::default().x_addr,
+        };
+        assert_eq!(
+            c.inject(Fault::transient(target, 18, halt_cycle), &golden),
+            FaultOutcome::Masked
         );
     }
 
@@ -445,6 +614,7 @@ mod tests {
         for f in faults {
             assert!(f.bit < 32);
             assert!(f.cycle < 100);
+            assert_eq!(f.period, DEFAULT_PERMANENT_PERIOD);
         }
     }
 }

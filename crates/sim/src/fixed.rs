@@ -8,9 +8,19 @@ pub const FRAC_BITS: u32 = 16;
 pub const SCALE: f64 = 65536.0;
 
 /// Converts a float to Q16.16 with saturation.
+///
+/// Non-finite inputs follow an explicit policy: `+inf` saturates to
+/// [`i32::MAX`], `-inf` to [`i32::MIN`], and NaN converts to 0 — NaN has
+/// no order, so neither saturation bound applies, and 0 is the only
+/// value that keeps `to_fixed` total without inventing a sign. (Before
+/// this was spelled out, NaN fell through both comparisons and hit the
+/// `as` cast, which yields 0 silently; the behaviour is unchanged but
+/// now deliberate and tested.)
 pub fn to_fixed(x: f64) -> i32 {
     let v = (x * SCALE).round();
-    if v >= i32::MAX as f64 {
+    if v.is_nan() {
+        0
+    } else if v >= i32::MAX as f64 {
         i32::MAX
     } else if v <= i32::MIN as f64 {
         i32::MIN
@@ -46,6 +56,16 @@ mod tests {
     fn saturation() {
         assert_eq!(to_fixed(1e9), i32::MAX);
         assert_eq!(to_fixed(-1e9), i32::MIN);
+    }
+
+    #[test]
+    fn non_finite_policy() {
+        assert_eq!(to_fixed(f64::NAN), 0, "NaN converts to 0 by policy");
+        assert_eq!(to_fixed(-f64::NAN), 0);
+        assert_eq!(to_fixed(f64::INFINITY), i32::MAX);
+        assert_eq!(to_fixed(f64::NEG_INFINITY), i32::MIN);
+        // The boundary just inside the representable range still rounds.
+        assert_eq!(to_fixed(f64::MIN_POSITIVE), 0);
     }
 
     #[test]

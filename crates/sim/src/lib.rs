@@ -15,6 +15,9 @@
 //!   the accelerator-offload driver;
 //! - [`fault`]: transient/permanent fault injection with the
 //!   masked/SDC/crash/hang taxonomy;
+//! - [`checkpoint`]: full-system snapshot/restore;
+//! - [`campaign`]: the checkpointed, parallel, statistical campaign
+//!   engine with Wilson confidence intervals and JSON reporting;
 //! - [`fixed`]: the Q16.16 operand format.
 //!
 //! # Examples
@@ -42,6 +45,8 @@
 
 pub mod accel;
 pub mod cache;
+pub mod campaign;
+pub mod checkpoint;
 pub mod dma;
 pub mod fault;
 pub mod firmware;

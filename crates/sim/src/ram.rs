@@ -137,6 +137,68 @@ impl Ram {
         self.data[i] ^= 1 << (bit & 31);
         Ok(())
     }
+
+    /// Captures a compact point-in-time image (see [`RamSnapshot`]).
+    pub fn snapshot(&self) -> RamSnapshot {
+        RamSnapshot {
+            base: self.base,
+            words: self.data.len(),
+            nonzero: self
+                .data
+                .iter()
+                .enumerate()
+                .filter(|&(_, &w)| w != 0)
+                .map(|(i, &w)| (i as u32, w))
+                .collect(),
+            reads: self.reads,
+            writes: self.writes,
+        }
+    }
+
+    /// Restores the image captured by [`Ram::snapshot`], including the
+    /// access counters (so energy reports of a resumed run match an
+    /// uninterrupted one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot geometry (base, size) does not match this
+    /// RAM — snapshots only restore onto the memory they were taken from.
+    pub fn restore(&mut self, snapshot: &RamSnapshot) {
+        assert_eq!(self.base, snapshot.base, "snapshot base mismatch");
+        assert_eq!(self.data.len(), snapshot.words, "snapshot size mismatch");
+        self.data.fill(0);
+        for &(i, w) in &snapshot.nonzero {
+            self.data[i as usize] = w;
+        }
+        self.reads = snapshot.reads;
+        self.writes = snapshot.writes;
+    }
+}
+
+/// A compact point-in-time image of a [`Ram`] storing only the nonzero
+/// words. Workload footprints (firmware + operands) are tiny compared to
+/// the 4 MiB DRAM, so a campaign can keep tens of checkpoints resident
+/// for megabytes instead of gigabytes; a fully dense RAM degrades to
+/// 2 words per word, never worse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RamSnapshot {
+    base: u32,
+    words: usize,
+    nonzero: Vec<(u32, u32)>,
+    reads: u64,
+    writes: u64,
+}
+
+impl RamSnapshot {
+    /// Approximate heap footprint of this snapshot \[bytes\].
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.nonzero.len() * std::mem::size_of::<(u32, u32)>()
+    }
+
+    /// Number of nonzero words captured.
+    pub fn nonzero_words(&self) -> usize {
+        self.nonzero.len()
+    }
 }
 
 #[cfg(test)]
@@ -187,6 +249,34 @@ mod tests {
         assert_eq!(r.peek(0).unwrap(), 0);
         r.flip_bit(0, 31).unwrap();
         assert_eq!(r.peek(0).unwrap(), 0x8000_0000);
+    }
+
+    #[test]
+    fn snapshot_is_sparse_and_restores_counters() {
+        let mut r = Ram::new(0x1000, 1 << 20); // 1 MiB, mostly zero
+        r.store(0x1004, 7).unwrap();
+        r.store(0x1100, 0xDEAD).unwrap();
+        r.load(0x1004).unwrap();
+        let snap = r.snapshot();
+        assert_eq!(snap.nonzero_words(), 2);
+        assert!(snap.approx_bytes() < 256, "sparse image must stay small");
+        // Diverge, then restore.
+        r.store(0x1004, 99).unwrap();
+        r.store(0x2000, 1).unwrap();
+        r.restore(&snap);
+        assert_eq!(r.peek(0x1004).unwrap(), 7);
+        assert_eq!(r.peek(0x1100).unwrap(), 0xDEAD);
+        assert_eq!(r.peek(0x2000).unwrap(), 0);
+        assert_eq!(r.reads, 1);
+        assert_eq!(r.writes, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot size mismatch")]
+    fn snapshot_rejects_foreign_geometry() {
+        let small = Ram::new(0, 16);
+        let mut big = Ram::new(0, 64);
+        big.restore(&small.snapshot());
     }
 
     #[test]

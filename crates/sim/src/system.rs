@@ -79,10 +79,11 @@ pub struct Platform {
     pub dram_latency: u64,
     /// Optional unified L1 cache over DRAM traffic (timing-only).
     pub l1_cache: Option<DirectMappedCache>,
-    stall_cycles: u64,
-    accel_irq_enabled: bool,
-    extra_irq_enabled: Vec<bool>,
-    dma_irq_enabled: bool,
+    // pub(crate) so the checkpoint module can capture/restore them.
+    pub(crate) stall_cycles: u64,
+    pub(crate) accel_irq_enabled: bool,
+    pub(crate) extra_irq_enabled: Vec<bool>,
+    pub(crate) dma_irq_enabled: bool,
 }
 
 impl Platform {

@@ -13,7 +13,7 @@ use neuropulsim::linalg::{metrics, random, RMatrix};
 use neuropulsim::nn::dataset::{synthetic_digits, DigitsConfig};
 use neuropulsim::nn::mlp::Mlp;
 use neuropulsim::photonics::pcm::PcmMaterial;
-use neuropulsim::sim::fault::{Campaign, Fault, FaultKind, FaultOutcome, FaultTarget};
+use neuropulsim::sim::fault::{Campaign, Fault, FaultOutcome, FaultTarget};
 use neuropulsim::sim::firmware::{accel_offload, software_mvm, DramLayout};
 use neuropulsim::sim::system::{RunOutcome, System};
 use neuropulsim::snn::network::SpikingLayer;
@@ -214,25 +214,19 @@ fn fault_campaign_on_offload_workload() {
     let golden = campaign.golden();
     // Corrupt the input vector in DRAM before the DMA picks it up.
     let outcome = campaign.inject(
-        Fault {
-            target: FaultTarget::Dram {
+        Fault::transient(
+            FaultTarget::Dram {
                 addr: layout.x_addr,
             },
-            bit: 17,
-            cycle: 1,
-            kind: FaultKind::Transient,
-        },
+            17,
+            1,
+        ),
         &golden,
     );
     assert_eq!(outcome, FaultOutcome::SilentDataCorruption);
     // A fault in untouched DRAM is masked.
     let outcome = campaign.inject(
-        Fault {
-            target: FaultTarget::Dram { addr: 0x0030_8000 },
-            bit: 3,
-            cycle: 1,
-            kind: FaultKind::Transient,
-        },
+        Fault::transient(FaultTarget::Dram { addr: 0x0030_8000 }, 3, 1),
         &golden,
     );
     assert_eq!(outcome, FaultOutcome::Masked);
