@@ -1,0 +1,307 @@
+//! Algorithm-based fault tolerance (ABFT) for photonic MVM/GeMM offloads.
+//!
+//! The paper treats **robustness** as a first-class evaluation axis of the
+//! MZI-mesh cores (§4) and uses the gem5-MARVEL flow to classify fault
+//! outcomes (§5). This module adds the classic Huang–Abraham checksum
+//! scheme on top of the offload path so a *runtime* can detect — and for
+//! single-element corruption, repair — a faulty result block instead of
+//! silently consuming it.
+//!
+//! For the programmed matrix `W` (n×n) two checksum rows are precomputed:
+//!
+//! - the plain checksum `c = 1ᵀ·W` (column sums), and
+//! - the weighted checksum `cʷ = kᵀ·W` with weights `k_i = i + 1`.
+//!
+//! For an offload output `y = W·x` the syndromes
+//!
+//! ```text
+//! s1 = Σ_i y_i      − c·x
+//! s2 = Σ_i k_i·y_i  − cʷ·x
+//! ```
+//!
+//! are both ~0 on a clean result (up to arithmetic/quantization noise). A
+//! single corrupted element `y_r ← y_r + δ` gives `s1 = δ` and
+//! `s2 = k_r·δ`, so `s2/s1` recovers the row and `s1` the correction.
+//! Anything inconsistent with the single-error model is flagged as
+//! uncorrectable corruption — still *detected*, never silent.
+//!
+//! The tolerance is explicitly fixed-point aware: the simulated firmware
+//! path computes in Q16.16 with per-MAC floor rounding, so
+//! [`fixed_checksum_tolerance`] bounds the legitimate checksum residual of
+//! an n-term accumulation in LSBs.
+
+use neuropulsim_linalg::RMatrix;
+
+/// Verdict of a checksum verification of one output column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ColumnCheck {
+    /// Both syndromes within tolerance: accept the block.
+    Clean,
+    /// Syndromes consistent with a single corrupted element: repairable.
+    Correctable {
+        /// Row index (0-based) of the corrupted output element.
+        row: usize,
+        /// Additive error on that element (`y[row] = correct + delta`).
+        delta: f64,
+    },
+    /// Syndromes inconsistent with any single-element error: detected,
+    /// but not repairable from the checksums alone.
+    Corrupt,
+}
+
+/// Precomputed plain and weighted checksum rows of a programmed matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbftWeights {
+    n: usize,
+    /// `c_j = Σ_i W[i][j]` (plain checksum row, `1ᵀ·W`).
+    plain: Vec<f64>,
+    /// `cʷ_j = Σ_i (i+1)·W[i][j]` (weighted checksum row, `kᵀ·W`).
+    weighted: Vec<f64>,
+}
+
+impl AbftWeights {
+    /// Builds the checksum rows for a square matrix `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not square or is empty.
+    pub fn new(w: &RMatrix) -> Self {
+        assert_eq!(w.rows(), w.cols(), "AbftWeights: matrix must be square");
+        let n = w.rows();
+        assert!(n > 0, "AbftWeights: empty matrix");
+        let mut plain = vec![0.0; n];
+        let mut weighted = vec![0.0; n];
+        for i in 0..n {
+            let k = (i + 1) as f64;
+            for j in 0..n {
+                plain[j] += w[(i, j)];
+                weighted[j] += k * w[(i, j)];
+            }
+        }
+        AbftWeights { n, plain, weighted }
+    }
+
+    /// The matrix dimension the checksums were built for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The plain checksum row `1ᵀ·W`.
+    pub fn plain(&self) -> &[f64] {
+        &self.plain
+    }
+
+    /// The weighted checksum row `kᵀ·W`.
+    pub fn weighted(&self) -> &[f64] {
+        &self.weighted
+    }
+
+    /// The expected `(c·x, cʷ·x)` pair for an input column `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n`.
+    pub fn expected(&self, x: &[f64]) -> (f64, f64) {
+        assert_eq!(x.len(), self.n, "expected: input length mismatch");
+        let mut c = 0.0;
+        let mut cw = 0.0;
+        for (j, &xj) in x.iter().enumerate() {
+            c += self.plain[j] * xj;
+            cw += self.weighted[j] * xj;
+        }
+        (c, cw)
+    }
+
+    /// Verifies an output column `y` against input `x` within `tolerance`
+    /// (absolute, on the plain syndrome; the weighted syndrome is allowed
+    /// `n·tolerance` because the weights scale a single-element error by
+    /// up to `n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` is not `n` long, or `tolerance` is negative
+    /// or non-finite.
+    pub fn check(&self, x: &[f64], y: &[f64], tolerance: f64) -> ColumnCheck {
+        assert_eq!(y.len(), self.n, "check: output length mismatch");
+        assert!(
+            tolerance.is_finite() && tolerance >= 0.0,
+            "check: tolerance must be finite and non-negative"
+        );
+        let (c, cw) = self.expected(x);
+        let nf = self.n as f64;
+        let mut s1 = -c;
+        let mut s2 = -cw;
+        for (i, &yi) in y.iter().enumerate() {
+            s1 += yi;
+            s2 += (i + 1) as f64 * yi;
+        }
+        if !s1.is_finite() || !s2.is_finite() {
+            return ColumnCheck::Corrupt;
+        }
+        if s1.abs() <= tolerance && s2.abs() <= tolerance * nf {
+            return ColumnCheck::Clean;
+        }
+        if s1.abs() > tolerance {
+            let ratio = s2 / s1;
+            let row = ratio.round();
+            // A single error at row r gives s2 = (r+1)·s1 exactly; allow
+            // (n+1)·tolerance of slack for the quantization background.
+            if row >= 1.0 && row <= nf && (s2 - row * s1).abs() <= tolerance * (nf + 1.0) {
+                return ColumnCheck::Correctable {
+                    row: row as usize - 1,
+                    delta: s1,
+                };
+            }
+        }
+        ColumnCheck::Corrupt
+    }
+
+    /// Applies a [`ColumnCheck::Correctable`] verdict to `y` in place.
+    /// `Clean` and `Corrupt` verdicts are no-ops.
+    pub fn correct(&self, y: &mut [f64], verdict: &ColumnCheck) {
+        if let ColumnCheck::Correctable { row, delta } = verdict {
+            y[*row] -= delta;
+        }
+    }
+}
+
+/// Tally of per-column verdicts over a whole GeMM offload.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AbftReport {
+    /// Columns that passed verification untouched.
+    pub clean: usize,
+    /// Columns repaired from a single-element syndrome.
+    pub corrected: usize,
+    /// Columns flagged as uncorrectably corrupt.
+    pub corrupt: usize,
+}
+
+impl AbftReport {
+    /// `true` when no column needed detection handling at all.
+    pub fn all_clean(&self) -> bool {
+        self.corrected == 0 && self.corrupt == 0
+    }
+}
+
+/// Checksum tolerance, in Q16.16 LSBs, for an `n`-term fixed-point
+/// accumulation verified against a fixed-point checksum row.
+///
+/// Each Q16.16 MAC floors (up to 1 LSB of bias each), the checksum row is
+/// itself quantized (another LSB per term), and the plain sum of `y`
+/// accumulates the rounding of `n` stored elements — `4n` covers all
+/// three with margin, and the `+16` constant absorbs the final-store
+/// rounding at tiny `n`.
+pub fn fixed_checksum_tolerance(n: usize) -> u32 {
+    4 * n as u32 + 16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_matrix(n: usize) -> RMatrix {
+        RMatrix::from_fn(n, n, |i, j| 0.4 * ((i as f64 - j as f64) * 0.31).sin())
+    }
+
+    fn test_input(n: usize, seed: usize) -> Vec<f64> {
+        (0..n)
+            .map(|k| 0.2 * ((seed * n + k) as f64 * 0.17).cos())
+            .collect()
+    }
+
+    #[test]
+    fn clean_output_passes() {
+        let n = 8;
+        let w = test_matrix(n);
+        let weights = AbftWeights::new(&w);
+        for v in 0..4 {
+            let x = test_input(n, v);
+            let y = w.mul_vec(&x);
+            assert_eq!(weights.check(&x, &y, 1e-9), ColumnCheck::Clean);
+        }
+    }
+
+    #[test]
+    fn single_error_is_located_and_repaired() {
+        let n = 8;
+        let w = test_matrix(n);
+        let weights = AbftWeights::new(&w);
+        let x = test_input(n, 1);
+        for row in 0..n {
+            let mut y = w.mul_vec(&x);
+            let golden = y.clone();
+            y[row] += 0.37;
+            let verdict = weights.check(&x, &y, 1e-9);
+            match verdict {
+                ColumnCheck::Correctable { row: r, delta } => {
+                    assert_eq!(r, row);
+                    assert!((delta - 0.37).abs() < 1e-9);
+                }
+                other => panic!("expected Correctable at row {row}, got {other:?}"),
+            }
+            weights.correct(&mut y, &verdict);
+            for (a, b) in y.iter().zip(&golden) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn double_error_is_flagged_corrupt() {
+        let n = 8;
+        let w = test_matrix(n);
+        let weights = AbftWeights::new(&w);
+        let x = test_input(n, 2);
+        let mut y = w.mul_vec(&x);
+        y[1] += 0.5;
+        y[6] -= 0.31;
+        assert_eq!(weights.check(&x, &y, 1e-9), ColumnCheck::Corrupt);
+    }
+
+    #[test]
+    fn nonfinite_output_is_flagged_corrupt() {
+        let n = 4;
+        let w = test_matrix(n);
+        let weights = AbftWeights::new(&w);
+        let x = test_input(n, 3);
+        let mut y = w.mul_vec(&x);
+        y[2] = f64::NAN;
+        assert_eq!(weights.check(&x, &y, 1e-6), ColumnCheck::Corrupt);
+        y[2] = f64::INFINITY;
+        assert_eq!(weights.check(&x, &y, 1e-6), ColumnCheck::Corrupt);
+    }
+
+    #[test]
+    fn tolerance_absorbs_quantization_noise() {
+        let n = 8;
+        let w = test_matrix(n);
+        let weights = AbftWeights::new(&w);
+        let x = test_input(n, 4);
+        let mut y = w.mul_vec(&x);
+        // Perturb every element by well under a tolerance's worth.
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi += 1e-5 * if i % 2 == 0 { 1.0 } else { -1.0 };
+        }
+        assert_eq!(weights.check(&x, &y, 1e-3), ColumnCheck::Clean);
+    }
+
+    #[test]
+    fn expected_matches_checksum_rows() {
+        let n = 5;
+        let w = test_matrix(n);
+        let weights = AbftWeights::new(&w);
+        let x = test_input(n, 5);
+        let (c, cw) = weights.expected(&x);
+        let y = w.mul_vec(&x);
+        let s: f64 = y.iter().sum();
+        let sw: f64 = y.iter().enumerate().map(|(i, v)| (i + 1) as f64 * v).sum();
+        assert!((s - c).abs() < 1e-9);
+        assert!((sw - cw).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fixed_tolerance_scales_with_n() {
+        assert_eq!(fixed_checksum_tolerance(8), 48);
+        assert!(fixed_checksum_tolerance(64) > fixed_checksum_tolerance(8));
+    }
+}

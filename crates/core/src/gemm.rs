@@ -6,6 +6,7 @@
 //! parallel in a single multiport interferometer without incurring
 //! additional resource costs".
 
+use crate::abft::{AbftReport, AbftWeights, ColumnCheck};
 use crate::mvm::{MvmCore, MvmNoiseConfig};
 use neuropulsim_linalg::{parallel, CVector, RMatrix};
 use neuropulsim_photonics::energy::{EnergyLedger, TechnologyProfile};
@@ -293,6 +294,59 @@ impl GemmEngine {
         out
     }
 
+    /// The ABFT checksum rows of the programmed matrix, for guarding
+    /// offloads of this engine (see [`crate::abft`]).
+    pub fn abft_weights(&self) -> AbftWeights {
+        AbftWeights::new(self.core.target())
+    }
+
+    /// [`GemmEngine::matmul_noisy`] with per-column ABFT verification and
+    /// single-element repair: every output column is checked against the
+    /// checksum rows of the *target* matrix within `tolerance`,
+    /// correctable columns are repaired in place, and the verdict tally
+    /// is returned alongside the (possibly repaired) output.
+    ///
+    /// With an ideal noise config the report is all-clean; as noise grows
+    /// past what `tolerance` absorbs, columns migrate to
+    /// corrected/corrupt — the same clean/correctable/corrupt taxonomy
+    /// the guarded firmware applies on-device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != core.modes()`.
+    pub fn matmul_noisy_checked<R: Rng + ?Sized>(
+        &self,
+        x: &RMatrix,
+        config: &MvmNoiseConfig,
+        rng: &mut R,
+        tolerance: f64,
+    ) -> (RMatrix, AbftReport) {
+        let weights = self.abft_weights();
+        let mut out = self.matmul_noisy(x, config, rng);
+        let n = self.core.modes();
+        let mut report = AbftReport::default();
+        let mut col = vec![0.0; n];
+        let mut y = vec![0.0; n];
+        for c in 0..x.cols() {
+            for r in 0..n {
+                col[r] = x[(r, c)];
+                y[r] = out[(r, c)];
+            }
+            match weights.check(&col, &y, tolerance) {
+                ColumnCheck::Clean => report.clean += 1,
+                verdict @ ColumnCheck::Correctable { .. } => {
+                    weights.correct(&mut y, &verdict);
+                    for r in 0..n {
+                        out[(r, c)] = y[r];
+                    }
+                    report.corrected += 1;
+                }
+                ColumnCheck::Corrupt => report.corrupt += 1,
+            }
+        }
+        (out, report)
+    }
+
     /// Estimates the latency and energy of multiplying an `n x cols` input
     /// under the given technology profile.
     ///
@@ -476,6 +530,30 @@ mod tests {
             .with_dispersion(1e-2)
             .matmul(&x);
         assert!(mse(a.as_slice(), b.as_slice()) < 1e-30);
+    }
+
+    #[test]
+    fn checked_matmul_is_clean_when_ideal_and_repairs_single_errors() {
+        let w = random_matrix(6, 6, 40);
+        let x = random_matrix(6, 9, 41);
+        let engine = GemmEngine::new(MvmCore::new(&w), GemmMode::Tdm);
+        let config = MvmNoiseConfig::ideal();
+        let mut rng = StdRng::seed_from_u64(42);
+        let (out, report) = engine.matmul_noisy_checked(&x, &config, &mut rng, 1e-6);
+        assert_eq!(report.clean, 9);
+        assert!(report.all_clean());
+        assert!(mse(out.as_slice(), w.mul_mat(&x).as_slice()) < 1e-18);
+
+        // A single-element corruption is found and repaired offline too.
+        let weights = engine.abft_weights();
+        let col: Vec<f64> = (0..6).map(|r| x[(r, 3)]).collect();
+        let mut y = w.mul_vec(&col);
+        y[4] += 0.9;
+        let verdict = weights.check(&col, &y, 1e-6);
+        assert!(matches!(
+            verdict,
+            crate::abft::ColumnCheck::Correctable { row: 4, .. }
+        ));
     }
 
     #[test]

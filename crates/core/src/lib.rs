@@ -21,7 +21,9 @@
 //! - [`perf`]: speed/energy/power modelling (volatile vs non-volatile
 //!   weights);
 //! - [`footprint`]: area, component-count and loss budgets (SWaP);
-//! - [`analysis`]: expressivity/robustness sweep primitives and stats.
+//! - [`analysis`]: expressivity/robustness sweep primitives and stats;
+//! - [`abft`]: algorithm-based fault tolerance — checksum encoding and
+//!   verification for guarded MVM/GeMM offloads.
 //!
 //! # Examples
 //!
@@ -43,6 +45,7 @@
 
 #![warn(missing_docs)]
 
+pub mod abft;
 pub mod analysis;
 pub mod architecture;
 pub mod calibrate;

@@ -237,6 +237,32 @@ impl MvmCore {
         RealizedMvm::new(u, v, attenuation, self.scale, config.readout_sigma)
     }
 
+    /// Realizes one physical instance with an **explicit** attenuator
+    /// vector instead of the programmed one — the hook for device models
+    /// that evolve the attenuator state outside the core (e.g. PCM drift
+    /// advancing with simulated time). Entries are clamped to `[0, 1]`;
+    /// mesh imperfections and readout noise still come from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attenuation.len() != modes()`.
+    pub fn realize_with_attenuation<R: Rng + ?Sized>(
+        &self,
+        attenuation: &[f64],
+        config: &MvmNoiseConfig,
+        rng: &mut R,
+    ) -> RealizedMvm {
+        assert_eq!(
+            attenuation.len(),
+            self.n,
+            "realize_with_attenuation: attenuator count mismatch"
+        );
+        let u = config.hardware.realize(&self.u_program, rng);
+        let v = config.hardware.realize(&self.v_program, rng);
+        let attenuation: Vec<f64> = attenuation.iter().map(|a| a.clamp(0.0, 1.0)).collect();
+        RealizedMvm::new(u, v, attenuation, self.scale, config.readout_sigma)
+    }
+
     /// The effective real matrix seen by a carrier whose wavelength
     /// detuning scales every mesh phase by `factor` (1.0 = the design
     /// wavelength). First-order chromatic-dispersion model for DWDM

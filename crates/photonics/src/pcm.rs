@@ -107,9 +107,18 @@ pub fn transmission_levels(material: PcmMaterial, levels: u32) -> Vec<f64> {
         (-2.0 * std::f64::consts::TAU / lambda * gamma * k * patch_length).exp()
     };
     let t0 = transmission(0.0);
-    (0..levels)
+    let mut grid: Vec<f64> = (0..levels)
         .map(|l| transmission(l as f64 / (levels - 1) as f64) / t0)
-        .collect()
+        .collect();
+    // The physics gives a strictly decreasing grid; enforce it exactly so
+    // downstream level search / dedup can rely on strict order even where
+    // adjacent levels of a fine grid would collide at f64 precision.
+    for l in 1..grid.len() {
+        if grid[l] >= grid[l - 1] {
+            grid[l] = grid[l - 1] * (1.0 - 1e-15);
+        }
+    }
+    grid
 }
 
 /// Programming-energy and timing parameters of a PCM cell.
@@ -269,15 +278,44 @@ impl PcmCell {
         self.material.effective_index(self.fraction)
     }
 
+    /// Sets the crystalline fraction directly, without charging any
+    /// programming energy — the hook for device models that mirror an
+    /// externally-tracked state into a cell (e.g. the accelerator's
+    /// drift model seeding cells from attenuator settings). The value is
+    /// clamped to `[0, 1]`; `NaN` maps to the amorphous state (the same
+    /// policy the fixed-point DAC path applies to `NaN` samples).
+    pub fn set_state(&mut self, fraction: f64) {
+        self.fraction = if fraction.is_nan() {
+            0.0
+        } else {
+            fraction.clamp(0.0, 1.0)
+        };
+    }
+
     /// Applies resistance/index *drift*: amorphous-phase structural
     /// relaxation slowly shifts the effective fraction toward crystalline
     /// by `nu * ln(1 + t / tau)`. A small effect for GSST but a real
     /// accuracy hazard for multi-level storage; exposed so experiments can
     /// toggle it (E3 ablation).
+    ///
+    /// Total function for arbitrary inputs: negative elapsed time is
+    /// treated as zero (no un-drifting), `+inf` saturates, and a `NaN`
+    /// shift (e.g. `nu = NaN`) leaves the state untouched — the fraction
+    /// invariant `∈ [0, 1]` holds for every `(elapsed_s, nu)`.
     pub fn apply_drift(&mut self, elapsed_s: f64, nu: f64) {
         let tau = 1.0; // normalization time: 1 s
-        let shift = nu * (1.0 + elapsed_s / tau).ln();
-        self.fraction = (self.fraction + shift).clamp(0.0, 1.0);
+        let t = if elapsed_s.is_finite() {
+            (elapsed_s / tau).max(0.0)
+        } else if elapsed_s > 0.0 {
+            f64::MAX
+        } else {
+            0.0
+        };
+        let shift = nu * (1.0 + t).ln();
+        let next = self.fraction + shift;
+        if !next.is_nan() {
+            self.fraction = next.clamp(0.0, 1.0);
+        }
     }
 }
 
@@ -394,6 +432,42 @@ mod tests {
     #[test]
     fn telecom_wavelength_is_1550nm() {
         assert_eq!(crate::units::TELECOM_WAVELENGTH, 1550e-9);
+    }
+
+    #[test]
+    fn drift_is_total_for_extreme_inputs() {
+        let mut cell = PcmCell::new(PcmMaterial::Gsst);
+        cell.program_level(4, 8);
+        let x0 = cell.crystalline_fraction();
+        // Negative elapsed time never un-drifts (ln of a negative argument
+        // used to produce NaN here).
+        cell.apply_drift(-5.0, 1e-3);
+        assert_eq!(cell.crystalline_fraction(), x0);
+        // NaN inputs leave the state untouched.
+        cell.apply_drift(f64::NAN, 1e-3);
+        cell.apply_drift(10.0, f64::NAN);
+        assert_eq!(cell.crystalline_fraction(), x0);
+        // +inf saturates at the crystalline ceiling.
+        cell.apply_drift(f64::INFINITY, 1e-3);
+        assert_eq!(cell.crystalline_fraction(), 1.0);
+        // A huge negative nu floors at fully amorphous.
+        cell.apply_drift(1e9, -1e9);
+        assert_eq!(cell.crystalline_fraction(), 0.0);
+    }
+
+    #[test]
+    fn set_state_clamps_and_maps_nan_to_amorphous() {
+        let mut cell = PcmCell::new(PcmMaterial::GeSe);
+        cell.set_state(0.7);
+        assert_eq!(cell.crystalline_fraction(), 0.7);
+        assert_eq!(cell.pulse_count(), 0, "set_state charges nothing");
+        assert_eq!(cell.programming_energy(), 0.0);
+        cell.set_state(2.5);
+        assert_eq!(cell.crystalline_fraction(), 1.0);
+        cell.set_state(-1.0);
+        assert_eq!(cell.crystalline_fraction(), 0.0);
+        cell.set_state(f64::NAN);
+        assert_eq!(cell.crystalline_fraction(), 0.0);
     }
 
     #[test]

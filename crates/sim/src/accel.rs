@@ -7,20 +7,34 @@
 //! template: "MMRs consist of configurable status, control, and data
 //! registers ... the host can utilize the provided interrupt signals for
 //! synchronization without the need for constant polling."
+//!
+//! On top of the PR 1/2 device, this model carries the runtime
+//! fault-tolerance surface of the guarded offload protocol:
+//!
+//! - a sticky [`mmr::ERROR`] register ([`errcode`] bits: checksum-fail
+//!   reported by firmware, watchdog timeout, busy-reject, SPM range,
+//!   malformed job) mirrored as [`status::ERROR`] and routed to its own
+//!   interrupt-enable bit;
+//! - a [`mmr::WATCHDOG`] deadline that aborts an overdue job;
+//! - a recalibration doorbell (CTRL bit 3) that re-programs the PCM
+//!   attenuators and re-realizes the mesh, countering the drift model
+//!   ([`PcmDriftModel`]) that ages the weights with simulated time.
 
 use crate::fixed::{from_fixed, to_fixed};
 use crate::ram::Ram;
 use neuropulsim_core::mvm::{MvmCore, MvmNoiseConfig, RealizedMvm};
 use neuropulsim_linalg::RMatrix;
 use neuropulsim_photonics::energy::TechnologyProfile;
+use neuropulsim_photonics::pcm::{PcmCell, PcmMaterial};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// MMR offsets (bytes from the device base).
 pub mod mmr {
-    /// Write 1 to start; write 2 to clear `done`.
+    /// Write 1 to start; 2 to clear `done`; 4 to clear `ERROR`; 8 to
+    /// request a recalibration (re-program weights, re-realize mesh).
     pub const CTRL: u32 = 0x00;
-    /// Bit 0 = busy, bit 1 = done.
+    /// Bit 0 = busy, bit 1 = done, bit 2 = error pending.
     pub const STATUS: u32 = 0x04;
     /// Matrix dimension `n` (read-only, set by the host API).
     pub const DIM: u32 = 0x08;
@@ -28,14 +42,24 @@ pub mod mmr {
     pub const IN_ADDR: u32 = 0x0C;
     /// SPM byte address for the output vectors.
     pub const OUT_ADDR: u32 = 0x10;
-    /// Number of vectors to stream.
+    /// Number of vectors to stream (a job with batch 0 is rejected).
     pub const BATCH: u32 = 0x14;
-    /// Bit 0 enables the completion interrupt.
+    /// Bit 0 enables the completion interrupt; bit 1 the error interrupt.
     pub const IRQ_ENABLE: u32 = 0x18;
     /// Cycles the last job took (read-only).
     pub const LAST_CYCLES: u32 = 0x1C;
+    /// Sticky error bits (see [`super::errcode`]). Reads return the
+    /// latch; writes OR bits in (firmware reports detections here);
+    /// CTRL bit 2 clears.
+    pub const ERROR: u32 = 0x20;
+    /// Watchdog deadline in cycles from job start (0 disables). An
+    /// in-flight job whose deadline passes is aborted with
+    /// [`super::errcode::WATCHDOG`].
+    pub const WATCHDOG: u32 = 0x24;
+    /// Number of recalibrations performed (read-only).
+    pub const RECAL_COUNT: u32 = 0x28;
     /// Size of the register bank.
-    pub const SIZE: u32 = 0x20;
+    pub const SIZE: u32 = 0x30;
 }
 
 /// Status bits.
@@ -44,6 +68,61 @@ pub mod status {
     pub const BUSY: u32 = 1;
     /// A job finished and `done` has not been cleared.
     pub const DONE: u32 = 2;
+    /// The `ERROR` register holds unacknowledged bits.
+    pub const ERROR: u32 = 4;
+}
+
+/// Bits of the [`mmr::ERROR`] register.
+pub mod errcode {
+    /// ABFT checksum failure (reported by the guarded firmware).
+    pub const CHECKSUM: u32 = 1;
+    /// Job exceeded the programmed watchdog deadline and was aborted.
+    pub const WATCHDOG: u32 = 2;
+    /// A start or recalibration doorbell arrived while busy and was
+    /// rejected (in-flight state untouched).
+    pub const BUSY_REJECT: u32 = 4;
+    /// An operand window fell outside the scratchpad.
+    pub const SPM_RANGE: u32 = 8;
+    /// Malformed job: no matrix programmed, zero dimension, or batch 0.
+    pub const BAD_JOB: u32 = 16;
+    /// Every defined bit (writes to `ERROR` are masked to these).
+    pub const ALL: u32 = 0x1F;
+}
+
+/// Retention model for non-volatile PCM weights: amorphous-phase
+/// structural relaxation drifts the programmed attenuator states with
+/// simulated time (Chakraborty et al., arXiv:1808.01241), degrading MVM
+/// accuracy until the host requests a recalibration.
+///
+/// The device maps each attenuator setting `a` to a crystalline fraction
+/// `1 - a`, ages it through [`PcmCell::apply_drift`] with
+/// `nu · ln(1 + t/τ)`, and re-realizes the mesh with the drifted
+/// attenuations at every job start.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcmDriftModel {
+    /// PCM material of the attenuator cells.
+    pub material: PcmMaterial,
+    /// Drift coefficient `nu` (fraction shift per ln-decade of seconds).
+    pub nu: f64,
+    /// Simulated wall-clock seconds per host cycle.
+    pub seconds_per_cycle: f64,
+    /// Quantization levels used when (re)programming the cells.
+    pub levels: u32,
+    /// Age of the programmed weights at simulation start \[s\] — models
+    /// non-volatile weights programmed long before boot.
+    pub initial_age_s: f64,
+}
+
+impl Default for PcmDriftModel {
+    fn default() -> Self {
+        PcmDriftModel {
+            material: PcmMaterial::Gsst,
+            nu: 1e-3,
+            seconds_per_cycle: 1e-9,
+            levels: 32,
+            initial_age_s: 0.0,
+        }
+    }
 }
 
 /// The accelerator device state.
@@ -57,11 +136,24 @@ pub struct AccelDevice {
     in_addr: u32,
     out_addr: u32,
     batch: u32,
-    irq_enable: bool,
+    irq_mask: u32,
     busy: bool,
     done: bool,
     busy_until: u64,
     last_cycles: u32,
+    // Fault-tolerance state.
+    error: u32,
+    watchdog: u32,
+    job_deadline: u64,
+    recal_requested: bool,
+    recal_in_flight: bool,
+    recal_count: u32,
+    /// Latency of a recalibration (PCM reprogramming) \[cycles\].
+    pub recal_cycles: u64,
+    drift: Option<PcmDriftModel>,
+    programmed_at: u64,
+    age_s: f64,
+    programming_energy_j: f64,
     // Timing parameters.
     /// Host clock frequency \[Hz\].
     pub cpu_hz: f64,
@@ -87,11 +179,22 @@ impl AccelDevice {
             in_addr: 0,
             out_addr: 0,
             batch: 1,
-            irq_enable: false,
+            irq_mask: 0,
             busy: false,
             done: false,
             busy_until: 0,
             last_cycles: 0,
+            error: 0,
+            watchdog: 0,
+            job_deadline: 0,
+            recal_requested: false,
+            recal_in_flight: false,
+            recal_count: 0,
+            recal_cycles: 200,
+            drift: None,
+            programmed_at: 0,
+            age_s: 0.0,
+            programming_energy_j: 0.0,
             cpu_hz,
             setup_cycles: 20,
             tech: TechnologyProfile::default(),
@@ -133,6 +236,46 @@ impl AccelDevice {
         self.done
     }
 
+    /// The sticky error bits ([`errcode`]), 0 when clean.
+    pub fn error_bits(&self) -> u32 {
+        self.error
+    }
+
+    /// Number of recalibrations performed so far.
+    pub fn recal_count(&self) -> u32 {
+        self.recal_count
+    }
+
+    /// `true` when the error interrupt line is asserted (error-IRQ
+    /// enabled and unacknowledged error bits pending).
+    pub fn error_irq_line(&self) -> bool {
+        self.irq_mask & 2 != 0 && self.error != 0
+    }
+
+    /// Enables the PCM retention model: subsequent jobs see attenuator
+    /// states aged by `nu·ln(1 + t/τ)` since the weights were last
+    /// programmed, until a recalibration (CTRL bit 3) re-programs them.
+    pub fn enable_drift(&mut self, model: PcmDriftModel) {
+        self.age_s = if model.initial_age_s.is_finite() {
+            model.initial_age_s.max(0.0)
+        } else {
+            0.0
+        };
+        self.drift = Some(model);
+    }
+
+    /// The active drift model, if any.
+    pub fn drift_model(&self) -> Option<&PcmDriftModel> {
+        self.drift.as_ref()
+    }
+
+    /// Consumes a pending recalibration request (set by CTRL bit 3). The
+    /// platform calls this after every MMR store so it can invoke
+    /// [`AccelDevice::recalibrate`] with the current simulation time.
+    pub fn take_recal_request(&mut self) -> bool {
+        std::mem::take(&mut self.recal_requested)
+    }
+
     /// Handles an MMR read at byte offset `offset`.
     pub fn mmr_load(&mut self, offset: u32) -> u32 {
         match offset & !3 {
@@ -140,26 +283,48 @@ impl AccelDevice {
             mmr::STATUS => {
                 (if self.busy { status::BUSY } else { 0 })
                     | (if self.done { status::DONE } else { 0 })
+                    | (if self.error != 0 { status::ERROR } else { 0 })
             }
             mmr::DIM => self.dim(),
             mmr::IN_ADDR => self.in_addr,
             mmr::OUT_ADDR => self.out_addr,
             mmr::BATCH => self.batch,
-            mmr::IRQ_ENABLE => self.irq_enable as u32,
+            mmr::IRQ_ENABLE => self.irq_mask,
             mmr::LAST_CYCLES => self.last_cycles,
+            mmr::ERROR => self.error,
+            mmr::WATCHDOG => self.watchdog,
+            mmr::RECAL_COUNT => self.recal_count,
             _ => 0,
         }
     }
 
     /// Handles an MMR write. Returns `true` if a job start was requested.
+    ///
+    /// A start or recalibration doorbell while [`AccelDevice::is_busy`]
+    /// is *rejected*: the in-flight job is untouched and
+    /// [`errcode::BUSY_REJECT`] latches instead.
     pub fn mmr_store(&mut self, offset: u32, value: u32) -> bool {
         match offset & !3 {
             mmr::CTRL => {
                 if value & 2 != 0 {
                     self.done = false;
                 }
-                if value & 1 != 0 && !self.busy {
-                    return true;
+                if value & 4 != 0 {
+                    self.error = 0;
+                }
+                if value & 8 != 0 {
+                    if self.busy {
+                        self.error |= errcode::BUSY_REJECT;
+                    } else {
+                        self.recal_requested = true;
+                    }
+                }
+                if value & 1 != 0 {
+                    if self.busy {
+                        self.error |= errcode::BUSY_REJECT;
+                    } else {
+                        return true;
+                    }
                 }
                 false
             }
@@ -172,11 +337,21 @@ impl AccelDevice {
                 false
             }
             mmr::BATCH => {
-                self.batch = value.max(1);
+                self.batch = value;
                 false
             }
             mmr::IRQ_ENABLE => {
-                self.irq_enable = value & 1 != 0;
+                self.irq_mask = value & 3;
+                false
+            }
+            mmr::ERROR => {
+                // Firmware reports detections by OR-ing bits in; the
+                // latch is cleared through CTRL bit 2 only.
+                self.error |= value & errcode::ALL;
+                false
+            }
+            mmr::WATCHDOG => {
+                self.watchdog = value;
                 false
             }
             _ => false,
@@ -192,22 +367,58 @@ impl AccelDevice {
         self.setup_cycles + streaming.max(1)
     }
 
+    /// The attenuator states aged by the drift model at time `now`, or
+    /// `None` when drift is disabled / zero time has passed.
+    fn drifted_attenuation(&self, now: u64) -> Option<Vec<f64>> {
+        let model = self.drift.as_ref()?;
+        let core = self.core.as_ref()?;
+        let elapsed =
+            self.age_s + now.saturating_sub(self.programmed_at) as f64 * model.seconds_per_cycle;
+        if elapsed <= 0.0 {
+            return None;
+        }
+        Some(
+            core.attenuation()
+                .iter()
+                .map(|&a| {
+                    let mut cell = PcmCell::new(model.material);
+                    cell.set_state(1.0 - a);
+                    cell.apply_drift(elapsed, model.nu);
+                    (1.0 - cell.crystalline_fraction()).clamp(0.0, 1.0)
+                })
+                .collect(),
+        )
+    }
+
     /// Starts a job at time `now`: consumes inputs from SPM, computes, and
-    /// schedules completion. Returns `false` if no matrix is loaded or the
-    /// operands are out of SPM range (the device sets `done` with garbage
-    /// in real hardware; here we fail fast).
+    /// schedules completion. Returns `false` — with the matching
+    /// [`errcode`] bit latched — when the device is busy, the job is
+    /// malformed (no matrix, zero dim, batch 0), or an operand window
+    /// falls outside the SPM (the device sets `done` with garbage in real
+    /// hardware; here we fail fast and flag it).
     pub fn start(&mut self, now: u64, spm: &mut Ram) -> bool {
-        let Some(instance) = &self.instance else {
+        if self.busy {
+            self.error |= errcode::BUSY_REJECT;
             return false;
-        };
+        }
         let n = self.dim() as usize;
         let batch = self.batch;
+        if self.instance.is_none() || n == 0 || batch == 0 {
+            self.error |= errcode::BAD_JOB;
+            return false;
+        }
+        if let Some(att) = self.drifted_attenuation(now) {
+            let core = self.core.as_ref().expect("drift requires a core");
+            self.instance = Some(core.realize_with_attenuation(&att, &self.noise, &mut self.rng));
+        }
+        let instance = self.instance.as_ref().expect("checked above");
         let mut in_addr = self.in_addr;
         let mut out_addr = self.out_addr;
         for _ in 0..batch {
             let mut x = vec![0.0f64; n];
             for v in x.iter_mut() {
                 let Ok(word) = spm.load(in_addr) else {
+                    self.error |= errcode::SPM_RANGE;
                     return false;
                 };
                 *v = from_fixed(word as i32);
@@ -216,6 +427,7 @@ impl AccelDevice {
             let y = instance.multiply_noisy(&x, &mut self.rng);
             for &val in &y {
                 if spm.store(out_addr, to_fixed(val) as u32).is_err() {
+                    self.error |= errcode::SPM_RANGE;
                     return false;
                 }
                 out_addr += 4;
@@ -226,25 +438,90 @@ impl AccelDevice {
         self.busy = true;
         self.done = false;
         self.busy_until = now + cycles;
+        self.job_deadline = if self.watchdog > 0 {
+            now + self.watchdog as u64
+        } else {
+            0
+        };
         self.last_cycles = cycles as u32;
         true
     }
 
-    /// Advances device time. Returns `true` when the completion interrupt
-    /// fires on this call.
+    /// Re-programs the PCM attenuators to their nominal states and
+    /// re-realizes the mesh — the drift-recovery path behind CTRL bit 3.
+    /// Charges the programming pulses to the energy ledger, resets the
+    /// weight age, and occupies the device for
+    /// [`AccelDevice::recal_cycles`] (completion raises `done` like a
+    /// job). Rejected with [`errcode::BUSY_REJECT`] while busy and
+    /// [`errcode::BAD_JOB`] when no matrix is programmed.
+    pub fn recalibrate(&mut self, now: u64) {
+        if self.busy {
+            self.error |= errcode::BUSY_REJECT;
+            return;
+        }
+        let Some(core) = self.core.as_ref() else {
+            self.error |= errcode::BAD_JOB;
+            return;
+        };
+        let mut pulses_energy = 0.0;
+        if let Some(model) = &self.drift {
+            let levels = model.levels.max(2);
+            for &a in core.attenuation() {
+                // Iterative write: melt-quench erase, then SET pulses up
+                // to the quantized target level.
+                let mut cell = PcmCell::new(model.material);
+                cell.reset();
+                let level = (((1.0 - a) * (levels - 1) as f64).round() as u32).min(levels - 1);
+                cell.program_level(level, levels);
+                pulses_energy += cell.programming_energy();
+            }
+        }
+        self.instance = Some(core.realize(&self.noise, &mut self.rng));
+        self.programming_energy_j += pulses_energy;
+        self.programmed_at = now;
+        self.age_s = 0.0;
+        self.recal_count = self.recal_count.wrapping_add(1);
+        self.busy = true;
+        self.done = false;
+        self.recal_in_flight = true;
+        self.job_deadline = 0;
+        let cycles = self.recal_cycles.max(1);
+        self.busy_until = now + cycles;
+        self.last_cycles = cycles as u32;
+    }
+
+    /// Advances device time. Returns `true` when an interrupt fires on
+    /// this call (completion, or a watchdog abort with the error IRQ
+    /// enabled).
     pub fn tick(&mut self, now: u64) -> bool {
+        if self.busy && self.job_deadline != 0 && now >= self.job_deadline && now < self.busy_until
+        {
+            // Watchdog abort: the job is cut short with the error latched;
+            // `done` still rises so a polling host cannot deadlock.
+            self.busy = false;
+            self.done = true;
+            self.job_deadline = 0;
+            self.error |= errcode::WATCHDOG;
+            return self.irq_mask & 1 != 0 || self.error_irq_line();
+        }
         if self.busy && now >= self.busy_until {
             self.busy = false;
             self.done = true;
-            self.jobs_completed += 1;
-            return self.irq_enable;
+            self.job_deadline = 0;
+            if self.recal_in_flight {
+                self.recal_in_flight = false;
+            } else {
+                self.jobs_completed += 1;
+            }
+            return self.irq_mask & 1 != 0;
         }
         false
     }
 
     /// Optical + electro-optic energy consumed so far \[J\], from the
     /// technology profile: per-vector modulator/receiver/DAC work plus
-    /// laser power over the streaming time.
+    /// laser power over the streaming time, plus any PCM reprogramming
+    /// pulses burned by recalibrations.
     pub fn energy(&self) -> f64 {
         let n = self.dim() as usize;
         let vectors = self.vectors_processed as f64;
@@ -254,7 +531,7 @@ impl AccelDevice {
                 + self.tech.receiver_energy_per_sample
                 + self.tech.dac_energy_per_sample);
         let streaming_time = vectors / self.tech.symbol_rate;
-        io + self.tech.laser_power(n) * streaming_time
+        io + self.tech.laser_power(n) * streaming_time + self.programming_energy_j
     }
 }
 
@@ -360,5 +637,153 @@ mod tests {
         assert!(d.start(0, &mut spm));
         assert!(d.energy() > e0);
         assert_eq!(d.vectors_processed, 10);
+    }
+
+    #[test]
+    fn double_start_is_rejected_without_touching_the_job() {
+        let mut d = device_with_identity(2);
+        let mut spm = Ram::new(0, 1024);
+        d.mmr_store(mmr::BATCH, 1);
+        assert!(d.mmr_store(mmr::CTRL, 1));
+        assert!(d.start(0, &mut spm));
+        assert!(d.is_busy());
+        let before = d.mmr_load(mmr::LAST_CYCLES);
+        // Second doorbell while busy: rejected, error latched, job intact.
+        assert!(!d.mmr_store(mmr::CTRL, 1));
+        assert_eq!(d.error_bits(), errcode::BUSY_REJECT);
+        assert_ne!(d.mmr_load(mmr::STATUS) & status::ERROR, 0);
+        assert_eq!(d.mmr_load(mmr::LAST_CYCLES), before);
+        assert!(d.is_busy());
+        // The in-flight job still completes normally.
+        assert_eq!(d.vectors_processed, 1);
+        d.tick(d.job_cycles(1));
+        assert!(d.is_done());
+        // CTRL bit 2 acknowledges the error.
+        d.mmr_store(mmr::CTRL, 4);
+        assert_eq!(d.error_bits(), 0);
+        assert_eq!(d.mmr_load(mmr::STATUS) & status::ERROR, 0);
+    }
+
+    #[test]
+    fn batch_zero_and_dim_zero_jobs_are_rejected() {
+        let mut d = device_with_identity(2);
+        let mut spm = Ram::new(0, 1024);
+        d.mmr_store(mmr::BATCH, 0);
+        assert!(!d.start(0, &mut spm));
+        assert_eq!(d.error_bits(), errcode::BAD_JOB);
+        assert!(!d.is_busy());
+
+        // No matrix programmed: dim() == 0.
+        let mut bare = AccelDevice::new(1e9);
+        assert_eq!(bare.dim(), 0);
+        assert!(!bare.start(0, &mut spm));
+        assert_eq!(bare.error_bits(), errcode::BAD_JOB);
+    }
+
+    #[test]
+    fn spm_range_failure_latches_error_bit() {
+        let mut d = device_with_identity(4);
+        let mut spm = Ram::new(0, 16); // too small for a 4-vector
+        d.mmr_store(mmr::IN_ADDR, 0);
+        d.mmr_store(mmr::OUT_ADDR, 0x4000);
+        d.mmr_store(mmr::BATCH, 1);
+        assert!(!d.start(0, &mut spm));
+        assert_eq!(d.error_bits(), errcode::SPM_RANGE);
+        assert_ne!(d.mmr_load(mmr::STATUS) & status::ERROR, 0);
+    }
+
+    #[test]
+    fn watchdog_aborts_overdue_job() {
+        let mut d = device_with_identity(4);
+        let mut spm = Ram::new(0, 4096);
+        d.setup_cycles = 1000; // job takes >> watchdog
+        d.mmr_store(mmr::WATCHDOG, 5);
+        d.mmr_store(mmr::IRQ_ENABLE, 2); // error IRQ only
+        d.mmr_store(mmr::BATCH, 1);
+        assert!(d.start(0, &mut spm));
+        assert!(!d.tick(4), "before the deadline");
+        assert!(d.tick(5), "watchdog abort raises the error IRQ");
+        assert!(d.is_done(), "done still rises so polling hosts survive");
+        assert!(!d.is_busy());
+        assert_eq!(d.error_bits() & errcode::WATCHDOG, errcode::WATCHDOG);
+        assert!(d.error_irq_line());
+        assert_eq!(d.mmr_load(mmr::WATCHDOG), 5);
+    }
+
+    #[test]
+    fn error_register_writes_accumulate_and_clear() {
+        let mut d = device_with_identity(2);
+        d.mmr_store(mmr::ERROR, errcode::CHECKSUM);
+        d.mmr_store(mmr::ERROR, errcode::WATCHDOG | 0xFFFF_FF00);
+        assert_eq!(
+            d.mmr_load(mmr::ERROR),
+            errcode::CHECKSUM | errcode::WATCHDOG,
+            "writes OR in, masked to defined bits"
+        );
+        assert!(!d.error_irq_line(), "error IRQ masked by default");
+        d.mmr_store(mmr::IRQ_ENABLE, 2);
+        assert!(d.error_irq_line());
+        d.mmr_store(mmr::CTRL, 4);
+        assert_eq!(d.mmr_load(mmr::ERROR), 0);
+        assert!(!d.error_irq_line());
+    }
+
+    #[test]
+    fn drift_perturbs_results_and_recalibration_restores_them() {
+        // Weights programmed ~30 simulated years before boot (the
+        // non-volatile worst case), then a 1 ns/cycle clock: stale until
+        // recalibration resets the age, after which re-drift over a few
+        // hundred cycles is negligible.
+        let drift = PcmDriftModel {
+            nu: 0.05,
+            seconds_per_cycle: 1e-9,
+            initial_age_s: 1e9,
+            ..PcmDriftModel::default()
+        };
+        let run_job = |d: &mut AccelDevice, now: u64| -> Vec<f64> {
+            let mut spm = Ram::new(0, 4096);
+            for k in 0..4u32 {
+                spm.poke(0x100 + 4 * k, to_fixed(1.0) as u32).unwrap();
+            }
+            d.mmr_store(mmr::IN_ADDR, 0x100);
+            d.mmr_store(mmr::OUT_ADDR, 0x200);
+            d.mmr_store(mmr::BATCH, 1);
+            assert!(d.start(now, &mut spm));
+            d.tick(now + d.job_cycles(1));
+            d.mmr_store(mmr::CTRL, 2);
+            (0..4u32)
+                .map(|k| from_fixed(spm.peek(0x200 + 4 * k).unwrap() as i32))
+                .collect()
+        };
+
+        let mut d = device_with_identity(4);
+        let fresh = run_job(&mut d, 0);
+        for v in &fresh {
+            assert!((v - 1.0).abs() < 1e-3, "fresh weights are accurate: {v}");
+        }
+        // Turn retention loss on: the aged identity has sagged visibly.
+        d.enable_drift(drift);
+        let stale = run_job(&mut d, 100_000);
+        assert!(
+            stale.iter().any(|v| (v - 1.0).abs() > 0.05),
+            "drift must degrade the job: {stale:?}"
+        );
+        // Recalibrate: reprogram + re-realize, busy for recal_cycles.
+        let e0 = d.energy();
+        assert!(!d.mmr_store(mmr::CTRL, 8), "recal is not a job start");
+        assert!(d.take_recal_request());
+        d.recalibrate(100_100);
+        assert!(d.is_busy());
+        d.tick(100_100 + d.recal_cycles);
+        assert!(d.is_done());
+        d.mmr_store(mmr::CTRL, 2);
+        assert_eq!(d.recal_count(), 1);
+        assert_eq!(d.mmr_load(mmr::RECAL_COUNT), 1);
+        assert!(d.energy() > e0, "recal burns PCM programming pulses");
+        // Accuracy is restored right after reprogramming.
+        let recovered = run_job(&mut d, 100_400);
+        for v in &recovered {
+            assert!((v - 1.0).abs() < 1e-2, "recalibrated weights: {v}");
+        }
     }
 }

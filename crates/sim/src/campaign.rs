@@ -239,11 +239,16 @@ impl CampaignReport {
         }
     }
 
-    /// Wilson 95% interval on the vulnerability
-    /// (non-masked fraction).
+    /// Wilson 95% interval on the vulnerability (the fraction of
+    /// injections with an architecturally visible failure — everything
+    /// except masked and detected-recovered outcomes).
     pub fn vulnerability_ci(&self) -> (f64, f64) {
         let n = self.stats.total();
-        wilson_interval(n - self.stats.masked, n, Z_95)
+        wilson_interval(
+            n - self.stats.masked - self.stats.detected_recovered,
+            n,
+            Z_95,
+        )
     }
 
     /// Serializes the report as a JSON object (hand-rolled; the
@@ -261,13 +266,16 @@ impl CampaignReport {
             .map(|(name, s)| {
                 format!(
                     "{{\"name\": \"{}\", \"injections\": {}, \"masked\": {}, \"sdc\": {}, \
-                     \"crashes\": {}, \"hangs\": {}, \"vulnerability\": {:.6}}}",
+                     \"crashes\": {}, \"hangs\": {}, \"detected_recovered\": {}, \
+                     \"detected_uncorrected\": {}, \"vulnerability\": {:.6}}}",
                     name,
                     s.total(),
                     s.masked,
                     s.sdc,
                     s.crashes,
                     s.hangs,
+                    s.detected_recovered,
+                    s.detected_uncorrected,
                     s.vulnerability()
                 )
             })
@@ -280,8 +288,10 @@ impl CampaignReport {
              \"checkpoints\": {cps},\n  \"checkpoint_bytes\": {cpb},\n  \
              \"golden_cycles\": {gc},\n  \"cycles_simulated\": {sim},\n  \
              \"cycles_saved\": {saved},\n  \"replay_savings\": {ratio:.6},\n  \
-             \"outcomes\": {{\"masked\": {m}, \"sdc\": {s}, \"crashes\": {c}, \"hangs\": {h}}},\n  \
+             \"outcomes\": {{\"masked\": {m}, \"sdc\": {s}, \"crashes\": {c}, \"hangs\": {h}, \
+             \"detected_recovered\": {dr}, \"detected_uncorrected\": {du}}},\n  \
              \"rates\": {{\"masked\": {rm}, \"sdc\": {rs}, \"crash\": {rc}, \"hang\": {rh}, \
+             \"detected_recovered\": {rdr}, \"detected_uncorrected\": {rdu}, \
              \"vulnerability\": {rv}}},\n  \"strata\": [{strata}]\n}}",
             workload = self.workload,
             kind = match self.kind {
@@ -304,11 +314,15 @@ impl CampaignReport {
             s = self.stats.sdc,
             c = self.stats.crashes,
             h = self.stats.hangs,
+            dr = self.stats.detected_recovered,
+            du = self.stats.detected_uncorrected,
             rm = rate(self.stats.masked),
             rs = rate(self.stats.sdc),
             rc = rate(self.stats.crashes),
             rh = rate(self.stats.hangs),
-            rv = rate(n - self.stats.masked),
+            rdr = rate(self.stats.detected_recovered),
+            rdu = rate(self.stats.detected_uncorrected),
+            rv = rate(n - self.stats.masked - self.stats.detected_recovered),
             strata = strata.join(", "),
         )
     }
@@ -342,6 +356,13 @@ impl Campaign<'_> {
             matches!(outcome, RunOutcome::Halted(_)),
             "golden run must halt, got {outcome:?}"
         );
+        if let Some(guard) = &self.guard {
+            let rec = guard(&sys);
+            assert!(
+                !rec.detected(),
+                "golden run must be guard-clean, got {rec:?}"
+            );
+        }
         GoldenRun {
             signature: (self.readout)(&sys),
             cycles: sys.cpu.cycles,
@@ -440,8 +461,8 @@ impl Campaign<'_> {
             done += batch;
             if let Some(width) = cfg.target_ci_width {
                 if done >= cfg.min_injections {
-                    let (lo, hi) =
-                        wilson_interval(stats.total() - stats.masked, stats.total(), Z_95);
+                    let benign = stats.masked + stats.detected_recovered;
+                    let (lo, hi) = wilson_interval(stats.total() - benign, stats.total(), Z_95);
                     if hi - lo <= width {
                         early_stopped = true;
                         break;
@@ -470,6 +491,108 @@ impl Campaign<'_> {
                 .map(|(s, st)| (s.name.clone(), st))
                 .collect(),
         }
+    }
+}
+
+/// Side-by-side results of an unguarded baseline campaign and its
+/// ABFT-guarded counterpart over the same fault model — the measured
+/// half of the runtime-fault-tolerance story (detection coverage,
+/// recovery rate, and the cycle overhead paid for them).
+#[derive(Debug, Clone)]
+pub struct GuardComparison {
+    /// The unguarded campaign report.
+    pub baseline: CampaignReport,
+    /// The guarded campaign report (same fault strata, guarded firmware).
+    pub guarded: CampaignReport,
+}
+
+impl GuardComparison {
+    /// Guarded detections (recovered + uncorrected) out of all
+    /// would-be-silent corruptions (detections + surviving SDC), with a
+    /// Wilson 95% interval. Returns rate 0 on an empty denominator.
+    pub fn detection_coverage(&self) -> (f64, (f64, f64)) {
+        let s = &self.guarded.stats;
+        let detected = s.detected_recovered + s.detected_uncorrected;
+        let denom = detected + s.sdc;
+        let rate = if denom == 0 {
+            0.0
+        } else {
+            detected as f64 / denom as f64
+        };
+        (rate, wilson_interval(detected, denom, Z_95))
+    }
+
+    /// Fraction of detected faults that were fully recovered, with a
+    /// Wilson 95% interval. Returns rate 0 on an empty denominator.
+    pub fn recovery_rate(&self) -> (f64, (f64, f64)) {
+        let s = &self.guarded.stats;
+        let detected = s.detected_recovered + s.detected_uncorrected;
+        let rate = if detected == 0 {
+            0.0
+        } else {
+            s.detected_recovered as f64 / detected as f64
+        };
+        (rate, wilson_interval(s.detected_recovered, detected, Z_95))
+    }
+
+    /// Fault-free cycle cost of the guard protocol: guarded golden
+    /// cycles over baseline golden cycles.
+    pub fn cycle_overhead(&self) -> f64 {
+        if self.baseline.golden_cycles == 0 {
+            0.0
+        } else {
+            self.guarded.golden_cycles as f64 / self.baseline.golden_cycles as f64
+        }
+    }
+
+    /// Guarded detections relative to the baseline SDC count — how much
+    /// of the silent-corruption population the guard reclassified into
+    /// detected outcomes. Can exceed 1 (the guard also catches faults
+    /// the baseline masked or hung on).
+    pub fn reclassified_ratio(&self) -> f64 {
+        let s = &self.guarded.stats;
+        let detected = s.detected_recovered + s.detected_uncorrected;
+        if self.baseline.stats.sdc == 0 {
+            0.0
+        } else {
+            detected as f64 / self.baseline.stats.sdc as f64
+        }
+    }
+
+    /// Silent-corruption rates `(baseline, guarded)`.
+    pub fn sdc_rates(&self) -> (f64, f64) {
+        let rate = |r: &CampaignReport| {
+            let n = r.stats.total();
+            if n == 0 {
+                0.0
+            } else {
+                r.stats.sdc as f64 / n as f64
+            }
+        };
+        (rate(&self.baseline), rate(&self.guarded))
+    }
+
+    /// Serializes the comparison as one JSON object embedding both full
+    /// campaign reports (hand-rolled; no serialization dependency).
+    pub fn to_json(&self) -> String {
+        let (cov, (cov_lo, cov_hi)) = self.detection_coverage();
+        let (rec, (rec_lo, rec_hi)) = self.recovery_rate();
+        let (sdc_base, sdc_guard) = self.sdc_rates();
+        format!(
+            "{{\n  \"detection_coverage\": {{\"rate\": {cov:.6}, \
+             \"ci95\": [{cov_lo:.6}, {cov_hi:.6}]}},\n  \
+             \"recovery_rate\": {{\"rate\": {rec:.6}, \
+             \"ci95\": [{rec_lo:.6}, {rec_hi:.6}]}},\n  \
+             \"cycle_overhead\": {overhead:.6},\n  \
+             \"reclassified_ratio\": {reclass:.6},\n  \
+             \"sdc_rate_baseline\": {sdc_base:.6},\n  \
+             \"sdc_rate_guarded\": {sdc_guard:.6},\n  \
+             \"baseline\": {base},\n  \"guarded\": {guard}\n}}",
+            overhead = self.cycle_overhead(),
+            reclass = self.reclassified_ratio(),
+            base = self.baseline.to_json(),
+            guard = self.guarded.to_json(),
+        )
     }
 }
 
@@ -701,6 +824,8 @@ mod tests {
             "\"cycles_saved\"",
             "\"replay_savings\"",
             "\"vulnerability\"",
+            "\"detected_recovered\"",
+            "\"detected_uncorrected\"",
             "\"strata\"",
             "\"dram-weights\"",
         ] {
@@ -711,5 +836,87 @@ mod tests {
             json.matches('}').count(),
             "balanced braces"
         );
+    }
+
+    #[test]
+    fn report_totals_match_across_strata_and_categories() {
+        // Satellite: aggregate totals must equal the sum over strata,
+        // and each stratum total must equal the sum of its categories.
+        let c = workload();
+        let cfg = CampaignConfig {
+            cadence: 128,
+            threads: 2,
+            injections: 21,
+            batch: 8,
+            ..CampaignConfig::default()
+        };
+        let report = c.run_stratified("mvm-n3", 13, FaultKind::Transient, &strata(), &cfg);
+        let sum_of_strata: usize = report.strata.iter().map(|(_, s)| s.total()).sum();
+        assert_eq!(report.stats.total(), sum_of_strata);
+        assert_eq!(report.stats.total(), report.injections);
+        for (name, s) in &report.strata {
+            let by_category = s.masked
+                + s.sdc
+                + s.crashes
+                + s.hangs
+                + s.detected_recovered
+                + s.detected_uncorrected;
+            assert_eq!(s.total(), by_category, "stratum {name}");
+        }
+    }
+
+    #[test]
+    fn guard_comparison_arithmetic_and_json() {
+        let c = workload();
+        let cfg = CampaignConfig {
+            cadence: 128,
+            threads: 1,
+            injections: 6,
+            batch: 6,
+            ..CampaignConfig::default()
+        };
+        let template = c.run_stratified("mvm-n3", 5, FaultKind::Transient, &strata(), &cfg);
+        let mut baseline = template.clone();
+        baseline.stats = CampaignStats {
+            masked: 10,
+            sdc: 8,
+            crashes: 1,
+            hangs: 1,
+            ..CampaignStats::default()
+        };
+        baseline.golden_cycles = 1000;
+        let mut guarded = template.clone();
+        guarded.stats = CampaignStats {
+            masked: 10,
+            sdc: 2,
+            crashes: 1,
+            hangs: 1,
+            detected_recovered: 4,
+            detected_uncorrected: 2,
+        };
+        guarded.golden_cycles = 9000;
+        let cmp = GuardComparison { baseline, guarded };
+        let (cov, (lo, hi)) = cmp.detection_coverage();
+        assert!((cov - 6.0 / 8.0).abs() < 1e-12);
+        assert!(lo <= cov && cov <= hi);
+        let (rec, _) = cmp.recovery_rate();
+        assert!((rec - 4.0 / 6.0).abs() < 1e-12);
+        assert!((cmp.cycle_overhead() - 9.0).abs() < 1e-12);
+        assert!((cmp.reclassified_ratio() - 6.0 / 8.0).abs() < 1e-12);
+        let (sb, sg) = cmp.sdc_rates();
+        assert!(sb > sg, "guard must lower the SDC rate: {sb} vs {sg}");
+        let json = cmp.to_json();
+        for key in [
+            "\"detection_coverage\"",
+            "\"recovery_rate\"",
+            "\"cycle_overhead\"",
+            "\"reclassified_ratio\"",
+            "\"sdc_rate_baseline\"",
+            "\"baseline\"",
+            "\"guarded\"",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

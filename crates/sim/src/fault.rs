@@ -6,12 +6,18 @@
 //! A campaign runs a golden (fault-free) execution, then re-runs the same
 //! workload once per fault, classifying each outcome as *masked* (same
 //! result), *SDC* (silent data corruption: halted but wrong result),
-//! *crash* (trap) or *hang* (timeout).
+//! *crash* (trap) or *hang* (timeout). Campaigns over guarded workloads
+//! (see [`crate::guard`]) additionally split the halted cases by the
+//! firmware's own fault record: *detected-recovered* (the guard saw a
+//! fault and the result is still correct) and *detected-uncorrected*
+//! (the guard saw a fault and the result is wrong — detected, not
+//! silent).
 //!
 //! This module holds the fault model and the basic sequential campaign;
 //! the checkpointed, parallel, statistical campaign engine is in
 //! [`crate::campaign`].
 
+use crate::guard::GuardRecord;
 use crate::system::{RunOutcome, System};
 use rand::Rng;
 
@@ -106,6 +112,12 @@ pub enum FaultOutcome {
     Crash,
     /// The run exceeded its cycle budget.
     Hang,
+    /// A guarded run detected the fault and still produced the correct
+    /// result (retry, recalibration or software fallback succeeded).
+    DetectedRecovered,
+    /// A guarded run detected the fault but the result is still wrong —
+    /// the corruption is flagged rather than silent.
+    DetectedUncorrected,
 }
 
 /// Aggregate campaign statistics.
@@ -119,22 +131,33 @@ pub struct CampaignStats {
     pub crashes: usize,
     /// Hangs.
     pub hangs: usize,
+    /// Guard-detected faults that were fully recovered.
+    pub detected_recovered: usize,
+    /// Guard-detected faults whose result is still wrong.
+    pub detected_uncorrected: usize,
 }
 
 impl CampaignStats {
     /// Total injections.
     pub fn total(&self) -> usize {
-        self.masked + self.sdc + self.crashes + self.hangs
+        self.masked
+            + self.sdc
+            + self.crashes
+            + self.hangs
+            + self.detected_recovered
+            + self.detected_uncorrected
     }
 
     /// Fraction of injections with any architecturally visible effect
-    /// (an AVF-style number).
+    /// (an AVF-style number). A detected-and-recovered fault is not an
+    /// architecturally visible failure — the program produced the right
+    /// answer — but a detected-uncorrected one is.
     pub fn vulnerability(&self) -> f64 {
         let t = self.total();
         if t == 0 {
             0.0
         } else {
-            (self.sdc + self.crashes + self.hangs) as f64 / t as f64
+            (self.sdc + self.crashes + self.hangs + self.detected_uncorrected) as f64 / t as f64
         }
     }
 
@@ -145,6 +168,8 @@ impl CampaignStats {
             FaultOutcome::SilentDataCorruption => self.sdc += 1,
             FaultOutcome::Crash => self.crashes += 1,
             FaultOutcome::Hang => self.hangs += 1,
+            FaultOutcome::DetectedRecovered => self.detected_recovered += 1,
+            FaultOutcome::DetectedUncorrected => self.detected_uncorrected += 1,
         }
     }
 }
@@ -161,6 +186,8 @@ pub struct Campaign<'a> {
     pub(crate) setup: Box<dyn Fn() -> System + Sync + 'a>,
     #[allow(clippy::type_complexity)] // one-off callback signature
     pub(crate) readout: Box<dyn Fn(&System) -> Vec<u32> + Sync + 'a>,
+    #[allow(clippy::type_complexity)] // one-off callback signature
+    pub(crate) guard: Option<Box<dyn Fn(&System) -> GuardRecord + Sync + 'a>>,
     /// Cycle budget per run.
     pub max_cycles: u64,
 }
@@ -175,8 +202,24 @@ impl<'a> Campaign<'a> {
         Campaign {
             setup: Box::new(setup),
             readout: Box::new(readout),
+            guard: None,
             max_cycles,
         }
+    }
+
+    /// Attaches a guard-record extractor (typically
+    /// [`crate::guard::read_guard_record`] over the workload's
+    /// [`crate::firmware::DramLayout`]). With a guard attached, halted
+    /// runs whose firmware reported detections are classified as
+    /// [`FaultOutcome::DetectedRecovered`] (correct result) or
+    /// [`FaultOutcome::DetectedUncorrected`] (wrong result) instead of
+    /// masked/SDC.
+    pub fn with_guard_readout<G>(mut self, guard: G) -> Self
+    where
+        G: Fn(&System) -> GuardRecord + Sync + 'a,
+    {
+        self.guard = Some(Box::new(guard));
+        self
     }
 
     /// Runs the golden execution and returns its result signature.
@@ -193,6 +236,13 @@ impl<'a> Campaign<'a> {
             "golden run must halt, got {:?}",
             report.outcome
         );
+        if let Some(guard) = &self.guard {
+            let rec = guard(&sys);
+            assert!(
+                !rec.detected(),
+                "golden run must be guard-clean, got {rec:?}"
+            );
+        }
         (self.readout)(&sys)
     }
 
@@ -218,10 +268,17 @@ impl<'a> Campaign<'a> {
     ) -> FaultOutcome {
         match outcome {
             RunOutcome::Halted(_) => {
-                if (self.readout)(sys) == golden {
-                    FaultOutcome::Masked
-                } else {
-                    FaultOutcome::SilentDataCorruption
+                let correct = (self.readout)(sys) == golden;
+                let detected = self
+                    .guard
+                    .as_ref()
+                    .map(|g| g(sys).detected())
+                    .unwrap_or(false);
+                match (correct, detected) {
+                    (true, false) => FaultOutcome::Masked,
+                    (true, true) => FaultOutcome::DetectedRecovered,
+                    (false, true) => FaultOutcome::DetectedUncorrected,
+                    (false, false) => FaultOutcome::SilentDataCorruption,
                 }
             }
             RunOutcome::Trapped(_) => FaultOutcome::Crash,
@@ -602,6 +659,71 @@ mod tests {
         assert_eq!(
             c.inject(Fault::transient(target, 18, halt_cycle), &golden),
             FaultOutcome::Masked
+        );
+    }
+
+    #[test]
+    fn stats_total_equals_sum_of_all_categories() {
+        // Satellite: `total()` must stay in sync with every category,
+        // including the guarded-taxonomy additions.
+        let mut stats = CampaignStats::default();
+        let outcomes = [
+            (FaultOutcome::Masked, 3),
+            (FaultOutcome::SilentDataCorruption, 2),
+            (FaultOutcome::Crash, 4),
+            (FaultOutcome::Hang, 1),
+            (FaultOutcome::DetectedRecovered, 5),
+            (FaultOutcome::DetectedUncorrected, 2),
+        ];
+        for &(o, count) in &outcomes {
+            for _ in 0..count {
+                stats.record(o);
+            }
+        }
+        let by_category = stats.masked
+            + stats.sdc
+            + stats.crashes
+            + stats.hangs
+            + stats.detected_recovered
+            + stats.detected_uncorrected;
+        assert_eq!(stats.total(), by_category);
+        assert_eq!(stats.total(), 17);
+        assert_eq!(stats.detected_recovered, 5);
+        assert_eq!(stats.detected_uncorrected, 2);
+        // Recovered detections do not count toward vulnerability;
+        // uncorrected ones do.
+        let expected_vuln = (2 + 4 + 1 + 2) as f64 / 17.0;
+        assert!((stats.vulnerability() - expected_vuln).abs() < 1e-12);
+    }
+
+    #[test]
+    fn guard_readout_reclassifies_halted_outcomes() {
+        // A campaign with a guard attached splits halted runs four ways.
+        // Use a synthetic guard that reads a DRAM flag the fault flips.
+        let layout = DramLayout::default();
+        let flag_addr = 0x003E_0000;
+        let c = workload().with_guard_readout(move |sys: &System| GuardRecord {
+            detections: sys.platform.dram.peek(flag_addr).unwrap_or(0),
+            ..GuardRecord::default()
+        });
+        let golden = c.golden();
+        // Flag raised, result untouched: detected + correct.
+        let detect_only = Fault::transient(FaultTarget::Dram { addr: flag_addr }, 0, 1);
+        assert_eq!(
+            c.inject(detect_only, &golden),
+            FaultOutcome::DetectedRecovered
+        );
+        // Result corrupted without the flag: silent corruption.
+        let silent = Fault::transient(
+            FaultTarget::Dram {
+                addr: layout.x_addr,
+            },
+            18,
+            1,
+        );
+        assert_eq!(
+            c.inject(silent, &golden),
+            FaultOutcome::SilentDataCorruption
         );
     }
 

@@ -1,6 +1,8 @@
 //! Canned RISC-V firmware for the system-level experiments (E7): a
-//! software fixed-point MVM baseline and the accelerator-offload driver
-//! (DMA in → doorbell → `wfi` → DMA out).
+//! software fixed-point MVM baseline, the accelerator-offload driver
+//! (DMA in → doorbell → `wfi` → DMA out), and the fault-tolerant
+//! [`accel_offload_guarded`] driver (ABFT checksums, watchdog, retry
+//! with backoff, drift-triggered recalibration, software fallback).
 
 use crate::system::{ACCEL_BASE, DMA_BASE, PE_STRIDE, SPM_BASE};
 
@@ -13,6 +15,15 @@ pub struct DramLayout {
     pub x_addr: u32,
     /// Output vectors base.
     pub y_addr: u32,
+    /// ABFT plain-checksum row `c = 1ᵀ·W` (`n` Q16.16 words), used by
+    /// the guarded driver's output verification.
+    pub c_addr: u32,
+    /// Per-vector wrapping input checksums (`batch` words), used by the
+    /// guarded driver to verify staged inputs.
+    pub xsum_addr: u32,
+    /// Structured fault record written by the guarded driver on exit:
+    /// `[detections, recoveries, fallbacks, last_device_error]`.
+    pub fault_addr: u32,
 }
 
 impl Default for DramLayout {
@@ -21,6 +32,48 @@ impl Default for DramLayout {
             w_addr: 0x0010_0000,
             x_addr: 0x0020_0000,
             y_addr: 0x0030_0000,
+            c_addr: 0x0038_0000,
+            xsum_addr: 0x0039_0000,
+            fault_addr: 0x003A_0000,
+        }
+    }
+}
+
+/// Tuning knobs of the guarded offload driver
+/// ([`accel_offload_guarded`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuardConfig {
+    /// Vectors per guarded block (must divide the batch).
+    pub block: usize,
+    /// ABFT output-checksum tolerance in Q16.16 LSBs (see
+    /// `neuropulsim_core::abft::fixed_checksum_tolerance`).
+    pub tolerance: u32,
+    /// Retries per block before degrading to the software path.
+    pub max_retries: u32,
+    /// Backoff spin of the first retry \[iterations\]; doubles per retry.
+    pub backoff_base: u32,
+    /// Upper bound on the backoff spin \[iterations\].
+    pub backoff_cap: u32,
+    /// Retry number at which a recalibration is requested first.
+    pub recal_after: u32,
+    /// Watchdog deadline programmed into the device \[cycles\]
+    /// (0 disables).
+    pub watchdog: u32,
+    /// Bounded-poll iterations for device/DMA completion.
+    pub poll_limit: u32,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        GuardConfig {
+            block: 16,
+            tolerance: 64,
+            max_retries: 3,
+            backoff_base: 32,
+            backoff_cap: 1024,
+            recal_after: 2,
+            watchdog: 4096,
+            poll_limit: 2000,
         }
     }
 }
@@ -145,6 +198,425 @@ pub fn accel_offload(n: usize, batch: usize, layout: DramLayout) -> String {
         spm_out = spm_out,
         bytes = bytes,
         batch = batch,
+    )
+}
+
+/// Generates the **guarded** accelerator-offload driver: the runtime
+/// fault-tolerance protocol layered over [`accel_offload`].
+///
+/// The batch is processed in blocks of `cfg.block` vectors. Per block:
+///
+/// 1. DMA the input block DRAM → SPM (bounded status poll, no IRQ);
+/// 2. verify the staged inputs against the host-precomputed wrapping
+///    checksums at `layout.xsum_addr` (catches DMA/SPM corruption);
+/// 3. run the photonic job with the device watchdog armed, poll for
+///    completion, and check the device `ERROR` register (watchdog
+///    timeout, busy-reject, SPM range, …);
+/// 4. DMA the result block SPM → DRAM and verify every output vector
+///    with the ABFT plain checksum: `|Σy − c·x| ≤ tolerance`, with both
+///    sides read back from DRAM;
+/// 5. on any failure: capped exponential backoff and retry; from retry
+///    `cfg.recal_after` on, first request a device **recalibration**
+///    (CTRL bit 3 — reprograms drifted PCM weights); after
+///    `cfg.max_retries`, **degrade gracefully** to the software Q16.16
+///    MVM for the block (weights read from `layout.w_addr`).
+///
+/// A final verification sweep re-checks every output vector (catching
+/// late corruption of already-written results) and repairs failures by
+/// software recompute. The driver then writes the structured fault
+/// record `[detections, recoveries, fallbacks, last_device_error]` to
+/// `layout.fault_addr`, and — when any block had to fall back — reports
+/// a checksum failure into the device `ERROR` register, raising the
+/// error interrupt for the host.
+///
+/// Register budget: `s0` block/vector index, `s1` retries, `s2`
+/// detections, `s3` recoveries, `s4` fallbacks, `s5` checksum scratch,
+/// `s6` last device error code; subroutines clobber only `t*`/`a*`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `batch == 0`, or `cfg.block` does not divide
+/// `batch`.
+pub fn accel_offload_guarded(
+    n: usize,
+    batch: usize,
+    layout: DramLayout,
+    cfg: &GuardConfig,
+) -> String {
+    assert!(n > 0 && batch > 0, "guarded offload: empty job");
+    let block = cfg.block.max(1).min(batch);
+    assert_eq!(
+        batch % block,
+        0,
+        "guarded offload: block ({block}) must divide batch ({batch})"
+    );
+    let nblocks = batch / block;
+    let vec_bytes = (n * 4) as u32;
+    let block_bytes = (block * n * 4) as u32;
+    let spm_in = SPM_BASE + 0x100;
+    let spm_out = spm_in + block_bytes;
+    format!(
+        "
+        # ==== guarded offload: init ===============================
+        li   s2, 0            # detections
+        li   s3, 0            # recoveries
+        li   s4, 0            # fallback blocks
+        li   s6, 0            # last device error code
+        li   t0, {dma}
+        sw   zero, 20(t0)     # DMA completion IRQ off (polled mode)
+        li   t0, {accel}
+        li   t1, 2
+        sw   t1, 24(t0)       # IRQ_ENABLE: error line only
+        li   t1, 6
+        sw   t1, 0(t0)        # CTRL: clear stale done + errors
+        li   t1, {watchdog}
+        sw   t1, 36(t0)       # WATCHDOG deadline
+        li   s0, 0            # block index
+    blk_loop:
+        li   t0, {nblocks}
+        bge  s0, t0, final_sweep
+        li   s1, 0            # retries for this block
+    attempt:
+        # ---- stage inputs: DMA x[block] DRAM -> SPM --------------
+        li   a3, {block_bytes}
+        mul  a4, s0, a3
+        li   a0, {x}
+        add  a0, a0, a4
+        li   a1, {spm_in}
+        mv   a2, a3
+        call dma_copy
+        bnez a0, fail
+        # ---- verify staged inputs against host checksums ---------
+        li   a5, 0            # vector-in-block index
+    ichk_loop:
+        li   t0, {block}
+        bge  a5, t0, ichk_ok
+        li   t0, {vec_bytes}
+        mul  t1, a5, t0
+        li   a0, {spm_in}
+        add  a0, a0, t1
+        li   a1, {n}
+        call sum_words
+        li   t0, {block}
+        mul  t1, s0, t0
+        add  t1, t1, a5
+        slli t1, t1, 2
+        li   t2, {xsum}
+        add  t2, t2, t1
+        lw   t3, (t2)
+        bne  a0, t3, fail
+        addi a5, a5, 1
+        j    ichk_loop
+    ichk_ok:
+        # ---- photonic job for this block (watchdog armed) --------
+        li   t0, {accel}
+        li   t1, 4
+        sw   t1, 0(t0)        # clear any stale error latch
+        li   t1, {spm_in}
+        sw   t1, 12(t0)       # IN_ADDR
+        li   t1, {spm_out}
+        sw   t1, 16(t0)       # OUT_ADDR
+        li   t1, {block}
+        sw   t1, 20(t0)       # BATCH
+        li   t1, 1
+        sw   t1, 0(t0)        # doorbell
+        li   t2, {poll_limit}
+    job_poll:
+        lw   t3, 4(t0)        # STATUS
+        andi t4, t3, 2
+        bnez t4, job_done
+        addi t2, t2, -1
+        bnez t2, job_poll
+        j    fail             # lost doorbell / dead device
+    job_done:
+        li   t1, 2
+        sw   t1, 0(t0)        # clear done
+        lw   t3, 32(t0)       # ERROR
+        beqz t3, job_ok
+        mv   s6, t3           # remember the device fault code
+        li   t1, 4
+        sw   t1, 0(t0)        # acknowledge it
+        j    fail
+    job_ok:
+        # ---- DMA y[block] SPM -> DRAM ----------------------------
+        li   a3, {block_bytes}
+        mul  a4, s0, a3
+        li   a0, {spm_out}
+        li   a1, {y}
+        add  a1, a1, a4
+        mv   a2, a3
+        call dma_copy
+        bnez a0, fail
+        # ---- ABFT verify: |sum(y_v) - c.x_v| <= tol, from DRAM ---
+        li   a5, 0
+    ochk_loop:
+        li   t0, {block}
+        bge  a5, t0, blk_pass
+        li   t0, {block_bytes}
+        mul  t1, s0, t0
+        li   t2, {vec_bytes}
+        mul  t3, a5, t2
+        add  t1, t1, t3       # byte offset of vector v
+        li   a0, {y}
+        add  a0, a0, t1
+        li   a1, {n}
+        call sum_words
+        mv   s5, a0           # lhs = sum(y_v)
+        li   t0, {block_bytes}
+        mul  t1, s0, t0
+        li   t2, {vec_bytes}
+        mul  t3, a5, t2
+        add  t1, t1, t3
+        li   a0, {x}
+        add  a0, a0, t1
+        li   a1, {c}
+        li   a2, {n}
+        call dot_fixed        # rhs = c . x_v
+        sub  t0, s5, a0
+        srai t1, t0, 31
+        xor  t0, t0, t1
+        sub  t0, t0, t1       # |lhs - rhs|
+        li   t1, {tol}
+        bgt  t0, t1, fail
+        addi a5, a5, 1
+        j    ochk_loop
+    blk_pass:
+        beqz s1, blk_next
+        addi s3, s3, 1        # clean after retries: recovered
+    blk_next:
+        addi s0, s0, 1
+        j    blk_loop
+    fail:
+        addi s2, s2, 1        # fault detected
+        li   t0, {max_retries}
+        bge  s1, t0, fallback
+        addi s1, s1, 1
+        li   t0, {recal_after}
+        blt  s1, t0, backoff
+        # ---- repeated failures: recalibrate the device -----------
+        li   t0, {accel}
+        li   t1, 8
+        sw   t1, 0(t0)        # CTRL: recalibration request
+        li   t2, {poll_limit}
+    recal_poll:
+        lw   t3, 4(t0)        # STATUS
+        andi t4, t3, 2
+        bnez t4, recal_done
+        addi t2, t2, -1
+        bnez t2, recal_poll
+        j    backoff          # recal never completed; retry anyway
+    recal_done:
+        li   t1, 2
+        sw   t1, 0(t0)        # clear recal completion
+    backoff:
+        # ---- capped exponential backoff: base << (retries-1) -----
+        li   t0, {backoff_base}
+        mv   t1, s1
+    bo_shift:
+        addi t1, t1, -1
+        beqz t1, bo_cap
+        slli t0, t0, 1
+        j    bo_shift
+    bo_cap:
+        li   t1, {backoff_cap}
+        ble  t0, t1, bo_spin
+        mv   t0, t1
+    bo_spin:
+        addi t0, t0, -1
+        bnez t0, bo_spin
+        j    attempt
+    fallback:
+        # ---- retries exhausted: software MVM for the block -------
+        li   a3, {block_bytes}
+        mul  a4, s0, a3
+        li   a0, {w}
+        li   a1, {x}
+        add  a1, a1, a4
+        li   a2, {y}
+        add  a2, a2, a4
+        li   a3, {n}
+        li   a4, {block}
+        call soft_block
+        addi s4, s4, 1        # degraded block
+        j    blk_next
+    final_sweep:
+        # ==== end-to-end sweep: re-verify every output vector =====
+        li   s0, 0            # vector index over the whole batch
+    fs_loop:
+        li   t0, {batch}
+        bge  s0, t0, fs_done
+        li   t0, {vec_bytes}
+        mul  t1, s0, t0
+        li   a0, {y}
+        add  a0, a0, t1
+        li   a1, {n}
+        call sum_words
+        mv   s5, a0
+        li   t0, {vec_bytes}
+        mul  t1, s0, t0
+        li   a0, {x}
+        add  a0, a0, t1
+        li   a1, {c}
+        li   a2, {n}
+        call dot_fixed
+        sub  t0, s5, a0
+        srai t1, t0, 31
+        xor  t0, t0, t1
+        sub  t0, t0, t1
+        li   t1, {tol}
+        ble  t0, t1, fs_next
+        # late corruption: detected; repair the vector in software
+        addi s2, s2, 1
+        li   t0, {vec_bytes}
+        mul  a4, s0, t0
+        li   a0, {w}
+        li   a1, {x}
+        add  a1, a1, a4
+        li   a2, {y}
+        add  a2, a2, a4
+        li   a3, {n}
+        li   a4, 1
+        call soft_block
+        addi s3, s3, 1        # repaired
+    fs_next:
+        addi s0, s0, 1
+        j    fs_loop
+    fs_done:
+        # ==== structured fault record + error IRQ =================
+        li   t0, {fault}
+        sw   s2, 0(t0)        # detections
+        sw   s3, 4(t0)        # recoveries
+        sw   s4, 8(t0)        # fallback blocks
+        sw   s6, 12(t0)       # last device error code
+        beqz s4, fw_exit
+        li   t0, {accel}
+        li   t1, 1
+        sw   t1, 32(t0)       # report CHECKSUM: record + error IRQ
+    fw_exit:
+        ecall
+
+        # ---- dma_copy(a0 = src, a1 = dst, a2 = len) -> a0 = 0 ok --
+    dma_copy:
+        li   t0, {dma}
+        sw   a0, 8(t0)        # SRC
+        sw   a1, 12(t0)       # DST
+        sw   a2, 16(t0)       # LEN
+        li   t1, 1
+        sw   t1, 0(t0)        # start
+        li   t2, {poll_limit}
+    dc_poll:
+        lw   t3, 4(t0)        # STATUS
+        andi t3, t3, 2
+        bnez t3, dc_done
+        addi t2, t2, -1
+        bnez t2, dc_poll
+        li   a0, 1
+        ret
+    dc_done:
+        li   t1, 2
+        sw   t1, 0(t0)        # ack
+        li   a0, 0
+        ret
+
+        # ---- sum_words(a0 = base, a1 = count) -> a0 wrapping sum --
+    sum_words:
+        li   t0, 0
+    sw_loop:
+        beqz a1, sw_done
+        lw   t1, (a0)
+        add  t0, t0, t1
+        addi a0, a0, 4
+        addi a1, a1, -1
+        j    sw_loop
+    sw_done:
+        mv   a0, t0
+        ret
+
+        # ---- dot_fixed(a0 = x, a1 = c, a2 = n) -> a0 = c.x Q16.16 -
+    dot_fixed:
+        li   t0, 0
+    df_loop:
+        beqz a2, df_done
+        lw   t1, (a0)
+        lw   t2, (a1)
+        mulh t3, t1, t2
+        mul  t4, t1, t2
+        slli t3, t3, 16
+        srli t4, t4, 16
+        or   t4, t4, t3
+        add  t0, t0, t4
+        addi a0, a0, 4
+        addi a1, a1, 4
+        addi a2, a2, -1
+        j    df_loop
+    df_done:
+        mv   a0, t0
+        ret
+
+        # ---- soft_block(a0=W, a1=x, a2=y, a3=n, a4=count) ---------
+    soft_block:
+        beqz a4, sb_done
+        li   t0, 0            # row i
+    sb_row:
+        bge  t0, a3, sb_next
+        li   t1, 0            # acc
+        mul  t2, t0, a3
+        slli t2, t2, 2
+        add  t2, t2, a0       # &W[i][0]
+        mv   t3, a1
+        li   t4, 0            # col j
+    sb_col:
+        bge  t4, a3, sb_store
+        lw   t5, (t2)
+        lw   t6, (t3)
+        mulh a6, t5, t6
+        mul  a7, t5, t6
+        slli a6, a6, 16
+        srli a7, a7, 16
+        or   a7, a7, a6
+        add  t1, t1, a7
+        addi t2, t2, 4
+        addi t3, t3, 4
+        addi t4, t4, 1
+        j    sb_col
+    sb_store:
+        slli a6, t0, 2
+        add  a6, a6, a2
+        sw   t1, (a6)
+        addi t0, t0, 1
+        j    sb_row
+    sb_next:
+        slli a6, a3, 2
+        add  a1, a1, a6
+        add  a2, a2, a6
+        addi a4, a4, -1
+        j    soft_block
+    sb_done:
+        ret
+        ",
+        dma = DMA_BASE,
+        accel = ACCEL_BASE,
+        w = layout.w_addr,
+        x = layout.x_addr,
+        y = layout.y_addr,
+        c = layout.c_addr,
+        xsum = layout.xsum_addr,
+        fault = layout.fault_addr,
+        spm_in = spm_in,
+        spm_out = spm_out,
+        n = n,
+        batch = batch,
+        block = block,
+        nblocks = nblocks,
+        vec_bytes = vec_bytes,
+        block_bytes = block_bytes,
+        tol = cfg.tolerance,
+        max_retries = cfg.max_retries,
+        recal_after = cfg.recal_after.max(1),
+        backoff_base = cfg.backoff_base.max(1),
+        backoff_cap = cfg.backoff_cap.max(1),
+        watchdog = cfg.watchdog,
+        poll_limit = cfg.poll_limit.max(1),
     )
 }
 

@@ -11,10 +11,13 @@
 //!   (MMRs, SPM operands, IRQ);
 //! - [`dma`]: the block-transfer engine;
 //! - [`ram`]: DRAM/SPM with access accounting;
-//! - [`firmware`]: canned RISC-V programs — the software-MVM baseline and
-//!   the accelerator-offload driver;
+//! - [`firmware`]: canned RISC-V programs — the software-MVM baseline,
+//!   the accelerator-offload driver, and the ABFT-guarded fault-tolerant
+//!   offload driver;
+//! - [`guard`]: host-side helpers for the guarded offload protocol
+//!   (checksum operands, structured fault record);
 //! - [`fault`]: transient/permanent fault injection with the
-//!   masked/SDC/crash/hang taxonomy;
+//!   masked/SDC/crash/hang/detected taxonomy;
 //! - [`checkpoint`]: full-system snapshot/restore;
 //! - [`campaign`]: the checkpointed, parallel, statistical campaign
 //!   engine with Wilson confidence intervals and JSON reporting;
@@ -51,5 +54,6 @@ pub mod dma;
 pub mod fault;
 pub mod firmware;
 pub mod fixed;
+pub mod guard;
 pub mod ram;
 pub mod system;

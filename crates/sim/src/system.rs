@@ -9,7 +9,7 @@
 //! |-------------|---------------|---------|
 //! | DRAM        | `0x0000_0000` | 4 MiB   |
 //! | SPM         | `0x1000_0000` | 256 KiB |
-//! | Accel MMRs  | `0x4000_0000` | 0x20    |
+//! | Accel MMRs  | `0x4000_0000` | 0x30    |
 //! | DMA MMRs    | `0x4100_0000` | 0x18    |
 
 use crate::accel::AccelDevice;
@@ -136,12 +136,13 @@ impl Platform {
     /// start-then-`wfi` firmware pattern race-free.
     pub fn irq_level(&self) -> bool {
         (self.accel_irq_enabled && self.accel.is_done())
+            || self.accel.error_irq_line()
             || (self.dma_irq_enabled && self.dma.is_done())
             || self
                 .extra_pes
                 .iter()
                 .zip(&self.extra_irq_enabled)
-                .any(|(pe, &en)| en && pe.is_done())
+                .any(|(pe, &en)| (en && pe.is_done()) || pe.error_irq_line())
     }
 
     /// Charges the memory-hierarchy cost of one CPU access to DRAM.
@@ -238,12 +239,18 @@ impl Bus for Platform {
                         // Doorbell: consume operands, schedule completion.
                         let _ = self.accel.start(self.now, &mut self.spm);
                     }
+                    if self.accel.take_recal_request() {
+                        self.accel.recalibrate(self.now);
+                    }
                 } else {
                     if offset == crate::accel::mmr::IRQ_ENABLE {
                         self.extra_irq_enabled[slot - 1] = value & 1 != 0;
                     }
                     if self.extra_pes[slot - 1].mmr_store(offset, value) {
                         let _ = self.extra_pes[slot - 1].start(self.now, &mut self.spm);
+                    }
+                    if self.extra_pes[slot - 1].take_recal_request() {
+                        self.extra_pes[slot - 1].recalibrate(self.now);
                     }
                 }
                 return Ok(());

@@ -10,7 +10,7 @@ use neuropulsim::core::puf::PhotonicPuf;
 use neuropulsim::core::reck;
 use neuropulsim::linalg::{metrics, random, RMatrix, C64};
 use neuropulsim::nn::conv::{direct_convolve, im2col, ConvLayer, Image};
-use neuropulsim::photonics::pcm::PcmMaterial;
+use neuropulsim::photonics::pcm::{transmission_levels, PcmCell, PcmMaterial};
 use neuropulsim::riscv::isa::{decode, encode, Instruction};
 use neuropulsim::sim::fixed::{fixed_mul, from_fixed, to_fixed};
 use proptest::prelude::*;
@@ -202,6 +202,56 @@ proptest! {
         // im2col shape invariant.
         let cols = im2col(&img, 3);
         prop_assert_eq!(cols.cols(), (h - 2) * (w - 2));
+    }
+
+    #[test]
+    fn pcm_drift_keeps_fraction_in_range_for_any_input(
+        start in 0.0..1.0f64,
+        elapsed in -1e18..1e18f64,
+        nu in -10.0..10.0f64,
+        special in 0usize..6,
+    ) {
+        // apply_drift is total: whatever elapsed time (negative, huge,
+        // infinite, NaN) and drift coefficient it is fed, the crystalline
+        // fraction must stay a valid value in [0, 1]. The `special` index
+        // swaps in the non-finite edge cases a range can't generate.
+        let (elapsed, nu) = match special {
+            0 => (elapsed, nu),
+            1 => (f64::NAN, nu),
+            2 => (f64::INFINITY, nu),
+            3 => (f64::NEG_INFINITY, nu),
+            4 => (elapsed, f64::NAN),
+            _ => (elapsed, f64::INFINITY),
+        };
+        let mut cell = PcmCell::new(PcmMaterial::Gst225);
+        cell.set_state(start);
+        cell.apply_drift(elapsed, nu);
+        let f = cell.crystalline_fraction();
+        prop_assert!((0.0..=1.0).contains(&f), "fraction {f} out of range");
+        // Drifting again must also stay in range (repeatable safety).
+        cell.apply_drift(elapsed, nu);
+        let f = cell.crystalline_fraction();
+        prop_assert!((0.0..=1.0).contains(&f), "fraction {f} out of range after re-drift");
+    }
+
+    #[test]
+    fn pcm_transmission_grids_are_strictly_decreasing(
+        material_idx in 0usize..3,
+        levels in 2u32..80,
+    ) {
+        let material = [PcmMaterial::Gst225, PcmMaterial::Gsst, PcmMaterial::GeSe][material_idx];
+        let grid = transmission_levels(material, levels);
+        prop_assert_eq!(grid.len(), levels as usize);
+        prop_assert!((grid[0] - 1.0).abs() < 1e-12, "grid is normalized to 1 at level 0");
+        for (l, pair) in grid.windows(2).enumerate() {
+            prop_assert!(pair[0].is_finite() && pair[1].is_finite());
+            prop_assert!(
+                pair[1] < pair[0],
+                "levels {l}..{} not strictly decreasing: {} vs {}",
+                l + 1, pair[0], pair[1]
+            );
+            prop_assert!(pair[1] > 0.0 && pair[1] <= 1.0);
+        }
     }
 
     #[test]
