@@ -1,0 +1,139 @@
+//! Simulator-performance probe: runs the GeMM-offload firmware workload
+//! (DMA in → photonic doorbell → `wfi` → DMA out) with the fast paths
+//! off (seed interpreter, cycle-by-cycle `wfi`) and on (decoded-block
+//! cache + `wfi` fast-forward), checks the two runs are bit-identical,
+//! and prints throughput and cache statistics as one JSON object.
+//!
+//! Timing is min-based: each mode's throughput comes from its *best*
+//! repetition. The modes are interleaved round-robin, so scheduler noise
+//! and frequency drift hit both equally, and the minimum estimates the
+//! noise-free cost of a run — the statistic that is stable on a shared
+//! machine (means are inflated by whatever else the host is doing).
+//!
+//! Usage: `sim_bench [reps]` (default: 50 timed repetitions per mode).
+
+use std::time::Instant;
+
+use neuropulsim_linalg::RMatrix;
+use neuropulsim_sim::firmware::{accel_offload, DramLayout};
+use neuropulsim_sim::system::{RunReport, System};
+
+const N: usize = 8;
+const BATCH: usize = 1024;
+const MAX_CYCLES: u64 = 200_000;
+
+fn build_system(fast: bool, w: &RMatrix, x: &[Vec<f64>], layout: DramLayout) -> System {
+    let mut sys = System::new();
+    sys.cpu.set_block_cache_enabled(fast);
+    sys.wfi_fast_forward = fast;
+    sys.platform.accel.load_matrix(w);
+    for (v, col) in x.iter().enumerate() {
+        sys.write_fixed_vector(layout.x_addr + (v * N * 4) as u32, col);
+    }
+    sys.load_firmware_source(&accel_offload(N, BATCH, layout));
+    sys
+}
+
+fn readout(sys: &System, layout: DramLayout) -> Vec<u32> {
+    (0..N * BATCH)
+        .map(|k| {
+            sys.platform
+                .dram
+                .peek(layout.y_addr + 4 * k as u32)
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+/// One full run; returns the report, the finished system, and wall time.
+fn run_once(
+    fast: bool,
+    w: &RMatrix,
+    x: &[Vec<f64>],
+    layout: DramLayout,
+) -> (RunReport, System, f64) {
+    let mut sys = build_system(fast, w, x, layout);
+    let t0 = Instant::now();
+    let report = sys.run(MAX_CYCLES);
+    (report, sys, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(50)
+        .max(1);
+
+    let layout = DramLayout::default();
+    let w = RMatrix::from_fn(N, N, |i, j| 0.4 * ((i as f64 - j as f64) * 0.31).sin());
+    let x: Vec<Vec<f64>> = (0..BATCH)
+        .map(|v| {
+            (0..N)
+                .map(|k| 0.2 * ((v * N + k) as f64 * 0.17).cos())
+                .collect()
+        })
+        .collect();
+
+    // Identity check first: the fast paths must not change a single
+    // observable bit of the simulation.
+    let (slow_report, slow_sys, _) = run_once(false, &w, &x, layout);
+    let (fast_report, fast_sys, _) = run_once(true, &w, &x, layout);
+    let identical = slow_report == fast_report
+        && slow_sys.cpu == fast_sys.cpu
+        && readout(&slow_sys, layout) == readout(&fast_sys, layout)
+        && slow_sys.platform.dram.reads == fast_sys.platform.dram.reads
+        && slow_sys.platform.dram.writes == fast_sys.platform.dram.writes
+        && slow_sys.platform.spm.reads == fast_sys.platform.spm.reads
+        && slow_sys.platform.spm.writes == fast_sys.platform.spm.writes;
+    if !identical {
+        eprintln!("sim_bench: fast-path run diverged from the seed interpreter");
+        std::process::exit(1);
+    }
+
+    // Timed repetitions, interleaved round-robin (each rep rebuilds the
+    // system; only `run` is timed, so setup cost does not dilute the
+    // comparison).
+    let mut total = [0.0f64; 2];
+    let mut best = [f64::MAX; 2];
+    for _ in 0..reps {
+        for (slot, fast) in [(0usize, false), (1usize, true)] {
+            let (_, _, dt) = run_once(fast, &w, &x, layout);
+            total[slot] += dt;
+            if dt < best[slot] {
+                best[slot] = dt;
+            }
+        }
+    }
+
+    let perf = fast_sys.cpu.perf_counters();
+    let instructions = perf.instret as f64;
+    let cycles = fast_report.cycles as f64;
+    let baseline_ips = instructions / best[0];
+    let fast_ips = instructions / best[1];
+    let baseline_cps = cycles / best[0];
+    let fast_cps = cycles / best[1];
+    let mean_speedup = total[0] / total[1];
+
+    println!("{{");
+    println!("  \"bench\": \"sim_bench\",");
+    println!("  \"workload\": \"gemm-offload-n{N}-b{BATCH}\",");
+    println!("  \"reps\": {reps},");
+    println!("  \"bit_identical\": {identical},");
+    println!("  \"instructions_per_run\": {},", perf.instret);
+    println!("  \"cycles_per_run\": {},", fast_report.cycles);
+    println!("  \"baseline_instructions_per_sec\": {baseline_ips:.0},");
+    println!("  \"fast_instructions_per_sec\": {fast_ips:.0},");
+    println!("  \"baseline_cycles_per_sec\": {baseline_cps:.0},");
+    println!("  \"fast_cycles_per_sec\": {fast_cps:.0},");
+    println!("  \"speedup\": {:.2},", fast_ips / baseline_ips);
+    println!("  \"mean_speedup\": {mean_speedup:.2},");
+    println!("  \"block_cache_hits\": {},", perf.block_hits);
+    println!("  \"block_cache_misses\": {},", perf.block_misses);
+    println!("  \"block_cache_hit_rate\": {:.4},", perf.block_hit_rate());
+    println!(
+        "  \"fast_forwarded_cycles_per_run\": {}",
+        fast_sys.fast_forwarded_cycles
+    );
+    println!("}}");
+}

@@ -338,7 +338,9 @@ impl RealizedMvm {
 
     /// Zero-allocation form of [`RealizedMvm::multiply_noisy`]: one real
     /// matrix-vector product against the cached effective matrix plus
-    /// per-detector readout noise, written into `y`.
+    /// per-detector readout noise, written into `y`. A zero readout
+    /// sigma adds exactly nothing, so the sampler is skipped outright —
+    /// noiseless detectors cost no RNG draws.
     ///
     /// # Panics
     ///
@@ -346,8 +348,10 @@ impl RealizedMvm {
     pub fn multiply_noisy_into<R: Rng + ?Sized>(&self, x: &[f64], y: &mut [f64], rng: &mut R) {
         assert_eq!(x.len(), self.attenuation.len(), "dimension mismatch");
         self.effective.mul_vec_into(x, y);
-        for yi in y.iter_mut() {
-            *yi += self.readout_sigma * neuropulsim_linalg::random::gaussian(rng) * self.scale;
+        if self.readout_sigma != 0.0 {
+            for yi in y.iter_mut() {
+                *yi += self.readout_sigma * neuropulsim_linalg::random::gaussian(rng) * self.scale;
+            }
         }
     }
 

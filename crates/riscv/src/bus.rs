@@ -54,7 +54,7 @@ pub trait Bus {
     ///
     /// Propagates the word access fault.
     fn load_byte(&mut self, addr: u32) -> Result<u8, BusFault> {
-        let w = self.load_word(addr & !3)?;
+        let w = self.load_word_fast(addr & !3)?;
         Ok((w >> ((addr & 3) * 8)) as u8)
     }
 
@@ -64,7 +64,7 @@ pub trait Bus {
     ///
     /// Propagates the word access fault.
     fn load_half(&mut self, addr: u32) -> Result<u16, BusFault> {
-        let w = self.load_word(addr & !3)?;
+        let w = self.load_word_fast(addr & !3)?;
         Ok((w >> ((addr & 2) * 8)) as u16)
     }
 
@@ -76,9 +76,9 @@ pub trait Bus {
     fn store_byte(&mut self, addr: u32, value: u8) -> Result<(), BusFault> {
         let aligned = addr & !3;
         let shift = (addr & 3) * 8;
-        let w = self.load_word(aligned)?;
+        let w = self.load_word_fast(aligned)?;
         let w = (w & !(0xffu32 << shift)) | ((value as u32) << shift);
-        self.store_word(aligned, w)
+        self.store_word_fast(aligned, w)
     }
 
     /// Stores one halfword (read-modify-write).
@@ -89,9 +89,89 @@ pub trait Bus {
     fn store_half(&mut self, addr: u32, value: u16) -> Result<(), BusFault> {
         let aligned = addr & !3;
         let shift = (addr & 2) * 8;
-        let w = self.load_word(aligned)?;
+        let w = self.load_word_fast(aligned)?;
         let w = (w & !(0xffffu32 << shift)) | ((value as u32) << shift);
-        self.store_word(aligned, w)
+        self.store_word_fast(aligned, w)
+    }
+
+    /// Instruction fetch: must be observably identical to [`Bus::load_word`]
+    /// (same value, same faults, same access accounting). Implementations
+    /// backed by plain RAM may override it with a leaner single-bounds-check
+    /// path; the decoded-block interpreter issues all fetches through this
+    /// hook.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusFault`] for unmapped addresses.
+    fn fetch_word(&mut self, addr: u32) -> Result<u32, BusFault> {
+        self.load_word(addr)
+    }
+
+    /// Side-effect-free read of the aligned word containing `addr`, used by
+    /// the decoded-block cache to pre-decode straight-line code without
+    /// charging access counters or latency. Returning `None` marks the
+    /// address as uncacheable (e.g. device registers); the interpreter then
+    /// falls back to plain fetch-and-decode there.
+    fn peek_word(&self, addr: u32) -> Option<u32> {
+        let _ = addr;
+        None
+    }
+
+    /// Fused data-load fast path: observably identical to
+    /// [`Bus::load_word`], overridable to bypass full bus dispatch when the
+    /// address window is plain RAM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusFault`] for unmapped addresses.
+    fn load_word_fast(&mut self, addr: u32) -> Result<u32, BusFault> {
+        self.load_word(addr)
+    }
+
+    /// Fused data-store fast path: observably identical to
+    /// [`Bus::store_word`], overridable to bypass full bus dispatch when the
+    /// address window is plain RAM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusFault`] for unmapped or read-only addresses.
+    fn store_word_fast(&mut self, addr: u32, value: u32) -> Result<(), BusFault> {
+        self.store_word(addr, value)
+    }
+
+    /// Bulk-charges the accounting side effects of `count` instruction
+    /// fetches covering `[start, start + 4*count)` without reading the
+    /// words, or reports that it cannot. Returning `true` promises that
+    /// *exactly* the accounting of that many [`Bus::fetch_word`] calls
+    /// was applied (e.g. read counters) and nothing else; implementations
+    /// whose fetches have per-access state (stall charging, cache
+    /// modelling) must return `false`, and the caller then performs real
+    /// fetches. `count == 0` acts as a side-effect-free probe for
+    /// whether the region is bulk-chargeable.
+    fn charge_fetches(&mut self, start: u32, count: u32) -> bool {
+        let _ = (start, count);
+        false
+    }
+
+    /// Called by the bulk interpreter immediately before it executes a
+    /// load/store whose effective address reaches device space, with the
+    /// CPU's current cycle count. Returning `true` promises the access
+    /// may run in place: the bus brings its device clock up to `cycles`
+    /// first (legal inside a quiet window, where every skipped device
+    /// tick is a no-op). Returning `false` sends the access to the
+    /// caller's precise per-instruction path instead.
+    fn mmio_prologue(&mut self, cycles: u64) -> bool {
+        let _ = cycles;
+        false
+    }
+
+    /// Called right after an in-place device access permitted by
+    /// [`Bus::mmio_prologue`]. Returns `true` while the quiet window
+    /// still holds — no device has work in flight and no interrupt is
+    /// pending — so bulk execution may continue; `false` hands control
+    /// back to the caller's full per-cycle protocol.
+    fn mmio_epilogue(&mut self) -> bool {
+        false
     }
 }
 
@@ -170,6 +250,17 @@ impl Bus for FlatMemory {
         }
         self.data[a..a + 4].copy_from_slice(&value.to_le_bytes());
         Ok(())
+    }
+
+    fn peek_word(&self, addr: u32) -> Option<u32> {
+        let a = (addr & !3) as usize;
+        let bytes = self.data.get(a..a + 4)?;
+        Some(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+    }
+
+    fn charge_fetches(&mut self, _start: u32, _count: u32) -> bool {
+        // Fetches from flat memory carry no accounting at all.
+        true
     }
 }
 

@@ -1,6 +1,7 @@
 //! The RV32IM interpreter core with a simple cycle-accounting model —
 //! the host processor of the gem5-style full-system simulation (paper §5).
 
+use crate::block::{BlockCache, DecodedBlock, PerfCounters};
 use crate::bus::{Bus, BusFault};
 use crate::isa::{decode, Instruction};
 use std::fmt;
@@ -13,6 +14,10 @@ pub mod csr {
     pub const MINSTRET: u16 = 0xB02;
     /// Scratch register.
     pub const MSCRATCH: u16 = 0x340;
+    /// Decoded-block cache hits (read-only, `mhpmcounter3` slot).
+    pub const BLOCK_HITS: u16 = 0xB03;
+    /// Decoded-block cache misses (read-only, `mhpmcounter4` slot).
+    pub const BLOCK_MISSES: u16 = 0xB04;
 }
 
 /// Why execution stopped.
@@ -24,6 +29,20 @@ pub enum Halt {
     Ebreak,
     /// The cycle budget ran out.
     CycleLimit,
+}
+
+/// The result of a bounded run, with exact cycle accounting.
+///
+/// `cycles_consumed` reports the cycles actually spent, which can exceed
+/// the requested budget when the final instruction (or cached block tail)
+/// completes past the limit — the seed `run` reported the cap in that
+/// case, losing the overshoot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunExit {
+    /// Why execution stopped.
+    pub halt: Halt,
+    /// Cycles actually consumed by this run (may exceed the budget).
+    pub cycles_consumed: u64,
 }
 
 /// A trap: the program did something the machine cannot continue from.
@@ -117,7 +136,7 @@ impl CpuSnapshot {
 }
 
 /// The RV32IM processor state.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Cpu {
     /// General-purpose registers; `x0` is hardwired to zero.
     regs: [u32; 32],
@@ -132,6 +151,25 @@ pub struct Cpu {
     mscratch: u32,
     /// Set while the core sleeps in `wfi`.
     pub waiting_for_interrupt: bool,
+    /// Decoded-block cache (microarchitectural — excluded from equality).
+    block_cache: BlockCache,
+    /// In-block dispatch position: `(slot, next op index)`.
+    cursor: Option<(usize, usize)>,
+}
+
+/// Equality covers architectural and timing state only: the decoded-block
+/// cache and dispatch cursor are microarchitectural accelerator state and
+/// two cores that differ only there are observably identical.
+impl PartialEq for Cpu {
+    fn eq(&self, other: &Self) -> bool {
+        self.regs == other.regs
+            && self.pc == other.pc
+            && self.cycles == other.cycles
+            && self.instret == other.instret
+            && self.cycle_model == other.cycle_model
+            && self.mscratch == other.mscratch
+            && self.waiting_for_interrupt == other.waiting_for_interrupt
+    }
 }
 
 impl Cpu {
@@ -145,6 +183,8 @@ impl Cpu {
             cycle_model: CycleModel::default(),
             mscratch: 0,
             waiting_for_interrupt: false,
+            block_cache: BlockCache::default(),
+            cursor: None,
         }
     }
 
@@ -182,7 +222,9 @@ impl Cpu {
         }
     }
 
-    /// Restores the state captured by [`Cpu::snapshot`].
+    /// Restores the state captured by [`Cpu::snapshot`]. Cached decoded
+    /// blocks are dropped: memory has typically been rewound with the
+    /// architectural state.
     pub fn restore(&mut self, snapshot: &CpuSnapshot) {
         self.regs = snapshot.regs;
         self.pc = snapshot.pc;
@@ -191,6 +233,59 @@ impl Cpu {
         self.cycle_model = snapshot.cycle_model;
         self.mscratch = snapshot.mscratch;
         self.waiting_for_interrupt = snapshot.waiting_for_interrupt;
+        self.invalidate_blocks();
+    }
+
+    /// Drops every cached decoded block (and the in-block cursor). Called
+    /// on restore, on stores into cached code, and by hosts before
+    /// resuming a CPU whose memory they rewrote behind its back.
+    pub fn invalidate_blocks(&mut self) {
+        self.block_cache.invalidate_all();
+        self.cursor = None;
+    }
+
+    /// Tells the interpreter that an agent other than this CPU — a DMA
+    /// engine, an accelerator, host-side pokes — may have written the
+    /// byte range `[lo, hi)`. Cached blocks overlapping it are dropped
+    /// so the bulk dispatch path re-decodes from memory. The range may
+    /// be over-approximated freely.
+    pub fn note_external_writes(&mut self, lo: u32, hi: u32) {
+        if self.block_cache.overlaps(lo, hi) {
+            self.invalidate_blocks();
+        }
+    }
+
+    /// Post-store hook: a write into watched code drops the decoded
+    /// blocks so the very next instruction re-decodes from memory.
+    #[inline]
+    fn note_store(&mut self, addr: u32) {
+        if self.block_cache.watches(addr) {
+            self.invalidate_blocks();
+        }
+    }
+
+    /// Enables or disables decoded-block dispatch (on by default).
+    /// Disabling reproduces the seed fetch-and-decode interpreter
+    /// exactly, which is how the benchmarks A/B the two paths.
+    pub fn set_block_cache_enabled(&mut self, enabled: bool) {
+        self.block_cache.set_enabled(enabled);
+        self.cursor = None;
+    }
+
+    /// Whether decoded-block dispatch is enabled.
+    pub fn block_cache_enabled(&self) -> bool {
+        self.block_cache.is_enabled()
+    }
+
+    /// Snapshot of the hardware counters (`mcycle`/`minstret` plus the
+    /// block-cache hit/miss counters) for self-reported cost.
+    pub fn perf_counters(&self) -> PerfCounters {
+        PerfCounters {
+            cycles: self.cycles,
+            instret: self.instret,
+            block_hits: self.block_cache.hits,
+            block_misses: self.block_cache.misses,
+        }
     }
 
     fn read_csr(&self, addr: u16) -> u32 {
@@ -198,6 +293,8 @@ impl Cpu {
             csr::MCYCLE => self.cycles as u32,
             csr::MINSTRET => self.instret as u32,
             csr::MSCRATCH => self.mscratch,
+            csr::BLOCK_HITS => self.block_cache.hits as u32,
+            csr::BLOCK_MISSES => self.block_cache.misses as u32,
             _ => 0,
         }
     }
@@ -224,12 +321,24 @@ impl Cpu {
         }
         let pc = self.pc;
         let word = bus
-            .load_word(pc)
+            .fetch_word(pc)
             .map_err(|fault| Trap::MemoryFault { pc, fault })?;
         let inst = decode(word).map_err(|_| Trap::IllegalInstruction {
             pc,
             word: Some(word),
         })?;
+        self.execute(bus, inst, pc)
+    }
+
+    /// Executes one already-decoded instruction at `pc`, updating `pc`,
+    /// the counters and architectural state exactly as [`Cpu::step`]
+    /// does after its fetch+decode.
+    fn execute<B: Bus + ?Sized>(
+        &mut self,
+        bus: &mut B,
+        inst: Instruction,
+        pc: u32,
+    ) -> Result<Option<Halt>, Trap> {
         let mut next_pc = pc.wrapping_add(4);
         let model = self.cycle_model;
         let mut cost = model.alu;
@@ -304,7 +413,7 @@ impl Cpu {
             Lw { rd, rs1, offset } => {
                 let addr = self.reg(rs1).wrapping_add(offset as u32);
                 let v = bus
-                    .load_word(addr)
+                    .load_word_fast(addr)
                     .map_err(|fault| Trap::MemoryFault { pc, fault })?;
                 self.set_reg(rd, v);
                 cost = model.load;
@@ -329,18 +438,21 @@ impl Cpu {
                 let addr = self.reg(rs1).wrapping_add(offset as u32);
                 bus.store_byte(addr, self.reg(rs2) as u8)
                     .map_err(|fault| Trap::MemoryFault { pc, fault })?;
+                self.note_store(addr);
                 cost = model.store;
             }
             Sh { rs1, rs2, offset } => {
                 let addr = self.reg(rs1).wrapping_add(offset as u32);
                 bus.store_half(addr, self.reg(rs2) as u16)
                     .map_err(|fault| Trap::MemoryFault { pc, fault })?;
+                self.note_store(addr);
                 cost = model.store;
             }
             Sw { rs1, rs2, offset } => {
                 let addr = self.reg(rs1).wrapping_add(offset as u32);
-                bus.store_word(addr, self.reg(rs2))
+                bus.store_word_fast(addr, self.reg(rs2))
                     .map_err(|fault| Trap::MemoryFault { pc, fault })?;
+                self.note_store(addr);
                 cost = model.store;
             }
             Addi { rd, rs1, imm } => self.set_reg(rd, self.reg(rs1).wrapping_add(imm as u32)),
@@ -471,19 +583,313 @@ impl Cpu {
         Ok(None)
     }
 
+    /// Executes one instruction through the decoded-block fast path.
+    ///
+    /// Observably identical to [`Cpu::step`]: every retired instruction
+    /// still issues one accounted fetch (via [`Bus::fetch_word`]) whose
+    /// word is compared against the cached decode, so self-modifying
+    /// code, DMA writes into text and fault injections take effect on
+    /// exactly the cycle the plain interpreter would see them. When the
+    /// cache is disabled or the address is uncacheable this *is*
+    /// [`Cpu::step`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] on illegal instructions or memory faults.
+    pub fn step_cached<B: Bus + ?Sized>(&mut self, bus: &mut B) -> Result<Option<Halt>, Trap> {
+        if self.waiting_for_interrupt {
+            self.cycles += 1;
+            return Ok(None);
+        }
+        if !self.block_cache.is_enabled() {
+            return self.step(bus);
+        }
+        let pc = self.pc;
+
+        // Continue inside the current block when the cursor still points
+        // at `pc`; otherwise this is a block entry (lookup or decode).
+        let position = self.cursor.filter(|&(slot, idx)| {
+            self.block_cache
+                .block(slot)
+                .is_some_and(|b| idx < b.ops.len() && b.start.wrapping_add(4 * idx as u32) == pc)
+        });
+        let (slot, idx) = match position {
+            Some(p) => p,
+            None => {
+                let slot = self.block_cache.slot_of(pc);
+                if self.block_cache.block(slot).is_some_and(|b| b.start == pc) {
+                    self.block_cache.hits += 1;
+                } else {
+                    self.block_cache.misses += 1;
+                    match DecodedBlock::build(&*bus, pc) {
+                        Some(b) => {
+                            self.block_cache.insert(b);
+                        }
+                        None => {
+                            // Unpeekable or undecodable first word: the
+                            // plain path reproduces the seed behavior
+                            // (including the trap).
+                            self.cursor = None;
+                            return self.step(bus);
+                        }
+                    }
+                }
+                (slot, 0)
+            }
+        };
+
+        let op = self
+            .block_cache
+            .block(slot)
+            .expect("position validated")
+            .ops[idx];
+        // Verify fetch: the one accounted fetch this instruction makes.
+        let word = bus
+            .fetch_word(pc)
+            .map_err(|fault| Trap::MemoryFault { pc, fault })?;
+        if word != op.word {
+            // Code changed under the cached block — drop it and run what
+            // is really in memory, exactly as the seed would.
+            self.block_cache.evict(slot);
+            self.cursor = None;
+            let inst = decode(word).map_err(|_| Trap::IllegalInstruction {
+                pc,
+                word: Some(word),
+            })?;
+            return self.execute(bus, inst, pc);
+        }
+
+        let halt = self.execute(bus, op.inst, pc)?;
+        let block_len = self.block_cache.block(slot).map_or(0, |b| b.ops.len());
+        self.cursor = if halt.is_none()
+            && idx + 1 < block_len
+            && self.pc == pc.wrapping_add(4)
+            && !self.waiting_for_interrupt
+        {
+            Some((slot, idx + 1))
+        } else {
+            None
+        };
+        Ok(halt)
+    }
+
+    /// Executes cached instructions in a tight dispatch loop until the
+    /// cycle budget is met, the program halts, traps, or sleeps, or the
+    /// path needs the precise per-instruction interpreter.
+    ///
+    /// The caller must guarantee a *quiet window*: nothing outside this
+    /// CPU changes observable state while instructions retire here (no
+    /// device needs to tick, no interrupt can rise), and
+    /// `bus.charge_fetches` accepts the code region. Within the window
+    /// the observables match the seed interpreter exactly: each retired
+    /// (or trapped) instruction is charged one fetch in bulk, stores
+    /// into cached code invalidate and force a re-decode before the next
+    /// instruction, and loads/stores whose effective address reaches
+    /// `mmio_floor` are gated through [`Bus::mmio_prologue`] /
+    /// [`Bus::mmio_epilogue`]: the bus either executes them in place
+    /// with its device clock synced (leaving the window when the access
+    /// starts device work or raises an interrupt), or declines, in which
+    /// case the access is left **unexecuted** for the caller to run
+    /// through [`Cpu::step_cached`] under the full per-cycle protocol.
+    /// Returning with no cycles
+    /// consumed means exactly that: the caller must make progress via
+    /// the precise path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] exactly as [`Cpu::step`] would.
+    pub fn run_cached_span<B: Bus + ?Sized>(
+        &mut self,
+        bus: &mut B,
+        budget_end: u64,
+        mmio_floor: u32,
+    ) -> Result<Option<Halt>, Trap> {
+        use Instruction::*;
+        if !self.block_cache.is_enabled() {
+            return Ok(None);
+        }
+        while self.cycles < budget_end && !self.waiting_for_interrupt {
+            // Resume mid-block through the cursor when it still points at
+            // `pc` (e.g. after the precise path ran one MMIO access out
+            // of the middle of a block); otherwise this is a block entry.
+            // A resume is a cache hit: the dispatch is served from the
+            // decoded block without touching memory.
+            let resume = self.cursor.filter(|&(slot, idx)| {
+                self.block_cache.block(slot).is_some_and(|b| {
+                    idx < b.ops.len() && b.start.wrapping_add(4 * idx as u32) == self.pc
+                })
+            });
+            let (slot, start_idx) = match resume {
+                Some(position) => {
+                    self.block_cache.hits += 1;
+                    position
+                }
+                None => {
+                    let entry_pc = self.pc;
+                    let slot = self.block_cache.slot_of(entry_pc);
+                    if self
+                        .block_cache
+                        .block(slot)
+                        .is_some_and(|b| b.start == entry_pc)
+                    {
+                        self.block_cache.hits += 1;
+                    } else {
+                        match DecodedBlock::build(&*bus, entry_pc) {
+                            Some(b) => {
+                                self.block_cache.misses += 1;
+                                self.block_cache.insert(b);
+                            }
+                            // Unpeekable or undecodable entry: the precise
+                            // path reproduces the seed behavior (including
+                            // the trap).
+                            None => return Ok(None),
+                        }
+                    }
+                    (slot, 0)
+                }
+            };
+            self.cursor = None;
+            let span_pc = self.pc;
+            let mut idx = start_idx;
+            let mut executed = 0u32;
+            let mut leave = false;
+            // Re-borrow each iteration: a store into cached code may
+            // have invalidated the block mid-run. The position check
+            // also re-validates the block identity.
+            while let Some(block) = self.block_cache.block(slot) {
+                if block.start.wrapping_add(4 * idx as u32) != self.pc {
+                    break;
+                }
+                let Some(&op) = block.ops.get(idx) else {
+                    break;
+                };
+                if self.cycles >= budget_end {
+                    leave = true;
+                    break;
+                }
+                // Memory ops that might leave plain RAM take the precise
+                // path — checked against the effective address before any
+                // side effect happens.
+                let touches_mmio = match op.inst {
+                    Lb { rs1, offset, .. }
+                    | Lh { rs1, offset, .. }
+                    | Lw { rs1, offset, .. }
+                    | Lbu { rs1, offset, .. }
+                    | Lhu { rs1, offset, .. }
+                    | Sb { rs1, offset, .. }
+                    | Sh { rs1, offset, .. }
+                    | Sw { rs1, offset, .. } => {
+                        self.reg(rs1).wrapping_add(offset as u32) >= mmio_floor
+                    }
+                    _ => false,
+                };
+                // Device accesses may still run here when the bus can
+                // sync its device clock in place (quiet window: the jump
+                // is a no-op); otherwise they bail to the precise path.
+                if touches_mmio && !bus.mmio_prologue(self.cycles) {
+                    leave = true;
+                    break;
+                }
+                let pc = self.pc;
+                match self.execute(bus, op.inst, pc) {
+                    Ok(None) => {
+                        executed += 1;
+                        idx += 1;
+                        if self.waiting_for_interrupt || self.pc != pc.wrapping_add(4) {
+                            break;
+                        }
+                        // A device access that started work or raised an
+                        // interrupt ends the quiet window: hand off with
+                        // the access already retired.
+                        if touches_mmio && !bus.mmio_epilogue() {
+                            leave = true;
+                            break;
+                        }
+                    }
+                    Ok(Some(halt)) => {
+                        executed += 1;
+                        let charged = bus.charge_fetches(span_pc, executed);
+                        debug_assert!(charged, "quiet window requires bulk-chargeable fetches");
+                        return Ok(Some(halt));
+                    }
+                    Err(trap) => {
+                        // The trapped instruction was fetched before it
+                        // trapped, exactly as in the seed.
+                        executed += 1;
+                        let charged = bus.charge_fetches(span_pc, executed);
+                        debug_assert!(charged, "quiet window requires bulk-chargeable fetches");
+                        return Err(trap);
+                    }
+                }
+            }
+            if executed > 0 {
+                let charged = bus.charge_fetches(span_pc, executed);
+                debug_assert!(charged, "quiet window requires bulk-chargeable fetches");
+            }
+            if leave {
+                // Hand the in-block position to the precise path so the
+                // bailed instruction (and the next span) continues here
+                // without re-decoding.
+                self.cursor = Some((slot, idx));
+                return Ok(None);
+            }
+            if executed == 0 && start_idx == 0 {
+                // The very first instruction of a freshly entered block
+                // needs the precise path: no progress was made.
+                return Ok(None);
+            }
+        }
+        Ok(None)
+    }
+
+    /// Runs until the program halts or `max_cycles` elapse, reporting
+    /// the cycles actually consumed (which can exceed the budget when
+    /// the final instruction completes past the limit).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Trap`] raised.
+    pub fn run_counted<B: Bus + ?Sized>(
+        &mut self,
+        bus: &mut B,
+        max_cycles: u64,
+    ) -> Result<RunExit, Trap> {
+        let start = self.cycles;
+        let limit = start.saturating_add(max_cycles);
+        let mut halt = Halt::CycleLimit;
+        // With no devices on the bus every window is quiet, so the bulk
+        // span runs whenever the bus supports it (`charge_fetches`
+        // probe); the precise path picks up whatever it leaves behind.
+        let bulk = self.block_cache.is_enabled();
+        while self.cycles < limit {
+            if bulk && !self.waiting_for_interrupt && bus.charge_fetches(self.pc, 0) {
+                let before = self.cycles;
+                if let Some(h) = self.run_cached_span(bus, limit, u32::MAX)? {
+                    halt = h;
+                    break;
+                }
+                if self.cycles != before {
+                    continue;
+                }
+            }
+            if let Some(h) = self.step_cached(bus)? {
+                halt = h;
+                break;
+            }
+        }
+        Ok(RunExit {
+            halt,
+            cycles_consumed: self.cycles - start,
+        })
+    }
+
     /// Runs until the program halts or `max_cycles` elapse.
     ///
     /// # Errors
     ///
     /// Returns the first [`Trap`] raised.
     pub fn run<B: Bus + ?Sized>(&mut self, bus: &mut B, max_cycles: u64) -> Result<Halt, Trap> {
-        let limit = self.cycles + max_cycles;
-        while self.cycles < limit {
-            if let Some(halt) = self.step(bus)? {
-                return Ok(halt);
-            }
-        }
-        Ok(Halt::CycleLimit)
+        Ok(self.run_counted(bus, max_cycles)?.halt)
     }
 }
 
@@ -939,5 +1345,269 @@ mod tests {
             Err(Trap::MemoryFault { .. }) => {}
             other => panic!("expected fault, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn run_counted_reports_overshoot_past_budget() {
+        // addi (1 cycle) then div (20 cycles): a 5-cycle budget is
+        // crossed mid-divide, so 21 cycles are actually consumed.
+        let mut mem = FlatMemory::new(256);
+        mem.load_words(
+            0,
+            &[
+                encode(Addi {
+                    rd: 1,
+                    rs1: 0,
+                    imm: 7,
+                }),
+                encode(Div {
+                    rd: 2,
+                    rs1: 1,
+                    rs2: 1,
+                }),
+                encode(Ecall),
+            ],
+        );
+        let mut cpu = Cpu::new(0);
+        let exit = cpu.run_counted(&mut mem, 5).expect("no trap");
+        assert_eq!(exit.halt, Halt::CycleLimit);
+        assert_eq!(exit.cycles_consumed, 21, "overshoot must be reported");
+        assert!(exit.cycles_consumed > 5, "not clamped to the cap");
+        assert_eq!(cpu.cycles, 21);
+    }
+
+    fn lcg(state: &mut u64) -> u32 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (*state >> 33) as u32
+    }
+
+    /// Deterministic random straight-line-plus-forward-branch program:
+    /// always terminates, never leaves a 4 KiB memory.
+    fn random_program(seed: u64, len: usize) -> Vec<Instruction> {
+        let mut s = seed;
+        let mut prog = Vec::with_capacity(len + 1);
+        for k in 0..len {
+            let rd = (1 + lcg(&mut s) % 15) as u8;
+            let rs1 = (lcg(&mut s) % 16) as u8;
+            let rs2 = (lcg(&mut s) % 16) as u8;
+            let inst = match lcg(&mut s) % 10 {
+                0 => Addi {
+                    rd,
+                    rs1,
+                    imm: (lcg(&mut s) % 4096) as i32 - 2048,
+                },
+                1 => Add { rd, rs1, rs2 },
+                2 => Sub { rd, rs1, rs2 },
+                3 => Xor { rd, rs1, rs2 },
+                4 => Mul { rd, rs1, rs2 },
+                5 => Slli {
+                    rd,
+                    rs1,
+                    shamt: (lcg(&mut s) % 32) as u8,
+                },
+                6 => Sltu { rd, rs1, rs2 },
+                // Data traffic in the 1 KiB..2 KiB window, clear of code.
+                7 => Sw {
+                    rs1: 0,
+                    rs2,
+                    offset: (1024 + (lcg(&mut s) % 255) * 4) as i32,
+                },
+                8 => Lw {
+                    rd,
+                    rs1: 0,
+                    offset: (1024 + (lcg(&mut s) % 255) * 4) as i32,
+                },
+                // Forward-only branch (skips one instruction): always
+                // terminates, still exercises block boundaries.
+                _ if k + 2 < len => {
+                    if lcg(&mut s).is_multiple_of(2) {
+                        Beq {
+                            rs1,
+                            rs2,
+                            offset: 8,
+                        }
+                    } else {
+                        Bne {
+                            rs1,
+                            rs2,
+                            offset: 8,
+                        }
+                    }
+                }
+                _ => Addi { rd, rs1, imm: 1 },
+            };
+            prog.push(inst);
+        }
+        prog.push(Ecall);
+        prog
+    }
+
+    #[test]
+    fn cached_dispatch_matches_plain_interpreter_on_random_programs() {
+        for seed in 0..20u64 {
+            let prog = random_program(seed * 7 + 1, 200);
+            let code: Vec<u32> = prog.iter().map(|&i| encode(i)).collect();
+            let mut mem_fast = FlatMemory::new(4096);
+            mem_fast.load_words(0, &code);
+            let mut mem_slow = mem_fast.clone();
+
+            let mut fast = Cpu::new(0);
+            let mut slow = Cpu::new(0);
+            slow.set_block_cache_enabled(false);
+
+            let rf = fast.run(&mut mem_fast, 100_000);
+            let rs = slow.run(&mut mem_slow, 100_000);
+            assert_eq!(rf, rs, "seed {seed}: same halt/trap");
+            assert_eq!(fast, slow, "seed {seed}: same architectural state");
+            assert_eq!(fast.cycles, slow.cycles, "seed {seed}: same cycles");
+            assert_eq!(fast.instret, slow.instret, "seed {seed}: same instret");
+            assert_eq!(mem_fast, mem_slow, "seed {seed}: same memory");
+        }
+    }
+
+    #[test]
+    fn self_modifying_code_is_seen_by_cached_dispatch() {
+        // The program overwrites an instruction later in its own
+        // straight-line block; the verify fetch must pick up the new
+        // word on the very instruction the plain interpreter would.
+        let patched = encode(Addi {
+            rd: 5,
+            rs1: 0,
+            imm: 77,
+        });
+        let lo = {
+            let lo = (patched & 0xFFF) as i32;
+            if lo >= 2048 {
+                lo - 4096
+            } else {
+                lo
+            }
+        };
+        let hi = (patched as i32).wrapping_sub(lo);
+        let prog = [
+            Lui { rd: 1, imm: hi },
+            Addi {
+                rd: 1,
+                rs1: 1,
+                imm: lo,
+            },
+            Sw {
+                rs1: 0,
+                rs2: 1,
+                offset: 24, // overwrites word index 6 below
+            },
+            Addi {
+                rd: 2,
+                rs1: 0,
+                imm: 1,
+            },
+            Addi {
+                rd: 3,
+                rs1: 0,
+                imm: 2,
+            },
+            Addi {
+                rd: 4,
+                rs1: 0,
+                imm: 3,
+            },
+            Addi {
+                rd: 5,
+                rs1: 0,
+                imm: 0,
+            }, // becomes addi x5, x0, 77
+            Ecall,
+        ];
+        let code: Vec<u32> = prog.iter().map(|&i| encode(i)).collect();
+
+        let mut mem_fast = FlatMemory::new(4096);
+        mem_fast.load_words(0, &code);
+        let mut mem_slow = mem_fast.clone();
+        let mut fast = Cpu::new(0);
+        let mut slow = Cpu::new(0);
+        slow.set_block_cache_enabled(false);
+
+        assert_eq!(fast.run(&mut mem_fast, 10_000).unwrap(), Halt::Ecall);
+        assert_eq!(slow.run(&mut mem_slow, 10_000).unwrap(), Halt::Ecall);
+        assert_eq!(fast.reg(5), 77, "patched instruction must execute");
+        assert_eq!(fast, slow);
+        assert_eq!(mem_fast, mem_slow);
+    }
+
+    #[test]
+    fn block_cache_counters_and_perf_csrs() {
+        // A loop re-enters its block: at least one miss (first decode)
+        // and many hits, all visible through the CSR surface.
+        let (cpu, _) = run_program(&[
+            Addi {
+                rd: 1,
+                rs1: 0,
+                imm: 0,
+            },
+            Addi {
+                rd: 2,
+                rs1: 0,
+                imm: 20,
+            },
+            Add {
+                rd: 1,
+                rs1: 1,
+                rs2: 2,
+            },
+            Addi {
+                rd: 2,
+                rs1: 2,
+                imm: -1,
+            },
+            Bne {
+                rs1: 2,
+                rs2: 0,
+                offset: -8,
+            },
+            Csrrs {
+                rd: 20,
+                rs1: 0,
+                csr: csr::BLOCK_HITS,
+            },
+            Csrrs {
+                rd: 21,
+                rs1: 0,
+                csr: csr::BLOCK_MISSES,
+            },
+            Ecall,
+        ]);
+        let perf = cpu.perf_counters();
+        assert_eq!(perf.cycles, cpu.cycles);
+        assert_eq!(perf.instret, cpu.instret);
+        assert!(perf.block_misses >= 1, "first entry decodes");
+        assert!(perf.block_hits >= 10, "loop re-enters cached block");
+        assert!(perf.block_hit_rate() > 0.5);
+        assert!(cpu.reg(20) >= 10, "firmware-visible hit counter");
+        assert!(cpu.reg(21) >= 1, "firmware-visible miss counter");
+    }
+
+    #[test]
+    fn disabled_cache_runs_pure_seed_path() {
+        let mut mem = FlatMemory::new(1024);
+        mem.load_words(
+            0,
+            &[
+                encode(Addi {
+                    rd: 1,
+                    rs1: 0,
+                    imm: 4,
+                }),
+                encode(Ecall),
+            ],
+        );
+        let mut cpu = Cpu::new(0);
+        cpu.set_block_cache_enabled(false);
+        assert!(!cpu.block_cache_enabled());
+        assert_eq!(cpu.run(&mut mem, 1000).unwrap(), Halt::Ecall);
+        let perf = cpu.perf_counters();
+        assert_eq!(perf.block_hits, 0);
+        assert_eq!(perf.block_misses, 0);
     }
 }

@@ -876,4 +876,107 @@ mod tests {
             other => panic!("{other:?}"),
         }
     }
+
+    mod properties {
+        use super::*;
+        use crate::disasm::disassemble;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// `decode(encode(i)) == i` over every variant, with each
+            /// field drawn from its full canonical encodable domain, and
+            /// disasm renders the result without panicking.
+            #[test]
+            fn decode_encode_roundtrip_all_variants(
+                rd in 0u8..32,
+                rs1 in 0u8..32,
+                rs2 in 0u8..32,
+                imm_i in -2048i32..2048,
+                b_half in -2048i32..2048,
+                j_half in -524_288i32..524_288,
+                u_page in 0u32..1_048_576,
+                shamt in 0u8..32,
+                csr in 0u16..4096,
+            ) {
+                let b_off = b_half * 2; // 13-bit signed, even
+                let j_off = j_half * 2; // 21-bit signed, even
+                let u_imm = (u_page << 12) as i32; // low 12 bits zero
+                let all = [
+                    Lui { rd, imm: u_imm },
+                    Auipc { rd, imm: u_imm },
+                    Jal { rd, offset: j_off },
+                    Jalr { rd, rs1, offset: imm_i },
+                    Beq { rs1, rs2, offset: b_off },
+                    Bne { rs1, rs2, offset: b_off },
+                    Blt { rs1, rs2, offset: b_off },
+                    Bge { rs1, rs2, offset: b_off },
+                    Bltu { rs1, rs2, offset: b_off },
+                    Bgeu { rs1, rs2, offset: b_off },
+                    Lb { rd, rs1, offset: imm_i },
+                    Lh { rd, rs1, offset: imm_i },
+                    Lw { rd, rs1, offset: imm_i },
+                    Lbu { rd, rs1, offset: imm_i },
+                    Lhu { rd, rs1, offset: imm_i },
+                    Sb { rs1, rs2, offset: imm_i },
+                    Sh { rs1, rs2, offset: imm_i },
+                    Sw { rs1, rs2, offset: imm_i },
+                    Addi { rd, rs1, imm: imm_i },
+                    Slti { rd, rs1, imm: imm_i },
+                    Sltiu { rd, rs1, imm: imm_i },
+                    Xori { rd, rs1, imm: imm_i },
+                    Ori { rd, rs1, imm: imm_i },
+                    Andi { rd, rs1, imm: imm_i },
+                    Slli { rd, rs1, shamt },
+                    Srli { rd, rs1, shamt },
+                    Srai { rd, rs1, shamt },
+                    Add { rd, rs1, rs2 },
+                    Sub { rd, rs1, rs2 },
+                    Sll { rd, rs1, rs2 },
+                    Slt { rd, rs1, rs2 },
+                    Sltu { rd, rs1, rs2 },
+                    Xor { rd, rs1, rs2 },
+                    Srl { rd, rs1, rs2 },
+                    Sra { rd, rs1, rs2 },
+                    Or { rd, rs1, rs2 },
+                    And { rd, rs1, rs2 },
+                    Mul { rd, rs1, rs2 },
+                    Mulh { rd, rs1, rs2 },
+                    Mulhsu { rd, rs1, rs2 },
+                    Mulhu { rd, rs1, rs2 },
+                    Div { rd, rs1, rs2 },
+                    Divu { rd, rs1, rs2 },
+                    Rem { rd, rs1, rs2 },
+                    Remu { rd, rs1, rs2 },
+                    Fence,
+                    Ecall,
+                    Ebreak,
+                    Wfi,
+                    Csrrw { rd, rs1, csr },
+                    Csrrs { rd, rs1, csr },
+                    Csrrc { rd, rs1, csr },
+                ];
+                let mut words = Vec::with_capacity(all.len());
+                for &inst in &all {
+                    let word = encode(inst);
+                    prop_assert_eq!(
+                        decode(word).expect("encoded word decodes"),
+                        inst,
+                        "word {word:#010x}"
+                    );
+                    words.push(word);
+                }
+                let listing = disassemble(&words, 0);
+                prop_assert_eq!(listing.len(), words.len());
+            }
+
+            /// decode rejects-or-accepts but never panics, and disasm is
+            /// total, over arbitrary 32-bit words.
+            #[test]
+            fn decode_and_disasm_are_total(word in 0u32..u32::MAX) {
+                let _ = decode(word);
+                let listing = disassemble(&[word, !word, word ^ 0x0000_0073], 0x1000);
+                prop_assert_eq!(listing.len(), 3);
+            }
+        }
+    }
 }

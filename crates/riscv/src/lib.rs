@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod asm;
+pub mod block;
 pub mod bus;
 pub mod cpu;
 pub mod disasm;

@@ -414,23 +414,44 @@ impl AccelDevice {
         let instance = self.instance.as_ref().expect("checked above");
         let mut in_addr = self.in_addr;
         let mut out_addr = self.out_addr;
+        let mut x = vec![0.0f64; n];
+        let mut y = vec![0.0f64; n];
+        let mut words = vec![0u32; n];
         for _ in 0..batch {
-            let mut x = vec![0.0f64; n];
-            for v in x.iter_mut() {
-                let Ok(word) = spm.load(in_addr) else {
-                    self.error |= errcode::SPM_RANGE;
-                    return false;
-                };
-                *v = from_fixed(word as i32);
-                in_addr += 4;
-            }
-            let y = instance.multiply_noisy(&x, &mut self.rng);
-            for &val in &y {
-                if spm.store(out_addr, to_fixed(val) as u32).is_err() {
-                    self.error |= errcode::SPM_RANGE;
-                    return false;
+            // Bulk-streamed operand windows: one counted slice copy per
+            // vector instead of a counted word access per element. The
+            // per-word loop remains as the fallback so a window that
+            // leaves the SPM charges exactly the partial accesses the
+            // streaming engine would have issued before faulting.
+            if spm.read_words_into(in_addr, &mut words) {
+                for (v, &word) in x.iter_mut().zip(&words) {
+                    *v = from_fixed(word as i32);
                 }
-                out_addr += 4;
+                in_addr += 4 * n as u32;
+            } else {
+                for v in x.iter_mut() {
+                    let Ok(word) = spm.load(in_addr) else {
+                        self.error |= errcode::SPM_RANGE;
+                        return false;
+                    };
+                    *v = from_fixed(word as i32);
+                    in_addr += 4;
+                }
+            }
+            instance.multiply_noisy_into(&x, &mut y, &mut self.rng);
+            for (w, &val) in words.iter_mut().zip(&y) {
+                *w = to_fixed(val) as u32;
+            }
+            if spm.write_words(out_addr, &words) {
+                out_addr += 4 * n as u32;
+            } else {
+                for &w in &words {
+                    if spm.store(out_addr, w).is_err() {
+                        self.error |= errcode::SPM_RANGE;
+                        return false;
+                    }
+                    out_addr += 4;
+                }
             }
             self.vectors_processed += 1;
         }
@@ -516,6 +537,24 @@ impl AccelDevice {
             return self.irq_mask & 1 != 0;
         }
         false
+    }
+
+    /// The next absolute cycle at which [`AccelDevice::tick`] can change
+    /// state: the watchdog deadline when it would cut the job short,
+    /// otherwise the completion time. `None` while idle — every tick is
+    /// then a no-op, which is what lets the system fast-forward across
+    /// quiet windows without losing cycle accuracy.
+    pub(crate) fn next_event(&self) -> Option<u64> {
+        if !self.busy {
+            return None;
+        }
+        Some(
+            if self.job_deadline != 0 && self.job_deadline < self.busy_until {
+                self.job_deadline
+            } else {
+                self.busy_until
+            },
+        )
     }
 
     /// Optical + electro-optic energy consumed so far \[J\], from the

@@ -5,6 +5,22 @@
 
 use crate::ram::Ram;
 
+/// How the engine will behave over the coming cycles — the contract the
+/// `wfi` fast-forward scheduler relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DmaSchedule {
+    /// No transfer in flight: every tick is a no-op.
+    Idle,
+    /// The transfer cannot stall: it completes (raising the interrupt if
+    /// enabled) on exactly the `n`-th tick from now, and each tick only
+    /// moves words between the two memories.
+    CompletesIn(u64),
+    /// The transfer touches addresses outside both memories and may
+    /// stall with observable partial side effects (a stalled source read
+    /// is re-counted every tick): it must be ticked cycle by cycle.
+    Opaque,
+}
+
 /// MMR offsets (bytes from the device base).
 pub mod mmr {
     /// Write 1 to start; write 2 to clear `done`.
@@ -113,6 +129,34 @@ impl DmaDevice {
         }
     }
 
+    /// Classifies the in-flight transfer for the fast-forward scheduler.
+    /// Conservative: anything not provably stall-free is [`DmaSchedule::Opaque`].
+    pub(crate) fn schedule(&self, mem_a: &Ram, mem_b: &Ram) -> DmaSchedule {
+        if !self.busy {
+            return DmaSchedule::Idle;
+        }
+        // The remaining source and destination word ranges must each sit
+        // entirely inside one memory; [`DmaDevice::tick`] then never hits
+        // the stall paths and completion timing is pure arithmetic.
+        let lo = self.moved;
+        let hi = self.len - 4; // len > 0 and word-aligned while busy
+        let in_one = |base: u32| {
+            // Overflowing ranges wrap mid-transfer and can leave the
+            // memory even when both endpoints are inside it.
+            let Some(last) = base.checked_add(hi) else {
+                return false;
+            };
+            let first = base + lo;
+            (mem_a.contains(first) && mem_a.contains(last))
+                || (mem_b.contains(first) && mem_b.contains(last))
+        };
+        if !in_one(self.src) || !in_one(self.dst) {
+            return DmaSchedule::Opaque;
+        }
+        let words = ((self.len - self.moved) / 4) as u64;
+        DmaSchedule::CompletesIn(words.div_ceil(self.words_per_cycle as u64).max(1))
+    }
+
     /// Moves up to `words_per_cycle` words this cycle between the two
     /// memories. Returns `true` when the completion interrupt fires.
     ///
@@ -158,6 +202,94 @@ impl DmaDevice {
             return self.irq_enable;
         }
         false
+    }
+
+    /// Advances the transfer by `ticks` cycles in one pass, with
+    /// per-word accounting identical to calling [`DmaDevice::tick`] that
+    /// many times (each word is one counted load and one counted store).
+    /// Returns `true` when the completion interrupt fires within the
+    /// span. Only valid for [`DmaSchedule::CompletesIn`] transfers; a
+    /// stall mid-span (which `schedule` rules out) stops early exactly as
+    /// `tick` would.
+    pub(crate) fn advance_bulk(&mut self, ticks: u64, mem_a: &mut Ram, mem_b: &mut Ram) -> bool {
+        if !self.busy || ticks == 0 {
+            return false;
+        }
+        let remaining = ((self.len - self.moved) / 4) as u64;
+        let budget = ticks.saturating_mul(self.words_per_cycle as u64);
+        let count = remaining.min(budget) as usize;
+        let s = self.src + self.moved;
+        let d = self.dst + self.moved;
+        // One bulk copy when each range sits inside one memory (the
+        // [`DmaSchedule::CompletesIn`] contract); the copy applies the
+        // exact accounting of `count` per-word load/store pairs. Word by
+        // word otherwise, reproducing `tick`'s stall behavior.
+        let last = 4 * (count as u32 - 1);
+        let one_mem =
+            |m: &Ram, a: u32| m.contains(a) && a.checked_add(last).is_some_and(|e| m.contains(e));
+        let copied = if one_mem(mem_a, s) {
+            if one_mem(mem_a, d) {
+                mem_a.copy_words_within(s, d, count).is_ok()
+            } else if one_mem(mem_b, d) {
+                mem_a.copy_words_to(s, mem_b, d, count).is_ok()
+            } else {
+                false
+            }
+        } else if one_mem(mem_b, s) {
+            if one_mem(mem_b, d) {
+                mem_b.copy_words_within(s, d, count).is_ok()
+            } else if one_mem(mem_a, d) {
+                mem_b.copy_words_to(s, mem_a, d, count).is_ok()
+            } else {
+                false
+            }
+        } else {
+            false
+        };
+        if copied {
+            self.moved += 4 * count as u32;
+            self.bytes_moved += 4 * count as u64;
+        } else {
+            for _ in 0..count {
+                let s = self.src + self.moved;
+                let d = self.dst + self.moved;
+                let word = if mem_a.contains(s) {
+                    mem_a.load(s).ok()
+                } else if mem_b.contains(s) {
+                    mem_b.load(s).ok()
+                } else {
+                    None
+                };
+                let Some(word) = word else {
+                    return false;
+                };
+                let ok = if mem_a.contains(d) {
+                    mem_a.store(d, word).is_ok()
+                } else if mem_b.contains(d) {
+                    mem_b.store(d, word).is_ok()
+                } else {
+                    false
+                };
+                if !ok {
+                    return false;
+                }
+                self.moved += 4;
+                self.bytes_moved += 4;
+            }
+        }
+        if self.moved >= self.len {
+            self.busy = false;
+            self.done = true;
+            return self.irq_enable;
+        }
+        false
+    }
+
+    /// The byte range the in-flight transfer writes, for code-cache
+    /// invalidation. `None` when idle.
+    pub(crate) fn active_write_range(&self) -> Option<(u32, u32)> {
+        self.busy
+            .then(|| (self.dst, self.dst.saturating_add(self.len)))
     }
 }
 

@@ -90,6 +90,36 @@ impl Ram {
         Ok(())
     }
 
+    /// Counted word load with a single bounds check and no error-value
+    /// construction: the hot path for fused CPU loads and instruction
+    /// fetches. Observably identical to [`Ram::load`] (`None` ⇔ `Err`).
+    #[inline]
+    pub fn load_fast(&mut self, addr: u32) -> Option<u32> {
+        let i = (addr.wrapping_sub(self.base) / 4) as usize;
+        let w = *self.data.get(i)?;
+        self.reads += 1;
+        Some(w)
+    }
+
+    /// Counted word store mirroring [`Ram::load_fast`]. Observably
+    /// identical to [`Ram::store`].
+    #[inline]
+    pub fn store_fast(&mut self, addr: u32, value: u32) -> Option<()> {
+        let i = (addr.wrapping_sub(self.base) / 4) as usize;
+        let slot = self.data.get_mut(i)?;
+        self.writes += 1;
+        *slot = value;
+        Some(())
+    }
+
+    /// Uncounted word read with a single bounds check — the side-effect-
+    /// free peek used for pre-decoding instruction blocks.
+    #[inline]
+    pub fn peek_fast(&self, addr: u32) -> Option<u32> {
+        let i = (addr.wrapping_sub(self.base) / 4) as usize;
+        self.data.get(i).copied()
+    }
+
     /// Reads without counting (host-side debug access).
     ///
     /// # Errors
@@ -125,6 +155,104 @@ impl Ram {
             self.poke(addr + 4 * k as u32, w)
                 .expect("poke_words in range");
         }
+    }
+
+    /// Resolves `addr` to a word index and checks that `count` words fit
+    /// from there to the end of the RAM.
+    fn span_index(&self, addr: u32, count: usize) -> Result<usize, RamFault> {
+        let first = self.index(addr)?;
+        if first + count > self.data.len() {
+            return Err(RamFault {
+                addr: addr.wrapping_add(4 * (count as u32 - 1)),
+            });
+        }
+        Ok(first)
+    }
+
+    /// Counted bulk copy of `count` words from absolute `src` to absolute
+    /// `dst` within this RAM — observably identical to `count`
+    /// front-to-back [`Ram::load`]/[`Ram::store`] pairs, including
+    /// forward propagation through overlapping ranges and the access
+    /// counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RamFault`] without copying anything when either word
+    /// range leaves the RAM.
+    pub fn copy_words_within(&mut self, src: u32, dst: u32, count: usize) -> Result<(), RamFault> {
+        if count == 0 {
+            return Ok(());
+        }
+        let si = self.span_index(src, count)?;
+        let di = self.span_index(dst, count)?;
+        if si >= di {
+            // No forward propagation possible: memmove semantics match
+            // the word-by-word loop exactly.
+            self.data.copy_within(si..si + count, di);
+        } else {
+            // Destination overlaps ahead of the source: copy front to
+            // back so earlier writes feed later reads, as per-word
+            // load/store pairs would.
+            for k in 0..count {
+                self.data[di + k] = self.data[si + k];
+            }
+        }
+        self.reads += count as u64;
+        self.writes += count as u64;
+        Ok(())
+    }
+
+    /// Counted bulk read of `out.len()` words starting at `src` —
+    /// observably identical to that many front-to-back [`Ram::load`]
+    /// calls. Returns `false` (reading and counting nothing) when the
+    /// range leaves the RAM; the caller then falls back to per-word
+    /// loads, which charge partial accounting exactly as hardware would.
+    pub fn read_words_into(&mut self, src: u32, out: &mut [u32]) -> bool {
+        let Ok(si) = self.span_index(src, out.len()) else {
+            return false;
+        };
+        out.copy_from_slice(&self.data[si..si + out.len()]);
+        self.reads += out.len() as u64;
+        true
+    }
+
+    /// Counted bulk write of `words` starting at `dst` — observably
+    /// identical to that many front-to-back [`Ram::store`] calls.
+    /// Returns `false` (writing and counting nothing) when the range
+    /// leaves the RAM.
+    pub fn write_words(&mut self, dst: u32, words: &[u32]) -> bool {
+        let Ok(di) = self.span_index(dst, words.len()) else {
+            return false;
+        };
+        self.data[di..di + words.len()].copy_from_slice(words);
+        self.writes += words.len() as u64;
+        true
+    }
+
+    /// Counted bulk copy of `count` words from `src` in this RAM to
+    /// `dst_addr` in `dst` — observably identical to `count`
+    /// [`Ram::load`]/[`Ram::store`] pairs across the two memories.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RamFault`] without copying anything when either word
+    /// range leaves its RAM.
+    pub fn copy_words_to(
+        &mut self,
+        src: u32,
+        dst: &mut Ram,
+        dst_addr: u32,
+        count: usize,
+    ) -> Result<(), RamFault> {
+        if count == 0 {
+            return Ok(());
+        }
+        let si = self.span_index(src, count)?;
+        let di = dst.span_index(dst_addr, count)?;
+        dst.data[di..di + count].copy_from_slice(&self.data[si..si + count]);
+        self.reads += count as u64;
+        dst.writes += count as u64;
+        Ok(())
     }
 
     /// Flips bit `bit` of the word at `addr` (fault injection).

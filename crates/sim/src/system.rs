@@ -14,7 +14,7 @@
 
 use crate::accel::AccelDevice;
 use crate::cache::DirectMappedCache;
-use crate::dma::DmaDevice;
+use crate::dma::{DmaDevice, DmaSchedule};
 use crate::fixed::{from_fixed, to_fixed};
 use crate::ram::Ram;
 use neuropulsim_photonics::energy::EnergyLedger;
@@ -167,6 +167,14 @@ impl Platform {
         std::mem::take(&mut self.stall_cycles)
     }
 
+    /// `true` when no device has work in flight — every platform tick
+    /// would be a no-op.
+    pub(crate) fn quiet(&self) -> bool {
+        !self.accel.is_busy()
+            && !self.dma.is_busy()
+            && self.extra_pes.iter().all(|pe| !pe.is_busy())
+    }
+
     /// Resolves an address to a PE slot (`0` = the primary accelerator).
     fn pe_slot(&self, addr: u32) -> Option<(usize, u32)> {
         if addr < ACCEL_BASE {
@@ -273,6 +281,86 @@ impl Bus for Platform {
             is_store: true,
         })
     }
+
+    fn fetch_word(&mut self, addr: u32) -> Result<u32, BusFault> {
+        self.load_word_fast(addr)
+    }
+
+    fn peek_word(&self, addr: u32) -> Option<u32> {
+        // Side-effect-free: no access counters, no latency charge, no L1
+        // state change. MMIO space is uncacheable (`None`).
+        let a = addr & !3;
+        self.dram.peek_fast(a).or_else(|| self.spm.peek_fast(a))
+    }
+
+    fn load_word_fast(&mut self, addr: u32) -> Result<u32, BusFault> {
+        let a = addr & !3;
+        if self.dram_latency == 0 {
+            // Flat-memory model: charge_dram is a no-op, one bounds check.
+            if let Some(w) = self.dram.load_fast(a) {
+                return Ok(w);
+            }
+        } else if self.dram.contains(a) {
+            self.charge_dram(a);
+            return Ok(self.dram.load_fast(a).expect("contains checked"));
+        }
+        if let Some(w) = self.spm.load_fast(a) {
+            return Ok(w);
+        }
+        // MMIO and faulting addresses take the full dispatch path.
+        self.load_word(addr)
+    }
+
+    fn store_word_fast(&mut self, addr: u32, value: u32) -> Result<(), BusFault> {
+        let a = addr & !3;
+        if self.dram_latency == 0 {
+            if self.dram.store_fast(a, value).is_some() {
+                return Ok(());
+            }
+        } else if self.dram.contains(a) {
+            self.charge_dram(a);
+            self.dram.store_fast(a, value).expect("contains checked");
+            return Ok(());
+        }
+        if self.spm.store_fast(a, value).is_some() {
+            return Ok(());
+        }
+        self.store_word(addr, value)
+    }
+
+    fn charge_fetches(&mut self, start: u32, count: u32) -> bool {
+        // Only the flat-latency model is bulk-chargeable: a fetch there
+        // is one counted RAM read and nothing else. With DRAM latency
+        // (and L1 modelling) every fetch has per-access state, so the
+        // interpreter must issue real fetches.
+        if self.dram_latency != 0 {
+            return false;
+        }
+        let last = start.wrapping_add(4 * count.saturating_sub(1));
+        if self.dram.contains(start) && self.dram.contains(last) {
+            self.dram.reads += count as u64;
+            true
+        } else if self.spm.contains(start) && self.spm.contains(last) {
+            self.spm.reads += count as u64;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn mmio_prologue(&mut self, cycles: u64) -> bool {
+        // The bulk interpreter only runs inside a quiet window, so every
+        // device tick between `now` and `cycles` is a no-op and the jump
+        // is exact.
+        debug_assert!(self.quiet(), "mmio_prologue outside a quiet window");
+        debug_assert!(self.now <= cycles, "device clock ahead of the CPU");
+        self.now = cycles;
+        true
+    }
+
+    fn mmio_epilogue(&mut self) -> bool {
+        self.quiet() && !self.irq_level()
+    }
 }
 
 /// Why a [`System`] run ended.
@@ -312,6 +400,14 @@ pub struct System {
     pub cpu_hz: f64,
     /// Digital energy constants.
     pub digital_energy: DigitalEnergy,
+    /// When set (the default), `wfi` sleeps skip straight to the next
+    /// device event instead of idling one cycle at a time. Cycle counts
+    /// and device state are bit-identical either way; disabling it
+    /// reproduces the seed stepping loop for A/B comparison.
+    pub wfi_fast_forward: bool,
+    /// Sleep cycles crossed in bulk by the `wfi` fast-forward (stats,
+    /// accumulated across runs).
+    pub fast_forwarded_cycles: u64,
 }
 
 impl System {
@@ -327,6 +423,8 @@ impl System {
             platform: Platform::new(cpu_hz),
             cpu_hz,
             digital_energy: DigitalEnergy::default(),
+            wfi_fast_forward: true,
+            fast_forwarded_cycles: 0,
         }
     }
 
@@ -371,8 +469,19 @@ impl System {
 
     /// Runs until halt, trap or `max_cycles`. Devices advance in lockstep
     /// with CPU cycles; the level-triggered IRQ line wakes `wfi`.
+    ///
+    /// Two accelerations keep this loop fast without changing a single
+    /// observable: instructions dispatch through the decoded-block cache
+    /// ([`Cpu::step_cached`]), and `wfi` sleeps across quiet device
+    /// windows are crossed in bulk ([`System::wfi_fast_forward`]).
     pub fn run(&mut self, max_cycles: u64) -> RunReport {
+        // The host may have rewritten memory since the last run (fault
+        // injections, firmware pokes): drop cached decoded code so the
+        // bulk path re-reads it.
+        self.cpu.invalidate_blocks();
         let start_cycles = self.cpu.cycles;
+        let budget_end = start_cycles.saturating_add(max_cycles);
+        let spm_end = SPM_BASE + self.platform.spm.size() as u32;
         let outcome = loop {
             if self.cpu.cycles - start_cycles >= max_cycles {
                 break RunOutcome::TimedOut;
@@ -380,7 +489,53 @@ impl System {
             if self.platform.irq_level() {
                 self.cpu.interrupt();
             }
-            match self.cpu.step(&mut self.platform) {
+            if self.wfi_fast_forward
+                && self.cpu.waiting_for_interrupt
+                && self.platform.now == self.cpu.cycles
+            {
+                self.sleep_advance(budget_end);
+                continue;
+            }
+            // Quiet-window bulk dispatch: with every device idle, no
+            // interrupt can rise and every skipped device tick is a
+            // no-op, so cached instructions retire back to back until
+            // something needs the full per-cycle protocol (an MMIO
+            // access, `wfi`, the budget, a halt or trap). Only the
+            // flat-latency memory model qualifies — with DRAM stalls
+            // each instruction must settle its own timing.
+            if self.cpu.block_cache_enabled()
+                && !self.cpu.waiting_for_interrupt
+                && self.platform.dram_latency == 0
+                && self.platform.now == self.cpu.cycles
+                && self.devices_quiet()
+            {
+                let before = self.cpu.cycles;
+                match self
+                    .cpu
+                    .run_cached_span(&mut self.platform, budget_end, ACCEL_BASE)
+                {
+                    Ok(Some(halt)) => break RunOutcome::Halted(halt),
+                    Ok(None) => {}
+                    Err(trap) => break RunOutcome::Trapped(trap),
+                }
+                if self.cpu.cycles != before {
+                    // An in-span device doorbell may have deposited
+                    // results into the scratchpad (it ends the span, so
+                    // this single check covers it); cached SPM code must
+                    // go before the next dispatch.
+                    self.cpu.note_external_writes(SPM_BASE, spm_end);
+                    // While the window stayed quiet this jumps device
+                    // time in one assignment (the skipped ticks were
+                    // no-ops); after an in-span doorbell it ticks the
+                    // now-busy device up to CPU time exactly as the seed
+                    // loop did.
+                    self.catch_up_devices();
+                    continue;
+                }
+                // No progress (MMIO access or uncacheable entry next):
+                // fall through to the precise per-instruction path.
+            }
+            match self.cpu.step_cached(&mut self.platform) {
                 Ok(Some(halt)) => {
                     self.cpu.cycles += self.platform.take_stalls();
                     break RunOutcome::Halted(halt);
@@ -390,14 +545,132 @@ impl System {
                 }
                 Err(trap) => break RunOutcome::Trapped(trap),
             }
-            // Devices catch up to CPU time, cycle by cycle.
-            while self.platform.now < self.cpu.cycles {
+            // An MMIO store may have made an accelerator deposit results
+            // into the scratchpad just now; if code is cached from SPM,
+            // drop it.
+            self.cpu.note_external_writes(SPM_BASE, spm_end);
+            self.catch_up_devices();
+        };
+        self.report(outcome, start_cycles)
+    }
+
+    /// `true` when no device has work in flight — every platform tick
+    /// would be a no-op.
+    fn devices_quiet(&self) -> bool {
+        self.platform.quiet()
+    }
+
+    /// Brings device time up to CPU time. When every device is idle the
+    /// skipped ticks are provably no-ops (an idle accelerator or DMA
+    /// engine ignores its tick), so device time jumps in one assignment;
+    /// otherwise devices tick cycle by cycle exactly as the seed loop
+    /// did.
+    fn catch_up_devices(&mut self) {
+        if self.platform.now >= self.cpu.cycles {
+            return;
+        }
+        if self.devices_quiet() {
+            self.platform.now = self.cpu.cycles;
+            return;
+        }
+        // A busy DMA engine writes memory as it ticks; if its target
+        // range holds cached code the decoded blocks must go. (The range
+        // is fixed for the whole transfer, so capturing it once covers
+        // every tick below.)
+        let dma_writes = self.platform.dma.active_write_range();
+        while self.platform.now < self.cpu.cycles {
+            if self.platform.tick() {
+                self.cpu.interrupt();
+            }
+        }
+        if let Some((lo, hi)) = dma_writes {
+            self.cpu.note_external_writes(lo, hi);
+        }
+    }
+
+    /// Advances a sleeping CPU across a quiet window without stepping it
+    /// one cycle at a time. Bit-identical to the seed loop: CPU cycles
+    /// and device time stay in lockstep, only provably no-op device
+    /// ticks are skipped, and the first state-changing tick runs for
+    /// real so interrupts fire on their exact seed cycle.
+    ///
+    /// Requires `platform.now == cpu.cycles` (checked by the caller).
+    fn sleep_advance(&mut self, budget_end: u64) {
+        let now = self.platform.now;
+        // Earliest pending accelerator event, clamped to the next tick
+        // (a zero-setup job can carry `busy_until == now`; its completion
+        // is still observed on the following tick).
+        let mut event: Option<u64> = None;
+        let pes = std::iter::once(&self.platform.accel).chain(self.platform.extra_pes.iter());
+        for pe in pes {
+            if let Some(t) = pe.next_event() {
+                let t = t.max(now + 1);
+                event = Some(event.map_or(t, |cur| cur.min(t)));
+            }
+        }
+        match self
+            .platform
+            .dma
+            .schedule(&self.platform.dram, &self.platform.spm)
+        {
+            DmaSchedule::Opaque => {
+                // Possibly-stalling transfer with per-tick observable
+                // side effects: one seed-identical sleep cycle.
+                let dma_writes = self.platform.dma.active_write_range();
+                self.cpu.cycles += 1;
                 if self.platform.tick() {
                     self.cpu.interrupt();
                 }
+                if let Some((lo, hi)) = dma_writes {
+                    self.cpu.note_external_writes(lo, hi);
+                }
             }
-        };
-        self.report(outcome, start_cycles)
+            DmaSchedule::CompletesIn(n) => {
+                // The engine moves counted words every tick; the bulk
+                // advance applies exactly the per-word accounting of
+                // those ticks in one pass, and the final cycle runs as a
+                // real platform tick so a completion interrupt (or a
+                // coinciding accelerator event) fires on its exact seed
+                // cycle.
+                let target = event.map_or(now + n, |e| e.min(now + n)).min(budget_end);
+                let ticks = target - now;
+                let dma_writes = self.platform.dma.active_write_range();
+                if ticks > 1 {
+                    // Cannot complete early: `target <= now + n` keeps
+                    // `ticks - 1` strictly below the completion tick.
+                    let p = &mut self.platform;
+                    let fired = p.dma.advance_bulk(ticks - 1, &mut p.dram, &mut p.spm);
+                    debug_assert!(!fired, "transfer completed before its schedule");
+                }
+                self.platform.now = target - 1;
+                self.cpu.cycles = target;
+                if self.platform.tick() {
+                    self.cpu.interrupt();
+                }
+                self.fast_forwarded_cycles += ticks;
+                if let Some((lo, hi)) = dma_writes {
+                    self.cpu.note_external_writes(lo, hi);
+                }
+            }
+            DmaSchedule::Idle => {
+                // Every tick before the event is a no-op: jump.
+                let target = event.map_or(budget_end, |e| e.min(budget_end));
+                self.fast_forwarded_cycles += target - now;
+                if event == Some(target) {
+                    // Land one tick short, then run the eventful tick.
+                    self.platform.now = target - 1;
+                    self.cpu.cycles = target;
+                    if self.platform.tick() {
+                        self.cpu.interrupt();
+                    }
+                } else {
+                    // No event inside the budget: sleep straight to the
+                    // timeout boundary.
+                    self.platform.now = target;
+                    self.cpu.cycles = target;
+                }
+            }
+        }
     }
 
     fn report(&self, outcome: RunOutcome, start_cycles: u64) -> RunReport {
@@ -592,6 +865,114 @@ mod tests {
             "cache must recover most of it: {slow} -> {cached}"
         );
         assert!(cached >= flat, "cache cannot beat flat memory");
+    }
+
+    /// Builds a system in fast (block cache + wfi fast-forward) or
+    /// seed-identical slow mode, runs `firmware`, and returns the report
+    /// and final system for observability comparison.
+    fn run_mode(
+        fast: bool,
+        setup: impl Fn(&mut System),
+        firmware: &str,
+        max_cycles: u64,
+    ) -> (RunReport, System) {
+        let mut sys = System::new();
+        sys.cpu.set_block_cache_enabled(fast);
+        sys.wfi_fast_forward = fast;
+        setup(&mut sys);
+        sys.load_firmware_source(firmware);
+        let report = sys.run(max_cycles);
+        (report, sys)
+    }
+
+    #[test]
+    fn accel_offload_is_bit_identical_with_fast_paths() {
+        let setup = |sys: &mut System| {
+            sys.platform
+                .accel
+                .load_matrix(&RMatrix::from_rows(2, 2, &[2.0, 0.0, 0.0, 3.0]));
+            sys.platform
+                .spm
+                .poke(SPM_BASE + 0x100, to_fixed(1.5) as u32)
+                .unwrap();
+            sys.platform
+                .spm
+                .poke(SPM_BASE + 0x104, to_fixed(-1.0) as u32)
+                .unwrap();
+        };
+        let firmware = "
+            li t0, 0x40000000
+            li t1, 0x10000100
+            sw t1, 12(t0)
+            li t1, 0x10000200
+            sw t1, 16(t0)
+            li t1, 1
+            sw t1, 20(t0)
+            sw t1, 24(t0)
+            sw t1, 0(t0)
+            wfi
+            li t1, 2
+            sw t1, 0(t0)
+            ecall
+            ";
+        let (fast_report, fast_sys) = run_mode(true, setup, firmware, 100_000);
+        let (slow_report, slow_sys) = run_mode(false, setup, firmware, 100_000);
+        assert_eq!(fast_report, slow_report, "reports must be bit-identical");
+        assert_eq!(fast_sys.cpu, slow_sys.cpu);
+        assert_eq!(fast_sys.platform.dram.reads, slow_sys.platform.dram.reads);
+        assert_eq!(fast_sys.platform.spm.reads, slow_sys.platform.spm.reads);
+        assert_eq!(fast_sys.platform.spm.writes, slow_sys.platform.spm.writes);
+        assert!(
+            fast_sys.fast_forwarded_cycles > 0,
+            "wfi wait over the accelerator job must fast-forward"
+        );
+        assert_eq!(slow_sys.fast_forwarded_cycles, 0);
+    }
+
+    #[test]
+    fn dma_wfi_is_bit_identical_with_fast_paths() {
+        let setup = |sys: &mut System| sys.write_fixed_vector(0x1000, &[1.0, 2.0, 3.0, 4.0]);
+        let firmware = "
+            li t0, 0x41000000
+            li t1, 0x1000
+            sw t1, 8(t0)
+            li t1, 0x10000100
+            sw t1, 12(t0)
+            li t1, 16
+            sw t1, 16(t0)
+            li t1, 1
+            sw t1, 20(t0)
+            sw t1, 0(t0)
+            wfi
+            li t1, 2
+            sw t1, 0(t0)
+            ecall
+            ";
+        let (fast_report, fast_sys) = run_mode(true, setup, firmware, 10_000);
+        let (slow_report, slow_sys) = run_mode(false, setup, firmware, 10_000);
+        assert_eq!(fast_report, slow_report);
+        assert_eq!(fast_sys.cpu, slow_sys.cpu);
+        assert_eq!(fast_sys.platform.dma.bytes_moved, 16);
+        assert_eq!(
+            fast_sys.platform.dram.reads, slow_sys.platform.dram.reads,
+            "DMA word moves stay individually counted under fast-forward"
+        );
+        assert_eq!(fast_sys.platform.spm.writes, slow_sys.platform.spm.writes);
+    }
+
+    #[test]
+    fn wfi_timeout_fast_forwards_to_budget_boundary() {
+        let (fast_report, fast_sys) = run_mode(true, |_| {}, "wfi\necall", 5000);
+        let (slow_report, slow_sys) = run_mode(false, |_| {}, "wfi\necall", 5000);
+        assert_eq!(fast_report.outcome, RunOutcome::TimedOut);
+        assert_eq!(fast_report, slow_report);
+        assert_eq!(fast_sys.cpu.cycles, slow_sys.cpu.cycles);
+        assert_eq!(fast_sys.platform.now, slow_sys.platform.now);
+        assert!(
+            fast_sys.fast_forwarded_cycles >= 4000,
+            "an eventless sleep jumps straight to the budget: {}",
+            fast_sys.fast_forwarded_cycles
+        );
     }
 
     #[test]
