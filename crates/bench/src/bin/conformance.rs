@@ -1,0 +1,47 @@
+//! Differential conformance runner: fuzzes every optimized fast path
+//! against its golden oracle and prints a JSON report.
+//!
+//! ```text
+//! conformance [--seed N] [--cases N] [--domain NAME] [--inject NAME]
+//! ```
+//!
+//! `--domain` restricts the run to one domain (repeatable); `--inject`
+//! perturbs that domain's fast-path results to prove the harness
+//! detects and shrinks divergences. Exits nonzero if any divergence is
+//! found, so CI fails on the report it just uploaded.
+
+use neuropulsim_oracle::harness::{run_conformance, ConformanceConfig, Domain};
+
+fn main() {
+    let mut config = ConformanceConfig::new(42, 500);
+    let mut selected: Vec<Domain> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let value = args.next();
+        let parse_domain = |v: &Option<String>| {
+            v.as_deref().and_then(Domain::parse).unwrap_or_else(|| {
+                eprintln!("unknown domain {v:?}; expected one of: matmul mesh abft riscv snn pcm");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--seed" => config.seed = value.and_then(|v| v.parse().ok()).unwrap_or(config.seed),
+            "--cases" => config.cases = value.and_then(|v| v.parse().ok()).unwrap_or(config.cases),
+            "--domain" => selected.push(parse_domain(&value)),
+            "--inject" => config.inject = Some(parse_domain(&value)),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if !selected.is_empty() {
+        config.domains = selected;
+    }
+
+    let report = run_conformance(&config);
+    print!("{}", report.to_json());
+    if report.total_divergences > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,139 @@
+//! Scalar Huang–Abraham ABFT reference: checksum rows computed
+//! column-at-a-time with plain accumulators, and a from-the-paper
+//! syndrome check. Mirrors the algorithm in Huang & Abraham (1984),
+//! not the implementation in `neuropulsim-core`.
+
+use neuropulsim_linalg::RMatrix;
+
+/// Reference verdict for one checked output vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RefVerdict {
+    /// Both syndromes within tolerance.
+    Clean,
+    /// A single-element error located at `row` with magnitude `delta`.
+    Correctable {
+        /// Zero-based row index of the corrupted element.
+        row: usize,
+        /// Error value to subtract from `y[row]`.
+        delta: f64,
+    },
+    /// Syndromes inconsistent with any single-element error.
+    Corrupt,
+}
+
+/// Scalar checksum rows of a square weight matrix: the plain column
+/// sums `1ᵀW` and the weighted sums `kᵀW` with `k_i = i + 1`.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square or is empty.
+pub struct RefChecksums {
+    n: usize,
+    plain: Vec<f64>,
+    weighted: Vec<f64>,
+}
+
+impl RefChecksums {
+    /// Builds the checksum rows, one column at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not square or has zero size.
+    pub fn new(w: &RMatrix) -> Self {
+        assert!(
+            w.rows() == w.cols() && w.rows() > 0,
+            "square matrix required"
+        );
+        let n = w.rows();
+        let mut plain = vec![0.0; n];
+        let mut weighted = vec![0.0; n];
+        for j in 0..n {
+            let mut p = 0.0;
+            let mut q = 0.0;
+            for i in 0..n {
+                p += w[(i, j)];
+                q += (i + 1) as f64 * w[(i, j)];
+            }
+            plain[j] = p;
+            weighted[j] = q;
+        }
+        RefChecksums { n, plain, weighted }
+    }
+
+    /// Plain checksum row `1ᵀW`.
+    pub fn plain(&self) -> &[f64] {
+        &self.plain
+    }
+
+    /// Weighted checksum row `kᵀW`.
+    pub fn weighted(&self) -> &[f64] {
+        &self.weighted
+    }
+
+    /// Expected `(1ᵀW·x, kᵀW·x)` for an input vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong length.
+    pub fn expected(&self, x: &[f64]) -> (f64, f64) {
+        assert_eq!(x.len(), self.n, "input length mismatch");
+        let mut c = 0.0;
+        let mut cw = 0.0;
+        for (j, &xj) in x.iter().enumerate() {
+            c += self.plain[j] * xj;
+            cw += self.weighted[j] * xj;
+        }
+        (c, cw)
+    }
+
+    /// Checks an output vector against the encoded checksums.
+    ///
+    /// Computes the syndromes `s1 = 1ᵀy − 1ᵀW·x` and
+    /// `s2 = kᵀy − kᵀW·x`. Both near zero means [`RefVerdict::Clean`];
+    /// a consistent ratio `s2/s1` that rounds to a valid row index
+    /// means a single error of magnitude `s1` at that row; anything
+    /// else (including non-finite syndromes) is [`RefVerdict::Corrupt`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` has the wrong length.
+    pub fn check(&self, x: &[f64], y: &[f64], tolerance: f64) -> RefVerdict {
+        assert_eq!(y.len(), self.n, "output length mismatch");
+        let (c, cw) = self.expected(x);
+        let mut s1 = 0.0;
+        let mut s2 = 0.0;
+        for (i, &yi) in y.iter().enumerate() {
+            s1 += yi;
+            s2 += (i + 1) as f64 * yi;
+        }
+        s1 -= c;
+        s2 -= cw;
+        if !s1.is_finite() || !s2.is_finite() {
+            return RefVerdict::Corrupt;
+        }
+        if s1.abs() <= tolerance && s2.abs() <= tolerance * self.n as f64 {
+            return RefVerdict::Clean;
+        }
+        if s1.abs() > tolerance {
+            let ratio = s2 / s1;
+            let row = ratio.round();
+            if row >= 1.0
+                && row <= self.n as f64
+                && (s2 - row * s1).abs() <= tolerance * (self.n + 1) as f64
+            {
+                return RefVerdict::Correctable {
+                    row: row as usize - 1,
+                    delta: s1,
+                };
+            }
+        }
+        RefVerdict::Corrupt
+    }
+
+    /// Applies a correctable verdict in place; no-op otherwise.
+    pub fn correct(y: &mut [f64], verdict: RefVerdict) {
+        if let RefVerdict::Correctable { row, delta } = verdict {
+            y[row] -= delta;
+        }
+    }
+}

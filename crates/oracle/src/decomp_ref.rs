@@ -1,0 +1,62 @@
+//! Textbook mesh reconstruction: every MZI block becomes a full dense
+//! two-level matrix built from the closed-form Clements cell, and the
+//! program's transfer matrix is the naive product of those matrices.
+//! No `CompiledMesh` plans, no in-place two-level updates.
+
+use crate::linalg_ref::{mul_mat_ref, mul_vec_ref};
+use neuropulsim_core::program::MeshProgram;
+use neuropulsim_linalg::{CMatrix, CVector, C64};
+
+/// Closed-form 2×2 transfer matrix of an ideal Clements MZI cell with
+/// internal phase `theta` and input phase `phi`, row-major
+/// `(a, b, c, d)`:
+///
+/// `i·e^{iθ/2} · [[e^{iφ}·sin(θ/2), cos(θ/2)], [e^{iφ}·cos(θ/2), −sin(θ/2)]]`
+pub fn mzi_elements_ref(theta: f64, phi: f64) -> (C64, C64, C64, C64) {
+    let g = C64::I * C64::cis(theta / 2.0);
+    let s = (theta / 2.0).sin();
+    let c = (theta / 2.0).cos();
+    let e = C64::cis(phi);
+    (g * e * s, g * c, g * e * c, -(g * s))
+}
+
+/// Dense n×n embedding of a 2×2 block acting on adjacent modes
+/// `(m, m+1)`: the identity with four entries replaced.
+pub fn two_level_ref(n: usize, m: usize, block: (C64, C64, C64, C64)) -> CMatrix {
+    let mut u = CMatrix::identity(n);
+    u[(m, m)] = block.0;
+    u[(m, m + 1)] = block.1;
+    u[(m + 1, m)] = block.2;
+    u[(m + 1, m + 1)] = block.3;
+    u
+}
+
+/// Reference transfer matrix of a mesh program: naive dense products of
+/// full two-level matrices, in block order, then the diagonal output
+/// phase screen applied row by row.
+pub fn transfer_matrix_ref(program: &MeshProgram) -> CMatrix {
+    let n = program.modes();
+    let mut u = CMatrix::identity(n);
+    for block in program.blocks() {
+        let cell = two_level_ref(n, block.mode, mzi_elements_ref(block.theta, block.phi));
+        u = mul_mat_ref(&cell, &u);
+    }
+    let mut out = u;
+    for (i, &ph) in program.output_phases().iter().enumerate() {
+        let phase = C64::cis(ph);
+        for j in 0..n {
+            out[(i, j)] *= phase;
+        }
+    }
+    out
+}
+
+/// Reference application of a mesh program to an input vector: build
+/// the full reference transfer matrix, then one naive mat–vec.
+///
+/// # Panics
+///
+/// Panics if `x` does not have one entry per mode.
+pub fn apply_ref(program: &MeshProgram, x: &CVector) -> CVector {
+    mul_vec_ref(&transfer_matrix_ref(program), x)
+}

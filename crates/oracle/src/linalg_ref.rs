@@ -1,0 +1,72 @@
+//! Naive dense complex linear algebra: the textbook triple loop, one
+//! scalar accumulator per output element, no blocking, no SoA layout.
+
+use neuropulsim_linalg::{CMatrix, CVector, C64};
+
+/// Reference complex matrix product `a * b` via per-element dot
+/// products.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions disagree.
+pub fn mul_mat_ref(a: &CMatrix, b: &CMatrix) -> CMatrix {
+    assert_eq!(a.cols(), b.rows(), "dimension mismatch");
+    CMatrix::from_fn(a.rows(), b.cols(), |i, j| {
+        let mut acc = C64::new(0.0, 0.0);
+        for k in 0..a.cols() {
+            acc += a[(i, k)] * b[(k, j)];
+        }
+        acc
+    })
+}
+
+/// Reference complex matrix–vector product via per-row dot products.
+///
+/// # Panics
+///
+/// Panics if `x` is shorter than the matrix width.
+pub fn mul_vec_ref(a: &CMatrix, x: &CVector) -> CVector {
+    assert_eq!(a.cols(), x.len(), "dimension mismatch");
+    let mut y = CVector::zeros(a.rows());
+    for i in 0..a.rows() {
+        let mut acc = C64::new(0.0, 0.0);
+        for k in 0..a.cols() {
+            acc += a[(i, k)] * x[k];
+        }
+        y[i] = acc;
+    }
+    y
+}
+
+/// Largest entrywise absolute difference between two equal-shape
+/// matrices.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn max_entry_error(a: &CMatrix, b: &CMatrix) -> f64 {
+    assert_eq!(a.rows(), b.rows(), "shape mismatch");
+    assert_eq!(a.cols(), b.cols(), "shape mismatch");
+    let mut worst = 0.0f64;
+    for i in 0..a.rows() {
+        for j in 0..a.cols() {
+            worst = worst.max((a[(i, j)] - b[(i, j)]).abs());
+        }
+    }
+    worst
+}
+
+/// Largest entrywise absolute difference between two equal-length
+/// vectors.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn max_vec_error(a: &CVector, b: &CVector) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let mut worst = 0.0f64;
+    for i in 0..a.len() {
+        worst = worst.max((a[i] - b[i]).abs());
+    }
+    worst
+}

@@ -1,0 +1,157 @@
+//! PCM reference curves: Lorentz–Lorenz effective-medium mixing,
+//! patch-transmission level grids, and logarithmic drift, computed with
+//! a local minimal complex-number helper instead of the linalg crate's
+//! `C64`.
+
+/// Free-space telecom wavelength used by the transmission model (m).
+const LAMBDA: f64 = 1550e-9;
+
+/// Minimal complex arithmetic for the permittivity mixing rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cx {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Cx {
+    /// Constructs a complex number.
+    pub fn new(re: f64, im: f64) -> Self {
+        Cx { re, im }
+    }
+
+    fn add(self, o: Cx) -> Cx {
+        Cx::new(self.re + o.re, self.im + o.im)
+    }
+
+    fn sub(self, o: Cx) -> Cx {
+        Cx::new(self.re - o.re, self.im - o.im)
+    }
+
+    fn mul(self, o: Cx) -> Cx {
+        Cx::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+
+    fn scale(self, s: f64) -> Cx {
+        Cx::new(self.re * s, self.im * s)
+    }
+
+    fn div(self, o: Cx) -> Cx {
+        let d = o.re * o.re + o.im * o.im;
+        Cx::new(
+            (self.re * o.re + self.im * o.im) / d,
+            (self.im * o.re - self.re * o.im) / d,
+        )
+    }
+
+    /// Principal square root via polar form.
+    pub fn sqrt(self) -> Cx {
+        let r = (self.re * self.re + self.im * self.im).sqrt().sqrt();
+        let half_arg = self.im.atan2(self.re) / 2.0;
+        Cx::new(r * half_arg.cos(), r * half_arg.sin())
+    }
+}
+
+/// Complex refractive indices `(amorphous, crystalline)` of a PCM
+/// material at 1550 nm, duplicated from the literature values the
+/// photonics crate cites.
+pub fn material_indices(material: usize) -> (Cx, Cx) {
+    match material % 3 {
+        0 => (Cx::new(3.94, 0.045), Cx::new(6.11, 0.83)), // GST-225
+        1 => (Cx::new(3.47, 0.0002), Cx::new(4.86, 0.18)), // GSST
+        _ => (Cx::new(2.44, 0.0005), Cx::new(2.97, 0.0035)), // GeSe
+    }
+}
+
+/// Effective complex index at crystalline fraction `x ∈ [0, 1]` via the
+/// Lorentz–Lorenz mixing rule on the permittivities.
+pub fn effective_index_ref(material: usize, x: f64) -> Cx {
+    let (n_a, n_c) = material_indices(material);
+    let eps_a = n_a.mul(n_a);
+    let eps_c = n_c.mul(n_c);
+    let ll = |eps: Cx| eps.sub(Cx::new(1.0, 0.0)).div(eps.add(Cx::new(2.0, 0.0)));
+    let mixed = ll(eps_c).scale(x).add(ll(eps_a).scale(1.0 - x));
+    let eps = Cx::new(1.0, 0.0)
+        .add(mixed.scale(2.0))
+        .div(Cx::new(1.0, 0.0).sub(mixed));
+    eps.sqrt()
+}
+
+/// Reference transmission-level grid: `levels` equally spaced
+/// crystalline fractions mapped through the patch absorption model and
+/// normalized to the amorphous (fully transparent) level, with the same
+/// strict-monotonicity fixup as the fast path.
+///
+/// # Panics
+///
+/// Panics if `levels < 2`.
+pub fn transmission_levels_ref(material: usize, levels: usize) -> Vec<f64> {
+    assert!(levels >= 2, "at least two levels required");
+    let gamma = 0.3;
+    let tau = std::f64::consts::TAU;
+    let k_c = effective_index_ref(material, 1.0).im.max(1e-6);
+    let target_field_t: f64 = 0.316;
+    let patch_length = -target_field_t.ln() * LAMBDA / (tau * gamma * k_c);
+    let transmission = |x: f64| {
+        let k = effective_index_ref(material, x).im;
+        (-2.0 * tau / LAMBDA * gamma * k * patch_length).exp()
+    };
+    let t0 = transmission(0.0);
+    let mut grid: Vec<f64> = (0..levels)
+        .map(|l| transmission(l as f64 / (levels - 1) as f64) / t0)
+        .collect();
+    for l in 1..grid.len() {
+        if grid[l] >= grid[l - 1] {
+            grid[l] = grid[l - 1] * (1.0 - 1e-15);
+        }
+    }
+    grid
+}
+
+/// Reference crystallization drift: the fraction shifts by
+/// `ν·ln(1 + t/τ)` with τ = 1 s, clamped to [0, 1], with the same
+/// totality rules as the fast path (non-finite elapsed time saturates,
+/// NaN outcomes are discarded).
+pub fn drift_ref(fraction: f64, elapsed_s: f64, nu: f64) -> f64 {
+    let t = if elapsed_s.is_finite() {
+        (elapsed_s / 1.0).max(0.0)
+    } else if elapsed_s > 0.0 {
+        f64::MAX
+    } else {
+        0.0
+    };
+    let shift = nu * (1.0 + t).ln();
+    let next = fraction + shift;
+    if next.is_nan() {
+        fraction
+    } else {
+        next.clamp(0.0, 1.0)
+    }
+}
+
+/// Reference level programming: RESET first if the target fraction is
+/// below the current one, then repeated SET pulses of `set_step` until
+/// the target is reached, then snap exactly onto the grid point.
+///
+/// # Panics
+///
+/// Panics if `levels < 2` or `level >= levels`.
+pub fn program_level_ref(mut fraction: f64, set_step: f64, level: usize, levels: usize) -> f64 {
+    assert!(levels >= 2, "at least two levels required");
+    assert!(level < levels, "level out of range");
+    let target = level as f64 / (levels - 1) as f64;
+    if target < fraction - 1e-12 {
+        fraction = 0.0;
+    }
+    while fraction + 1e-12 < target {
+        fraction = (fraction + set_step).min(1.0);
+        if fraction >= 1.0 {
+            break;
+        }
+    }
+    target
+}

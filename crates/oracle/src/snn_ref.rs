@@ -1,0 +1,90 @@
+//! Scalar leaky integrate-and-fire and STDP references: one neuron at
+//! a time, the forward-Euler update written straight from the membrane
+//! equation `dv/dt = input − v/τ`.
+
+/// Reference LIF neuron state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefLif {
+    /// Membrane time constant τ.
+    pub tau: f64,
+    /// Firing threshold.
+    pub threshold: f64,
+    /// Refractory period after a spike, in the same units as `dt`.
+    pub refractory: f64,
+    /// Membrane potential.
+    pub potential: f64,
+    /// Remaining refractory time; the neuron is clamped to rest while
+    /// this is positive.
+    pub refractory_left: f64,
+}
+
+impl RefLif {
+    /// A resting neuron with the given parameters.
+    pub fn new(tau: f64, threshold: f64, refractory: f64) -> Self {
+        RefLif {
+            tau,
+            threshold,
+            refractory,
+            potential: 0.0,
+            refractory_left: 0.0,
+        }
+    }
+
+    /// Forward-Euler step of the membrane equation; returns `true` on a
+    /// spike. During refractory time the potential is clamped to rest
+    /// and the input is ignored.
+    pub fn step(&mut self, input: f64, dt: f64) -> bool {
+        if self.refractory_left > 0.0 {
+            self.refractory_left -= dt;
+            self.potential = 0.0;
+            return false;
+        }
+        self.potential += (input - self.potential / self.tau) * dt;
+        if self.potential >= self.threshold {
+            self.potential = 0.0;
+            self.refractory_left = self.refractory;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Reference pair-based STDP weight update, written from the textbook
+/// exponential window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefStdp {
+    /// Potentiation amplitude.
+    pub a_plus: f64,
+    /// Depression amplitude.
+    pub a_minus: f64,
+    /// Potentiation time constant.
+    pub tau_plus: f64,
+    /// Depression time constant.
+    pub tau_minus: f64,
+}
+
+impl RefStdp {
+    /// Weight change for a pre→post spike-timing difference
+    /// `dt = t_post − t_pre`: potentiation `A₊·e^{−dt/τ₊}` for causal
+    /// pairs, depression `−A₋·e^{dt/τ₋}` for anti-causal pairs, zero
+    /// at exact coincidence.
+    pub fn delta_w(&self, dt: f64) -> f64 {
+        if dt == 0.0 {
+            0.0
+        } else if dt > 0.0 {
+            self.a_plus * (-dt / self.tau_plus).exp()
+        } else {
+            -self.a_minus * (dt / self.tau_minus).exp()
+        }
+    }
+
+    /// The weight change quantized onto a PCM conductance grid with
+    /// `levels` levels spanning [0, 1]: the number of programming steps
+    /// (positive = SET steps), rounded to nearest.
+    pub fn steps(&self, dt: f64, levels: usize) -> i32 {
+        let dw = self.delta_w(dt);
+        let step_size = 1.0 / ((levels.max(2) - 1) as f64);
+        (dw / step_size).round() as i32
+    }
+}

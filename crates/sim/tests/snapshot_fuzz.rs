@@ -1,0 +1,135 @@
+//! Fuzz: `System::snapshot`/`restore` round-trips taken at random cut
+//! points — including mid-decoded-block and mid-wfi-fast-forward —
+//! must leave resumed runs bit-identical to uninterrupted ones over
+//! seeded random workloads.
+
+use neuropulsim_linalg::parallel::split_seed;
+use neuropulsim_linalg::RMatrix;
+use neuropulsim_sim::firmware::{accel_offload, software_mvm, DramLayout};
+use neuropulsim_sim::system::{RunOutcome, System};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const BUDGET: u64 = 10_000_000;
+
+/// Builds a randomized MVM workload: matrix order, batch count,
+/// weights and inputs all derive from `seed`. `offload` selects the
+/// accelerator firmware (which sleeps in `wfi` during transfers) over
+/// the pure-software kernel (straight-line decoded-block execution).
+fn build_system(seed: u64, offload: bool) -> (System, DramLayout, usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(2usize..7);
+    let batch = rng.gen_range(1usize..3);
+    let layout = DramLayout::default();
+    let mut sys = System::new();
+    let w = RMatrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+    let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    sys.write_fixed_vector(layout.x_addr, &x);
+    if offload {
+        sys.platform.accel.load_matrix(&w);
+        sys.load_firmware_source(&accel_offload(n, batch, layout));
+    } else {
+        sys.write_fixed_vector(layout.w_addr, w.as_slice());
+        sys.load_firmware_source(&software_mvm(n, batch, layout));
+    }
+    (sys, layout, n)
+}
+
+fn signature(sys: &System, layout: DramLayout, n: usize) -> Vec<u32> {
+    (0..n)
+        .map(|k| {
+            sys.platform
+                .dram
+                .peek(layout.y_addr + 4 * k as u32)
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+/// Runs `seed`'s workload uninterrupted, then re-runs it with a
+/// snapshot/restore cut at each of `cuts` random cycle counts,
+/// checking both resume paths (`to_system` and in-place `restore`)
+/// against the reference. Returns how many cuts landed inside a wfi
+/// sleep window.
+fn check_cuts(seed: u64, offload: bool, cuts: usize) -> usize {
+    let (mut reference, layout, n) = build_system(seed, offload);
+    let ref_report = reference.run(BUDGET);
+    assert!(
+        matches!(ref_report.outcome, RunOutcome::Halted(_)),
+        "seed {seed}: reference workload must halt"
+    );
+    let mut rng = StdRng::seed_from_u64(split_seed(seed, 0xc07));
+    let mut wfi_cuts = 0;
+    for _ in 0..cuts {
+        let cut = rng.gen_range(1..ref_report.cycles.max(2));
+        let (mut sys, _, _) = build_system(seed, offload);
+        if sys.run_cycles_bounded(cut, BUDGET).is_some() {
+            continue; // workload finished before the cut
+        }
+        if sys.cpu.waiting_for_interrupt {
+            wfi_cuts += 1;
+        }
+        let snap = sys.snapshot();
+
+        // Path 1: rebuild a fresh system from the snapshot.
+        let mut resumed = snap.to_system();
+        assert_eq!(resumed.cpu, sys.cpu, "seed {seed} cut {cut}: rebuild");
+        let report = resumed.run(BUDGET);
+        assert_eq!(report.outcome, ref_report.outcome, "seed {seed} cut {cut}");
+        assert_eq!(resumed.cpu, reference.cpu, "seed {seed} cut {cut}: cpu");
+        assert_eq!(
+            signature(&resumed, layout, n),
+            signature(&reference, layout, n),
+            "seed {seed} cut {cut}: readout"
+        );
+        assert_eq!(
+            resumed.platform.dram.reads, reference.platform.dram.reads,
+            "seed {seed} cut {cut}: dram access accounting"
+        );
+
+        // Path 2: keep running past the cut, then roll back in place.
+        let _ = sys.run_cycles_bounded(cut / 2 + 1, BUDGET);
+        sys.restore(&snap);
+        assert_eq!(
+            sys.cpu.cycles, snap.cycle,
+            "seed {seed} cut {cut}: rollback"
+        );
+        let report = sys.run(BUDGET);
+        assert_eq!(report.outcome, ref_report.outcome, "seed {seed} cut {cut}");
+        assert_eq!(
+            sys.cpu, reference.cpu,
+            "seed {seed} cut {cut}: restored cpu"
+        );
+        assert_eq!(
+            signature(&sys, layout, n),
+            signature(&reference, layout, n),
+            "seed {seed} cut {cut}: restored readout"
+        );
+    }
+    wfi_cuts
+}
+
+#[test]
+fn snapshot_roundtrip_mid_block_over_random_programs() {
+    // Software MVM runs entirely through the decoded-block
+    // interpreter, so random cuts land mid-block.
+    for i in 0..12u64 {
+        check_cuts(split_seed(0x5eed_b10c, i), false, 3);
+    }
+}
+
+#[test]
+fn snapshot_roundtrip_mid_wfi_fast_forward() {
+    // The offload firmware sleeps in wfi while the DMA/accelerator
+    // pipeline runs; with fast-forward on (the default), bounded runs
+    // stop inside those windows. At least some cuts must land there
+    // for this test to mean anything.
+    let mut wfi_cuts = 0;
+    for i in 0..12u64 {
+        wfi_cuts += check_cuts(split_seed(0x5eed_0f1f, i), true, 4);
+    }
+    assert!(
+        wfi_cuts > 0,
+        "no cut point landed inside a wfi fast-forward window"
+    );
+}

@@ -40,6 +40,7 @@
 pub use neuropulsim_core as core;
 pub use neuropulsim_linalg as linalg;
 pub use neuropulsim_nn as nn;
+pub use neuropulsim_oracle as oracle;
 pub use neuropulsim_photonics as photonics;
 pub use neuropulsim_riscv as riscv;
 pub use neuropulsim_sim as sim;

@@ -1,0 +1,119 @@
+//! Integration smoke of the differential conformance harness: every
+//! fast-path domain must agree with its golden oracle on a seeded
+//! random campaign, the JSON report must be deterministic, and a
+//! deliberately injected fast-path bug must be detected and shrunk to
+//! a minimal reproducer seed.
+//!
+//! CI runs the full campaign (`conformance --seed 42 --cases 500`);
+//! these tests keep a smaller version of the same guarantees inside
+//! `cargo test`.
+
+use neuropulsim::oracle::harness::{run_case, run_conformance, ConformanceConfig, Domain};
+
+#[test]
+fn all_six_domains_conform_on_a_seeded_campaign() {
+    let report = run_conformance(&ConformanceConfig::new(42, 60));
+    assert_eq!(report.domains.len(), 6, "every domain must be covered");
+    assert_eq!(
+        report.total_divergences,
+        0,
+        "fast paths diverged from their oracles:\n{}",
+        report.to_json()
+    );
+    for d in &report.domains {
+        assert_eq!(d.passes, 60, "{}: not all cases passed", d.domain.name());
+        assert!(
+            d.worst_error <= d.domain.tolerance(),
+            "{}: worst error {:e} above tolerance",
+            d.domain.name(),
+            d.worst_error
+        );
+    }
+}
+
+#[test]
+fn bit_exact_domains_report_zero_error() {
+    for domain in [Domain::Riscv, Domain::Snn] {
+        let mut config = ConformanceConfig::new(1234, 40);
+        config.domains = vec![domain];
+        let report = run_conformance(&config);
+        assert_eq!(report.total_divergences, 0, "{}", report.to_json());
+        assert_eq!(report.domains[0].worst_error, 0.0);
+    }
+}
+
+#[test]
+fn report_json_is_deterministic() {
+    let a = run_conformance(&ConformanceConfig::new(7, 40)).to_json();
+    let b = run_conformance(&ConformanceConfig::new(7, 40)).to_json();
+    assert_eq!(a, b, "same seed must produce byte-identical JSON");
+    let c = run_conformance(&ConformanceConfig::new(8, 40)).to_json();
+    assert_ne!(a, c, "different seeds must explore different cases");
+}
+
+#[test]
+fn single_domain_run_reproduces_full_run_cases() {
+    // The per-domain seed derives from the canonical domain index, so
+    // `--domain pcm` replays exactly the pcm cases of a full campaign.
+    let full = run_conformance(&ConformanceConfig::new(42, 30));
+    let mut config = ConformanceConfig::new(42, 30);
+    config.domains = vec![Domain::Pcm];
+    let single = run_conformance(&config);
+    let full_pcm = full
+        .domains
+        .iter()
+        .find(|d| d.domain == Domain::Pcm)
+        .unwrap();
+    assert_eq!(single.domains[0].worst_error, full_pcm.worst_error);
+}
+
+#[test]
+fn injected_bug_is_detected_and_shrunk_to_a_reproducer() {
+    for domain in Domain::all() {
+        let mut config = ConformanceConfig::new(42, 30);
+        config.domains = vec![domain];
+        config.inject = Some(domain);
+        let report = run_conformance(&config);
+        let d = &report.domains[0];
+        assert!(
+            d.divergences > 0,
+            "{}: injected perturbation went undetected",
+            domain.name()
+        );
+        let repro = &d.repros[0];
+        assert!(
+            repro.shrunk_size <= repro.original_size,
+            "{}: shrinking grew the case",
+            domain.name()
+        );
+        assert!(repro.shrunk_size >= domain.min_size());
+        assert!(!repro.detail.is_empty());
+
+        // The recorded seed reproduces the divergence at the shrunk
+        // size — and the same case passes once the bug is gone.
+        let again = run_case(domain, repro.case_seed, Some(repro.shrunk_size), true);
+        assert!(
+            again.divergence.is_some(),
+            "{}: shrunk repro did not reproduce",
+            domain.name()
+        );
+        let clean = run_case(domain, repro.case_seed, Some(repro.shrunk_size), false);
+        assert!(
+            clean.divergence.is_none(),
+            "{}: case diverges even without injection",
+            domain.name()
+        );
+    }
+}
+
+#[test]
+fn injection_shrinks_to_the_domain_minimum_for_size_independent_bugs() {
+    // The riscv injection (an off-by-one in x1) diverges at every
+    // size, so shrinking must reach the domain floor.
+    let mut config = ConformanceConfig::new(42, 10);
+    config.domains = vec![Domain::Riscv];
+    config.inject = Some(Domain::Riscv);
+    let report = run_conformance(&config);
+    let repro = &report.domains[0].repros[0];
+    assert_eq!(repro.shrunk_size, Domain::Riscv.min_size());
+}

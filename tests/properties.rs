@@ -2,6 +2,7 @@
 //! invariants of the stack: complex arithmetic, mesh unitarity, the
 //! Clements decomposition, fixed-point codecs and the RV32 ISA codec.
 
+use neuropulsim::core::abft::{AbftWeights, ColumnCheck};
 use neuropulsim::core::clements::decompose;
 use neuropulsim::core::crossbar::CrossbarCore;
 use neuropulsim::core::mvm::MvmCore;
@@ -261,5 +262,115 @@ proptest! {
         let program = decompose(&u);
         let scaled = program.with_scaled_phases(factor);
         prop_assert!(scaled.transfer_matrix().is_unitary(1e-9));
+    }
+
+    #[test]
+    fn clements_and_reck_roundtrip_edge_sizes(seed in 0u64..200, n in 1usize..3) {
+        // n = 1 (pure phase) and n = 2 (single MZI) are the degenerate
+        // corners of both decompositions.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = random::haar_unitary(&mut rng, n);
+        for program in [decompose(&u), reck::decompose(&u)] {
+            prop_assert!(program.transfer_matrix().approx_eq(&u, 1e-8));
+            prop_assert_eq!(program.block_count(), n * (n - 1) / 2);
+        }
+    }
+
+    #[test]
+    fn decompositions_survive_near_degenerate_phases(
+        seed in 0u64..100,
+        n in 2usize..6,
+        eps_exp in 0usize..5,
+        near_cross in 0usize..2,
+    ) {
+        // Every θ sits within ±eps of a degenerate point (0 = bar
+        // state, π = cross state), where the null-solve denominators
+        // |a| or |b| almost vanish. The resulting transfer matrix is
+        // still unitary and both decompositions must round-trip it.
+        let eps = [0.0, 1e-13, 1e-10, 1e-8, 1e-6][eps_exp];
+        let base = if near_cross == 1 { std::f64::consts::PI } else { 0.0 };
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let tau = std::f64::consts::TAU;
+        let blocks: Vec<MziBlock> = (0..n * (n - 1) / 2)
+            .map(|_| {
+                let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                MziBlock::new(rng.gen_range(0..n - 1), base + sign * eps, rng.gen_range(0.0..tau))
+            })
+            .collect();
+        let phases: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..tau)).collect();
+        let u = MeshProgram::new(n, blocks, phases).transfer_matrix();
+        for program in [decompose(&u), reck::decompose(&u)] {
+            prop_assert!(
+                program.transfer_matrix().approx_eq(&u, 1e-8),
+                "θ within {eps:e} of {base} broke the round-trip"
+            );
+        }
+    }
+
+    #[test]
+    fn abft_corrects_every_single_element_corruption(
+        seed in 0u64..150,
+        n in 2usize..10,
+        delta_mag in 0.25..4.0f64,
+        negate in 0usize..2,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let w = RMatrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+        let weights = AbftWeights::new(&w);
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let clean = w.mul_vec(&x);
+        let delta = if negate == 1 { -delta_mag } else { delta_mag };
+        // Exhaustive: corrupt each output element in turn; the check
+        // must locate the row exactly and correction must restore the
+        // clean product in place.
+        for row in 0..n {
+            let mut y = clean.clone();
+            y[row] += delta;
+            let verdict = weights.check(&x, &y, 1e-6);
+            match verdict {
+                ColumnCheck::Correctable { row: located, .. } => {
+                    prop_assert_eq!(located, row)
+                }
+                ref other => prop_assert!(false, "row {}: expected Correctable, got {:?}", row, other),
+            }
+            weights.correct(&mut y, &verdict);
+            for i in 0..n {
+                prop_assert!((y[i] - clean[i]).abs() < 1e-9, "row {row}: y[{i}] not restored");
+            }
+        }
+    }
+
+    #[test]
+    fn abft_double_corruption_never_reports_clean(
+        seed in 0u64..200,
+        n in 2usize..10,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let w = RMatrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+        let weights = AbftWeights::new(&w);
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let clean = w.mul_vec(&x);
+        let r1 = rng.gen_range(0..n);
+        let r2 = (r1 + 1 + rng.gen_range(0..n - 1)) % n;
+        let mut y = clean.clone();
+        for r in [r1, r2] {
+            let mag = rng.gen_range(0.25..1.0);
+            y[r] += if rng.gen_bool(0.5) { mag } else { -mag };
+        }
+        let verdict = weights.check(&x, &y, 1e-6);
+        prop_assert!(
+            verdict != ColumnCheck::Clean,
+            "double corruption at rows {r1},{r2} reported clean"
+        );
+        // Exactly cancelling corruptions defeat the plain checksum but
+        // not the weighted one: the verdict must be Corrupt outright.
+        let mag = rng.gen_range(0.25..1.0);
+        let mut y = clean.clone();
+        y[r1] += mag;
+        y[r2] -= mag;
+        prop_assert_eq!(weights.check(&x, &y, 1e-6), ColumnCheck::Corrupt);
     }
 }
