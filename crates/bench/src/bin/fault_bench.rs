@@ -1,16 +1,20 @@
 //! Fault-campaign probe: a stratified, checkpointed, parallel
 //! fault-injection campaign over the GeMM-offload firmware workload
-//! (DMA in → photonic doorbell → `wfi` → DMA out), printing the
-//! statistical campaign report as a single JSON object on stdout.
+//! (DMA in → photonic doorbell → `wfi` → DMA out), emitting one
+//! unified `neuropulsim-bench/v1` report: the statistical campaign
+//! report rides in `payload` (bit-identical for any
+//! `NEUROPULSIM_THREADS`, so CI's determinism check compares `payload`
+//! only) and the campaign wall time in `measurements`.
 //!
 //! Usage: `fault_bench [injections] [cadence] [seed]`
 //! (defaults: 500 injections, cadence 512, seed 7).
 //!
-//! The report includes per-stratum outcome tallies, Wilson 95% intervals
-//! on the masked/SDC/crash/hang rates and the vulnerability, and the
-//! cycles-simulated vs. cycles-saved accounting of checkpoint reuse.
-//! Outcomes are bit-identical for any `NEUROPULSIM_THREADS`.
+//! The campaign report includes per-stratum outcome tallies, Wilson 95%
+//! intervals on the masked/SDC/crash/hang rates and the vulnerability,
+//! and the cycles-simulated vs. cycles-saved accounting of checkpoint
+//! reuse.
 
+use neuropulsim_bench::runner::Runner;
 use neuropulsim_linalg::RMatrix;
 use neuropulsim_sim::campaign::{CampaignConfig, Stratum};
 use neuropulsim_sim::fault::{Campaign, FaultKind, FaultTarget};
@@ -111,12 +115,26 @@ fn main() {
         injections,
         ..CampaignConfig::default()
     };
-    let report = campaign.run_stratified(
-        "gemm-offload-n8-b64",
-        seed,
-        FaultKind::Transient,
-        &strata,
-        &cfg,
+    let mut runner = Runner::new("fault_bench");
+    let mut report = None;
+    runner.measure_with_meta(
+        "fault_campaign/stratified",
+        1,
+        &[
+            ("injections", format!("{injections}")),
+            ("cadence", format!("{cadence}")),
+            ("seed", format!("{seed}")),
+        ],
+        || {
+            report = Some(campaign.run_stratified(
+                "gemm-offload-n8-b64",
+                seed,
+                FaultKind::Transient,
+                &strata,
+                &cfg,
+            ));
+        },
     );
-    println!("{}", report.to_json());
+    runner.payload(report.expect("campaign ran").to_json());
+    print!("{}", runner.to_json());
 }

@@ -1,15 +1,17 @@
 //! Guarded-vs-unguarded fault-campaign probe: runs the same stratified
 //! fault grid as `fault_bench` twice — once over the plain GeMM-offload
 //! firmware and once over the ABFT-guarded fault-tolerant driver
-//! (`accel_offload_guarded`) — and prints the [`GuardComparison`] JSON
+//! (`accel_offload_guarded`) — and emits one unified
+//! `neuropulsim-bench/v1` report: the [`GuardComparison`] JSON
 //! (detection coverage, recovery rate, cycle overhead, SDC rates, both
-//! full campaign reports) on stdout.
+//! full campaign reports) rides in `payload` (bit-identical for any
+//! `NEUROPULSIM_THREADS`, so CI's determinism check compares `payload`
+//! only) and the two campaign wall times in `measurements`.
 //!
 //! Usage: `guard_bench [injections] [cadence] [seed]`
 //! (defaults: 300 injections, cadence 64, seed 7).
-//!
-//! Outcomes are bit-identical for any `NEUROPULSIM_THREADS`.
 
+use neuropulsim_bench::runner::Runner;
 use neuropulsim_core::abft::fixed_checksum_tolerance;
 use neuropulsim_linalg::RMatrix;
 use neuropulsim_sim::campaign::{CampaignConfig, GuardComparison, Stratum};
@@ -121,13 +123,23 @@ fn main() {
         move |sys| readout(sys, layout),
         20_000,
     );
-    let baseline = baseline_campaign.run_stratified(
-        "gemm-offload-n8-b64",
-        seed,
-        FaultKind::Transient,
-        &strata,
-        &cfg,
-    );
+    let mut runner = Runner::new("guard_bench");
+    let campaign_meta = [
+        ("injections", format!("{injections}")),
+        ("cadence", format!("{cadence}")),
+        ("seed", format!("{seed}")),
+    ];
+    let mut baseline = None;
+    runner.measure_with_meta("guard_campaign/baseline", 1, &campaign_meta, || {
+        baseline = Some(baseline_campaign.run_stratified(
+            "gemm-offload-n8-b64",
+            seed,
+            FaultKind::Transient,
+            &strata,
+            &cfg,
+        ));
+    });
+    let baseline = baseline.expect("baseline campaign ran");
 
     // Guarded counterpart: ABFT checks, watchdog, retry/recalibration,
     // software fallback. The guard readout reclassifies halted runs.
@@ -153,14 +165,19 @@ fn main() {
         150_000,
     )
     .with_guard_readout(move |sys| read_guard_record(sys, layout));
-    let guarded = guarded_campaign.run_stratified(
-        "gemm-offload-guarded-n8-b64",
-        seed,
-        FaultKind::Transient,
-        &strata,
-        &cfg,
-    );
+    let mut guarded = None;
+    runner.measure_with_meta("guard_campaign/guarded", 1, &campaign_meta, || {
+        guarded = Some(guarded_campaign.run_stratified(
+            "gemm-offload-guarded-n8-b64",
+            seed,
+            FaultKind::Transient,
+            &strata,
+            &cfg,
+        ));
+    });
+    let guarded = guarded.expect("guarded campaign ran");
 
     let comparison = GuardComparison { baseline, guarded };
-    println!("{}", comparison.to_json());
+    runner.payload(comparison.to_json());
+    print!("{}", runner.to_json());
 }

@@ -1,21 +1,18 @@
 //! **Kernel throughput probe** — machine-readable companion to the
 //! criterion micro-benchmarks. Times the hot simulator kernels (mesh
 //! application, complex matmul, MVM multiply, GeMM streaming) and emits
-//! one JSON object per measurement on stdout:
-//!
-//! ```text
-//! {"bench":"mvm_multiply","variant":"into","n":64,"iters":4096,
-//!  "wall_ns":123456789,"ns_per_op":30140.8,"macs_per_op":4096,
-//!  "macs_per_s":1.36e8}
-//! ```
+//! one unified `neuropulsim-bench/v1` report (see `bench::runner`):
+//! median-of-N timings, machine-normalized `norm` per measurement, MAC
+//! throughput in each measurement's `meta`.
 //!
 //! `macs_per_op` counts real multiply–accumulates (a complex MAC is
 //! four real MACs). Iteration counts are fixed per case so runs are
-//! comparable across commits; pipe stdout through `jq` or append it to
-//! a tracking file. Usage: `cargo run --release --bin kernel_bench`.
+//! comparable across commits; the committed `BENCH_kernels.json`
+//! baseline is regenerated with
+//! `cargo run --release --bin kernel_bench > BENCH_kernels.json`, and CI
+//! fails on a >10% `norm` regression of any measurement.
 
-use std::time::Instant;
-
+use neuropulsim_bench::runner::Runner;
 use neuropulsim_core::clements::decompose;
 use neuropulsim_core::gemm::{GemmEngine, GemmMode};
 use neuropulsim_core::mvm::MvmCore;
@@ -24,25 +21,43 @@ use neuropulsim_linalg::{CMatrix, CVector, MatmulScratch, RMatrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Times `op` for `iters` iterations (after `iters / 8 + 1` warm-up
-/// calls) and prints one JSON line.
-fn report<F: FnMut()>(bench: &str, variant: &str, n: usize, macs_per_op: f64, mut op: F) {
+/// Median repetitions per measurement.
+const REPS: usize = 5;
+
+/// Times `op` under the unified runner: one measured rep = `iters`
+/// calls (inversely proportional to per-op work), median of [`REPS`],
+/// with per-op and throughput figures in `meta`.
+fn report<F: FnMut()>(
+    runner: &mut Runner,
+    bench: &str,
+    variant: &str,
+    n: usize,
+    macs_per_op: f64,
+    mut op: F,
+) {
     let iters = iters_for(macs_per_op);
     for _ in 0..iters / 8 + 1 {
         op();
     }
-    let start = Instant::now();
-    for _ in 0..iters {
-        op();
-    }
-    let wall_ns = start.elapsed().as_nanos() as f64;
-    let ns_per_op = wall_ns / iters as f64;
-    let macs_per_s = macs_per_op / (ns_per_op * 1e-9);
-    println!(
-        "{{\"bench\":\"{bench}\",\"variant\":\"{variant}\",\"n\":{n},\"iters\":{iters},\
-         \"wall_ns\":{wall_ns:.0},\"ns_per_op\":{ns_per_op:.1},\
-         \"macs_per_op\":{macs_per_op:.0},\"macs_per_s\":{macs_per_s:.4e}}}"
+    let id = format!("{bench}/{variant}/n{n}");
+    let median_ns = runner.measure_with_meta(
+        &id,
+        REPS,
+        &[
+            ("iters", format!("{iters}")),
+            ("macs_per_op", format!("{macs_per_op:.0}")),
+        ],
+        || {
+            for _ in 0..iters {
+                op();
+            }
+        },
     );
+    // Attach derived throughput after the fact: ns per single op and
+    // MACs/s from the median rep.
+    let ns_per_op = median_ns / iters as f64;
+    let macs_per_s = macs_per_op / (ns_per_op * 1e-9);
+    runner.derived(&format!("{id}:macs_per_s"), format!("{macs_per_s:.4e}"));
 }
 
 /// Picks an iteration count inversely proportional to the work per op,
@@ -56,51 +71,51 @@ fn random_rmatrix(rows: usize, cols: usize, seed: u64) -> RMatrix {
     RMatrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
 }
 
-fn bench_mesh_apply(n: usize) {
+fn bench_mesh_apply(runner: &mut Runner, n: usize) {
     let mut rng = StdRng::seed_from_u64(3);
     let program = decompose(&haar_unitary(&mut rng, n));
     let x = CVector::from_reals(&vec![0.5; n]);
     // Each MZI block is a 2x2 complex update: 8 complex MACs = 32 real.
     let macs = (program.block_count() * 32) as f64;
-    report("mesh_apply", "rebuild", n, macs, || {
+    report(runner, "mesh_apply", "rebuild", n, macs, || {
         std::hint::black_box(program.apply(&x));
     });
     let plan = program.compile();
     let mut buf = x.clone();
-    report("mesh_apply", "compiled", n, macs, || {
+    report(runner, "mesh_apply", "compiled", n, macs, || {
         buf.as_mut_slice().copy_from_slice(x.as_slice());
         plan.apply_in_place(buf.as_mut_slice());
         std::hint::black_box(buf[0]);
     });
 }
 
-fn bench_mul_mat(n: usize) {
+fn bench_mul_mat(runner: &mut Runner, n: usize) {
     let mut rng = StdRng::seed_from_u64(8);
     let a = haar_unitary(&mut rng, n);
     let b = haar_unitary(&mut rng, n);
     let macs = (4 * n * n * n) as f64;
-    report("cmatrix_mul_mat", "naive", n, macs, || {
+    report(runner, "cmatrix_mul_mat", "naive", n, macs, || {
         std::hint::black_box(a.mul_mat_naive(&b));
     });
-    report("cmatrix_mul_mat", "packed", n, macs, || {
+    report(runner, "cmatrix_mul_mat", "packed", n, macs, || {
         std::hint::black_box(a.mul_mat(&b));
     });
     let mut out = CMatrix::zeros(n, n);
     let mut scratch = MatmulScratch::new();
-    report("cmatrix_mul_mat", "packed_into", n, macs, || {
+    report(runner, "cmatrix_mul_mat", "packed_into", n, macs, || {
         a.mul_mat_into(&b, &mut out, &mut scratch);
         std::hint::black_box(out[(0, 0)]);
     });
 }
 
-fn bench_mvm_multiply(n: usize) {
+fn bench_mvm_multiply(runner: &mut Runner, n: usize) {
     let core = MvmCore::new(&random_rmatrix(n, n, 2));
     let x = vec![0.3; n];
     let macs = (n * n) as f64;
     // The pre-fast-path algorithm: rebuild every 2x2 block matrix (with
     // its trigonometry) inside MeshProgram::apply on both meshes, with
     // fresh allocations throughout. Kept as the before/after baseline.
-    report("mvm_multiply", "legacy", n, macs, || {
+    report(runner, "mvm_multiply", "legacy", n, macs, || {
         let mut v = core.v_program().apply(&CVector::from_reals(&x));
         for (i, &a) in core.attenuation().iter().enumerate() {
             v[i] = v[i].scale(a);
@@ -108,18 +123,18 @@ fn bench_mvm_multiply(n: usize) {
         let y = core.u_program().apply(&v);
         std::hint::black_box(y.iter().map(|z| z.re * core.scale()).collect::<Vec<f64>>());
     });
-    report("mvm_multiply", "alloc", n, macs, || {
+    report(runner, "mvm_multiply", "alloc", n, macs, || {
         std::hint::black_box(core.multiply(&x));
     });
     let mut y = vec![0.0; n];
     let mut scratch = CVector::zeros(n);
-    report("mvm_multiply", "into", n, macs, || {
+    report(runner, "mvm_multiply", "into", n, macs, || {
         core.multiply_into(&x, &mut y, &mut scratch);
         std::hint::black_box(y[0]);
     });
 }
 
-fn bench_gemm(n: usize) {
+fn bench_gemm(runner: &mut Runner, n: usize) {
     let cols = 64;
     let x = random_rmatrix(n, cols, 6);
     let macs = (n * n * cols) as f64;
@@ -128,21 +143,23 @@ fn bench_gemm(n: usize) {
         ("wdm8", GemmMode::Wdm { channels: 8 }),
     ] {
         let engine = GemmEngine::new(MvmCore::new(&random_rmatrix(n, n, 5)), mode);
-        report("gemm_matmul", variant, n, macs, || {
+        report(runner, "gemm_matmul", variant, n, macs, || {
             std::hint::black_box(engine.matmul(&x));
         });
         let par = format!("{variant}_par2");
-        report("gemm_matmul", &par, n, macs, || {
+        report(runner, "gemm_matmul", &par, n, macs, || {
             std::hint::black_box(engine.matmul_par(&x, 2));
         });
     }
 }
 
 fn main() {
+    let mut runner = Runner::new("kernel_bench");
     for n in [16usize, 64] {
-        bench_mesh_apply(n);
-        bench_mul_mat(n);
-        bench_mvm_multiply(n);
-        bench_gemm(n);
+        bench_mesh_apply(&mut runner, n);
+        bench_mul_mat(&mut runner, n);
+        bench_mvm_multiply(&mut runner, n);
+        bench_gemm(&mut runner, n);
     }
+    print!("{}", runner.to_json());
 }

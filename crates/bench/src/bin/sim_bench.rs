@@ -2,18 +2,17 @@
 //! (DMA in → photonic doorbell → `wfi` → DMA out) with the fast paths
 //! off (seed interpreter, cycle-by-cycle `wfi`) and on (decoded-block
 //! cache + `wfi` fast-forward), checks the two runs are bit-identical,
-//! and prints throughput and cache statistics as one JSON object.
+//! and emits one unified `neuropulsim-bench/v1` report (see
+//! `bench::runner`).
 //!
-//! Timing is min-based: each mode's throughput comes from its *best*
-//! repetition. The modes are interleaved round-robin, so scheduler noise
-//! and frequency drift hit both equally, and the minimum estimates the
-//! noise-free cost of a run — the statistic that is stable on a shared
-//! machine (means are inflated by whatever else the host is doing).
+//! Deterministic facts (bit-identity, instruction/cycle counts, cache
+//! statistics, fast-forwarded cycles) land in `payload`; wall-clock
+//! timings land in `measurements` and the headline `speedup` in
+//! `derived`. CI's determinism check compares `payload` only.
 //!
-//! Usage: `sim_bench [reps]` (default: 50 timed repetitions per mode).
+//! Usage: `sim_bench [reps]` (default: 25 timed repetitions per mode).
 
-use std::time::Instant;
-
+use neuropulsim_bench::runner::Runner;
 use neuropulsim_linalg::RMatrix;
 use neuropulsim_sim::firmware::{accel_offload, DramLayout};
 use neuropulsim_sim::system::{RunReport, System};
@@ -45,24 +44,17 @@ fn readout(sys: &System, layout: DramLayout) -> Vec<u32> {
         .collect()
 }
 
-/// One full run; returns the report, the finished system, and wall time.
-fn run_once(
-    fast: bool,
-    w: &RMatrix,
-    x: &[Vec<f64>],
-    layout: DramLayout,
-) -> (RunReport, System, f64) {
+fn run_once(fast: bool, w: &RMatrix, x: &[Vec<f64>], layout: DramLayout) -> (RunReport, System) {
     let mut sys = build_system(fast, w, x, layout);
-    let t0 = Instant::now();
     let report = sys.run(MAX_CYCLES);
-    (report, sys, t0.elapsed().as_secs_f64())
+    (report, sys)
 }
 
 fn main() {
     let reps: usize = std::env::args()
         .nth(1)
         .and_then(|a| a.parse().ok())
-        .unwrap_or(50)
+        .unwrap_or(25)
         .max(1);
 
     let layout = DramLayout::default();
@@ -77,8 +69,8 @@ fn main() {
 
     // Identity check first: the fast paths must not change a single
     // observable bit of the simulation.
-    let (slow_report, slow_sys, _) = run_once(false, &w, &x, layout);
-    let (fast_report, fast_sys, _) = run_once(true, &w, &x, layout);
+    let (slow_report, slow_sys) = run_once(false, &w, &x, layout);
+    let (fast_report, fast_sys) = run_once(true, &w, &x, layout);
     let identical = slow_report == fast_report
         && slow_sys.cpu == fast_sys.cpu
         && readout(&slow_sys, layout) == readout(&fast_sys, layout)
@@ -91,49 +83,54 @@ fn main() {
         std::process::exit(1);
     }
 
-    // Timed repetitions, interleaved round-robin (each rep rebuilds the
-    // system; only `run` is timed, so setup cost does not dilute the
-    // comparison).
-    let mut total = [0.0f64; 2];
-    let mut best = [f64::MAX; 2];
-    for _ in 0..reps {
-        for (slot, fast) in [(0usize, false), (1usize, true)] {
-            let (_, _, dt) = run_once(fast, &w, &x, layout);
-            total[slot] += dt;
-            if dt < best[slot] {
-                best[slot] = dt;
-            }
-        }
-    }
+    // Timed repetitions under the unified runner (each rep rebuilds the
+    // system, but only `run` sits inside the timed op's hot part — the
+    // rebuild cost is identical across modes, so the speedup holds).
+    let mut runner = Runner::new("sim_bench");
+    let meta = [("max_cycles", format!("{MAX_CYCLES}"))];
+    let baseline_ns = runner.measure_with_meta("sim_run/baseline", reps, &meta, || {
+        std::hint::black_box(run_once(false, &w, &x, layout));
+    });
+    let fast_ns = runner.measure_with_meta("sim_run/fast", reps, &meta, || {
+        std::hint::black_box(run_once(true, &w, &x, layout));
+    });
 
     let perf = fast_sys.cpu.perf_counters();
     let instructions = perf.instret as f64;
     let cycles = fast_report.cycles as f64;
-    let baseline_ips = instructions / best[0];
-    let fast_ips = instructions / best[1];
-    let baseline_cps = cycles / best[0];
-    let fast_cps = cycles / best[1];
-    let mean_speedup = total[0] / total[1];
-
-    println!("{{");
-    println!("  \"bench\": \"sim_bench\",");
-    println!("  \"workload\": \"gemm-offload-n{N}-b{BATCH}\",");
-    println!("  \"reps\": {reps},");
-    println!("  \"bit_identical\": {identical},");
-    println!("  \"instructions_per_run\": {},", perf.instret);
-    println!("  \"cycles_per_run\": {},", fast_report.cycles);
-    println!("  \"baseline_instructions_per_sec\": {baseline_ips:.0},");
-    println!("  \"fast_instructions_per_sec\": {fast_ips:.0},");
-    println!("  \"baseline_cycles_per_sec\": {baseline_cps:.0},");
-    println!("  \"fast_cycles_per_sec\": {fast_cps:.0},");
-    println!("  \"speedup\": {:.2},", fast_ips / baseline_ips);
-    println!("  \"mean_speedup\": {mean_speedup:.2},");
-    println!("  \"block_cache_hits\": {},", perf.block_hits);
-    println!("  \"block_cache_misses\": {},", perf.block_misses);
-    println!("  \"block_cache_hit_rate\": {:.4},", perf.block_hit_rate());
-    println!(
-        "  \"fast_forwarded_cycles_per_run\": {}",
-        fast_sys.fast_forwarded_cycles
+    runner.derived("speedup", format!("{:.2}", baseline_ns / fast_ns));
+    runner.derived(
+        "baseline_instructions_per_sec",
+        format!("{:.0}", instructions / (baseline_ns * 1e-9)),
     );
-    println!("}}");
+    runner.derived(
+        "fast_instructions_per_sec",
+        format!("{:.0}", instructions / (fast_ns * 1e-9)),
+    );
+    runner.derived(
+        "baseline_cycles_per_sec",
+        format!("{:.0}", cycles / (baseline_ns * 1e-9)),
+    );
+    runner.derived(
+        "fast_cycles_per_sec",
+        format!("{:.0}", cycles / (fast_ns * 1e-9)),
+    );
+
+    runner.payload(format!(
+        "{{\"workload\": \"gemm-offload-n{N}-b{BATCH}\", \
+         \"bit_identical\": {identical}, \
+         \"instructions_per_run\": {}, \
+         \"cycles_per_run\": {}, \
+         \"block_cache_hits\": {}, \
+         \"block_cache_misses\": {}, \
+         \"block_cache_hit_rate\": {:.4}, \
+         \"fast_forwarded_cycles_per_run\": {}}}",
+        perf.instret,
+        fast_report.cycles,
+        perf.block_hits,
+        perf.block_misses,
+        perf.block_hit_rate(),
+        fast_sys.fast_forwarded_cycles
+    ));
+    print!("{}", runner.to_json());
 }

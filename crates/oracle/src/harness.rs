@@ -23,11 +23,12 @@ use neuropulsim_riscv::bus::{Bus, FlatMemory};
 use neuropulsim_riscv::cpu::{Cpu, Halt, Trap};
 use neuropulsim_riscv::isa::{encode, Instruction};
 use neuropulsim_snn::neuron::NeuronArray;
+use neuropulsim_snn::sparse::{DenseNet, EventNet, NetSpec};
 use neuropulsim_snn::stdp::StdpRule;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// The six fast-path domains covered by the harness.
+/// The seven fast-path domains covered by the harness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Domain {
     /// SoA/blocked complex matmul and mat–vec kernels vs the naive
@@ -48,11 +49,15 @@ pub enum Domain {
     /// PCM level quantization, effective index, and drift vs
     /// independent reference curves.
     Pcm,
+    /// Event-driven sparse SNN engine (CSR + fire queue + lazy leak)
+    /// vs the dense baseline and the eager edge-list reference
+    /// simulator (bit-exact).
+    SnnSparse,
 }
 
 impl Domain {
     /// All domains, in canonical report order.
-    pub fn all() -> [Domain; 6] {
+    pub fn all() -> [Domain; 7] {
         [
             Domain::Matmul,
             Domain::Mesh,
@@ -60,6 +65,7 @@ impl Domain {
             Domain::Riscv,
             Domain::Snn,
             Domain::Pcm,
+            Domain::SnnSparse,
         ]
     }
 
@@ -72,6 +78,7 @@ impl Domain {
             Domain::Riscv => "riscv",
             Domain::Snn => "snn",
             Domain::Pcm => "pcm",
+            Domain::SnnSparse => "snn_sparse",
         }
     }
 
@@ -90,6 +97,7 @@ impl Domain {
             Domain::Riscv => 0.0,
             Domain::Snn => 0.0,
             Domain::Pcm => 1e-12,
+            Domain::SnnSparse => 0.0,
         }
     }
 
@@ -102,6 +110,7 @@ impl Domain {
             Domain::Riscv => 4,
             Domain::Snn => 1,
             Domain::Pcm => 2,
+            Domain::SnnSparse => 2,
         }
     }
 
@@ -115,6 +124,7 @@ impl Domain {
             Domain::Riscv => 160,
             Domain::Snn => 24,
             Domain::Pcm => 48,
+            Domain::SnnSparse => 28,
         }
     }
 
@@ -329,6 +339,7 @@ pub fn run_case(
         Domain::Riscv => riscv_case(case_seed, size_override, inject),
         Domain::Snn => snn_case(case_seed, size_override, inject),
         Domain::Pcm => pcm_case(case_seed, size_override, inject),
+        Domain::SnnSparse => snn_sparse_case(case_seed, size_override, inject),
     }
 }
 
@@ -959,6 +970,114 @@ fn pcm_case(case_seed: u64, size_override: Option<usize>, inject: bool) -> CaseO
         );
     }
     CaseOutcome::pass(levels, worst)
+}
+
+// ------------------------------------------------------------ snn_sparse
+
+/// Three-way differential case: the event-driven sparse engine vs the
+/// dense baseline vs [`snn_ref::RefSparseNet`], over a random network
+/// and injection schedule, compared bit-for-bit — fire queues every
+/// tick, then final potentials, fire ledgers and synapse levels.
+fn snn_sparse_case(case_seed: u64, size_override: Option<usize>, inject: bool) -> CaseOutcome {
+    let mut rng = StdRng::seed_from_u64(case_seed);
+    let n = draw_size(&mut rng, Domain::SnnSparse, size_override);
+    let fanout = rng.gen_range(1..n.min(6));
+    let levels = rng.gen_range(4u32..24);
+    let plastic = rng.gen_bool(0.7);
+    let spec_seed: u64 = rng.gen();
+    let mut spec = NetSpec::random(spec_seed, n, fanout, levels, plastic);
+    spec.tau = rng.gen_range(2.0..20.0);
+    spec.threshold = rng.gen_range(0.3..1.5);
+    spec.refractory = rng.gen_range(0.0..5.0);
+    spec.dt = rng.gen_range(0.05..1.0);
+    spec.rule = StdpRule::new(
+        rng.gen_range(0.05..0.5),
+        rng.gen_range(0.05..0.5),
+        rng.gen_range(5.0..40.0),
+        rng.gen_range(5.0..40.0),
+    );
+
+    let mut fast = EventNet::new(&spec);
+    fast.threads = rng.gen_range(1usize..5);
+    let mut dense = DenseNet::new(&spec);
+    let level_weights = fast.synapses().table().weights().to_vec();
+    let mut oracle = snn_ref::RefSparseNet::new(
+        spec.neurons,
+        spec.tau,
+        spec.threshold,
+        spec.refractory,
+        spec.dt,
+        snn_ref::RefStdp {
+            a_plus: spec.rule.a_plus,
+            a_minus: spec.rule.a_minus,
+            tau_plus: spec.rule.tau_plus,
+            tau_minus: spec.rule.tau_minus,
+        },
+        spec.plastic,
+        &level_weights,
+        &spec.edges,
+        &spec.init_levels,
+    );
+
+    // Injection schedule strong enough to elicit spikes regularly.
+    let kick_max = 2.0 * spec.threshold / spec.dt;
+    for t in 0..120u32 {
+        let count = rng.gen_range(0usize..4);
+        let inj: Vec<(u32, f64)> = (0..count)
+            .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0.0..kick_max)))
+            .collect();
+        let fired_fast = fast.tick(&inj).to_vec();
+        let fired_dense = dense.tick(&inj).to_vec();
+        let fired_ref = oracle.tick(&inj);
+        if fired_fast != fired_dense {
+            return CaseOutcome::diverged(
+                n,
+                0.0,
+                format!("snn_sparse n={n}: event vs dense fire queue at tick {t}"),
+            );
+        }
+        if fired_fast != fired_ref {
+            return CaseOutcome::diverged(
+                n,
+                0.0,
+                format!("snn_sparse n={n}: event vs oracle fire queue at tick {t}"),
+            );
+        }
+    }
+
+    fast.flush();
+    let ref_potentials = oracle.potentials();
+    for (j, ref_v) in ref_potentials.iter().enumerate().take(n) {
+        let mut fast_v = fast.potentials()[j];
+        if inject && j == 0 {
+            fast_v += 1e-9; // simulated lazy-leak drift in the engine
+        }
+        if fast_v.to_bits() != ref_v.to_bits() {
+            return CaseOutcome::diverged(
+                n,
+                (fast_v - ref_v).abs(),
+                format!("snn_sparse n={n}: potential bits differ at neuron {j}"),
+            );
+        }
+        if fast_v.to_bits() != dense.potentials()[j].to_bits() {
+            return CaseOutcome::diverged(
+                n,
+                (fast_v - dense.potentials()[j]).abs(),
+                format!("snn_sparse n={n}: event vs dense potential at neuron {j}"),
+            );
+        }
+    }
+    if fast.fire_ledger() != oracle.fire_ledger() || fast.fire_ledger() != dense.fire_ledger() {
+        return CaseOutcome::diverged(n, 0.0, format!("snn_sparse n={n}: fire ledgers differ"));
+    }
+    // Synapse levels: the engine's CSR order is (source, target)-sorted,
+    // exactly the reference's edge order.
+    if fast.synapses().levels_flat() != oracle.levels()
+        || fast.synapses().levels_flat() != dense.synapses().levels_flat()
+    {
+        return CaseOutcome::diverged(n, 0.0, format!("snn_sparse n={n}: synapse levels differ"));
+    }
+    CaseOutcome::pass(n, 0.0)
 }
 
 // -------------------------------------------------------------- plumbing

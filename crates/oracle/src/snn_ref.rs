@@ -88,3 +88,170 @@ impl RefStdp {
         (dw / step_size).round() as i32
     }
 }
+
+/// Scalar reference for the event-driven sparse SNN engine
+/// (`snn::sparse::EventNet`): an eager, edge-list simulator written
+/// straight from the tick-pipeline contract, with no CSR storage, no
+/// fire queue and no lazy leak — every neuron steps every tick, every
+/// edge is scanned every tick.
+///
+/// The per-level weight grid is an *input* (its derivation from the PCM
+/// material model is covered by the `pcm` conformance domain), so this
+/// reference is independent of the engine's synapse bookkeeping: it
+/// re-derives drive accumulation, spike decisions, the STDP phase order
+/// and level saturation from scratch.
+#[derive(Debug, Clone)]
+pub struct RefSparseNet {
+    dt: f64,
+    rule: RefStdp,
+    plastic: bool,
+    /// Weight of each quantized level (0 = strongest).
+    level_weights: Vec<f64>,
+    /// Deduplicated edges, sorted by `(source, target)`, no self-loops.
+    edges: Vec<(u32, u32)>,
+    /// Current level per edge, same order as `edges`.
+    levels: Vec<u8>,
+    neurons: Vec<RefLif>,
+    /// Last fire tick per neuron (−1 = never fired).
+    last_fire: Vec<i64>,
+    fired_prev: Vec<bool>,
+    tick: i64,
+}
+
+impl RefSparseNet {
+    /// Builds the reference simulator. `edges` may contain duplicates
+    /// and self-loops (both dropped, mirroring the engine's builder);
+    /// `init_levels` assigns starting levels per surviving edge in
+    /// sorted order, repeating cyclically (empty means level 0).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        neurons: usize,
+        tau: f64,
+        threshold: f64,
+        refractory: f64,
+        dt: f64,
+        rule: RefStdp,
+        plastic: bool,
+        level_weights: &[f64],
+        edges: &[(u32, u32)],
+        init_levels: &[u8],
+    ) -> Self {
+        let mut sorted: Vec<(u32, u32)> = edges.iter().copied().filter(|&(s, t)| s != t).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let max_level = (level_weights.len() - 1) as u8;
+        let levels: Vec<u8> = (0..sorted.len())
+            .map(|e| {
+                if init_levels.is_empty() {
+                    0
+                } else {
+                    init_levels[e % init_levels.len()].min(max_level)
+                }
+            })
+            .collect();
+        RefSparseNet {
+            dt,
+            rule,
+            plastic,
+            level_weights: level_weights.to_vec(),
+            edges: sorted,
+            levels,
+            neurons: (0..neurons)
+                .map(|_| RefLif::new(tau, threshold, refractory))
+                .collect(),
+            last_fire: vec![-1; neurons],
+            fired_prev: vec![false; neurons],
+            tick: 0,
+        }
+    }
+
+    /// Membrane potentials, always settled (every neuron steps every
+    /// tick).
+    pub fn potentials(&self) -> Vec<f64> {
+        self.neurons.iter().map(|n| n.potential).collect()
+    }
+
+    /// Last fire tick per neuron (−1 = never fired).
+    pub fn fire_ledger(&self) -> &[i64] {
+        &self.last_fire
+    }
+
+    /// Current level per edge, in `(source, target)`-sorted order.
+    pub fn levels(&self) -> &[u8] {
+        &self.levels
+    }
+
+    fn apply_ref_steps(&mut self, e: usize, steps: i32) {
+        let max_level = (self.level_weights.len() - 1) as i32;
+        let next = (self.levels[e] as i32 - steps).clamp(0, max_level);
+        self.levels[e] = next as u8;
+    }
+
+    /// Advances one tick and returns the fired neurons, ascending.
+    ///
+    /// Drive accumulates per target in ascending-source order (the edge
+    /// list is sorted), injections apply afterwards in schedule order,
+    /// every neuron then takes one forward-Euler step, and STDP runs
+    /// potentiation-phase-then-depression-phase before the ledger
+    /// records this tick's spikes.
+    pub fn tick(&mut self, injections: &[(u32, f64)]) -> Vec<u32> {
+        let n = self.neurons.len();
+        let t = self.tick;
+        let mut drive = vec![0.0f64; n];
+        for (e, &(s, tgt)) in self.edges.iter().enumerate() {
+            if self.fired_prev[s as usize] {
+                drive[tgt as usize] += self.level_weights[self.levels[e] as usize];
+            }
+        }
+        for &(j, amount) in injections {
+            drive[j as usize] += amount;
+        }
+        let mut fired = Vec::new();
+        for (j, neuron) in self.neurons.iter_mut().enumerate() {
+            if neuron.step(drive[j], self.dt) {
+                fired.push(j as u32);
+            }
+        }
+        if self.plastic && !fired.is_empty() {
+            let level_count = self.level_weights.len();
+            // Potentiation phase: incoming edges of each firing neuron,
+            // ascending source (the sorted edge list scans that way).
+            for &m in &fired {
+                for e in 0..self.edges.len() {
+                    let (i, tgt) = self.edges[e];
+                    if tgt != m {
+                        continue;
+                    }
+                    let tp = self.last_fire[i as usize];
+                    if tp >= 0 {
+                        let delta = (t - tp) as f64 * self.dt;
+                        let steps = self.rule.steps(delta, level_count);
+                        self.apply_ref_steps(e, steps);
+                    }
+                }
+            }
+            // Depression phase: outgoing edges of each firing neuron.
+            for &m in &fired {
+                for e in 0..self.edges.len() {
+                    let (src, j) = self.edges[e];
+                    if src != m {
+                        continue;
+                    }
+                    let tp = self.last_fire[j as usize];
+                    if tp >= 0 {
+                        let delta = (tp - t) as f64 * self.dt;
+                        let steps = self.rule.steps(delta, level_count);
+                        self.apply_ref_steps(e, steps);
+                    }
+                }
+            }
+        }
+        self.fired_prev.fill(false);
+        for &j in &fired {
+            self.last_fire[j as usize] = t;
+            self.fired_prev[j as usize] = true;
+        }
+        self.tick = t + 1;
+        fired
+    }
+}

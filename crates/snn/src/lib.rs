@@ -12,7 +12,10 @@
 //!   programming pulses;
 //! - [`encoding`]: latency and rate spike codes;
 //! - [`network`]: a feedforward WTA layer that learns spike patterns
-//!   unsupervised (experiment E6).
+//!   unsupervised (experiment E6);
+//! - [`sparse`]: the event-driven engine — CSR synapses, fire-queue
+//!   propagation and lazy leak, scaling to millions of neurons, with a
+//!   bit-identical dense baseline.
 //!
 //! # Examples
 //!
@@ -33,5 +36,6 @@
 pub mod encoding;
 pub mod network;
 pub mod neuron;
+pub mod sparse;
 pub mod stdp;
 pub mod synapse;

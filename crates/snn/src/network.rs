@@ -101,12 +101,15 @@ impl SpikingLayer {
         self.neurons.len()
     }
 
-    /// The weight matrix `[neuron][input]`.
-    pub fn weights(&self) -> Vec<Vec<f64>> {
-        self.weight_cache
-            .chunks_exact(self.inputs)
-            .map(<[f64]>::to_vec)
-            .collect()
+    /// The weight matrix as a borrowed flat row-major view
+    /// (`[neuron * inputs + input]`) — no per-call allocation.
+    pub fn weights(&self) -> &[f64] {
+        &self.weight_cache
+    }
+
+    /// The incoming weight row of neuron `j` (one entry per input).
+    pub fn weight_row(&self, j: usize) -> &[f64] {
+        &self.weight_cache[j * self.inputs..(j + 1) * self.inputs]
     }
 
     /// Total PCM programming energy spent on learning so far \[J\].
@@ -310,12 +313,10 @@ mod tests {
         assert_eq!(layer.inputs(), 9);
         assert_eq!(layer.neurons(), 3);
         let w = layer.weights();
-        assert_eq!(w.len(), 3);
-        assert_eq!(w[0].len(), 9);
-        for row in &w {
-            for &wi in row {
-                assert!((0.0..=1.0).contains(&wi));
-            }
+        assert_eq!(w.len(), 3 * 9);
+        assert_eq!(layer.weight_row(0).len(), 9);
+        for &wi in w {
+            assert!((0.0..=1.0).contains(&wi));
         }
     }
 
@@ -323,16 +324,14 @@ mod tests {
     fn weight_cache_tracks_programmed_synapses() {
         let mut rng = StdRng::seed_from_u64(15);
         let mut layer = SpikingLayer::new(9, 3, &mut rng);
-        let before = layer.weights();
+        let before = layer.weights().to_vec();
         let _ = layer.train_patterns(&orthogonal_patterns(), 2);
-        let after = layer.weights();
+        let after = layer.weights().to_vec();
         assert_ne!(before, after, "learning must move some weights");
         // The cache must agree with the ground-truth synapse model.
-        for (j, row) in after.iter().enumerate() {
-            for (i, &w) in row.iter().enumerate() {
-                let truth = layer.synapses[j * layer.inputs + i].weight();
-                assert_eq!(w, truth, "cache stale at [{j}][{i}]");
-            }
+        for (e, &w) in after.iter().enumerate() {
+            let truth = layer.synapses[e].weight();
+            assert_eq!(w, truth, "cache stale at flat index {e}");
         }
     }
 
@@ -344,7 +343,7 @@ mod tests {
             let mut layer = SpikingLayer::new(9, 3, &mut rng);
             layer.drive_threads = threads;
             let winners = layer.train_patterns(&patterns, 6);
-            (winners, layer.weights())
+            (winners, layer.weights().to_vec())
         };
         let reference = run(1);
         for threads in [2, 3, 8] {
@@ -417,21 +416,21 @@ mod tests {
         let mut layer = SpikingLayer::new(9, 3, &mut rng);
         let patterns = orthogonal_patterns();
         let winners = layer.train_patterns(&patterns, 12);
-        let w = layer.weights();
         for (p_idx, winner) in winners.iter().enumerate() {
             let j = winner.expect("winner exists");
+            let row = layer.weight_row(j);
             let on: f64 = patterns[p_idx]
                 .iter()
                 .enumerate()
                 .filter(|(_, &v)| v > 0.0)
-                .map(|(i, _)| w[j][i])
+                .map(|(i, _)| row[i])
                 .sum::<f64>()
                 / 3.0;
             let off: f64 = patterns[p_idx]
                 .iter()
                 .enumerate()
                 .filter(|(_, &v)| v == 0.0)
-                .map(|(i, _)| w[j][i])
+                .map(|(i, _)| row[i])
                 .sum::<f64>()
                 / 6.0;
             assert!(

@@ -13,6 +13,41 @@
 
 use neuropulsim_photonics::laser::{YamadaLaser, YamadaParams};
 
+/// The one true LIF update: advances a single neuron's `(v,
+/// refractory_left)` state by one step of length `dt` under drive
+/// `input`, returning `true` on a spike.
+///
+/// Every engine in this crate — [`LifNeuron::step`], [`NeuronArray::step`]
+/// and the event-driven sparse engine in [`crate::sparse`] — funnels
+/// through this function, so their floating-point behaviour is identical
+/// *by construction*: same expressions, same rounding, same spike
+/// decisions. The conformance suite (`oracle::snn_ref`) checks the
+/// result bit-for-bit against an independently written reference.
+#[inline(always)]
+pub fn lif_update(
+    v: &mut f64,
+    refractory_left: &mut f64,
+    tau: f64,
+    threshold: f64,
+    refractory: f64,
+    input: f64,
+    dt: f64,
+) -> bool {
+    if *refractory_left > 0.0 {
+        *refractory_left -= dt;
+        *v = 0.0;
+        return false;
+    }
+    *v += (input - *v / tau) * dt;
+    if *v >= threshold {
+        *v = 0.0;
+        *refractory_left = refractory;
+        true
+    } else {
+        false
+    }
+}
+
 /// A neuron driven by the full Yamada excitable-laser model.
 ///
 /// Inputs arrive as gain perturbations (optical pumping by upstream
@@ -116,19 +151,15 @@ impl LifNeuron {
     /// Advances one step of length `dt` under input drive `input`.
     /// Returns `true` if the neuron fires on this step.
     pub fn step(&mut self, input: f64, dt: f64) -> bool {
-        if self.refractory_left > 0.0 {
-            self.refractory_left -= dt;
-            self.v = 0.0;
-            return false;
-        }
-        self.v += (input - self.v / self.tau) * dt;
-        if self.v >= self.threshold {
-            self.v = 0.0;
-            self.refractory_left = self.refractory;
-            true
-        } else {
-            false
-        }
+        lif_update(
+            &mut self.v,
+            &mut self.refractory_left,
+            self.tau,
+            self.threshold,
+            self.refractory,
+            input,
+            dt,
+        )
     }
 
     /// Resets potential and refractory state.
@@ -199,19 +230,15 @@ impl NeuronArray {
     /// Advances neuron `j` one step of length `dt` under drive `input`;
     /// returns `true` if it fires. Same dynamics as [`LifNeuron::step`].
     pub fn step(&mut self, j: usize, input: f64, dt: f64) -> bool {
-        if self.refractory_left[j] > 0.0 {
-            self.refractory_left[j] -= dt;
-            self.v[j] = 0.0;
-            return false;
-        }
-        self.v[j] += (input - self.v[j] / self.tau[j]) * dt;
-        if self.v[j] >= self.threshold[j] {
-            self.v[j] = 0.0;
-            self.refractory_left[j] = self.refractory[j];
-            true
-        } else {
-            false
-        }
+        lif_update(
+            &mut self.v[j],
+            &mut self.refractory_left[j],
+            self.tau[j],
+            self.threshold[j],
+            self.refractory[j],
+            input,
+            dt,
+        )
     }
 
     /// Resets every neuron's potential and refractory state.

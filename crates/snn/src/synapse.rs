@@ -147,6 +147,21 @@ impl PcmSynapse {
         self.cell.programming_energy()
     }
 
+    /// Total number of programming pulses applied so far.
+    pub fn pulse_count(&self) -> u64 {
+        self.cell.pulse_count()
+    }
+
+    /// Applies PCM retention drift to the patch: amorphous-phase
+    /// relaxation shifts the crystalline fraction (and hence the weight)
+    /// by `nu * ln(1 + t)` until the next programming pulse snaps the
+    /// cell back onto its quantized level. Delegates to
+    /// [`PcmCell::apply_drift`], the same model the accelerator's
+    /// attenuator drift uses.
+    pub fn apply_drift(&mut self, elapsed_s: f64, nu: f64) {
+        self.cell.apply_drift(elapsed_s, nu);
+    }
+
     /// Static hold power — zero, the non-volatility selling point.
     pub fn hold_power(&self) -> f64 {
         0.0

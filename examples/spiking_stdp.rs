@@ -67,7 +67,8 @@ fn main() {
         }
     }
     println!("learned weights [neuron][input]:");
-    for (j, row) in layer.weights().iter().enumerate() {
+    for j in 0..layer.neurons() {
+        let row = layer.weight_row(j);
         let formatted: Vec<String> = row.iter().map(|w| format!("{w:.2}")).collect();
         println!("  n{j}: [{}]", formatted.join(", "));
     }

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the unified ``neuropulsim-bench/v1`` schema.
+
+Compares the machine-normalized cost (``measurements[].norm``) of a
+fresh bench report against a committed baseline and fails when any
+shared measurement id regressed by more than the threshold (default
+10%). ``norm`` is ``median_ns / calib_ns`` against a fixed scalar
+calibration workload, so the comparison cancels host-speed differences
+to first order and a baseline committed on one machine is meaningful on
+another.
+
+Usage:
+    check_perf.py BASELINE.json CURRENT.json [--max-regression 0.10]
+
+Measurement ids present in only one report are listed but do not fail
+the gate (they appear when a bench adds or retires cases).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_norms(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "neuropulsim-bench/v1":
+        sys.exit(f"{path}: not a neuropulsim-bench/v1 report")
+    return {m["id"]: m["norm"] for m in doc["measurements"]}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.10,
+        help="allowed fractional slowdown per measurement (default 0.10)",
+    )
+    args = ap.parse_args()
+
+    base = load_norms(args.baseline)
+    cur = load_norms(args.current)
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        sys.exit("no shared measurement ids between baseline and current")
+    for mid in sorted(set(base) ^ set(cur)):
+        side = "baseline" if mid in base else "current"
+        print(f"note: {mid} only in {side}, skipped")
+
+    failures = []
+    for mid in shared:
+        ratio = cur[mid] / base[mid]
+        flag = " REGRESSED" if ratio > 1.0 + args.max_regression else ""
+        print(f"{mid}: norm {base[mid]:.6f} -> {cur[mid]:.6f} ({ratio:.2f}x){flag}")
+        if flag:
+            failures.append((mid, ratio))
+
+    if failures:
+        worst = max(failures, key=lambda f: f[1])
+        sys.exit(
+            f"{len(failures)} measurement(s) regressed beyond "
+            f"{args.max_regression:.0%}; worst: {worst[0]} at {worst[1]:.2f}x"
+        )
+    print(f"ok: {len(shared)} measurements within {args.max_regression:.0%}")
+
+
+if __name__ == "__main__":
+    main()

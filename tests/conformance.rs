@@ -11,9 +11,9 @@
 use neuropulsim::oracle::harness::{run_case, run_conformance, ConformanceConfig, Domain};
 
 #[test]
-fn all_six_domains_conform_on_a_seeded_campaign() {
+fn all_seven_domains_conform_on_a_seeded_campaign() {
     let report = run_conformance(&ConformanceConfig::new(42, 60));
-    assert_eq!(report.domains.len(), 6, "every domain must be covered");
+    assert_eq!(report.domains.len(), 7, "every domain must be covered");
     assert_eq!(
         report.total_divergences,
         0,
@@ -33,7 +33,7 @@ fn all_six_domains_conform_on_a_seeded_campaign() {
 
 #[test]
 fn bit_exact_domains_report_zero_error() {
-    for domain in [Domain::Riscv, Domain::Snn] {
+    for domain in [Domain::Riscv, Domain::Snn, Domain::SnnSparse] {
         let mut config = ConformanceConfig::new(1234, 40);
         config.domains = vec![domain];
         let report = run_conformance(&config);
