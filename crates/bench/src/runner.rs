@@ -66,20 +66,25 @@ pub struct Runner {
 fn calibrate() -> f64 {
     let mut samples = Vec::with_capacity(CALIB_REPS);
     for _ in 0..CALIB_REPS {
-        let t0 = Instant::now();
-        let mut state = 0x9E37_79B9_7F4A_7C15u64;
-        let mut acc = 1.0f64;
-        for _ in 0..CALIB_ITERS {
-            state = state
-                .wrapping_mul(0xBF58_476D_1CE4_E5B9)
-                .wrapping_add(0x94D0_49BB_1331_11EB);
-            acc += (state >> 40) as f64 * 1e-9;
-            acc *= 0.999_999_9;
-        }
-        std::hint::black_box(acc);
-        samples.push(t0.elapsed().as_nanos() as f64);
+        samples.push(calibrate_once());
     }
     median(&mut samples)
+}
+
+/// One timed run of the calibration loop (one [`calibrate`] sample).
+fn calibrate_once() -> f64 {
+    let t0 = Instant::now();
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut acc = 1.0f64;
+    for _ in 0..CALIB_ITERS {
+        state = state
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+            .wrapping_add(0x94D0_49BB_1331_11EB);
+        acc += (state >> 40) as f64 * 1e-9;
+        acc *= 0.999_999_9;
+    }
+    std::hint::black_box(acc);
+    t0.elapsed().as_nanos() as f64
 }
 
 fn median(samples: &mut [f64]) -> f64 {
@@ -108,6 +113,53 @@ impl Runner {
     /// Nanoseconds of the calibration workload on this host.
     pub fn calib_ns(&self) -> f64 {
         self.calib_ns
+    }
+
+    /// [`Runner::measure_with_meta`], but with a *drift-immune* `norm`:
+    /// every repetition is paired with its own single-shot calibration
+    /// sample taken immediately before it, and `norm` is the median of
+    /// the per-rep `op_ns / calib_ns` ratios. Machine-speed drift across
+    /// the run (frequency scaling, noisy neighbours) hits numerator and
+    /// denominator alike and cancels, where a start-of-run calibration
+    /// would mis-normalize every later repetition. Costs one extra
+    /// calibration loop (~ms) per rep — use it for probes whose
+    /// scenarios are long enough for the machine to drift mid-run.
+    pub fn measure_ratio_with_meta<F: FnMut()>(
+        &mut self,
+        id: &str,
+        reps: usize,
+        meta: &[(&str, String)],
+        mut op: F,
+    ) -> f64 {
+        assert!(reps >= 1, "need at least one repetition");
+        let mut samples = Vec::with_capacity(reps);
+        let mut ratios = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let calib = calibrate_once();
+            let t0 = Instant::now();
+            op();
+            let ns = t0.elapsed().as_nanos() as f64;
+            samples.push(ns);
+            ratios.push(ns / calib);
+        }
+        let min_ns = samples.iter().copied().fold(f64::MAX, f64::min);
+        let median_ns = median(&mut samples);
+        // Each ratio divides by the time of one calibration loop — the
+        // same quantity `calib_ns` estimates — so `norm` keeps the same
+        // definition (op cost / calibration cost) as `measure`.
+        let norm = median(&mut ratios);
+        self.measurements.push(Measurement {
+            id: id.to_string(),
+            reps,
+            median_ns,
+            min_ns,
+            norm,
+            meta: meta
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        });
+        median_ns
     }
 
     /// Times `op` (already warmed up by the caller if needed): `reps`

@@ -85,8 +85,13 @@ pub mod errcode {
     pub const SPM_RANGE: u32 = 8;
     /// Malformed job: no matrix programmed, zero dimension, or batch 0.
     pub const BAD_JOB: u32 = 16;
+    /// Permanent hardware fault: the device was bricked (injected via
+    /// [`super::AccelDevice::inject_hard_fault`]) and rejects every
+    /// doorbell until repaired. This is the sticky-ERROR failure mode
+    /// the fleet scheduler degrades around.
+    pub const HW_FAULT: u32 = 32;
     /// Every defined bit (writes to `ERROR` are masked to these).
-    pub const ALL: u32 = 0x1F;
+    pub const ALL: u32 = 0x3F;
 }
 
 /// Retention model for non-volatile PCM weights: amorphous-phase
@@ -154,11 +159,19 @@ pub struct AccelDevice {
     programmed_at: u64,
     age_s: f64,
     programming_energy_j: f64,
+    hard_fault: bool,
     // Timing parameters.
     /// Host clock frequency \[Hz\].
     pub cpu_hz: f64,
     /// Fixed start-up latency per job \[cycles\] (doorbell, DAC settle).
     pub setup_cycles: u64,
+    /// Dense-WDM channel count: vectors streamed per symbol slot (§4's
+    /// TDM/dense-WDM batching axis). `1` reproduces the single-channel
+    /// seed timing exactly; `W` lets a batch of `W` vectors ride one
+    /// symbol slot on `W` wavelengths, cutting streaming time `W`-fold
+    /// at `W`-fold instantaneous laser power (net laser energy
+    /// unchanged).
+    pub wdm_channels: u32,
     /// Electro-optic technology profile (for the energy report).
     pub tech: TechnologyProfile,
     // Stats.
@@ -195,8 +208,10 @@ impl AccelDevice {
             programmed_at: 0,
             age_s: 0.0,
             programming_energy_j: 0.0,
+            hard_fault: false,
             cpu_hz,
             setup_cycles: 20,
+            wdm_channels: 1,
             tech: TechnologyProfile::default(),
             vectors_processed: 0,
             jobs_completed: 0,
@@ -250,6 +265,33 @@ impl AccelDevice {
     /// enabled and unacknowledged error bits pending).
     pub fn error_irq_line(&self) -> bool {
         self.irq_mask & 2 != 0 && self.error != 0
+    }
+
+    /// Bricks the device: every subsequent start or recalibration
+    /// doorbell is rejected with the sticky [`errcode::HW_FAULT`] latch.
+    /// An in-flight job is aborted (`done` rises so polling hosts do not
+    /// deadlock, exactly like a watchdog abort). This is the permanent
+    /// device-loss failure mode the fleet scheduler must survive.
+    pub fn inject_hard_fault(&mut self) {
+        self.hard_fault = true;
+        self.error |= errcode::HW_FAULT;
+        if self.busy {
+            self.busy = false;
+            self.done = true;
+            self.job_deadline = 0;
+            self.recal_in_flight = false;
+        }
+    }
+
+    /// Repairs an injected hard fault (the error latch stays until the
+    /// host acknowledges it through CTRL bit 2).
+    pub fn clear_hard_fault(&mut self) {
+        self.hard_fault = false;
+    }
+
+    /// `true` while a permanent hardware fault is injected.
+    pub fn is_hard_faulted(&self) -> bool {
+        self.hard_fault
     }
 
     /// Enables the PCM retention model: subsequent jobs see attenuator
@@ -360,10 +402,13 @@ impl AccelDevice {
 
     /// Job latency in host cycles for `batch` vectors: fixed setup plus
     /// streaming at the electro-optic symbol rate. The optical core
-    /// retires one full `n`-element vector per symbol slot — this is the
-    /// photonic throughput advantage in cycle form.
+    /// retires [`AccelDevice::wdm_channels`] full `n`-element vectors per
+    /// symbol slot (one per wavelength) — this is the photonic
+    /// throughput advantage in cycle form, with dense-WDM batching as
+    /// the second axis.
     pub fn job_cycles(&self, batch: u32) -> u64 {
-        let streaming = (batch as f64 * self.cpu_hz / self.tech.symbol_rate).ceil() as u64;
+        let slots = (batch as f64 / self.wdm_channels.max(1) as f64).ceil();
+        let streaming = (slots * self.cpu_hz / self.tech.symbol_rate).ceil() as u64;
         self.setup_cycles + streaming.max(1)
     }
 
@@ -397,6 +442,10 @@ impl AccelDevice {
     /// falls outside the SPM (the device sets `done` with garbage in real
     /// hardware; here we fail fast and flag it).
     pub fn start(&mut self, now: u64, spm: &mut Ram) -> bool {
+        if self.hard_fault {
+            self.error |= errcode::HW_FAULT;
+            return false;
+        }
         if self.busy {
             self.error |= errcode::BUSY_REJECT;
             return false;
@@ -476,6 +525,10 @@ impl AccelDevice {
     /// job). Rejected with [`errcode::BUSY_REJECT`] while busy and
     /// [`errcode::BAD_JOB`] when no matrix is programmed.
     pub fn recalibrate(&mut self, now: u64) {
+        if self.hard_fault {
+            self.error |= errcode::HW_FAULT;
+            return;
+        }
         if self.busy {
             self.error |= errcode::BUSY_REJECT;
             return;
@@ -569,8 +622,11 @@ impl AccelDevice {
             * (self.tech.modulator_energy_per_symbol
                 + self.tech.receiver_energy_per_sample
                 + self.tech.dac_energy_per_sample);
-        let streaming_time = vectors / self.tech.symbol_rate;
-        io + self.tech.laser_power(n) * streaming_time + self.programming_energy_j
+        // WDM cuts streaming time W-fold but burns W comb lines at once,
+        // so net laser energy per vector is channel-count-invariant.
+        let channels = self.wdm_channels.max(1) as f64;
+        let streaming_time = vectors / (self.tech.symbol_rate * channels);
+        io + self.tech.laser_power(n) * channels * streaming_time + self.programming_energy_j
     }
 }
 
@@ -649,6 +705,63 @@ mod tests {
         // 1 GHz host, 10 GS/s optics: 10 vectors per host cycle.
         assert_eq!(d.job_cycles(1), d.setup_cycles + 1);
         assert_eq!(d.job_cycles(100), d.setup_cycles + 10);
+    }
+
+    #[test]
+    fn wdm_channels_cut_streaming_time_not_laser_energy() {
+        let mut d = device_with_identity(8);
+        let single = d.job_cycles(4000);
+        d.wdm_channels = 8;
+        let wdm = d.job_cycles(4000);
+        assert!(
+            wdm < single,
+            "8 wavelengths must shorten the job: {single} -> {wdm}"
+        );
+        assert_eq!(wdm - d.setup_cycles, (single - d.setup_cycles).div_ceil(8));
+
+        // Energy per vector is channel-count-invariant: W comb lines for
+        // 1/W of the time.
+        let mut a = device_with_identity(8);
+        let mut b = device_with_identity(8);
+        b.wdm_channels = 8;
+        let mut spm = Ram::new(0, 65536);
+        for d in [&mut a, &mut b] {
+            d.mmr_store(mmr::BATCH, 64);
+            assert!(d.start(0, &mut spm));
+        }
+        assert!((a.energy() - b.energy()).abs() < 1e-18 * a.energy().abs().max(1.0));
+    }
+
+    #[test]
+    fn hard_fault_bricks_the_device_until_cleared() {
+        let mut d = device_with_identity(2);
+        let mut spm = Ram::new(0, 1024);
+        d.mmr_store(mmr::BATCH, 1);
+        d.inject_hard_fault();
+        assert!(d.is_hard_faulted());
+        assert!(!d.start(0, &mut spm), "bricked device rejects the job");
+        assert_eq!(d.error_bits() & errcode::HW_FAULT, errcode::HW_FAULT);
+        d.recalibrate(10);
+        assert_eq!(d.recal_count(), 0, "recal is rejected too");
+        assert!(!d.is_busy());
+        // Repair + acknowledge: the device serves jobs again.
+        d.clear_hard_fault();
+        d.mmr_store(mmr::CTRL, 4);
+        assert_eq!(d.error_bits(), 0);
+        assert!(d.start(0, &mut spm));
+    }
+
+    #[test]
+    fn hard_fault_mid_job_aborts_like_a_watchdog() {
+        let mut d = device_with_identity(2);
+        let mut spm = Ram::new(0, 1024);
+        d.mmr_store(mmr::BATCH, 1);
+        assert!(d.start(0, &mut spm));
+        assert!(d.is_busy());
+        d.inject_hard_fault();
+        assert!(!d.is_busy(), "in-flight job is cut short");
+        assert!(d.is_done(), "done rises so a polling host survives");
+        assert_ne!(d.error_bits() & errcode::HW_FAULT, 0);
     }
 
     #[test]

@@ -233,6 +233,15 @@ pub fn accel_offload(n: usize, batch: usize, layout: DramLayout) -> String {
 /// detections, `s3` recoveries, `s4` fallbacks, `s5` checksum scratch,
 /// `s6` last device error code; subroutines clobber only `t*`/`a*`.
 ///
+/// This driver targets a **single device** (PE slot 0); its retry loop
+/// is bounded per block (`cfg.max_retries`, then software fallback), so
+/// a permanently-faulted device degrades every block to software but can
+/// never livelock the driver. In a multi-PE system, use
+/// [`accel_offload_guarded_at`] to point the same protocol at another
+/// slot (e.g. when slot 0 is known-bad), or the fleet-level router in
+/// [`crate::serve`], which spreads retries across devices and ejects a
+/// PE after its retry budget.
+///
 /// # Panics
 ///
 /// Panics if `n == 0`, `batch == 0`, or `cfg.block` does not divide
@@ -243,7 +252,28 @@ pub fn accel_offload_guarded(
     layout: DramLayout,
     cfg: &GuardConfig,
 ) -> String {
+    accel_offload_guarded_at(0, n, batch, layout, cfg)
+}
+
+/// [`accel_offload_guarded`] retargeted at PE slot `pe_slot`
+/// (`ACCEL_BASE + PE_STRIDE * pe_slot`): the whole guarded protocol —
+/// watchdog, ABFT verify, bounded retry, recalibration, software
+/// fallback — against one specific fleet member. Slot 0 is the primary
+/// accelerator; slots ≥ 1 must have been added with
+/// [`crate::system::Platform::add_pe`].
+///
+/// # Panics
+///
+/// Panics on an empty job or a block that does not divide the batch.
+pub fn accel_offload_guarded_at(
+    pe_slot: usize,
+    n: usize,
+    batch: usize,
+    layout: DramLayout,
+    cfg: &GuardConfig,
+) -> String {
     assert!(n > 0 && batch > 0, "guarded offload: empty job");
+    let accel_base = ACCEL_BASE + PE_STRIDE * pe_slot as u32;
     let block = cfg.block.max(1).min(batch);
     assert_eq!(
         batch % block,
@@ -595,7 +625,7 @@ pub fn accel_offload_guarded(
         ret
         ",
         dma = DMA_BASE,
-        accel = ACCEL_BASE,
+        accel = accel_base,
         w = layout.w_addr,
         x = layout.x_addr,
         y = layout.y_addr,
@@ -617,6 +647,188 @@ pub fn accel_offload_guarded(
         backoff_cap = cfg.backoff_cap.max(1),
         watchdog = cfg.watchdog,
         poll_limit = cfg.poll_limit.max(1),
+    )
+}
+
+/// Generates the **cluster work-queue scheduler**: firmware that shards
+/// a GeMM (`batch` input vectors against the common pre-programmed
+/// weight matrix) across `pes` processing elements — slot 0 is the
+/// primary accelerator, slots 1..`pes` the extra PEs — through an
+/// in-DRAM work queue.
+///
+/// The batch is cut into `batch / tile` tiles of `tile` vectors. The
+/// scheduler keeps one in-flight table entry per PE at
+/// `layout.fault_addr + 0x100` (`tile_index + 1`, 0 = idle) and sweeps
+/// the fleet round-robin: a finished PE has its results DMA'd from its
+/// private SPM window back to `y` and is immediately re-armed with the
+/// next tile; an idle PE gets the next tile staged (DMA `x` → its SPM
+/// window) and its doorbell rung. The sweep repeats until every tile has
+/// been collected, so faster PEs naturally steal more tiles — the same
+/// self-balancing shape the host-side [`crate::serve`] router uses.
+///
+/// Every PE owns a disjoint `2 * tile * n * 4`-byte operand window in
+/// the scratchpad (inputs then outputs), so transfers and photonic jobs
+/// on different PEs overlap freely. Completion is polled (no IRQ): the
+/// scheduler is itself the idle loop. This scheduler assumes healthy
+/// PEs — fault tolerance belongs to [`accel_offload_guarded`] (single
+/// device) and the [`crate::serve`] fleet router; a hung DMA parks the
+/// firmware on a `j`-to-self so the failure surfaces as a run timeout
+/// instead of silent partial results.
+///
+/// # Panics
+///
+/// Panics if the job is empty, `pes == 0`, `tile` does not divide
+/// `batch`, or the per-PE operand windows would overflow the scratchpad.
+pub fn cluster_offload(
+    n: usize,
+    batch: usize,
+    pes: usize,
+    tile: usize,
+    layout: DramLayout,
+) -> String {
+    assert!(n > 0 && batch > 0, "cluster offload: empty job");
+    assert!(pes > 0, "cluster offload: need at least one PE");
+    let tile = tile.max(1).min(batch);
+    assert_eq!(
+        batch % tile,
+        0,
+        "cluster offload: tile ({tile}) must divide batch ({batch})"
+    );
+    let ntiles = batch / tile;
+    let tile_bytes = (tile * n * 4) as u32;
+    let pe_span = 2 * tile_bytes;
+    let spm_in0 = SPM_BASE + 0x100;
+    assert!(
+        0x100 + pes as u32 * pe_span <= crate::system::SPM_SIZE as u32,
+        "cluster offload: {pes} PE operand windows overflow the scratchpad"
+    );
+    let table = layout.fault_addr + 0x100;
+    format!(
+        "
+        # ==== cluster work-queue scheduler ========================
+        li   t0, {dma}
+        sw   zero, 20(t0)     # DMA polled mode (no IRQ)
+        li   s1, 0            # next tile to dispatch
+        li   s2, 0            # tiles collected
+        li   t0, 0
+        li   t1, {table}
+    wq_init:                  # in-flight table: all PEs idle
+        slli t2, t0, 2
+        add  t2, t2, t1
+        sw   zero, (t2)
+        addi t0, t0, 1
+        li   t2, {pes}
+        blt  t0, t2, wq_init
+    wq_sweep:
+        li   s0, 0            # PE slot
+    wq_pe:
+        li   t0, {stride}
+        mul  t1, s0, t0
+        li   s4, {accel}
+        add  s4, s4, t1       # s4 = MMR base of PE s0
+        slli t0, s0, 2
+        li   s5, {table}
+        add  s5, s5, t0       # s5 = &inflight[s0]
+        lw   s6, (s5)         # s6 = in-flight tile + 1 (0 = idle)
+        beqz s6, wq_dispatch
+        # ---- PE busy: collect if its job finished ----------------
+        lw   t0, 4(s4)        # STATUS
+        andi t0, t0, 2
+        beqz t0, wq_next
+        li   t0, 2
+        sw   t0, 0(s4)        # ack done
+        addi s6, s6, -1       # tile index
+        li   t0, {pe_span}
+        mul  t1, s0, t0
+        li   a0, {spm_out0}
+        add  a0, a0, t1       # src: this PE's result window
+        li   t0, {tile_bytes}
+        mul  a1, s6, t0
+        li   t1, {y}
+        add  a1, a1, t1       # dst: Y + tile * tile_bytes
+        li   a2, {tile_bytes}
+        call dma_copy
+        bnez a0, wq_hang
+        sw   zero, (s5)       # PE idle again
+        addi s2, s2, 1
+    wq_dispatch:
+        # ---- PE idle: shard the next tile onto it ----------------
+        li   t0, {ntiles}
+        bge  s1, t0, wq_next
+        li   t0, {tile_bytes}
+        mul  a0, s1, t0
+        li   t1, {x}
+        add  a0, a0, t1       # src: X + tile * tile_bytes
+        li   t0, {pe_span}
+        mul  a1, s0, t0
+        li   t1, {spm_in0}
+        add  a1, a1, t1       # dst: this PE's input window
+        li   a2, {tile_bytes}
+        call dma_copy
+        bnez a0, wq_hang
+        li   t0, {pe_span}
+        mul  t1, s0, t0
+        li   t2, {spm_in0}
+        add  t2, t2, t1
+        sw   t2, 12(s4)       # IN_ADDR
+        li   t3, {tile_bytes}
+        add  t2, t2, t3
+        sw   t2, 16(s4)       # OUT_ADDR
+        li   t0, {tile}
+        sw   t0, 20(s4)       # BATCH
+        sw   zero, 24(s4)     # polled: completion IRQ off
+        li   t0, 1
+        sw   t0, 0(s4)        # doorbell
+        addi t0, s1, 1
+        sw   t0, (s5)         # inflight[pe] = tile + 1
+        addi s1, s1, 1
+    wq_next:
+        addi s0, s0, 1
+        li   t0, {pes}
+        blt  s0, t0, wq_pe
+        li   t0, {ntiles}
+        blt  s2, t0, wq_sweep
+        ecall
+    wq_hang:
+        j    wq_hang          # hung DMA: park; surfaces as timeout
+
+        # ---- dma_copy(a0 = src, a1 = dst, a2 = len) -> a0 = 0 ok --
+    dma_copy:
+        li   t0, {dma}
+        sw   a0, 8(t0)        # SRC
+        sw   a1, 12(t0)       # DST
+        sw   a2, 16(t0)       # LEN
+        li   t1, 1
+        sw   t1, 0(t0)        # start
+        li   t2, {poll_limit}
+    dc_poll:
+        lw   t3, 4(t0)        # STATUS
+        andi t3, t3, 2
+        bnez t3, dc_done
+        addi t2, t2, -1
+        bnez t2, dc_poll
+        li   a0, 1
+        ret
+    dc_done:
+        li   t1, 2
+        sw   t1, 0(t0)        # ack
+        li   a0, 0
+        ret
+        ",
+        dma = DMA_BASE,
+        accel = ACCEL_BASE,
+        stride = PE_STRIDE,
+        table = table,
+        x = layout.x_addr,
+        y = layout.y_addr,
+        spm_in0 = spm_in0,
+        spm_out0 = spm_in0 + tile_bytes,
+        pes = pes,
+        tile = tile,
+        ntiles = ntiles,
+        tile_bytes = tile_bytes,
+        pe_span = pe_span,
+        poll_limit = 4096,
     )
 }
 
@@ -946,5 +1158,127 @@ mod tests {
             hw_report.cycles,
             sw_report.cycles
         );
+    }
+
+    #[test]
+    fn cluster_offload_shards_a_gemm_across_three_pes() {
+        let n = 4;
+        let batch = 12;
+        let tile = 2;
+        let pes = 3;
+        let layout = DramLayout::default();
+        let w = test_matrix(n);
+        let x: Vec<Vec<f64>> = (0..batch)
+            .map(|v| {
+                (0..n)
+                    .map(|k| 0.15 * ((v * n + k) as f64 * 0.29).sin())
+                    .collect()
+            })
+            .collect();
+        let mut sys = System::new();
+        sys.platform.accel.load_matrix(&w);
+        for _ in 1..pes {
+            sys.platform.add_pe();
+        }
+        for pe in &mut sys.platform.extra_pes {
+            pe.load_matrix(&w);
+        }
+        write_operands(&mut sys, &w, &x, layout);
+        sys.load_firmware_source(&cluster_offload(n, batch, pes, tile, layout));
+        let report = sys.run(10_000_000);
+        assert_eq!(report.outcome, RunOutcome::Halted(Halt::Ecall));
+        for (v, col) in x.iter().enumerate() {
+            let want = w.mul_vec(col);
+            let got = sys.read_fixed_vector(layout.y_addr + (v * n * 4) as u32, n);
+            for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+                assert!((a - b).abs() < 2e-3, "vector {v} element {i}: {a} vs {b}");
+            }
+        }
+        // The work queue actually sharded: every fleet member pulled
+        // tiles, and together they account for the whole batch.
+        let mut jobs = vec![sys.platform.accel.jobs_completed];
+        jobs.extend(sys.platform.extra_pes.iter().map(|pe| pe.jobs_completed));
+        assert!(
+            jobs.iter().all(|&j| j > 0),
+            "idle PE in a saturated cluster: {jobs:?}"
+        );
+        let vectors: u64 = sys.platform.accel.vectors_processed
+            + sys
+                .platform
+                .extra_pes
+                .iter()
+                .map(|pe| pe.vectors_processed)
+                .sum::<u64>();
+        assert_eq!(vectors, batch as u64);
+    }
+
+    #[test]
+    fn cluster_offload_degenerates_to_a_single_pe() {
+        let n = 4;
+        let batch = 6;
+        let layout = DramLayout::default();
+        let w = test_matrix(n);
+        let x: Vec<Vec<f64>> = (0..batch)
+            .map(|v| (0..n).map(|k| 0.1 * ((v + 2 * k) as f64).cos()).collect())
+            .collect();
+        let mut sys = System::new();
+        sys.platform.accel.load_matrix(&w);
+        write_operands(&mut sys, &w, &x, layout);
+        sys.load_firmware_source(&cluster_offload(n, batch, 1, 3, layout));
+        let report = sys.run(10_000_000);
+        assert_eq!(report.outcome, RunOutcome::Halted(Halt::Ecall));
+        for (v, col) in x.iter().enumerate() {
+            let want = w.mul_vec(col);
+            let got = sys.read_fixed_vector(layout.y_addr + (v * n * 4) as u32, n);
+            for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+                assert!((a - b).abs() < 2e-3, "vector {v} element {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn guarded_offload_runs_on_a_secondary_pe_while_primary_is_bricked() {
+        use crate::guard::{read_guard_record, write_guard_operands, GuardRecord};
+        use neuropulsim_core::abft::fixed_checksum_tolerance;
+
+        let n = 8;
+        let batch = 16;
+        let layout = DramLayout::default();
+        let w = test_matrix(n);
+        let x: Vec<Vec<f64>> = (0..batch)
+            .map(|v| {
+                (0..n)
+                    .map(|k| 0.2 * ((v * n + k) as f64 * 0.17).cos())
+                    .collect()
+            })
+            .collect();
+        let cfg = GuardConfig {
+            tolerance: fixed_checksum_tolerance(n),
+            ..GuardConfig::default()
+        };
+        let mut sys = System::new();
+        // Slot 0 is permanently dead; the guarded protocol is simply
+        // retargeted at slot 1 and must run clean there.
+        sys.platform.accel.inject_hard_fault();
+        sys.platform.add_pe();
+        sys.platform.extra_pes[0].load_matrix(&w);
+        write_guard_operands(&mut sys, &w, &x, layout);
+        sys.load_firmware_source(&accel_offload_guarded_at(1, n, batch, layout, &cfg));
+        let report = sys.run(10_000_000);
+        assert_eq!(report.outcome, RunOutcome::Halted(Halt::Ecall));
+        let rec = read_guard_record(&sys, layout);
+        assert_eq!(rec, GuardRecord::default(), "clean run on the healthy PE");
+        for (v, col) in x.iter().enumerate() {
+            let want = w.mul_vec(col);
+            let got = sys.read_fixed_vector(layout.y_addr + (v * n * 4) as u32, n);
+            for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+                assert!((a - b).abs() < 2e-3, "vector {v} element {i}: {a} vs {b}");
+            }
+        }
+        assert_eq!(
+            sys.platform.accel.jobs_completed, 0,
+            "the bricked primary must have done no work"
+        );
+        assert!(sys.platform.extra_pes[0].jobs_completed > 0);
     }
 }

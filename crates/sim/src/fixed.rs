@@ -36,8 +36,14 @@ pub fn from_fixed(x: i32) -> f64 {
 
 /// Q16.16 multiply (the operation the software-GeMM firmware performs
 /// with `mul`/`mulh` pairs).
+///
+/// The wide product is saturated to the `i32` range instead of wrapped:
+/// `to_fixed` already saturates out-of-range floats, and a product that
+/// overflows Q16.16 must degrade the same way (clamp to the nearest
+/// representable value) rather than silently change sign.
 pub fn fixed_mul(a: i32, b: i32) -> i32 {
-    (((a as i64) * (b as i64)) >> FRAC_BITS) as i32
+    let wide = ((a as i64) * (b as i64)) >> FRAC_BITS;
+    wide.clamp(i32::MIN as i64, i32::MAX as i64) as i32
 }
 
 #[cfg(test)]
@@ -74,5 +80,32 @@ mod tests {
         let b = to_fixed(-2.0);
         assert!((from_fixed(fixed_mul(a, b)) + 3.0).abs() < 1e-3);
         assert_eq!(fixed_mul(to_fixed(1.0), to_fixed(1.0)), to_fixed(1.0));
+    }
+
+    #[test]
+    fn multiplication_saturates_instead_of_wrapping() {
+        // 30000.0 * 30000.0 = 9e8, far beyond the Q16.16 max of ~32768:
+        // the former `as i32` truncation wrapped this to a negative value.
+        let big = to_fixed(30000.0);
+        assert_eq!(fixed_mul(big, big), i32::MAX);
+        assert_eq!(fixed_mul(big, -big), i32::MIN);
+        assert_eq!(fixed_mul(-big, big), i32::MIN);
+        assert_eq!(fixed_mul(-big, -big), i32::MAX);
+        assert_eq!(fixed_mul(i32::MAX, i32::MAX), i32::MAX);
+        assert_eq!(fixed_mul(i32::MIN, i32::MIN), i32::MAX);
+        assert_eq!(fixed_mul(i32::MIN, i32::MAX), i32::MIN);
+    }
+
+    #[test]
+    fn multiplication_saturation_boundaries_are_exact() {
+        // Largest pair whose product still fits: i32::MAX in Q16.16 is
+        // (2^31 - 1) / 2^16; sqrt of that times itself stays in range.
+        let edge = to_fixed(181.0); // 181^2 = 32761 < 32767.99...
+        let prod = fixed_mul(edge, edge);
+        assert!((from_fixed(prod) - 181.0 * 181.0).abs() < 1.0);
+        assert_ne!(prod, i32::MAX, "in-range product must not clamp");
+        // One LSB below the positive clamp: (i32::MAX << 16) / i32::MAX.
+        assert_eq!(fixed_mul(i32::MAX, 1 << FRAC_BITS), i32::MAX);
+        assert_eq!(fixed_mul(i32::MAX, (1 << FRAC_BITS) - 1), 2147450879);
     }
 }

@@ -21,6 +21,10 @@
 //! - [`checkpoint`]: full-system snapshot/restore;
 //! - [`campaign`]: the checkpointed, parallel, statistical campaign
 //!   engine with Wilson confidence intervals and JSON reporting;
+//! - [`serve`]: the multi-accelerator fabric — a heterogeneous PE fleet
+//!   behind an async serving front-end (admission queue, wavelength
+//!   batcher, shard router, verified response join) with degraded-fleet
+//!   fault semantics;
 //! - [`fixed`]: the Q16.16 operand format.
 //!
 //! # Examples
@@ -56,4 +60,5 @@ pub mod firmware;
 pub mod fixed;
 pub mod guard;
 pub mod ram;
+pub mod serve;
 pub mod system;

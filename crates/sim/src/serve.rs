@@ -1,0 +1,1009 @@
+//! The multi-accelerator fabric and its async inference service — the
+//! production serving story over the paper's Fig. 3 PE cluster.
+//!
+//! The paper's platform is not one accelerator but a *cluster* of
+//! Compute Units behind a Communications Interface, and §4 names TDM and
+//! dense-WDM batching as the route from MVM to GeMM-class throughput.
+//! This module builds that story host-side:
+//!
+//! ```text
+//!   requests ──► admission queue ──► wavelength batcher ──► shard router
+//!                                                              │
+//!        response join ◄── readback + ABFT verify ◄── PE fleet ┘
+//! ```
+//!
+//! - **Fleet** ([`PeSpec`]): N [`AccelDevice`] instances, heterogeneous
+//!   in mesh size (each PE hosts one model's weight matrix), WDM channel
+//!   count, setup latency and fault state, addressed exactly as the bus
+//!   maps them (`ACCEL_BASE + PE_STRIDE * slot`) with per-PE operand
+//!   windows carved out of the shared scratchpad.
+//! - **Batcher**: groups same-model requests into one job descriptor of
+//!   up to `wdm_channels` vectors — wavelength-channel batching is a
+//!   first-class axis of the job ([`AccelDevice::wdm_channels`] streams
+//!   one vector per wavelength per symbol slot). A partial batch flushes
+//!   after [`ServeConfig::batch_window`] cycles so tail latency stays
+//!   bounded under light load.
+//! - **Router + degraded-fleet semantics**: jobs go to the
+//!   lowest-numbered idle healthy PE hosting the model. A failed job
+//!   (sticky `ERROR`, watchdog abort, checksum mismatch on join)
+//!   re-queues its requests at the *front* of the queue for retry on any
+//!   healthy PE; the failing device's consecutive-failure count is the
+//!   bounded per-device retry budget — at [`ServeConfig::retry_budget`]
+//!   the PE is marked out-of-fleet and never scheduled again. A fault
+//!   therefore degrades the fleet's throughput, never the service.
+//! - **Join**: completed jobs are read back from the PE's SPM window,
+//!   verified against the model's ABFT column-checksum row (the same
+//!   `c = 1ᵀW` identity the guarded firmware uses), and matched to their
+//!   originating requests.
+//!
+//! The engine is a deterministic discrete-event simulation: device time
+//! advances by exact event jumps (arrival, completion, watchdog
+//! deadline, batch-window expiry), every data structure iterates in
+//! fixed order, and no wall-clock or thread identity enters the
+//! trajectory — the same load yields a bit-identical [`ServeReport`] at
+//! any host thread count.
+
+use crate::accel::{mmr, AccelDevice};
+use crate::fixed::{from_fixed, to_fixed};
+use crate::ram::Ram;
+use crate::system::{ACCEL_BASE, PE_STRIDE, SPM_BASE, SPM_SIZE};
+use neuropulsim_linalg::RMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Host clock the serving fabric is simulated at \[Hz\].
+pub const SERVE_CPU_HZ: f64 = 1e9;
+
+/// Scheduled fault injection for one fleet member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeFault {
+    /// Healthy for the whole run.
+    None,
+    /// Permanently bricked from `cycle` on: every doorbell is rejected
+    /// with the sticky [`crate::accel::errcode::HW_FAULT`] latch and an in-flight job
+    /// aborts (the hard device-loss case).
+    HardAt {
+        /// Cycle at which the device bricks.
+        cycle: u64,
+    },
+    /// Device stalls from `cycle` on: jobs never meet their deadline and
+    /// die by watchdog abort (the slow device-loss case).
+    StallAt {
+        /// Cycle at which the device starts stalling.
+        cycle: u64,
+    },
+}
+
+/// Specification of one processing element in the fleet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeSpec {
+    /// Index into the model table this PE hosts (its programmed mesh —
+    /// per-PE mesh size/topology is set by the model's matrix).
+    pub model: usize,
+    /// Dense-WDM channels: the job-descriptor batching cap and the
+    /// per-symbol-slot vector parallelism.
+    pub wdm_channels: u32,
+    /// Fixed per-job setup latency \[cycles\].
+    pub setup_cycles: u64,
+    /// Scheduled fault, if any.
+    pub fault: PeFault,
+}
+
+impl PeSpec {
+    /// A healthy 8-wavelength PE serving `model`.
+    pub fn new(model: usize) -> Self {
+        PeSpec {
+            model,
+            wdm_channels: 8,
+            setup_cycles: 20,
+            fault: PeFault::None,
+        }
+    }
+}
+
+/// Tuning knobs of the serving front-end.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Watchdog deadline armed on every job \[cycles\] (0 disables —
+    /// not recommended: a stalled device then holds its job forever).
+    pub watchdog: u32,
+    /// Max cycles a request may wait for its batch to fill before a
+    /// partial batch is flushed.
+    pub batch_window: u64,
+    /// Consecutive job failures before a PE is marked out-of-fleet.
+    pub retry_budget: u32,
+    /// Attempts per request before it is dropped (safety valve; with at
+    /// least one healthy PE per model this is never reached because
+    /// ejection caps fleet-wide failures at `pes * retry_budget`).
+    pub max_attempts: u32,
+    /// Verify joined outputs against the ABFT column-checksum row.
+    pub verify_outputs: bool,
+    /// Per-element tolerance of the output checksum \[Q16.16 units as
+    /// f64\]; the job-level tolerance is `n * checksum_tolerance`.
+    pub checksum_tolerance: f64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            watchdog: 4096,
+            batch_window: 64,
+            retry_budget: 3,
+            max_attempts: 32,
+            verify_outputs: true,
+            checksum_tolerance: 0.02,
+        }
+    }
+}
+
+/// One inference request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Caller-assigned id, echoed on the response.
+    pub id: u64,
+    /// Model the request targets.
+    pub model: usize,
+    /// Arrival cycle.
+    pub arrival: u64,
+    /// Input vector (length = the model's dimension).
+    pub x: Vec<f64>,
+}
+
+/// One completed inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The request id.
+    pub id: u64,
+    /// The model served.
+    pub model: usize,
+    /// Arrival cycle of the request.
+    pub arrival: u64,
+    /// Completion cycle (join time).
+    pub completed: u64,
+    /// Times the request had to be re-dispatched after a failure.
+    pub retries: u32,
+    /// Output vector.
+    pub y: Vec<f64>,
+}
+
+impl Response {
+    /// End-to-end latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.completed - self.arrival
+    }
+}
+
+/// Aggregate statistics of one serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Requests completed.
+    pub completed: usize,
+    /// Requests dropped (no healthy PE for the model, or attempt cap).
+    pub dropped: usize,
+    /// Cycles from run start to the last join.
+    pub total_cycles: u64,
+    /// Median end-to-end latency \[cycles\].
+    pub p50_latency_cycles: u64,
+    /// 99th-percentile end-to-end latency \[cycles\].
+    pub p99_latency_cycles: u64,
+    /// Worst-case end-to-end latency \[cycles\].
+    pub max_latency_cycles: u64,
+    /// Sustained simulated throughput \[requests/s\] at [`SERVE_CPU_HZ`].
+    pub requests_per_sec: f64,
+    /// Jobs dispatched to devices (including failed attempts).
+    pub jobs_dispatched: u64,
+    /// Jobs that failed (device error, watchdog, checksum mismatch).
+    pub jobs_failed: u64,
+    /// Request re-dispatches caused by failed jobs.
+    pub retries: u64,
+    /// PEs marked out-of-fleet during the run.
+    pub pes_ejected: usize,
+    /// Jobs completed per PE (the shard-router balance picture).
+    pub per_pe_jobs: Vec<u64>,
+    /// Mean vectors per dispatched job (wavelength occupancy).
+    pub mean_batch_fill: f64,
+    /// Total fleet energy \[J\] (photonic + electro-optic + programming).
+    pub fleet_energy_j: f64,
+}
+
+/// The result of [`InferenceServer::run`]: joined responses (sorted by
+/// request id) plus the aggregate report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOutcome {
+    /// Completed responses, sorted by request id.
+    pub responses: Vec<Response>,
+    /// Ids of dropped requests, sorted.
+    pub dropped_ids: Vec<u64>,
+    /// Aggregate statistics.
+    pub report: ServeReport,
+}
+
+/// A queued request with its retry count.
+#[derive(Debug, Clone)]
+struct Pending {
+    req: Request,
+    attempts: u32,
+}
+
+/// An in-flight job descriptor: the batched requests riding one set of
+/// wavelength channels on one PE.
+#[derive(Debug, Clone)]
+struct Job {
+    requests: Vec<Pending>,
+}
+
+/// One fleet member and its bus identity.
+#[derive(Debug, Clone)]
+struct PeState {
+    dev: AccelDevice,
+    spec: PeSpec,
+    /// MMR base on the bus (`ACCEL_BASE + PE_STRIDE * slot`).
+    base: u32,
+    spm_in: u32,
+    spm_out: u32,
+    healthy: bool,
+    consecutive_failures: u32,
+    job: Option<Job>,
+    jobs_completed: u64,
+    fault_applied: bool,
+}
+
+/// The async serving front-end over a heterogeneous accelerator fleet.
+#[derive(Debug, Clone)]
+pub struct InferenceServer {
+    cfg: ServeConfig,
+    models: Vec<RMatrix>,
+    /// Per-model ABFT plain-checksum row `c = 1ᵀ·W`.
+    checksum_rows: Vec<Vec<f64>>,
+    pes: Vec<PeState>,
+    /// Per-model "some healthy PE can serve this" mask, refreshed on
+    /// every fleet change. Lets admission reject unservable requests in
+    /// O(1) instead of sweeping the whole queue each scheduler pass.
+    servable: Vec<bool>,
+    /// Set when a PE leaves the fleet; the next scheduler pass refreshes
+    /// `servable` and drains newly-orphaned queued requests.
+    fleet_changed: bool,
+    spm: Ram,
+    now: u64,
+}
+
+impl InferenceServer {
+    /// Builds the fleet: one [`AccelDevice`] per spec, programmed with
+    /// its model's weights, with a private operand window in the shared
+    /// scratchpad.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a spec names a missing model, a model matrix is not
+    /// square, or the per-PE operand windows overflow the scratchpad.
+    pub fn new(models: Vec<RMatrix>, specs: &[PeSpec], cfg: ServeConfig) -> Self {
+        assert!(!specs.is_empty(), "serve: fleet must have at least one PE");
+        let checksum_rows: Vec<Vec<f64>> = models
+            .iter()
+            .map(|w| {
+                let n = w.rows();
+                assert_eq!(w.cols(), n, "serve: model matrix must be square");
+                (0..n).map(|j| (0..n).map(|i| w[(i, j)]).sum()).collect()
+            })
+            .collect();
+        let mut pes = Vec::with_capacity(specs.len());
+        let mut cursor = SPM_BASE + 0x100;
+        for (slot, spec) in specs.iter().enumerate() {
+            let w = models
+                .get(spec.model)
+                .unwrap_or_else(|| panic!("serve: PE {slot} names missing model {}", spec.model));
+            let n = w.rows();
+            let mut dev = AccelDevice::new(SERVE_CPU_HZ);
+            dev.load_matrix(w);
+            dev.wdm_channels = spec.wdm_channels.max(1);
+            dev.setup_cycles = spec.setup_cycles;
+            let window = dev.wdm_channels * (n as u32) * 4;
+            let (spm_in, spm_out) = (cursor, cursor + window);
+            cursor += 2 * window;
+            assert!(
+                cursor <= SPM_BASE + SPM_SIZE as u32,
+                "serve: PE operand windows overflow the scratchpad"
+            );
+            pes.push(PeState {
+                dev,
+                spec: *spec,
+                base: ACCEL_BASE + PE_STRIDE * slot as u32,
+                spm_in,
+                spm_out,
+                healthy: true,
+                consecutive_failures: 0,
+                job: None,
+                jobs_completed: 0,
+                fault_applied: false,
+            });
+        }
+        let mut servable = vec![false; models.len()];
+        for pe in &pes {
+            servable[pe.spec.model] = true;
+        }
+        InferenceServer {
+            cfg,
+            models,
+            checksum_rows,
+            pes,
+            servable,
+            fleet_changed: false,
+            spm: Ram::new(SPM_BASE, SPM_SIZE),
+            now: 0,
+        }
+    }
+
+    /// Recomputes the per-model servability mask from the surviving
+    /// fleet members.
+    fn refresh_servable(&mut self) {
+        self.servable.iter_mut().for_each(|s| *s = false);
+        for pe in &self.pes {
+            if pe.healthy {
+                self.servable[pe.spec.model] = true;
+            }
+        }
+    }
+
+    /// Number of PEs still in the fleet (healthy).
+    pub fn healthy_pes(&self) -> usize {
+        self.pes.iter().filter(|p| p.healthy).count()
+    }
+
+    /// The bus MMR base address of PE `slot`.
+    pub fn pe_base(&self, slot: usize) -> u32 {
+        self.pes[slot].base
+    }
+
+    /// Shared access to PE `slot`'s device (inspection in tests/benches).
+    pub fn pe_device(&self, slot: usize) -> &AccelDevice {
+        &self.pes[slot].dev
+    }
+
+    /// Total fleet energy so far \[J\].
+    pub fn fleet_energy(&self) -> f64 {
+        self.pes.iter().map(|p| p.dev.energy()).sum()
+    }
+
+    /// Serves `load` to completion (every request joined or dropped) and
+    /// returns the joined responses plus the aggregate report.
+    pub fn run(&mut self, load: &[Request]) -> ServeOutcome {
+        let mut load: Vec<Request> = load.to_vec();
+        load.sort_by_key(|r| (r.arrival, r.id));
+        let start = self.now;
+        let total = load.len();
+        let mut next_arrival = 0usize;
+        let mut queue: VecDeque<Pending> = VecDeque::new();
+        let mut responses: Vec<Response> = Vec::new();
+        let mut dropped_ids: Vec<u64> = Vec::new();
+        let mut jobs_dispatched = 0u64;
+        let mut jobs_failed = 0u64;
+        let mut retries = 0u64;
+        let mut vectors_dispatched = 0u64;
+
+        loop {
+            // Scheduled fault injection fires exactly at its cycle.
+            for pe in &mut self.pes {
+                if pe.fault_applied {
+                    continue;
+                }
+                match pe.spec.fault {
+                    PeFault::HardAt { cycle } if cycle <= self.now => {
+                        pe.dev.inject_hard_fault();
+                        pe.fault_applied = true;
+                    }
+                    PeFault::StallAt { cycle } if cycle <= self.now => {
+                        // New jobs will overrun any finite watchdog.
+                        pe.dev.setup_cycles = 1 << 40;
+                        pe.fault_applied = true;
+                    }
+                    _ => {}
+                }
+            }
+
+            // Admission: enqueue everything that has arrived. Requests
+            // whose model no PE can serve are service failures, not
+            // hangs: reject them at the door.
+            while next_arrival < load.len() && load[next_arrival].arrival <= self.now {
+                let req = &load[next_arrival];
+                if self.servable[req.model] {
+                    queue.push_back(Pending {
+                        req: req.clone(),
+                        attempts: 0,
+                    });
+                } else {
+                    dropped_ids.push(req.id);
+                }
+                next_arrival += 1;
+            }
+
+            // Join: collect completed jobs (or their failures).
+            for i in 0..self.pes.len() {
+                if self.pes[i].job.is_some() && self.pes[i].dev.is_done() {
+                    match self.complete(i) {
+                        Ok(mut resp) => responses.append(&mut resp),
+                        Err(job) => {
+                            jobs_failed += 1;
+                            self.fail(i, job, &mut queue, &mut dropped_ids, &mut retries);
+                        }
+                    }
+                }
+            }
+
+            // A PE just left the fleet: refresh the servability mask and
+            // drain queued requests it has newly orphaned. Gating the
+            // O(queue) sweep on fleet changes keeps the steady-state
+            // scheduler pass O(fleet) even with thousands queued.
+            if self.fleet_changed {
+                self.fleet_changed = false;
+                self.refresh_servable();
+                let servable = &self.servable;
+                queue.retain(|p| {
+                    if !servable[p.req.model] {
+                        dropped_ids.push(p.req.id);
+                    }
+                    servable[p.req.model]
+                });
+            }
+
+            // Route: fill idle healthy PEs in slot order.
+            for i in 0..self.pes.len() {
+                let pe = &self.pes[i];
+                if !pe.healthy || pe.job.is_some() || pe.dev.is_busy() {
+                    continue;
+                }
+                let arrivals_done = next_arrival >= load.len();
+                let Some(job) = take_batch(
+                    &mut queue,
+                    pe.spec.model,
+                    pe.dev.wdm_channels as usize,
+                    self.now,
+                    self.cfg.batch_window,
+                    arrivals_done,
+                ) else {
+                    continue;
+                };
+                jobs_dispatched += 1;
+                vectors_dispatched += job.requests.len() as u64;
+                if let Err(job) = self.dispatch(i, job) {
+                    jobs_failed += 1;
+                    self.fail(i, job, &mut queue, &mut dropped_ids, &mut retries);
+                }
+            }
+
+            if responses.len() + dropped_ids.len() >= total {
+                break;
+            }
+
+            // Advance to the next event: arrival, device completion /
+            // watchdog deadline, or batch-window expiry on a model that
+            // has an idle healthy PE waiting for it.
+            let mut next: Option<u64> = None;
+            let mut relax = |t: u64| next = Some(next.map_or(t, |cur: u64| cur.min(t)));
+            if next_arrival < load.len() {
+                relax(load[next_arrival].arrival);
+            }
+            for pe in &self.pes {
+                if let Some(t) = pe.dev.next_event() {
+                    relax(t.max(self.now + 1));
+                }
+            }
+            for pe in &self.pes {
+                if !pe.healthy || pe.job.is_some() || pe.dev.is_busy() {
+                    continue;
+                }
+                if let Some(oldest) = queue
+                    .iter()
+                    .filter(|p| p.req.model == pe.spec.model)
+                    .map(|p| p.req.arrival)
+                    .min()
+                {
+                    relax((oldest + self.cfg.batch_window).max(self.now + 1));
+                }
+            }
+            match next {
+                Some(t) => {
+                    debug_assert!(t > self.now, "event loop must make progress");
+                    self.now = t;
+                    for pe in &mut self.pes {
+                        pe.dev.tick(self.now);
+                    }
+                }
+                None => {
+                    // No event can ever fire again: everything still
+                    // queued is undeliverable (defensive — the orphan
+                    // sweep above should already have drained it).
+                    for p in queue.drain(..) {
+                        dropped_ids.push(p.req.id);
+                    }
+                    if responses.len() + dropped_ids.len() >= total {
+                        break;
+                    }
+                    unreachable!("serve: no pending event yet requests unaccounted for");
+                }
+            }
+        }
+
+        responses.sort_by_key(|r| r.id);
+        dropped_ids.sort_unstable();
+        let mut latencies: Vec<u64> = responses.iter().map(Response::latency).collect();
+        latencies.sort_unstable();
+        let pct = |p: usize| -> u64 {
+            if latencies.is_empty() {
+                0
+            } else {
+                latencies[(latencies.len() - 1) * p / 100]
+            }
+        };
+        let total_cycles = self.now - start;
+        let report = ServeReport {
+            completed: responses.len(),
+            dropped: dropped_ids.len(),
+            total_cycles,
+            p50_latency_cycles: pct(50),
+            p99_latency_cycles: pct(99),
+            max_latency_cycles: latencies.last().copied().unwrap_or(0),
+            requests_per_sec: if total_cycles > 0 {
+                responses.len() as f64 / (total_cycles as f64 / SERVE_CPU_HZ)
+            } else {
+                0.0
+            },
+            jobs_dispatched,
+            jobs_failed,
+            retries,
+            pes_ejected: self.pes.iter().filter(|p| !p.healthy).count(),
+            per_pe_jobs: self.pes.iter().map(|p| p.jobs_completed).collect(),
+            mean_batch_fill: if jobs_dispatched > 0 {
+                vectors_dispatched as f64 / jobs_dispatched as f64
+            } else {
+                0.0
+            },
+            fleet_energy_j: self.fleet_energy(),
+        };
+        ServeOutcome {
+            responses,
+            dropped_ids,
+            report,
+        }
+    }
+
+    /// Stages a job's inputs into the PE's SPM window and rings the
+    /// doorbell. Returns the job back on immediate rejection (bricked
+    /// device, malformed job).
+    fn dispatch(&mut self, i: usize, job: Job) -> Result<(), Job> {
+        let n = self.models[self.pes[i].spec.model].rows();
+        let pe = &mut self.pes[i];
+        for (k, p) in job.requests.iter().enumerate() {
+            debug_assert_eq!(p.req.x.len(), n, "request length matches its model");
+            for (j, &v) in p.req.x.iter().enumerate() {
+                self.spm
+                    .poke(pe.spm_in + (k * n + j) as u32 * 4, to_fixed(v) as u32)
+                    .expect("PE window inside SPM");
+            }
+        }
+        // Same MMR protocol the bus-mapped firmware path uses.
+        pe.dev.mmr_store(mmr::CTRL, 4); // clear stale error latch
+        pe.dev.mmr_store(mmr::IN_ADDR, pe.spm_in);
+        pe.dev.mmr_store(mmr::OUT_ADDR, pe.spm_out);
+        pe.dev.mmr_store(mmr::BATCH, job.requests.len() as u32);
+        pe.dev.mmr_store(mmr::WATCHDOG, self.cfg.watchdog);
+        let doorbell = pe.dev.mmr_store(mmr::CTRL, 1);
+        if doorbell && pe.dev.start(self.now, &mut self.spm) {
+            pe.job = Some(job);
+            Ok(())
+        } else {
+            Err(job)
+        }
+    }
+
+    /// Joins a completed job: acknowledges the device, checks the error
+    /// latch, reads the outputs back and verifies them. Returns the job
+    /// on any failure so the caller can re-route it.
+    fn complete(&mut self, i: usize) -> Result<Vec<Response>, Job> {
+        let model = self.pes[i].spec.model;
+        let n = self.models[model].rows();
+        let pe = &mut self.pes[i];
+        let job = pe.job.take().expect("complete() requires an in-flight job");
+        pe.dev.mmr_store(mmr::CTRL, 2); // ack done
+        if pe.dev.error_bits() != 0 {
+            pe.dev.mmr_store(mmr::CTRL, 4); // ack the error latch
+            return Err(job);
+        }
+        let mut out = Vec::with_capacity(job.requests.len());
+        for (k, p) in job.requests.iter().enumerate() {
+            let y: Vec<f64> = (0..n)
+                .map(|j| {
+                    from_fixed(
+                        self.spm
+                            .peek(pe.spm_out + (k * n + j) as u32 * 4)
+                            .expect("PE window inside SPM") as i32,
+                    )
+                })
+                .collect();
+            if self.cfg.verify_outputs {
+                // ABFT plain-checksum identity: Σ·(W x) = (1ᵀW)·x.
+                let lhs: f64 = y.iter().sum();
+                let rhs: f64 = self.checksum_rows[model]
+                    .iter()
+                    .zip(&p.req.x)
+                    .map(|(&c, &x)| c * from_fixed(to_fixed(x)))
+                    .sum();
+                if (lhs - rhs).abs() > self.cfg.checksum_tolerance * n as f64 {
+                    return Err(job);
+                }
+            }
+            out.push(Response {
+                id: p.req.id,
+                model,
+                arrival: p.req.arrival,
+                completed: self.now,
+                retries: p.attempts,
+                y,
+            });
+        }
+        pe.consecutive_failures = 0;
+        pe.jobs_completed += 1;
+        Ok(out)
+    }
+
+    /// Degraded-fleet bookkeeping after a failed job: charge the PE's
+    /// retry budget (ejecting it at the cap) and re-queue the requests
+    /// at the front for retry on any healthy PE.
+    fn fail(
+        &mut self,
+        i: usize,
+        job: Job,
+        queue: &mut VecDeque<Pending>,
+        dropped_ids: &mut Vec<u64>,
+        retries: &mut u64,
+    ) {
+        let pe = &mut self.pes[i];
+        pe.consecutive_failures += 1;
+        if pe.consecutive_failures >= self.cfg.retry_budget && pe.healthy {
+            pe.healthy = false;
+            self.fleet_changed = true;
+        }
+        for mut p in job.requests.into_iter().rev() {
+            p.attempts += 1;
+            *retries += 1;
+            if p.attempts >= self.cfg.max_attempts {
+                dropped_ids.push(p.req.id);
+            } else {
+                queue.push_front(p);
+            }
+        }
+    }
+}
+
+/// Pulls the next batch for `model` out of the queue: up to `cap`
+/// same-model requests in FIFO order. A batch forms when it is full,
+/// when its oldest request has waited `batch_window` cycles, or when no
+/// further arrivals can top it up.
+fn take_batch(
+    queue: &mut VecDeque<Pending>,
+    model: usize,
+    cap: usize,
+    now: u64,
+    batch_window: u64,
+    arrivals_done: bool,
+) -> Option<Job> {
+    let matching: Vec<usize> = queue
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.req.model == model)
+        .map(|(k, _)| k)
+        .take(cap)
+        .collect();
+    if matching.is_empty() {
+        return None;
+    }
+    let oldest = queue[matching[0]].req.arrival;
+    let ready = matching.len() >= cap || oldest + batch_window <= now || arrivals_done;
+    if !ready {
+        return None;
+    }
+    let mut requests = Vec::with_capacity(matching.len());
+    for &k in matching.iter().rev() {
+        requests.push(queue.remove(k).expect("index valid"));
+    }
+    requests.reverse();
+    Some(Job { requests })
+}
+
+/// Specification of a synthetic request load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadSpec {
+    /// Number of requests.
+    pub requests: usize,
+    /// Mean inter-arrival gap \[cycles\] (uniform in `0..=2*mean`).
+    pub mean_interarrival: u64,
+    /// RNG seed: the same seed always generates the same load.
+    pub seed: u64,
+}
+
+/// Generates a deterministic synthetic load over `models`: arrival
+/// times from a seeded uniform inter-arrival process, model choice
+/// uniform, inputs uniform in `[-0.5, 0.5)`.
+pub fn synthetic_load(models: &[RMatrix], spec: LoadSpec) -> Vec<Request> {
+    assert!(
+        !models.is_empty(),
+        "synthetic load needs at least one model"
+    );
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut t = 0u64;
+    (0..spec.requests as u64)
+        .map(|id| {
+            t += rng.gen_range(0..=2 * spec.mean_interarrival);
+            let model = rng.gen_range(0..models.len());
+            let n = models[model].rows();
+            Request {
+                id,
+                model,
+                arrival: t,
+                x: (0..n).map(|_| rng.gen_range(-0.5..0.5)).collect(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_model(n: usize) -> RMatrix {
+        RMatrix::from_fn(n, n, |i, j| {
+            0.4 * ((i as f64 - j as f64) * 0.31).sin() + if i == j { 0.3 } else { 0.0 }
+        })
+    }
+
+    fn homogeneous_fleet(pes: usize, fault: &[(usize, PeFault)]) -> Vec<PeSpec> {
+        (0..pes)
+            .map(|i| {
+                let mut s = PeSpec::new(0);
+                if let Some((_, f)) = fault.iter().find(|(k, _)| *k == i) {
+                    s.fault = *f;
+                }
+                s
+            })
+            .collect()
+    }
+
+    fn heavy_load(models: &[RMatrix], requests: usize) -> Vec<Request> {
+        synthetic_load(
+            models,
+            LoadSpec {
+                requests,
+                mean_interarrival: 2,
+                seed: 0x10ad,
+            },
+        )
+    }
+
+    #[test]
+    fn responses_match_the_model() {
+        let models = vec![test_model(6)];
+        let mut srv = InferenceServer::new(
+            models.clone(),
+            &homogeneous_fleet(2, &[]),
+            ServeConfig::default(),
+        );
+        let load = heavy_load(&models, 40);
+        let out = srv.run(&load);
+        assert_eq!(out.report.completed, 40);
+        assert_eq!(out.report.dropped, 0);
+        for resp in &out.responses {
+            let req = load.iter().find(|r| r.id == resp.id).unwrap();
+            let want = models[0].mul_vec(&req.x);
+            for (a, b) in resp.y.iter().zip(&want) {
+                assert!((a - b).abs() < 2e-3, "id {}: {a} vs {b}", resp.id);
+            }
+        }
+    }
+
+    #[test]
+    fn wavelength_batching_amortizes_setup() {
+        let models = vec![test_model(8)];
+        let cfg = ServeConfig::default();
+        let run = |wdm: u32| {
+            let mut spec = PeSpec::new(0);
+            spec.wdm_channels = wdm;
+            let mut srv = InferenceServer::new(models.clone(), &[spec], cfg);
+            srv.run(&heavy_load(&models, 200)).report
+        };
+        let narrow = run(1);
+        let wide = run(8);
+        assert_eq!(narrow.completed, 200);
+        assert_eq!(wide.completed, 200);
+        assert!(
+            wide.total_cycles * 3 < narrow.total_cycles,
+            "8-wavelength batching must amortize per-job setup: {} vs {}",
+            wide.total_cycles,
+            narrow.total_cycles
+        );
+        assert!(wide.mean_batch_fill > 4.0, "{}", wide.mean_batch_fill);
+    }
+
+    #[test]
+    fn fleet_scales_throughput() {
+        let models = vec![test_model(8)];
+        // A burst load (everything queued up front) keeps every fleet
+        // size fully saturated, so the comparison measures service
+        // capacity rather than the arrival rate.
+        let load = synthetic_load(
+            &models,
+            LoadSpec {
+                requests: 600,
+                mean_interarrival: 0,
+                seed: 3,
+            },
+        );
+        let run = |pes: usize| {
+            let mut srv = InferenceServer::new(
+                models.clone(),
+                &homogeneous_fleet(pes, &[]),
+                ServeConfig::default(),
+            );
+            srv.run(&load).report
+        };
+        let one = run(1);
+        let four = run(4);
+        assert_eq!(one.dropped + four.dropped, 0);
+        assert!(
+            four.requests_per_sec >= 2.0 * one.requests_per_sec,
+            "4 PEs must at least double sustained throughput: {} -> {}",
+            one.requests_per_sec,
+            four.requests_per_sec
+        );
+    }
+
+    #[test]
+    fn hard_faulted_pe_degrades_the_fleet_not_the_service() {
+        let models = vec![test_model(8)];
+        let mut srv = InferenceServer::new(
+            models.clone(),
+            &homogeneous_fleet(4, &[(1, PeFault::HardAt { cycle: 200 })]),
+            ServeConfig::default(),
+        );
+        let out = srv.run(&heavy_load(&models, 400));
+        assert_eq!(out.report.dropped, 0, "no request may be lost");
+        assert_eq!(out.report.completed, 400);
+        assert_eq!(out.report.pes_ejected, 1, "the bricked PE left the fleet");
+        assert_eq!(srv.healthy_pes(), 3);
+        assert!(out.report.jobs_failed > 0, "the fault was actually hit");
+        assert!(
+            out.responses.iter().any(|r| r.retries > 0),
+            "failed jobs were retried on healthy PEs"
+        );
+    }
+
+    #[test]
+    fn stalled_pe_is_ejected_via_watchdog() {
+        let models = vec![test_model(8)];
+        let mut srv = InferenceServer::new(
+            models.clone(),
+            &homogeneous_fleet(3, &[(2, PeFault::StallAt { cycle: 0 })]),
+            ServeConfig {
+                // Fail fast enough that the stalled PE burns through its
+                // retry budget well before the load drains.
+                watchdog: 64,
+                ..ServeConfig::default()
+            },
+        );
+        // Burst load: a deep queue guarantees the stalled PE keeps
+        // receiving (and timing out on) jobs until it is ejected.
+        let load = synthetic_load(
+            &models,
+            LoadSpec {
+                requests: 400,
+                mean_interarrival: 0,
+                seed: 0x10ad,
+            },
+        );
+        let out = srv.run(&load);
+        assert_eq!(out.report.dropped, 0);
+        assert_eq!(out.report.completed, 400);
+        assert_eq!(out.report.pes_ejected, 1);
+        assert_eq!(
+            out.report.per_pe_jobs[2], 0,
+            "the stalled PE joined nothing"
+        );
+    }
+
+    #[test]
+    fn whole_fleet_loss_drops_requests_without_hanging() {
+        let models = vec![test_model(4)];
+        let mut srv = InferenceServer::new(
+            models.clone(),
+            &homogeneous_fleet(
+                2,
+                &[
+                    (0, PeFault::HardAt { cycle: 0 }),
+                    (1, PeFault::HardAt { cycle: 0 }),
+                ],
+            ),
+            ServeConfig::default(),
+        );
+        let out = srv.run(&heavy_load(&models, 50));
+        assert_eq!(out.report.completed, 0);
+        assert_eq!(
+            out.report.dropped, 50,
+            "service failure is reported, not hung"
+        );
+        assert_eq!(out.report.pes_ejected, 2);
+    }
+
+    #[test]
+    fn heterogeneous_models_route_correctly() {
+        let models = vec![test_model(4), test_model(8)];
+        let specs = vec![PeSpec::new(0), PeSpec::new(1), PeSpec::new(1)];
+        let mut srv = InferenceServer::new(models.clone(), &specs, ServeConfig::default());
+        let load = synthetic_load(
+            &models,
+            LoadSpec {
+                requests: 120,
+                mean_interarrival: 4,
+                seed: 7,
+            },
+        );
+        let out = srv.run(&load);
+        assert_eq!(out.report.completed, 120);
+        assert_eq!(out.report.dropped, 0);
+        for resp in &out.responses {
+            let req = load.iter().find(|r| r.id == resp.id).unwrap();
+            assert_eq!(resp.model, req.model);
+            let want = models[req.model].mul_vec(&req.x);
+            for (a, b) in resp.y.iter().zip(&want) {
+                assert!((a - b).abs() < 2e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn serving_is_deterministic_across_reruns() {
+        let models = vec![test_model(8)];
+        let mut reports = Vec::new();
+        for _ in 0..2 {
+            let mut srv = InferenceServer::new(
+                models.clone(),
+                &homogeneous_fleet(3, &[(0, PeFault::HardAt { cycle: 500 })]),
+                ServeConfig::default(),
+            );
+            reports.push(srv.run(&heavy_load(&models, 300)));
+        }
+        assert_eq!(reports[0], reports[1], "serving must be bit-deterministic");
+    }
+
+    #[test]
+    fn batch_window_bounds_tail_latency_under_light_load() {
+        let models = vec![test_model(8)];
+        let cfg = ServeConfig {
+            batch_window: 32,
+            ..ServeConfig::default()
+        };
+        let mut srv = InferenceServer::new(models.clone(), &[PeSpec::new(0)], cfg);
+        // One straggler request: nothing arrives after it to fill the
+        // batch, so the window (not a peer) must flush it.
+        let load = vec![
+            Request {
+                id: 0,
+                model: 0,
+                arrival: 0,
+                x: vec![0.1; 8],
+            },
+            Request {
+                id: 1,
+                model: 0,
+                arrival: 10_000,
+                x: vec![0.2; 8],
+            },
+        ];
+        let out = srv.run(&load);
+        assert_eq!(out.report.completed, 2);
+        // Neither request waits much longer than window + job time.
+        assert!(
+            out.report.max_latency_cycles < 200,
+            "{}",
+            out.report.max_latency_cycles
+        );
+    }
+}

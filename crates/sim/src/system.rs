@@ -109,7 +109,15 @@ impl Platform {
     /// base address.
     pub fn add_pe(&mut self) -> u32 {
         let cpu_hz = self.accel.cpu_hz;
-        self.extra_pes.push(AccelDevice::new(cpu_hz));
+        self.add_pe_with(AccelDevice::new(cpu_hz))
+    }
+
+    /// Adds a *pre-configured* processing element — the heterogeneous
+    /// fleet hook: the device may carry its own mesh size, WDM channel
+    /// count, drift model, and timing parameters. Returns its MMR base
+    /// address (`ACCEL_BASE + PE_STRIDE * slot`).
+    pub fn add_pe_with(&mut self, device: AccelDevice) -> u32 {
+        self.extra_pes.push(device);
         self.extra_irq_enabled.push(false);
         ACCEL_BASE + PE_STRIDE * self.extra_pes.len() as u32
     }
@@ -117,6 +125,32 @@ impl Platform {
     /// Number of processing elements (PE 0 + extras).
     pub fn pe_count(&self) -> usize {
         1 + self.extra_pes.len()
+    }
+
+    /// Shared reference to PE `slot` (0 = the primary accelerator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= pe_count()`.
+    pub fn pe(&self, slot: usize) -> &AccelDevice {
+        if slot == 0 {
+            &self.accel
+        } else {
+            &self.extra_pes[slot - 1]
+        }
+    }
+
+    /// Mutable reference to PE `slot` (0 = the primary accelerator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= pe_count()`.
+    pub fn pe_mut(&mut self, slot: usize) -> &mut AccelDevice {
+        if slot == 0 {
+            &mut self.accel
+        } else {
+            &mut self.extra_pes[slot - 1]
+        }
     }
 
     /// Advances all devices one cycle. Returns `true` if any interrupt

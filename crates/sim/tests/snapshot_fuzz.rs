@@ -1,42 +1,77 @@
 //! Fuzz: `System::snapshot`/`restore` round-trips taken at random cut
-//! points — including mid-decoded-block and mid-wfi-fast-forward —
-//! must leave resumed runs bit-identical to uninterrupted ones over
-//! seeded random workloads.
+//! points — including mid-decoded-block, mid-wfi-fast-forward, and with
+//! multi-PE fabric jobs in flight — must leave resumed runs
+//! bit-identical to uninterrupted ones over seeded random workloads.
 
 use neuropulsim_linalg::parallel::split_seed;
 use neuropulsim_linalg::RMatrix;
-use neuropulsim_sim::firmware::{accel_offload, software_mvm, DramLayout};
+use neuropulsim_sim::firmware::{accel_offload, cluster_offload, software_mvm, DramLayout};
 use neuropulsim_sim::system::{RunOutcome, System};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 const BUDGET: u64 = 10_000_000;
 
-/// Builds a randomized MVM workload: matrix order, batch count,
-/// weights and inputs all derive from `seed`. `offload` selects the
-/// accelerator firmware (which sleeps in `wfi` during transfers) over
-/// the pure-software kernel (straight-line decoded-block execution).
-fn build_system(seed: u64, offload: bool) -> (System, DramLayout, usize) {
+/// Which firmware the randomized workload runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Workload {
+    /// Pure-software MVM: straight-line decoded-block execution.
+    Software,
+    /// Single-accelerator offload: sleeps in `wfi` during transfers.
+    Offload,
+    /// Work-queue GeMM sharded over a 3-PE fabric (primary + 2 extra
+    /// PEs): cuts land while several devices hold in-flight jobs.
+    Cluster,
+}
+
+/// Builds a randomized MVM workload: matrix order, batch count, weights
+/// and inputs all derive from `seed`.
+fn build_system(seed: u64, workload: Workload) -> (System, DramLayout, usize) {
     let mut rng = StdRng::seed_from_u64(seed);
     let n = rng.gen_range(2usize..7);
-    let batch = rng.gen_range(1usize..3);
+    let batch = match workload {
+        Workload::Cluster => {
+            let tile = rng.gen_range(1usize..3);
+            tile * rng.gen_range(2usize..5) // several tiles to shard
+        }
+        _ => rng.gen_range(1usize..3),
+    };
     let layout = DramLayout::default();
     let mut sys = System::new();
     let w = RMatrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
-    let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
-    sys.write_fixed_vector(layout.x_addr, &x);
-    if offload {
-        sys.platform.accel.load_matrix(&w);
-        sys.load_firmware_source(&accel_offload(n, batch, layout));
-    } else {
-        sys.write_fixed_vector(layout.w_addr, w.as_slice());
-        sys.load_firmware_source(&software_mvm(n, batch, layout));
+    for v in 0..batch {
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        sys.write_fixed_vector(layout.x_addr + (v * n * 4) as u32, &x);
     }
-    (sys, layout, n)
+    match workload {
+        Workload::Software => {
+            sys.write_fixed_vector(layout.w_addr, w.as_slice());
+            sys.load_firmware_source(&software_mvm(n, batch, layout));
+        }
+        Workload::Offload => {
+            sys.platform.accel.load_matrix(&w);
+            sys.load_firmware_source(&accel_offload(n, batch, layout));
+        }
+        Workload::Cluster => {
+            sys.platform.accel.load_matrix(&w);
+            for _ in 0..2 {
+                sys.platform.add_pe();
+            }
+            for pe in &mut sys.platform.extra_pes {
+                pe.load_matrix(&w);
+            }
+            let tile = (1..=batch)
+                .rev()
+                .find(|t| batch % t == 0 && *t <= 2)
+                .unwrap_or(1);
+            sys.load_firmware_source(&cluster_offload(n, batch, 3, tile, layout));
+        }
+    }
+    (sys, layout, n * batch)
 }
 
-fn signature(sys: &System, layout: DramLayout, n: usize) -> Vec<u32> {
-    (0..n)
+fn signature(sys: &System, layout: DramLayout, words: usize) -> Vec<u32> {
+    (0..words)
         .map(|k| {
             sys.platform
                 .dram
@@ -46,28 +81,39 @@ fn signature(sys: &System, layout: DramLayout, n: usize) -> Vec<u32> {
         .collect()
 }
 
+/// Interesting machine states the random cuts landed in.
+#[derive(Default)]
+struct CutStats {
+    /// Cuts inside a wfi sleep window.
+    wfi: usize,
+    /// Cuts taken while at least one accelerator held an in-flight job.
+    busy: usize,
+}
+
 /// Runs `seed`'s workload uninterrupted, then re-runs it with a
 /// snapshot/restore cut at each of `cuts` random cycle counts,
 /// checking both resume paths (`to_system` and in-place `restore`)
-/// against the reference. Returns how many cuts landed inside a wfi
-/// sleep window.
-fn check_cuts(seed: u64, offload: bool, cuts: usize) -> usize {
-    let (mut reference, layout, n) = build_system(seed, offload);
+/// against the reference.
+fn check_cuts(seed: u64, workload: Workload, cuts: usize) -> CutStats {
+    let (mut reference, layout, words) = build_system(seed, workload);
     let ref_report = reference.run(BUDGET);
     assert!(
         matches!(ref_report.outcome, RunOutcome::Halted(_)),
         "seed {seed}: reference workload must halt"
     );
     let mut rng = StdRng::seed_from_u64(split_seed(seed, 0xc07));
-    let mut wfi_cuts = 0;
+    let mut stats = CutStats::default();
     for _ in 0..cuts {
         let cut = rng.gen_range(1..ref_report.cycles.max(2));
-        let (mut sys, _, _) = build_system(seed, offload);
+        let (mut sys, _, _) = build_system(seed, workload);
         if sys.run_cycles_bounded(cut, BUDGET).is_some() {
             continue; // workload finished before the cut
         }
         if sys.cpu.waiting_for_interrupt {
-            wfi_cuts += 1;
+            stats.wfi += 1;
+        }
+        if sys.platform.accel.is_busy() || sys.platform.extra_pes.iter().any(|pe| pe.is_busy()) {
+            stats.busy += 1;
         }
         let snap = sys.snapshot();
 
@@ -78,8 +124,8 @@ fn check_cuts(seed: u64, offload: bool, cuts: usize) -> usize {
         assert_eq!(report.outcome, ref_report.outcome, "seed {seed} cut {cut}");
         assert_eq!(resumed.cpu, reference.cpu, "seed {seed} cut {cut}: cpu");
         assert_eq!(
-            signature(&resumed, layout, n),
-            signature(&reference, layout, n),
+            signature(&resumed, layout, words),
+            signature(&reference, layout, words),
             "seed {seed} cut {cut}: readout"
         );
         assert_eq!(
@@ -101,12 +147,12 @@ fn check_cuts(seed: u64, offload: bool, cuts: usize) -> usize {
             "seed {seed} cut {cut}: restored cpu"
         );
         assert_eq!(
-            signature(&sys, layout, n),
-            signature(&reference, layout, n),
+            signature(&sys, layout, words),
+            signature(&reference, layout, words),
             "seed {seed} cut {cut}: restored readout"
         );
     }
-    wfi_cuts
+    stats
 }
 
 #[test]
@@ -114,7 +160,7 @@ fn snapshot_roundtrip_mid_block_over_random_programs() {
     // Software MVM runs entirely through the decoded-block
     // interpreter, so random cuts land mid-block.
     for i in 0..12u64 {
-        check_cuts(split_seed(0x5eed_b10c, i), false, 3);
+        check_cuts(split_seed(0x5eed_b10c, i), Workload::Software, 3);
     }
 }
 
@@ -126,10 +172,26 @@ fn snapshot_roundtrip_mid_wfi_fast_forward() {
     // for this test to mean anything.
     let mut wfi_cuts = 0;
     for i in 0..12u64 {
-        wfi_cuts += check_cuts(split_seed(0x5eed_0f1f, i), true, 4);
+        wfi_cuts += check_cuts(split_seed(0x5eed_0f1f, i), Workload::Offload, 4).wfi;
     }
     assert!(
         wfi_cuts > 0,
         "no cut point landed inside a wfi fast-forward window"
+    );
+}
+
+#[test]
+fn snapshot_roundtrip_with_in_flight_fabric_jobs() {
+    // The cluster scheduler keeps up to 3 PEs busy at once; cuts must
+    // land while fabric jobs are in flight so the snapshot carries
+    // multi-device state (busy/done latches, deadlines, SPM windows,
+    // the in-DRAM work-queue table) and restores it bit-exactly.
+    let mut busy_cuts = 0;
+    for i in 0..10u64 {
+        busy_cuts += check_cuts(split_seed(0x5eed_fab5, i), Workload::Cluster, 4).busy;
+    }
+    assert!(
+        busy_cuts > 0,
+        "no cut point landed with a fabric job in flight"
     );
 }

@@ -11,9 +11,14 @@ another.
 
 Usage:
     check_perf.py BASELINE.json CURRENT.json [--max-regression 0.10]
+                  [--allow-missing]
 
-Measurement ids present in only one report are listed but do not fail
-the gate (they appear when a bench adds or retires cases).
+Measurement ids present only in the current report are listed but do not
+fail the gate (they appear when a bench adds cases). Baseline ids
+*absent* from the current report FAIL the gate by default — deleting or
+renaming a hot-path probe must not silently pass. Pass
+``--allow-missing`` when retiring a measurement on purpose (and commit a
+refreshed baseline in the same change).
 """
 
 import argparse
@@ -39,6 +44,12 @@ def main():
         default=0.10,
         help="allowed fractional slowdown per measurement (default 0.10)",
     )
+    ap.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="tolerate baseline ids absent from the current report "
+        "(use when deliberately retiring a measurement)",
+    )
     args = ap.parse_args()
 
     base = load_norms(args.baseline)
@@ -46,12 +57,26 @@ def main():
     shared = sorted(set(base) & set(cur))
     if not shared:
         sys.exit("no shared measurement ids between baseline and current")
-    for mid in sorted(set(base) ^ set(cur)):
-        side = "baseline" if mid in base else "current"
-        print(f"note: {mid} only in {side}, skipped")
+    for mid in sorted(set(cur) - set(base)):
+        print(f"note: {mid} only in current (new measurement), skipped")
+
+    missing = sorted(set(base) - set(cur))
+    for mid in missing:
+        print(f"MISSING: baseline id {mid} absent from current run")
+    if missing and not args.allow_missing:
+        sys.exit(
+            f"{len(missing)} baseline measurement(s) missing from the "
+            "current report (a deleted or renamed probe would dodge the "
+            "gate); rerun with --allow-missing if this is deliberate"
+        )
 
     failures = []
     for mid in shared:
+        if base[mid] <= 0:
+            # A zero (or negative) baseline norm carries no signal and
+            # would divide-by-zero; surface it instead of crashing.
+            print(f"note: {mid} has non-positive baseline norm {base[mid]}, skipped")
+            continue
         ratio = cur[mid] / base[mid]
         flag = " REGRESSED" if ratio > 1.0 + args.max_regression else ""
         print(f"{mid}: norm {base[mid]:.6f} -> {cur[mid]:.6f} ({ratio:.2f}x){flag}")
