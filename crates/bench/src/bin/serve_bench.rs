@@ -17,10 +17,10 @@
 //! several milliseconds per rep — short runs make the machine-normalized
 //! wall-clock `norm` too noisy for the 10% regression gate.
 
-use neuropulsim_bench::runner::Runner;
+use neuropulsim_bench::runner::{positional_args, Runner};
 use neuropulsim_linalg::RMatrix;
 use neuropulsim_sim::serve::{
-    synthetic_load, InferenceServer, LoadSpec, PeFault, PeSpec, ServeConfig, ServeOutcome,
+    synthetic_load, InferenceServer, LoadSpec, PeFault, PeSpec, ServeConfig,
 };
 
 const N: usize = 8;
@@ -45,31 +45,8 @@ fn fleet(pes: usize, fault: Option<(usize, PeFault)>) -> Vec<PeSpec> {
         .collect()
 }
 
-fn scenario_json(out: &ServeOutcome) -> String {
-    let r = &out.report;
-    format!(
-        "{{\"completed\": {}, \"dropped\": {}, \"total_cycles\": {}, \
-         \"p50_latency_cycles\": {}, \"p99_latency_cycles\": {}, \
-         \"max_latency_cycles\": {}, \"requests_per_sec\": {:.3}, \
-         \"jobs_dispatched\": {}, \"jobs_failed\": {}, \"retries\": {}, \
-         \"pes_ejected\": {}, \"mean_batch_fill\": {:.3}}}",
-        r.completed,
-        r.dropped,
-        r.total_cycles,
-        r.p50_latency_cycles,
-        r.p99_latency_cycles,
-        r.max_latency_cycles,
-        r.requests_per_sec,
-        r.jobs_dispatched,
-        r.jobs_failed,
-        r.retries,
-        r.pes_ejected,
-        r.mean_batch_fill,
-    )
-}
-
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut args = positional_args().into_iter();
     let requests: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(16000);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(11);
 
@@ -131,9 +108,9 @@ fn main() {
         "{{\"requests\": {requests}, \"seed\": {seed}, \"model_n\": {N}, \
          \"scaling_rps_1_to_4\": {scaling:.3}, \"scenarios\": {{\
          \"pe1\": {}, \"pe4\": {}, \"degraded4\": {}}}}}",
-        scenario_json(&one),
-        scenario_json(&four),
-        scenario_json(&degraded),
+        one.report.to_json(),
+        four.report.to_json(),
+        degraded.report.to_json(),
     ));
     print!("{}", runner.to_json());
 }

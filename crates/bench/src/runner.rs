@@ -55,9 +55,31 @@ pub struct Runner {
     bench: String,
     calib_ns: f64,
     threads: usize,
+    profile: bool,
     measurements: Vec<Measurement>,
     derived: Vec<(String, String)>,
     payload: Option<String>,
+}
+
+/// True when the probe should run in flamegraph-friendly profile mode:
+/// `--profile` anywhere on the command line, or `NEUROPULSIM_PROFILE=1`
+/// in the environment. Profile mode skips every calibration loop — the
+/// start-of-run one and the paired per-rep samples — so profiler samples
+/// land in the workload under test instead of the synthetic calibration
+/// kernel, and the report is stamped `"profile": true` so
+/// `scripts/check_perf.py` refuses to gate on it.
+pub fn profile_mode() -> bool {
+    std::env::args().skip(1).any(|a| a == "--profile")
+        || std::env::var("NEUROPULSIM_PROFILE").is_ok_and(|v| v == "1")
+}
+
+/// The command-line arguments with runner flags (`--profile`) removed —
+/// what a probe should parse its positional arguments from.
+pub fn positional_args() -> Vec<String> {
+    std::env::args()
+        .skip(1)
+        .filter(|a| a != "--profile")
+        .collect()
 }
 
 /// The fixed calibration workload: a SplitMix64-fed floating-point
@@ -98,12 +120,24 @@ fn median(samples: &mut [f64]) -> f64 {
 }
 
 impl Runner {
-    /// Creates a runner for `bench`, timing the calibration workload.
+    /// Creates a runner for `bench`, timing the calibration workload —
+    /// unless [`profile_mode`] is on, in which case calibration is
+    /// skipped entirely (see [`Runner::with_mode`]).
     pub fn new(bench: &str) -> Self {
+        Self::with_mode(bench, profile_mode())
+    }
+
+    /// [`Runner::new`] with an explicit mode. With `profile = true` no
+    /// calibration loop ever runs (`calib_ns` is pinned to 1.0, so
+    /// `norm` degenerates to raw nanoseconds) and the report carries
+    /// `"profile": true`; such reports are for flamegraphs only and are
+    /// rejected by the regression gate.
+    pub fn with_mode(bench: &str, profile: bool) -> Self {
         Runner {
             bench: bench.to_string(),
-            calib_ns: calibrate(),
+            calib_ns: if profile { 1.0 } else { calibrate() },
             threads: neuropulsim_linalg::parallel::available_threads(),
+            profile,
             measurements: Vec::new(),
             derived: Vec::new(),
             payload: None,
@@ -135,7 +169,9 @@ impl Runner {
         let mut samples = Vec::with_capacity(reps);
         let mut ratios = Vec::with_capacity(reps);
         for _ in 0..reps {
-            let calib = calibrate_once();
+            // In profile mode the paired calibration is skipped too:
+            // flamegraph samples should land in `op`, not the kernel.
+            let calib = if self.profile { 1.0 } else { calibrate_once() };
             let t0 = Instant::now();
             op();
             let ns = t0.elapsed().as_nanos() as f64;
@@ -219,6 +255,9 @@ impl Runner {
         s.push_str(&format!("  \"bench\": \"{}\",\n", self.bench));
         s.push_str(&format!("  \"calib_ns\": {:.0},\n", self.calib_ns));
         s.push_str(&format!("  \"threads\": {},\n", self.threads));
+        if self.profile {
+            s.push_str("  \"profile\": true,\n");
+        }
         s.push_str("  \"measurements\": [\n");
         for (k, m) in self.measurements.iter().enumerate() {
             s.push_str(&format!(
@@ -288,6 +327,17 @@ mod tests {
         assert!(json.contains("\"payload\": {\"ok\": true}"));
         // Every measurement is normalized against the calibration.
         assert!(json.contains("\"norm\": "));
+    }
+
+    #[test]
+    fn profile_mode_skips_calibration_and_stamps_report() {
+        let mut r = Runner::with_mode("profiled", true);
+        assert_eq!(r.calib_ns(), 1.0, "no calibration loop in profile mode");
+        r.measure_ratio_with_meta("op/p/n1", 2, &[], || {
+            std::hint::black_box(1 + 1);
+        });
+        let json = r.to_json();
+        assert!(json.contains("\"profile\": true"));
     }
 
     #[test]

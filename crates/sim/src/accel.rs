@@ -261,6 +261,11 @@ impl AccelDevice {
         self.recal_count
     }
 
+    /// True while a recalibration (PCM reprogramming) is in flight.
+    pub fn is_recalibrating(&self) -> bool {
+        self.recal_in_flight
+    }
+
     /// `true` when the error interrupt line is asserted (error-IRQ
     /// enabled and unacknowledged error bits pending).
     pub fn error_irq_line(&self) -> bool {

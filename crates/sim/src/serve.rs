@@ -7,9 +7,9 @@
 //! This module builds that story host-side:
 //!
 //! ```text
-//!   requests ──► admission queue ──► wavelength batcher ──► shard router
-//!                                                              │
-//!        response join ◄── readback + ABFT verify ◄── PE fleet ┘
+//!   requests ──► admission control ──► wavelength batcher ──► shard router
+//!                                                                │
+//!          response join ◄── readback + ABFT verify ◄── PE fleet ┘
 //! ```
 //!
 //! - **Fleet** ([`PeSpec`]): N [`AccelDevice`] instances, heterogeneous
@@ -17,33 +17,72 @@
 //!   count, setup latency and fault state, addressed exactly as the bus
 //!   maps them (`ACCEL_BASE + PE_STRIDE * slot`) with per-PE operand
 //!   windows carved out of the shared scratchpad.
+//! - **Admission control**: a bounded request queue
+//!   ([`ServeConfig::queue_cap`]) with per-model-class load shedding and
+//!   exponential-backoff readmission of shed classes, plus optional
+//!   deadline-aware drops ([`ServeConfig::deadline`]) — sustained
+//!   overload degrades latency predictably instead of growing the queue
+//!   without bound.
 //! - **Batcher**: groups same-model requests into one job descriptor of
-//!   up to `wdm_channels` vectors — wavelength-channel batching is a
-//!   first-class axis of the job ([`AccelDevice::wdm_channels`] streams
-//!   one vector per wavelength per symbol slot). A partial batch flushes
-//!   after [`ServeConfig::batch_window`] cycles so tail latency stays
-//!   bounded under light load.
-//! - **Router + degraded-fleet semantics**: jobs go to the
-//!   lowest-numbered idle healthy PE hosting the model. A failed job
-//!   (sticky `ERROR`, watchdog abort, checksum mismatch on join)
-//!   re-queues its requests at the *front* of the queue for retry on any
-//!   healthy PE; the failing device's consecutive-failure count is the
-//!   bounded per-device retry budget — at [`ServeConfig::retry_budget`]
-//!   the PE is marked out-of-fleet and never scheduled again. A fault
-//!   therefore degrades the fleet's throughput, never the service.
-//! - **Join**: completed jobs are read back from the PE's SPM window,
-//!   verified against the model's ABFT column-checksum row (the same
-//!   `c = 1ᵀW` identity the guarded firmware uses), and matched to their
-//!   originating requests.
+//!   up to `wdm_channels` vectors; a partial batch flushes after
+//!   [`ServeConfig::batch_window`] cycles so tail latency stays bounded
+//!   under light load.
+//! - **Router**: jobs go to the lowest-numbered idle in-fleet PE hosting
+//!   the model; requests carry a failed-on affinity mask so a retried
+//!   request avoids the PE that just corrupted it.
+//! - **Join**: completed jobs are read back from the PE's SPM window and
+//!   verified *per vector* against the model's ABFT column-checksum row
+//!   (the same `c = 1ᵀW` identity the guarded firmware uses): good
+//!   vectors join even when a sibling in the batch fails, so a poison
+//!   payload can only ever take itself down.
+//!
+//! # Self-healing health lifecycle
+//!
+//! Unlike a one-way ejection fleet, every PE runs a health state machine
+//! (see DESIGN.md §8) that closes the loop on the platform's dominant
+//! *recoverable* failure modes — PCM retention drift, transient upsets
+//! and stalls:
+//!
+//! ```text
+//!   Healthy ⇄ Suspect ──► Ejected ──► Recovering ──► Probation ──► Healthy
+//!      │                     ▲  │                        │
+//!      ▼                     │  └──────► Dead ◄──────────┘
+//!   Recalibrating ───────────┘    (sticky HW_FAULT / attempts exhausted)
+//! ```
+//!
+//! - **Drift-aware health**: with [`ServeConfig::canary_period`] set,
+//!   idle PEs periodically run a *canary MVM* — a known input whose ABFT
+//!   checksum is precomputed — at a tightened tolerance
+//!   ([`ServeConfig::drift_margin`] × the job tolerance). A canary miss
+//!   means [`crate::accel::PcmDriftModel`] aging is approaching the job
+//!   threshold: the PE drains gracefully and issues a CTRL recalibration
+//!   *before* any production job can fail its checksum.
+//! - **Recovery & readmission**: an ejected PE waits out an
+//!   exponentially backed-off [`ServeConfig::recovery_backoff`], then
+//!   runs a deterministic reset-and-recalibrate sequence (error-latch
+//!   clear + hard-fault reset + CTRL recal), followed by half-open
+//!   *probation*: watchdog-armed canary jobs only, no production
+//!   traffic. [`ServeConfig::probation_canaries`] consecutive passes
+//!   readmit the PE; any failure re-ejects it. After
+//!   [`ServeConfig::recovery_attempts`] failed rounds — or immediately
+//!   if recovery is disabled — the PE is `Dead` and never scheduled
+//!   again. A *persistent* fault condition re-asserts itself against the
+//!   reset (the sticky `HW_FAULT` latch comes straight back), so
+//!   permanent bricks end up `Dead` while transient ones are readmitted.
 //!
 //! The engine is a deterministic discrete-event simulation: device time
-//! advances by exact event jumps (arrival, completion, watchdog
-//! deadline, batch-window expiry), every data structure iterates in
-//! fixed order, and no wall-clock or thread identity enters the
-//! trajectory — the same load yields a bit-identical [`ServeReport`] at
-//! any host thread count.
+//! advances by exact event jumps, every data structure iterates in fixed
+//! order, and no wall-clock or thread identity enters the trajectory —
+//! the same load yields a bit-identical [`ServeReport`] at any host
+//! thread count. The run loop is resumable ([`InferenceServer::begin`] /
+//! [`InferenceServer::step`] / [`InferenceServer::finish`]) and the
+//! server is `Clone`, so a mid-run clone is a snapshot that resumes
+//! bit-identically — the property `tests/snapshot_fuzz.rs` exercises
+//! with cuts inside recalibration and probation windows.
 
-use crate::accel::{mmr, AccelDevice};
+pub mod chaos;
+
+use crate::accel::{mmr, AccelDevice, PcmDriftModel};
 use crate::fixed::{from_fixed, to_fixed};
 use crate::ram::Ram;
 use crate::system::{ACCEL_BASE, PE_STRIDE, SPM_BASE, SPM_SIZE};
@@ -55,23 +94,43 @@ use std::collections::VecDeque;
 /// Host clock the serving fabric is simulated at \[Hz\].
 pub const SERVE_CPU_HZ: f64 = 1e9;
 
-/// Scheduled fault injection for one fleet member.
+/// Scheduled fault injection for one fleet member. `*At` variants model
+/// persistent conditions (the fault re-asserts itself against any reset,
+/// so the PE ends up `Dead`); `*For` variants model transient windows
+/// (the recovery sequence succeeds once the window has passed and the PE
+/// is readmitted).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PeFault {
     /// Healthy for the whole run.
     None,
-    /// Permanently bricked from `cycle` on: every doorbell is rejected
-    /// with the sticky [`crate::accel::errcode::HW_FAULT`] latch and an in-flight job
-    /// aborts (the hard device-loss case).
+    /// Permanently bricked from `cycle` on: the sticky
+    /// [`crate::accel::errcode::HW_FAULT`] latch re-asserts after every
+    /// reset attempt and an in-flight job aborts.
     HardAt {
         /// Cycle at which the device bricks.
         cycle: u64,
+    },
+    /// Transient brick: the fault condition holds in `cycle..until`;
+    /// a reset-and-recalibrate attempted after `until` succeeds.
+    HardFor {
+        /// Cycle at which the device bricks.
+        cycle: u64,
+        /// First cycle at which the fault condition has cleared.
+        until: u64,
     },
     /// Device stalls from `cycle` on: jobs never meet their deadline and
     /// die by watchdog abort (the slow device-loss case).
     StallAt {
         /// Cycle at which the device starts stalling.
         cycle: u64,
+    },
+    /// Transient stall: jobs time out in `cycle..until`, after which
+    /// the device runs at its specified latency again.
+    StallFor {
+        /// Cycle at which the device starts stalling.
+        cycle: u64,
+        /// First cycle at which the stall has cleared.
+        until: u64,
     },
 }
 
@@ -88,6 +147,9 @@ pub struct PeSpec {
     pub setup_cycles: u64,
     /// Scheduled fault, if any.
     pub fault: PeFault,
+    /// PCM retention-drift model aging this PE's programmed weights
+    /// (`None` = non-drifting weights).
+    pub drift: Option<PcmDriftModel>,
 }
 
 impl PeSpec {
@@ -98,6 +160,7 @@ impl PeSpec {
             wdm_channels: 8,
             setup_cycles: 20,
             fault: PeFault::None,
+            drift: None,
         }
     }
 }
@@ -105,23 +168,52 @@ impl PeSpec {
 /// Tuning knobs of the serving front-end.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeConfig {
-    /// Watchdog deadline armed on every job \[cycles\] (0 disables —
-    /// not recommended: a stalled device then holds its job forever).
+    /// Watchdog deadline armed on every job and canary \[cycles\]
+    /// (0 disables — not recommended: a stalled device then holds its
+    /// job forever).
     pub watchdog: u32,
     /// Max cycles a request may wait for its batch to fill before a
     /// partial batch is flushed.
     pub batch_window: u64,
-    /// Consecutive job failures before a PE is marked out-of-fleet.
+    /// Consecutive job failures before a PE is ejected.
     pub retry_budget: u32,
-    /// Attempts per request before it is dropped (safety valve; with at
-    /// least one healthy PE per model this is never reached because
-    /// ejection caps fleet-wide failures at `pes * retry_budget`).
+    /// Attempts per request before it is dropped (safety valve against
+    /// pathological retry loops).
     pub max_attempts: u32,
     /// Verify joined outputs against the ABFT column-checksum row.
     pub verify_outputs: bool,
     /// Per-element tolerance of the output checksum \[Q16.16 units as
     /// f64\]; the job-level tolerance is `n * checksum_tolerance`.
     pub checksum_tolerance: f64,
+    /// Checksum failures a single request may accumulate before it is
+    /// dropped as poison (a bad payload, not bad hardware).
+    pub request_retry_cap: u32,
+    /// Admission-queue bound; at the cap, arriving requests of that
+    /// model class are shed with exponential-backoff readmission
+    /// (0 = unbounded, shedding disabled).
+    pub queue_cap: usize,
+    /// Base backoff of a shed model class \[cycles\] (doubles per
+    /// consecutive shed event).
+    pub shed_backoff: u64,
+    /// Queued requests older than this are dropped instead of served
+    /// (0 = no deadline).
+    pub deadline: u64,
+    /// Cycles between drift-canary MVMs on an idle in-fleet PE
+    /// (0 = canaries disabled).
+    pub canary_period: u64,
+    /// Canary tolerance as a fraction of the job checksum tolerance:
+    /// a canary "misses" (and schedules recalibration) while production
+    /// jobs would still pass, which is what makes drift recovery
+    /// pre-emptive.
+    pub drift_margin: f64,
+    /// Base wait before an ejected PE's first recovery attempt
+    /// \[cycles\]; doubles per failed round.
+    pub recovery_backoff: u64,
+    /// Recovery rounds (reset + recalibrate + probation) before an
+    /// ejected PE is declared dead (0 = ejection is permanent).
+    pub recovery_attempts: u32,
+    /// Consecutive canary passes required to leave probation.
+    pub probation_canaries: u32,
 }
 
 impl Default for ServeConfig {
@@ -133,6 +225,148 @@ impl Default for ServeConfig {
             max_attempts: 32,
             verify_outputs: true,
             checksum_tolerance: 0.02,
+            request_retry_cap: 3,
+            queue_cap: 0,
+            shed_backoff: 512,
+            deadline: 0,
+            canary_period: 0,
+            drift_margin: 0.5,
+            recovery_backoff: 2048,
+            recovery_attempts: 4,
+            probation_canaries: 2,
+        }
+    }
+}
+
+/// Lifecycle state of one fleet member (DESIGN.md §8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeHealth {
+    /// In-fleet, serving production jobs.
+    Healthy,
+    /// In-fleet with recent consecutive failures — still serving, one
+    /// more failure streak from ejection.
+    Suspect,
+    /// Draining for a drift-triggered recalibration (canary missed):
+    /// no new jobs; the CTRL recal is in flight or issues once idle.
+    Recalibrating,
+    /// Out-of-fleet, waiting out the recovery backoff.
+    Ejected,
+    /// Reset-and-recalibrate sequence in flight.
+    Recovering,
+    /// Half-open: serving watchdog-armed canary jobs only.
+    Probation,
+    /// Permanently out (sticky fault or recovery attempts exhausted).
+    Dead,
+}
+
+impl PeHealth {
+    /// Stable lowercase name (report JSON).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PeHealth::Healthy => "healthy",
+            PeHealth::Suspect => "suspect",
+            PeHealth::Recalibrating => "recalibrating",
+            PeHealth::Ejected => "ejected",
+            PeHealth::Recovering => "recovering",
+            PeHealth::Probation => "probation",
+            PeHealth::Dead => "dead",
+        }
+    }
+
+    /// True for states that count as in-fleet (serving or about to
+    /// resume serving without leaving the fleet).
+    fn in_fleet(self) -> bool {
+        matches!(
+            self,
+            PeHealth::Healthy | PeHealth::Suspect | PeHealth::Recalibrating
+        )
+    }
+}
+
+/// Why a request was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// No live PE hosts the request's model.
+    Unservable,
+    /// Shed by admission control (queue at cap, or the model class is
+    /// inside its shed-backoff window).
+    Shed,
+    /// Exceeded [`ServeConfig::deadline`] while queued.
+    Deadline,
+    /// Poison payload: failed its checksum on
+    /// [`ServeConfig::request_retry_cap`] distinct attempts.
+    Poison,
+    /// Hit the [`ServeConfig::max_attempts`] safety valve.
+    AttemptCap,
+}
+
+impl DropReason {
+    /// Stable lowercase name (report JSON).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DropReason::Unservable => "unservable",
+            DropReason::Shed => "shed",
+            DropReason::Deadline => "deadline",
+            DropReason::Poison => "poison",
+            DropReason::AttemptCap => "attempt_cap",
+        }
+    }
+}
+
+/// Dropped-request tally by [`DropReason`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DropBreakdown {
+    /// No live PE hosted the model.
+    pub unservable: usize,
+    /// Shed by admission control.
+    pub shed: usize,
+    /// Deadline exceeded while queued.
+    pub deadline: usize,
+    /// Poison payload (per-request checksum-retry cap).
+    pub poison: usize,
+    /// Per-request attempt safety valve.
+    pub attempt_cap: usize,
+}
+
+impl DropBreakdown {
+    fn record(&mut self, reason: DropReason) {
+        match reason {
+            DropReason::Unservable => self.unservable += 1,
+            DropReason::Shed => self.shed += 1,
+            DropReason::Deadline => self.deadline += 1,
+            DropReason::Poison => self.poison += 1,
+            DropReason::AttemptCap => self.attempt_cap += 1,
+        }
+    }
+
+    /// Total drops across all reasons.
+    pub fn total(&self) -> usize {
+        self.unservable + self.shed + self.deadline + self.poison + self.attempt_cap
+    }
+}
+
+/// Failed-job tally by failure mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FailureBreakdown {
+    /// Watchdog-aborted jobs (stalls).
+    pub watchdog: u64,
+    /// Jobs with at least one vector failing the ABFT join checksum.
+    pub checksum: u64,
+    /// Jobs lost to the sticky `HW_FAULT` latch.
+    pub hard_fault: u64,
+    /// Jobs the device refused outright (busy/malformed/SPM range).
+    pub rejected: u64,
+}
+
+impl FailureBreakdown {
+    fn record_device(&mut self, bits: u32) {
+        use crate::accel::errcode;
+        if bits & errcode::WATCHDOG != 0 {
+            self.watchdog += 1;
+        } else if bits & errcode::HW_FAULT != 0 {
+            self.hard_fault += 1;
+        } else {
+            self.rejected += 1;
         }
     }
 }
@@ -174,12 +408,30 @@ impl Response {
     }
 }
 
+/// Per-PE lifecycle counters for one serving run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeLifecycle {
+    /// Healthy→Ejected transitions.
+    pub ejections: u32,
+    /// Probation→Healthy readmissions.
+    pub readmissions: u32,
+    /// Drift-canary misses that scheduled a recalibration.
+    pub canary_recals: u32,
+    /// Total cycles spent out-of-fleet across completed
+    /// ejection→readmission episodes (the time-to-readmission sum).
+    pub out_of_fleet_cycles: u64,
+    /// Clean jobs joined after the PE's most recent readmission.
+    pub jobs_since_readmission: u64,
+    /// Health state at the end of the run.
+    pub final_health: PeHealth,
+}
+
 /// Aggregate statistics of one serving run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeReport {
     /// Requests completed.
     pub completed: usize,
-    /// Requests dropped (no healthy PE for the model, or attempt cap).
+    /// Requests dropped (all reasons; see [`ServeReport::drops`]).
     pub dropped: usize,
     /// Cycles from run start to the last join.
     pub total_cycles: u64,
@@ -191,20 +443,94 @@ pub struct ServeReport {
     pub max_latency_cycles: u64,
     /// Sustained simulated throughput \[requests/s\] at [`SERVE_CPU_HZ`].
     pub requests_per_sec: f64,
-    /// Jobs dispatched to devices (including failed attempts).
+    /// Jobs dispatched to devices (including failed attempts, excluding
+    /// canaries).
     pub jobs_dispatched: u64,
     /// Jobs that failed (device error, watchdog, checksum mismatch).
     pub jobs_failed: u64,
     /// Request re-dispatches caused by failed jobs.
     pub retries: u64,
-    /// PEs marked out-of-fleet during the run.
+    /// PEs out-of-fleet (ejected, recovering, on probation or dead) at
+    /// the end of the run.
     pub pes_ejected: usize,
-    /// Jobs completed per PE (the shard-router balance picture).
+    /// PEs permanently dead at the end of the run.
+    pub pes_dead: usize,
+    /// Clean jobs completed per PE (the shard-router balance picture).
     pub per_pe_jobs: Vec<u64>,
     /// Mean vectors per dispatched job (wavelength occupancy).
     pub mean_batch_fill: f64,
     /// Total fleet energy \[J\] (photonic + electro-optic + programming).
     pub fleet_energy_j: f64,
+    /// Dropped-request breakdown by reason.
+    pub drops: DropBreakdown,
+    /// Failed-job breakdown by failure mode.
+    pub failures: FailureBreakdown,
+    /// Canary MVMs dispatched (drift probes + probation).
+    pub canaries_run: u64,
+    /// Per-PE health lifecycle counters.
+    pub per_pe: Vec<PeLifecycle>,
+}
+
+impl ServeReport {
+    /// Renders the report as a stable JSON object (bench payloads).
+    pub fn to_json(&self) -> String {
+        let per_pe_jobs: Vec<String> = self.per_pe_jobs.iter().map(|j| j.to_string()).collect();
+        let per_pe: Vec<String> = self
+            .per_pe
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"ejections\": {}, \"readmissions\": {}, \"canary_recals\": {}, \
+                     \"out_of_fleet_cycles\": {}, \"jobs_since_readmission\": {}, \
+                     \"final_health\": \"{}\"}}",
+                    p.ejections,
+                    p.readmissions,
+                    p.canary_recals,
+                    p.out_of_fleet_cycles,
+                    p.jobs_since_readmission,
+                    p.final_health.as_str()
+                )
+            })
+            .collect();
+        format!(
+            "{{\"completed\": {}, \"dropped\": {}, \"total_cycles\": {}, \
+             \"p50_latency_cycles\": {}, \"p99_latency_cycles\": {}, \
+             \"max_latency_cycles\": {}, \"requests_per_sec\": {:.3}, \
+             \"jobs_dispatched\": {}, \"jobs_failed\": {}, \"retries\": {}, \
+             \"pes_ejected\": {}, \"pes_dead\": {}, \"mean_batch_fill\": {:.3}, \
+             \"canaries_run\": {}, \
+             \"drops\": {{\"unservable\": {}, \"shed\": {}, \"deadline\": {}, \
+             \"poison\": {}, \"attempt_cap\": {}}}, \
+             \"failures\": {{\"watchdog\": {}, \"checksum\": {}, \
+             \"hard_fault\": {}, \"rejected\": {}}}, \
+             \"per_pe_jobs\": [{}], \"per_pe\": [{}]}}",
+            self.completed,
+            self.dropped,
+            self.total_cycles,
+            self.p50_latency_cycles,
+            self.p99_latency_cycles,
+            self.max_latency_cycles,
+            self.requests_per_sec,
+            self.jobs_dispatched,
+            self.jobs_failed,
+            self.retries,
+            self.pes_ejected,
+            self.pes_dead,
+            self.mean_batch_fill,
+            self.canaries_run,
+            self.drops.unservable,
+            self.drops.shed,
+            self.drops.deadline,
+            self.drops.poison,
+            self.drops.attempt_cap,
+            self.failures.watchdog,
+            self.failures.checksum,
+            self.failures.hard_fault,
+            self.failures.rejected,
+            per_pe_jobs.join(", "),
+            per_pe.join(", "),
+        )
+    }
 }
 
 /// The result of [`InferenceServer::run`]: joined responses (sorted by
@@ -215,15 +541,23 @@ pub struct ServeOutcome {
     pub responses: Vec<Response>,
     /// Ids of dropped requests, sorted.
     pub dropped_ids: Vec<u64>,
+    /// Dropped requests with their reasons, sorted by id.
+    pub drops: Vec<(u64, DropReason)>,
     /// Aggregate statistics.
     pub report: ServeReport,
 }
 
-/// A queued request with its retry count.
+/// A queued request with its retry bookkeeping.
 #[derive(Debug, Clone)]
 struct Pending {
     req: Request,
+    /// Dispatch attempts (any failure mode).
     attempts: u32,
+    /// Checksum failures attributed to this request specifically.
+    strikes: u32,
+    /// Bitmask of PE slots whose join checksum this request failed on —
+    /// the router avoids them on retry.
+    failed_on: u64,
 }
 
 /// An in-flight job descriptor: the batched requests riding one set of
@@ -242,11 +576,68 @@ struct PeState {
     base: u32,
     spm_in: u32,
     spm_out: u32,
-    healthy: bool,
+    health: PeHealth,
     consecutive_failures: u32,
     job: Option<Job>,
+    /// A canary MVM is in flight (drift probe or probation).
+    canary: bool,
+    /// Drift canary missed: drain, then recalibrate once idle.
+    wants_recal: bool,
+    /// Next drift-canary due time.
+    next_canary: u64,
+    /// Canary passes still required to leave probation.
+    probation_left: u32,
+    /// When the next recovery attempt may start (while `Ejected`).
+    recover_at: u64,
+    /// Failed recovery rounds in the current ejection episode.
+    recovery_round: u32,
+    /// Cycle of the current episode's ejection.
+    ejected_at: u64,
     jobs_completed: u64,
+    /// Stall fault currently applied to the device.
     fault_applied: bool,
+    // Lifecycle stats.
+    ejections: u32,
+    readmissions: u32,
+    canary_recals: u32,
+    out_of_fleet_cycles: u64,
+    jobs_since_readmission: u64,
+}
+
+/// Resumable run-loop state: everything [`InferenceServer::step`] needs
+/// between events. Owned by the server so a mid-run `Clone` of the
+/// server is a complete snapshot.
+#[derive(Debug, Clone)]
+struct RunState {
+    load: Vec<Request>,
+    start: u64,
+    next_arrival: usize,
+    queue: VecDeque<Pending>,
+    responses: Vec<Response>,
+    drops: Vec<(u64, DropReason)>,
+    drop_counts: DropBreakdown,
+    failures: FailureBreakdown,
+    jobs_dispatched: u64,
+    jobs_failed: u64,
+    retries: u64,
+    vectors_dispatched: u64,
+    canaries_run: u64,
+    /// Per-model shed window end (admission control backoff).
+    shed_until: Vec<u64>,
+    /// Per-model consecutive shed rounds (backoff exponent).
+    shed_round: Vec<u32>,
+    finished: bool,
+}
+
+impl RunState {
+    fn accounted(&self) -> usize {
+        self.responses.len() + self.drops.len()
+    }
+
+    fn drop_req(&mut self, id: u64, reason: DropReason) {
+        self.drops.push((id, reason));
+        self.drop_counts.record(reason);
+    }
 }
 
 /// The async serving front-end over a heterogeneous accelerator fleet.
@@ -256,16 +647,23 @@ pub struct InferenceServer {
     models: Vec<RMatrix>,
     /// Per-model ABFT plain-checksum row `c = 1ᵀ·W`.
     checksum_rows: Vec<Vec<f64>>,
+    /// Per-model canary input (known, fixed-point exact).
+    canary_xs: Vec<Vec<f64>>,
+    /// Per-model expected canary checksum `Σ c_j·x_j`.
+    canary_rhs: Vec<f64>,
     pes: Vec<PeState>,
-    /// Per-model "some healthy PE can serve this" mask, refreshed on
-    /// every fleet change. Lets admission reject unservable requests in
-    /// O(1) instead of sweeping the whole queue each scheduler pass.
+    /// Per-model "some live PE can serve this" mask, refreshed on every
+    /// fleet change. Lets admission reject unservable requests in O(1)
+    /// instead of sweeping the whole queue each scheduler pass.
     servable: Vec<bool>,
-    /// Set when a PE leaves the fleet; the next scheduler pass refreshes
-    /// `servable` and drains newly-orphaned queued requests.
+    /// Set when a PE dies; the next scheduler pass refreshes `servable`
+    /// and drains newly-orphaned queued requests.
     fleet_changed: bool,
     spm: Ram,
     now: u64,
+    /// In-progress run (between [`InferenceServer::begin`] and
+    /// [`InferenceServer::finish`]).
+    state: Option<RunState>,
 }
 
 impl InferenceServer {
@@ -287,6 +685,26 @@ impl InferenceServer {
                 (0..n).map(|j| (0..n).map(|i| w[(i, j)]).sum()).collect()
             })
             .collect();
+        // Known canary inputs, quantized exactly like request payloads
+        // so the precomputed checksum matches what the device consumes.
+        let canary_xs: Vec<Vec<f64>> = models
+            .iter()
+            .map(|w| {
+                (0..w.rows())
+                    .map(|j| 0.35 * (0.73 * j as f64 + 0.4).sin())
+                    .collect()
+            })
+            .collect();
+        let canary_rhs: Vec<f64> = checksum_rows
+            .iter()
+            .zip(&canary_xs)
+            .map(|(c, x)| {
+                c.iter()
+                    .zip(x)
+                    .map(|(&c, &x)| c * from_fixed(to_fixed(x)))
+                    .sum()
+            })
+            .collect();
         let mut pes = Vec::with_capacity(specs.len());
         let mut cursor = SPM_BASE + 0x100;
         for (slot, spec) in specs.iter().enumerate() {
@@ -298,6 +716,9 @@ impl InferenceServer {
             dev.load_matrix(w);
             dev.wdm_channels = spec.wdm_channels.max(1);
             dev.setup_cycles = spec.setup_cycles;
+            if let Some(model) = spec.drift {
+                dev.enable_drift(model);
+            }
             let window = dev.wdm_channels * (n as u32) * 4;
             let (spm_in, spm_out) = (cursor, cursor + window);
             cursor += 2 * window;
@@ -311,11 +732,27 @@ impl InferenceServer {
                 base: ACCEL_BASE + PE_STRIDE * slot as u32,
                 spm_in,
                 spm_out,
-                healthy: true,
+                health: PeHealth::Healthy,
                 consecutive_failures: 0,
                 job: None,
+                canary: false,
+                wants_recal: false,
+                next_canary: if cfg.canary_period > 0 {
+                    cfg.canary_period
+                } else {
+                    u64::MAX
+                },
+                probation_left: 0,
+                recover_at: 0,
+                recovery_round: 0,
+                ejected_at: 0,
                 jobs_completed: 0,
                 fault_applied: false,
+                ejections: 0,
+                readmissions: 0,
+                canary_recals: 0,
+                out_of_fleet_cycles: 0,
+                jobs_since_readmission: 0,
             });
         }
         let mut servable = vec![false; models.len()];
@@ -326,28 +763,48 @@ impl InferenceServer {
             cfg,
             models,
             checksum_rows,
+            canary_xs,
+            canary_rhs,
             pes,
             servable,
             fleet_changed: false,
             spm: Ram::new(SPM_BASE, SPM_SIZE),
             now: 0,
+            state: None,
         }
     }
 
-    /// Recomputes the per-model servability mask from the surviving
-    /// fleet members.
+    /// Recomputes the per-model servability mask: a model is servable
+    /// while any non-dead PE hosts it (ejected PEs count — their queued
+    /// requests wait for readmission rather than dropping).
     fn refresh_servable(&mut self) {
         self.servable.iter_mut().for_each(|s| *s = false);
         for pe in &self.pes {
-            if pe.healthy {
+            if pe.health != PeHealth::Dead {
                 self.servable[pe.spec.model] = true;
             }
         }
     }
 
-    /// Number of PEs still in the fleet (healthy).
+    /// Bitmask of non-dead PE slots hosting `model` (the affinity-reset
+    /// horizon for poisoned requests).
+    fn live_mask(&self, model: usize) -> u64 {
+        self.pes
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.spec.model == model && p.health != PeHealth::Dead)
+            .fold(0u64, |m, (i, _)| m | (1u64 << (i as u32 & 63)))
+    }
+
+    /// Number of PEs currently in-fleet (healthy, suspect or draining
+    /// for a drift recalibration).
     pub fn healthy_pes(&self) -> usize {
-        self.pes.iter().filter(|p| p.healthy).count()
+        self.pes.iter().filter(|p| p.health.in_fleet()).count()
+    }
+
+    /// Health state of PE `slot`.
+    pub fn pe_health(&self, slot: usize) -> PeHealth {
+        self.pes[slot].health
     }
 
     /// The bus MMR base address of PE `slot`.
@@ -365,168 +822,390 @@ impl InferenceServer {
         self.pes.iter().map(|p| p.dev.energy()).sum()
     }
 
+    /// True between [`InferenceServer::begin`] and the run finishing.
+    pub fn is_running(&self) -> bool {
+        self.state.as_ref().is_some_and(|st| !st.finished)
+    }
+
     /// Serves `load` to completion (every request joined or dropped) and
     /// returns the joined responses plus the aggregate report.
     pub fn run(&mut self, load: &[Request]) -> ServeOutcome {
+        self.begin(load);
+        self.finish()
+    }
+
+    /// Starts a resumable run over `load`. Drive it with
+    /// [`InferenceServer::step`] (one event per call) and collect the
+    /// outcome with [`InferenceServer::finish`]. A `Clone` taken between
+    /// steps is a snapshot that resumes bit-identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a run is already in progress.
+    pub fn begin(&mut self, load: &[Request]) {
+        assert!(
+            self.state.is_none(),
+            "serve: begin() while a run is in progress"
+        );
         let mut load: Vec<Request> = load.to_vec();
         load.sort_by_key(|r| (r.arrival, r.id));
-        let start = self.now;
-        let total = load.len();
-        let mut next_arrival = 0usize;
-        let mut queue: VecDeque<Pending> = VecDeque::new();
-        let mut responses: Vec<Response> = Vec::new();
-        let mut dropped_ids: Vec<u64> = Vec::new();
-        let mut jobs_dispatched = 0u64;
-        let mut jobs_failed = 0u64;
-        let mut retries = 0u64;
-        let mut vectors_dispatched = 0u64;
+        let models = self.models.len();
+        self.state = Some(RunState {
+            load,
+            start: self.now,
+            next_arrival: 0,
+            queue: VecDeque::new(),
+            responses: Vec::new(),
+            drops: Vec::new(),
+            drop_counts: DropBreakdown::default(),
+            failures: FailureBreakdown::default(),
+            jobs_dispatched: 0,
+            jobs_failed: 0,
+            retries: 0,
+            vectors_dispatched: 0,
+            canaries_run: 0,
+            shed_until: vec![0; models],
+            shed_round: vec![0; models],
+            finished: false,
+        });
+    }
 
-        loop {
-            // Scheduled fault injection fires exactly at its cycle.
-            for pe in &mut self.pes {
-                if pe.fault_applied {
-                    continue;
-                }
-                match pe.spec.fault {
-                    PeFault::HardAt { cycle } if cycle <= self.now => {
-                        pe.dev.inject_hard_fault();
-                        pe.fault_applied = true;
-                    }
-                    PeFault::StallAt { cycle } if cycle <= self.now => {
-                        // New jobs will overrun any finite watchdog.
-                        pe.dev.setup_cycles = 1 << 40;
-                        pe.fault_applied = true;
-                    }
-                    _ => {}
-                }
-            }
+    /// Advances the run by one scheduler pass (one event). Returns
+    /// `false` once the run has finished (or no run is in progress).
+    pub fn step(&mut self) -> bool {
+        let Some(mut st) = self.state.take() else {
+            return false;
+        };
+        if !st.finished {
+            self.step_inner(&mut st);
+        }
+        let more = !st.finished;
+        self.state = Some(st);
+        more
+    }
 
-            // Admission: enqueue everything that has arrived. Requests
-            // whose model no PE can serve are service failures, not
-            // hangs: reject them at the door.
-            while next_arrival < load.len() && load[next_arrival].arrival <= self.now {
-                let req = &load[next_arrival];
-                if self.servable[req.model] {
-                    queue.push_back(Pending {
-                        req: req.clone(),
-                        attempts: 0,
-                    });
-                } else {
-                    dropped_ids.push(req.id);
-                }
-                next_arrival += 1;
-            }
+    /// Runs the in-progress run to completion and returns the outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`InferenceServer::begin`] was never called.
+    pub fn finish(&mut self) -> ServeOutcome {
+        assert!(self.state.is_some(), "serve: finish() without begin()");
+        while self.step() {}
+        let st = self.state.take().expect("checked above");
+        self.build_outcome(st)
+    }
 
-            // Join: collect completed jobs (or their failures).
-            for i in 0..self.pes.len() {
-                if self.pes[i].job.is_some() && self.pes[i].dev.is_done() {
-                    match self.complete(i) {
-                        Ok(mut resp) => responses.append(&mut resp),
-                        Err(job) => {
-                            jobs_failed += 1;
-                            self.fail(i, job, &mut queue, &mut dropped_ids, &mut retries);
-                        }
+    /// One full scheduler pass: faults → admission → join → health
+    /// actions → orphan drain → deadlines → route → advance.
+    fn step_inner(&mut self, st: &mut RunState) {
+        self.apply_faults();
+        self.admit(st);
+        self.join_done(st);
+        self.health_actions(st);
+        if self.fleet_changed {
+            self.fleet_changed = false;
+            self.refresh_servable();
+            // Drain newly-orphaned requests and re-normalize affinity
+            // masks against the shrunken live set. Gating the O(queue)
+            // sweep on fleet changes keeps the steady-state pass
+            // O(fleet) even with thousands queued.
+            let servable = &self.servable;
+            let drops = &mut st.drops;
+            let counts = &mut st.drop_counts;
+            st.queue.retain(|p| {
+                if !servable[p.req.model] {
+                    drops.push((p.req.id, DropReason::Unservable));
+                    counts.record(DropReason::Unservable);
+                }
+                servable[p.req.model]
+            });
+            for m in 0..self.models.len() {
+                let live = self.live_mask(m);
+                for p in st.queue.iter_mut().filter(|p| p.req.model == m) {
+                    if p.failed_on & live == live {
+                        p.failed_on = 0;
                     }
-                }
-            }
-
-            // A PE just left the fleet: refresh the servability mask and
-            // drain queued requests it has newly orphaned. Gating the
-            // O(queue) sweep on fleet changes keeps the steady-state
-            // scheduler pass O(fleet) even with thousands queued.
-            if self.fleet_changed {
-                self.fleet_changed = false;
-                self.refresh_servable();
-                let servable = &self.servable;
-                queue.retain(|p| {
-                    if !servable[p.req.model] {
-                        dropped_ids.push(p.req.id);
-                    }
-                    servable[p.req.model]
-                });
-            }
-
-            // Route: fill idle healthy PEs in slot order.
-            for i in 0..self.pes.len() {
-                let pe = &self.pes[i];
-                if !pe.healthy || pe.job.is_some() || pe.dev.is_busy() {
-                    continue;
-                }
-                let arrivals_done = next_arrival >= load.len();
-                let Some(job) = take_batch(
-                    &mut queue,
-                    pe.spec.model,
-                    pe.dev.wdm_channels as usize,
-                    self.now,
-                    self.cfg.batch_window,
-                    arrivals_done,
-                ) else {
-                    continue;
-                };
-                jobs_dispatched += 1;
-                vectors_dispatched += job.requests.len() as u64;
-                if let Err(job) = self.dispatch(i, job) {
-                    jobs_failed += 1;
-                    self.fail(i, job, &mut queue, &mut dropped_ids, &mut retries);
-                }
-            }
-
-            if responses.len() + dropped_ids.len() >= total {
-                break;
-            }
-
-            // Advance to the next event: arrival, device completion /
-            // watchdog deadline, or batch-window expiry on a model that
-            // has an idle healthy PE waiting for it.
-            let mut next: Option<u64> = None;
-            let mut relax = |t: u64| next = Some(next.map_or(t, |cur: u64| cur.min(t)));
-            if next_arrival < load.len() {
-                relax(load[next_arrival].arrival);
-            }
-            for pe in &self.pes {
-                if let Some(t) = pe.dev.next_event() {
-                    relax(t.max(self.now + 1));
-                }
-            }
-            for pe in &self.pes {
-                if !pe.healthy || pe.job.is_some() || pe.dev.is_busy() {
-                    continue;
-                }
-                if let Some(oldest) = queue
-                    .iter()
-                    .filter(|p| p.req.model == pe.spec.model)
-                    .map(|p| p.req.arrival)
-                    .min()
-                {
-                    relax((oldest + self.cfg.batch_window).max(self.now + 1));
-                }
-            }
-            match next {
-                Some(t) => {
-                    debug_assert!(t > self.now, "event loop must make progress");
-                    self.now = t;
-                    for pe in &mut self.pes {
-                        pe.dev.tick(self.now);
-                    }
-                }
-                None => {
-                    // No event can ever fire again: everything still
-                    // queued is undeliverable (defensive — the orphan
-                    // sweep above should already have drained it).
-                    for p in queue.drain(..) {
-                        dropped_ids.push(p.req.id);
-                    }
-                    if responses.len() + dropped_ids.len() >= total {
-                        break;
-                    }
-                    unreachable!("serve: no pending event yet requests unaccounted for");
                 }
             }
         }
+        if self.cfg.deadline > 0 {
+            let deadline = self.cfg.deadline;
+            let now = self.now;
+            let drops = &mut st.drops;
+            let counts = &mut st.drop_counts;
+            st.queue.retain(|p| {
+                let expired = now > p.req.arrival + deadline;
+                if expired {
+                    drops.push((p.req.id, DropReason::Deadline));
+                    counts.record(DropReason::Deadline);
+                }
+                !expired
+            });
+        }
+        self.route(st);
+        if st.accounted() >= st.load.len() {
+            st.finished = true;
+            return;
+        }
+        self.advance(st);
+    }
 
-        responses.sort_by_key(|r| r.id);
-        dropped_ids.sort_unstable();
-        let mut latencies: Vec<u64> = responses.iter().map(Response::latency).collect();
+    /// Applies the scheduled fault condition of every PE at the current
+    /// cycle. Persistent faults re-assert themselves (the recovery reset
+    /// clears the latch; the condition bricks it again), transient ones
+    /// hold only inside their window.
+    fn apply_faults(&mut self) {
+        let now = self.now;
+        for pe in &mut self.pes {
+            match pe.spec.fault {
+                PeFault::None => {}
+                PeFault::HardAt { cycle } => {
+                    if now >= cycle && !pe.dev.is_hard_faulted() {
+                        pe.dev.inject_hard_fault();
+                    }
+                }
+                PeFault::HardFor { cycle, until } => {
+                    if now >= cycle && now < until && !pe.dev.is_hard_faulted() {
+                        pe.dev.inject_hard_fault();
+                    }
+                }
+                PeFault::StallAt { cycle } => {
+                    if now >= cycle && !pe.fault_applied {
+                        pe.dev.setup_cycles = 1 << 40;
+                        pe.fault_applied = true;
+                    }
+                }
+                PeFault::StallFor { cycle, until } => {
+                    if now >= cycle && now < until && !pe.fault_applied {
+                        pe.dev.setup_cycles = 1 << 40;
+                        pe.fault_applied = true;
+                    }
+                    if now >= until && pe.fault_applied {
+                        pe.dev.setup_cycles = pe.spec.setup_cycles;
+                        pe.fault_applied = false;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Admission control: enqueue everything that has arrived, shedding
+    /// at the queue cap (with per-model-class exponential backoff) and
+    /// rejecting unservable models at the door.
+    fn admit(&mut self, st: &mut RunState) {
+        while st.next_arrival < st.load.len() && st.load[st.next_arrival].arrival <= self.now {
+            let req = &st.load[st.next_arrival];
+            st.next_arrival += 1;
+            let m = req.model;
+            if !self.servable[m] {
+                st.drop_req(req.id, DropReason::Unservable);
+                continue;
+            }
+            if self.cfg.queue_cap > 0 {
+                if self.now < st.shed_until[m] {
+                    st.drop_req(req.id, DropReason::Shed);
+                    continue;
+                }
+                if st.queue.len() >= self.cfg.queue_cap {
+                    // Shed this class and open its backoff window:
+                    // doubles per consecutive shed event, so sustained
+                    // overload converges to a predictable admit rate.
+                    let round = st.shed_round[m].min(16);
+                    st.shed_until[m] = self
+                        .now
+                        .saturating_add(self.cfg.shed_backoff.max(1) << round);
+                    st.shed_round[m] = st.shed_round[m].saturating_add(1);
+                    st.drop_req(req.id, DropReason::Shed);
+                    continue;
+                }
+                if st.queue.len() * 2 < self.cfg.queue_cap {
+                    st.shed_round[m] = 0;
+                }
+            }
+            st.queue.push_back(Pending {
+                req: req.clone(),
+                attempts: 0,
+                strikes: 0,
+                failed_on: 0,
+            });
+        }
+    }
+
+    /// Collects every device whose `done` latch is up: recal
+    /// completions, canary joins, and production-job joins.
+    fn join_done(&mut self, st: &mut RunState) {
+        for i in 0..self.pes.len() {
+            if !self.pes[i].dev.is_done() {
+                continue;
+            }
+            match self.pes[i].health {
+                PeHealth::Recovering => self.finish_recovery_recal(i),
+                PeHealth::Recalibrating => self.finish_drift_recal(i),
+                _ if self.pes[i].canary => self.finish_canary(i),
+                _ if self.pes[i].job.is_some() => self.finish_job(i, st),
+                _ => {
+                    // Stray done (e.g. a job aborted after its PE left
+                    // the serving states): ack defensively.
+                    self.pes[i].dev.mmr_store(mmr::CTRL, 2);
+                    self.pes[i].dev.mmr_store(mmr::CTRL, 4);
+                }
+            }
+        }
+    }
+
+    /// Drives the health state machine: recovery attempts on ejected
+    /// PEs, drift recalibrations on drained PEs, canary dispatch for
+    /// probation and drift probing.
+    fn health_actions(&mut self, st: &mut RunState) {
+        for i in 0..self.pes.len() {
+            let pe = &self.pes[i];
+            let idle = !pe.dev.is_busy() && pe.job.is_none() && !pe.canary;
+            match pe.health {
+                PeHealth::Ejected if self.now >= pe.recover_at => self.attempt_recovery(i),
+                PeHealth::Healthy | PeHealth::Suspect if idle => {
+                    if self.pes[i].wants_recal {
+                        let pe = &mut self.pes[i];
+                        pe.health = PeHealth::Recalibrating;
+                        pe.dev.mmr_store(mmr::CTRL, 4);
+                        pe.dev.recalibrate(self.now);
+                        if pe.dev.error_bits() != 0 {
+                            // Recal refused (e.g. the device bricked
+                            // since the canary): treat as a failure.
+                            pe.dev.mmr_store(mmr::CTRL, 4);
+                            pe.health = PeHealth::Healthy;
+                            self.device_strike(i);
+                        }
+                    } else if self.cfg.canary_period > 0 && self.now >= self.pes[i].next_canary {
+                        self.dispatch_canary(i, st);
+                    }
+                }
+                PeHealth::Probation if idle => self.dispatch_canary(i, st),
+                _ => {}
+            }
+        }
+    }
+
+    /// Routes queued work: fills idle in-fleet PEs in slot order.
+    fn route(&mut self, st: &mut RunState) {
+        // Least-loaded-first: a freshly readmitted PE has completed the
+        // fewest jobs, so the router naturally rebalances traffic onto
+        // it — which is what proves the readmission out. Slot index
+        // breaks ties, keeping the order fully deterministic.
+        let mut order: Vec<usize> = (0..self.pes.len()).collect();
+        order.sort_by_key(|&i| (self.pes[i].jobs_completed, i));
+        for i in order {
+            let pe = &self.pes[i];
+            if !matches!(pe.health, PeHealth::Healthy | PeHealth::Suspect)
+                || pe.wants_recal
+                || pe.canary
+                || pe.job.is_some()
+                || pe.dev.is_busy()
+            {
+                continue;
+            }
+            let arrivals_done = st.next_arrival >= st.load.len();
+            let Some(job) = take_batch(
+                &mut st.queue,
+                pe.spec.model,
+                i,
+                pe.dev.wdm_channels as usize,
+                self.now,
+                self.cfg.batch_window,
+                arrivals_done,
+            ) else {
+                continue;
+            };
+            st.jobs_dispatched += 1;
+            st.vectors_dispatched += job.requests.len() as u64;
+            if let Err(job) = self.dispatch(i, job) {
+                st.jobs_failed += 1;
+                let bits = self.pes[i].dev.error_bits();
+                st.failures.record_device(bits);
+                self.pes[i].dev.mmr_store(mmr::CTRL, 4);
+                self.device_strike(i);
+                self.requeue_device_failure(job, st);
+            }
+        }
+    }
+
+    /// Advances simulated time to the next event and ticks every device.
+    fn advance(&mut self, st: &mut RunState) {
+        let mut next: Option<u64> = None;
+        let mut relax = |t: u64| next = Some(next.map_or(t, |cur: u64| cur.min(t)));
+        if st.next_arrival < st.load.len() {
+            relax(st.load[st.next_arrival].arrival);
+        }
+        for pe in &self.pes {
+            if let Some(t) = pe.dev.next_event() {
+                relax(t.max(self.now + 1));
+            }
+        }
+        for (i, pe) in self.pes.iter().enumerate() {
+            match pe.health {
+                PeHealth::Ejected => relax(pe.recover_at.max(self.now + 1)),
+                PeHealth::Healthy | PeHealth::Suspect
+                    if !pe.dev.is_busy() && pe.job.is_none() && !pe.canary =>
+                {
+                    if self.cfg.canary_period > 0 && !pe.wants_recal {
+                        relax(pe.next_canary.max(self.now + 1));
+                    }
+                    // Batch-window expiry on this PE's model class —
+                    // mirrors `take_batch`'s eligibility exactly
+                    // (model + affinity) so the wake-up is never for a
+                    // batch that cannot form.
+                    if let Some(oldest) = st
+                        .queue
+                        .iter()
+                        .filter(|p| {
+                            p.req.model == pe.spec.model
+                                && p.failed_on & (1u64 << (i as u32 & 63)) == 0
+                        })
+                        .map(|p| p.req.arrival)
+                        .min()
+                    {
+                        relax((oldest + self.cfg.batch_window).max(self.now + 1));
+                    }
+                }
+                _ => {}
+            }
+        }
+        if self.cfg.deadline > 0 {
+            for p in &st.queue {
+                relax((p.req.arrival + self.cfg.deadline).max(self.now + 1));
+            }
+        }
+        match next {
+            Some(t) => {
+                debug_assert!(t > self.now, "event loop must make progress");
+                self.now = t;
+                for pe in &mut self.pes {
+                    pe.dev.tick(self.now);
+                }
+            }
+            None => {
+                // No event can ever fire again: everything still queued
+                // is undeliverable (defensive — the orphan sweep should
+                // already have drained it).
+                let ids: Vec<u64> = st.queue.drain(..).map(|p| p.req.id).collect();
+                for id in ids {
+                    st.drop_req(id, DropReason::Unservable);
+                }
+                if st.accounted() >= st.load.len() {
+                    st.finished = true;
+                    return;
+                }
+                unreachable!("serve: no pending event yet requests unaccounted for");
+            }
+        }
+    }
+
+    /// Builds the final outcome from a finished run state.
+    fn build_outcome(&self, mut st: RunState) -> ServeOutcome {
+        st.responses.sort_by_key(|r| r.id);
+        st.drops.sort_by_key(|&(id, _)| id);
+        let dropped_ids: Vec<u64> = st.drops.iter().map(|&(id, _)| id).collect();
+        let mut latencies: Vec<u64> = st.responses.iter().map(Response::latency).collect();
         latencies.sort_unstable();
         let pct = |p: usize| -> u64 {
             if latencies.is_empty() {
@@ -535,37 +1214,60 @@ impl InferenceServer {
                 latencies[(latencies.len() - 1) * p / 100]
             }
         };
-        let total_cycles = self.now - start;
+        let total_cycles = self.now - st.start;
         let report = ServeReport {
-            completed: responses.len(),
-            dropped: dropped_ids.len(),
+            completed: st.responses.len(),
+            dropped: st.drops.len(),
             total_cycles,
             p50_latency_cycles: pct(50),
             p99_latency_cycles: pct(99),
             max_latency_cycles: latencies.last().copied().unwrap_or(0),
             requests_per_sec: if total_cycles > 0 {
-                responses.len() as f64 / (total_cycles as f64 / SERVE_CPU_HZ)
+                st.responses.len() as f64 / (total_cycles as f64 / SERVE_CPU_HZ)
             } else {
                 0.0
             },
-            jobs_dispatched,
-            jobs_failed,
-            retries,
-            pes_ejected: self.pes.iter().filter(|p| !p.healthy).count(),
+            jobs_dispatched: st.jobs_dispatched,
+            jobs_failed: st.jobs_failed,
+            retries: st.retries,
+            pes_ejected: self.pes.iter().filter(|p| !p.health.in_fleet()).count(),
+            pes_dead: self
+                .pes
+                .iter()
+                .filter(|p| p.health == PeHealth::Dead)
+                .count(),
             per_pe_jobs: self.pes.iter().map(|p| p.jobs_completed).collect(),
-            mean_batch_fill: if jobs_dispatched > 0 {
-                vectors_dispatched as f64 / jobs_dispatched as f64
+            mean_batch_fill: if st.jobs_dispatched > 0 {
+                st.vectors_dispatched as f64 / st.jobs_dispatched as f64
             } else {
                 0.0
             },
             fleet_energy_j: self.fleet_energy(),
+            drops: st.drop_counts,
+            failures: st.failures,
+            canaries_run: st.canaries_run,
+            per_pe: self
+                .pes
+                .iter()
+                .map(|p| PeLifecycle {
+                    ejections: p.ejections,
+                    readmissions: p.readmissions,
+                    canary_recals: p.canary_recals,
+                    out_of_fleet_cycles: p.out_of_fleet_cycles,
+                    jobs_since_readmission: p.jobs_since_readmission,
+                    final_health: p.health,
+                })
+                .collect(),
         };
         ServeOutcome {
-            responses,
+            responses: st.responses,
             dropped_ids,
+            drops: st.drops,
             report,
         }
     }
+
+    // ---- device protocol -------------------------------------------------
 
     /// Stages a job's inputs into the PE's SPM window and rings the
     /// doorbell. Returns the job back on immediate rejection (bricked
@@ -596,21 +1298,122 @@ impl InferenceServer {
         }
     }
 
-    /// Joins a completed job: acknowledges the device, checks the error
-    /// latch, reads the outputs back and verifies them. Returns the job
-    /// on any failure so the caller can re-route it.
-    fn complete(&mut self, i: usize) -> Result<Vec<Response>, Job> {
+    /// Dispatches a watchdog-armed canary MVM — the known input whose
+    /// ABFT checksum is precomputed — on PE `i` (drift probe when
+    /// in-fleet, half-open probe when on probation).
+    fn dispatch_canary(&mut self, i: usize, st: &mut RunState) {
         let model = self.pes[i].spec.model;
         let n = self.models[model].rows();
         let pe = &mut self.pes[i];
-        let job = pe.job.take().expect("complete() requires an in-flight job");
-        pe.dev.mmr_store(mmr::CTRL, 2); // ack done
-        if pe.dev.error_bits() != 0 {
-            pe.dev.mmr_store(mmr::CTRL, 4); // ack the error latch
-            return Err(job);
+        for j in 0..n {
+            self.spm
+                .poke(
+                    pe.spm_in + j as u32 * 4,
+                    to_fixed(self.canary_xs[model][j]) as u32,
+                )
+                .expect("PE window inside SPM");
         }
-        let mut out = Vec::with_capacity(job.requests.len());
-        for (k, p) in job.requests.iter().enumerate() {
+        pe.dev.mmr_store(mmr::CTRL, 4);
+        pe.dev.mmr_store(mmr::IN_ADDR, pe.spm_in);
+        pe.dev.mmr_store(mmr::OUT_ADDR, pe.spm_out);
+        pe.dev.mmr_store(mmr::BATCH, 1);
+        pe.dev.mmr_store(mmr::WATCHDOG, self.cfg.watchdog);
+        let doorbell = pe.dev.mmr_store(mmr::CTRL, 1);
+        if doorbell && pe.dev.start(self.now, &mut self.spm) {
+            pe.canary = true;
+            st.canaries_run += 1;
+        } else {
+            pe.dev.mmr_store(mmr::CTRL, 4);
+            if self.pes[i].health == PeHealth::Probation {
+                self.recovery_round_failed(i);
+            } else {
+                self.device_strike(i);
+            }
+        }
+    }
+
+    /// Joins a completed canary: device errors and checksum misses feed
+    /// the health state machine, never the request path.
+    fn finish_canary(&mut self, i: usize) {
+        let model = self.pes[i].spec.model;
+        let n = self.models[model].rows();
+        let pe = &mut self.pes[i];
+        pe.canary = false;
+        pe.dev.mmr_store(mmr::CTRL, 2); // ack done
+        let bits = pe.dev.error_bits();
+        if bits != 0 {
+            pe.dev.mmr_store(mmr::CTRL, 4);
+            if self.pes[i].health == PeHealth::Probation {
+                self.recovery_round_failed(i);
+            } else {
+                self.device_strike(i);
+            }
+            return;
+        }
+        let lhs: f64 = (0..n)
+            .map(|j| {
+                from_fixed(
+                    self.spm
+                        .peek(pe.spm_out + j as u32 * 4)
+                        .expect("PE window inside SPM") as i32,
+                )
+            })
+            .sum();
+        // Tightened tolerance: the canary must miss while production
+        // jobs still pass, so recalibration pre-empts job failures.
+        let threshold = self.cfg.drift_margin * self.cfg.checksum_tolerance * n as f64;
+        let pass = (lhs - self.canary_rhs[model]).abs() <= threshold;
+        match self.pes[i].health {
+            PeHealth::Probation => {
+                if pass {
+                    let pe = &mut self.pes[i];
+                    pe.probation_left = pe.probation_left.saturating_sub(1);
+                    if pe.probation_left == 0 {
+                        self.readmit(i);
+                    }
+                } else {
+                    self.recovery_round_failed(i);
+                }
+            }
+            _ => {
+                let pe = &mut self.pes[i];
+                if pass {
+                    pe.consecutive_failures = 0;
+                    pe.health = PeHealth::Healthy;
+                    pe.next_canary = self.now + self.cfg.canary_period.max(1);
+                } else {
+                    // Drift approaching the job threshold: drain and
+                    // recalibrate before any production job can fail.
+                    pe.wants_recal = true;
+                    pe.canary_recals += 1;
+                }
+            }
+        }
+    }
+
+    /// Joins a completed production job: acknowledges the device, checks
+    /// the error latch, reads the outputs back and verifies them
+    /// per vector. Good vectors join; bad vectors are re-queued with a
+    /// strike against the request (poison attribution), and the PE is
+    /// charged only when the *whole* job failed.
+    fn finish_job(&mut self, i: usize, st: &mut RunState) {
+        let model = self.pes[i].spec.model;
+        let n = self.models[model].rows();
+        let pe = &mut self.pes[i];
+        let job = pe.job.take().expect("finish_job requires an in-flight job");
+        pe.dev.mmr_store(mmr::CTRL, 2); // ack done
+        let bits = pe.dev.error_bits();
+        if bits != 0 {
+            pe.dev.mmr_store(mmr::CTRL, 4); // ack the error latch
+            st.jobs_failed += 1;
+            st.failures.record_device(bits);
+            self.device_strike(i);
+            self.requeue_device_failure(job, st);
+            return;
+        }
+        let mut bad: Vec<Pending> = Vec::new();
+        let mut good = 0usize;
+        for (k, p) in job.requests.into_iter().enumerate() {
             let y: Vec<f64> = (0..n)
                 .map(|j| {
                     from_fixed(
@@ -620,7 +1423,7 @@ impl InferenceServer {
                     )
                 })
                 .collect();
-            if self.cfg.verify_outputs {
+            let ok = if self.cfg.verify_outputs {
                 // ABFT plain-checksum identity: Σ·(W x) = (1ᵀW)·x.
                 let lhs: f64 = y.iter().sum();
                 let rhs: f64 = self.checksum_rows[model]
@@ -628,69 +1431,225 @@ impl InferenceServer {
                     .zip(&p.req.x)
                     .map(|(&c, &x)| c * from_fixed(to_fixed(x)))
                     .sum();
-                if (lhs - rhs).abs() > self.cfg.checksum_tolerance * n as f64 {
-                    return Err(job);
-                }
+                (lhs - rhs).abs() <= self.cfg.checksum_tolerance * n as f64
+            } else {
+                true
+            };
+            if ok {
+                good += 1;
+                st.responses.push(Response {
+                    id: p.req.id,
+                    model,
+                    arrival: p.req.arrival,
+                    completed: self.now,
+                    retries: p.attempts,
+                    y,
+                });
+            } else {
+                bad.push(p);
             }
-            out.push(Response {
-                id: p.req.id,
-                model,
-                arrival: p.req.arrival,
-                completed: self.now,
-                retries: p.attempts,
-                y,
-            });
         }
-        pe.consecutive_failures = 0;
-        pe.jobs_completed += 1;
-        Ok(out)
+        if bad.is_empty() {
+            let pe = &mut self.pes[i];
+            pe.consecutive_failures = 0;
+            if pe.health == PeHealth::Suspect {
+                pe.health = PeHealth::Healthy;
+            }
+            pe.jobs_completed += 1;
+            if pe.readmissions > 0 {
+                pe.jobs_since_readmission += 1;
+            }
+            return;
+        }
+        st.jobs_failed += 1;
+        st.failures.checksum += 1;
+        if good == 0 {
+            // Every vector in the batch was wrong: that points at the
+            // device, not the payloads.
+            self.device_strike(i);
+        }
+        let live = self.live_mask(model);
+        let bit = 1u64 << (i as u32 & 63);
+        for mut p in bad.into_iter().rev() {
+            p.attempts += 1;
+            p.strikes += 1;
+            st.retries += 1;
+            if p.strikes >= self.cfg.request_retry_cap.max(1) {
+                // A payload that fails everywhere is poison: drop it
+                // alone instead of burning the fleet's retry budgets.
+                st.drop_req(p.req.id, DropReason::Poison);
+            } else {
+                p.failed_on |= bit;
+                if p.failed_on & live == live {
+                    p.failed_on = 0;
+                }
+                st.queue.push_front(p);
+            }
+        }
     }
 
-    /// Degraded-fleet bookkeeping after a failed job: charge the PE's
-    /// retry budget (ejecting it at the cap) and re-queue the requests
-    /// at the front for retry on any healthy PE.
-    fn fail(
-        &mut self,
-        i: usize,
-        job: Job,
-        queue: &mut VecDeque<Pending>,
-        dropped_ids: &mut Vec<u64>,
-        retries: &mut u64,
-    ) {
-        let pe = &mut self.pes[i];
-        pe.consecutive_failures += 1;
-        if pe.consecutive_failures >= self.cfg.retry_budget && pe.healthy {
-            pe.healthy = false;
-            self.fleet_changed = true;
-        }
+    /// Re-queues every request of a device-level failure (watchdog,
+    /// hard fault, reject) at the front — no strikes: the hardware, not
+    /// the payload, is suspect.
+    fn requeue_device_failure(&mut self, job: Job, st: &mut RunState) {
         for mut p in job.requests.into_iter().rev() {
             p.attempts += 1;
-            *retries += 1;
+            st.retries += 1;
             if p.attempts >= self.cfg.max_attempts {
-                dropped_ids.push(p.req.id);
+                st.drop_req(p.req.id, DropReason::AttemptCap);
             } else {
-                queue.push_front(p);
+                st.queue.push_front(p);
             }
         }
+    }
+
+    // ---- health state machine --------------------------------------------
+
+    /// Charges one consecutive failure against PE `i`, ejecting it at
+    /// the retry budget.
+    fn device_strike(&mut self, i: usize) {
+        let budget = self.cfg.retry_budget.max(1);
+        let pe = &mut self.pes[i];
+        pe.consecutive_failures += 1;
+        if pe.consecutive_failures >= budget {
+            self.eject(i);
+        } else if pe.health == PeHealth::Healthy {
+            pe.health = PeHealth::Suspect;
+        }
+    }
+
+    /// Ejects PE `i` out-of-fleet, opening its recovery backoff (or
+    /// declaring it dead when recovery is disabled).
+    fn eject(&mut self, i: usize) {
+        let pe = &mut self.pes[i];
+        pe.ejections += 1;
+        pe.ejected_at = self.now;
+        pe.recovery_round = 0;
+        pe.consecutive_failures = 0;
+        pe.wants_recal = false;
+        if self.cfg.recovery_attempts == 0 {
+            pe.health = PeHealth::Dead;
+            self.fleet_changed = true;
+        } else {
+            pe.health = PeHealth::Ejected;
+            pe.recover_at = self.now.saturating_add(self.cfg.recovery_backoff.max(1));
+        }
+    }
+
+    /// Backoff before recovery round `round` \[cycles\].
+    fn recovery_backoff_for(&self, round: u32) -> u64 {
+        self.cfg
+            .recovery_backoff
+            .max(1)
+            .saturating_mul(1u64 << round.min(16))
+    }
+
+    /// One failed recovery round: re-eject with doubled backoff, or
+    /// declare the PE dead once the rounds are exhausted. Bounded by
+    /// construction: at most [`ServeConfig::recovery_attempts`] rounds
+    /// per ejection episode.
+    fn recovery_round_failed(&mut self, i: usize) {
+        let attempts = self.cfg.recovery_attempts;
+        let round = self.pes[i].recovery_round + 1;
+        let backoff = self.recovery_backoff_for(round);
+        let pe = &mut self.pes[i];
+        pe.recovery_round = round;
+        if round >= attempts {
+            pe.health = PeHealth::Dead;
+            self.fleet_changed = true;
+        } else {
+            pe.health = PeHealth::Ejected;
+            pe.recover_at = self.now.saturating_add(backoff);
+        }
+    }
+
+    /// The deterministic reset-and-recalibrate sequence on an ejected
+    /// PE: clear the error latch and the sticky hard-fault state, then
+    /// issue a CTRL recalibration. A persistent fault condition
+    /// re-asserts itself against the reset (see
+    /// [`InferenceServer::apply_faults`]) and aborts the recal, failing
+    /// the round.
+    fn attempt_recovery(&mut self, i: usize) {
+        let pe = &mut self.pes[i];
+        pe.dev.mmr_store(mmr::CTRL, 4);
+        pe.dev.clear_hard_fault();
+        pe.dev.recalibrate(self.now);
+        if pe.dev.error_bits() != 0 {
+            pe.dev.mmr_store(mmr::CTRL, 4);
+            self.recovery_round_failed(i);
+        } else {
+            pe.health = PeHealth::Recovering;
+        }
+    }
+
+    /// Completes the recovery recalibration: a clean finish enters
+    /// half-open probation; an aborted one (the fault re-asserted)
+    /// fails the round.
+    fn finish_recovery_recal(&mut self, i: usize) {
+        let pe = &mut self.pes[i];
+        pe.dev.mmr_store(mmr::CTRL, 2);
+        if pe.dev.error_bits() != 0 {
+            pe.dev.mmr_store(mmr::CTRL, 4);
+            self.recovery_round_failed(i);
+        } else {
+            pe.health = PeHealth::Probation;
+            pe.probation_left = self.cfg.probation_canaries.max(1);
+        }
+    }
+
+    /// Completes a drift-triggered recalibration: the PE re-enters the
+    /// fleet with fresh weights and a fresh canary schedule.
+    fn finish_drift_recal(&mut self, i: usize) {
+        let pe = &mut self.pes[i];
+        pe.dev.mmr_store(mmr::CTRL, 2);
+        if pe.dev.error_bits() != 0 {
+            pe.dev.mmr_store(mmr::CTRL, 4);
+            pe.health = PeHealth::Healthy;
+            self.device_strike(i);
+            return;
+        }
+        pe.health = PeHealth::Healthy;
+        pe.consecutive_failures = 0;
+        pe.wants_recal = false;
+        pe.next_canary = self.now + self.cfg.canary_period.max(1);
+    }
+
+    /// Readmits PE `i` after a full probation pass: deterministic, and
+    /// recorded as a completed ejection→readmission episode.
+    fn readmit(&mut self, i: usize) {
+        let pe = &mut self.pes[i];
+        pe.health = PeHealth::Healthy;
+        pe.readmissions += 1;
+        pe.out_of_fleet_cycles += self.now - pe.ejected_at;
+        pe.recovery_round = 0;
+        pe.consecutive_failures = 0;
+        pe.next_canary = if self.cfg.canary_period > 0 {
+            self.now + self.cfg.canary_period
+        } else {
+            u64::MAX
+        };
     }
 }
 
 /// Pulls the next batch for `model` out of the queue: up to `cap`
-/// same-model requests in FIFO order. A batch forms when it is full,
-/// when its oldest request has waited `batch_window` cycles, or when no
-/// further arrivals can top it up.
+/// same-model requests in FIFO order, skipping requests whose affinity
+/// mask excludes PE `slot` (they failed their checksum there). A batch
+/// forms when it is full, when its oldest request has waited
+/// `batch_window` cycles, or when no further arrivals can top it up.
 fn take_batch(
     queue: &mut VecDeque<Pending>,
     model: usize,
+    slot: usize,
     cap: usize,
     now: u64,
     batch_window: u64,
     arrivals_done: bool,
 ) -> Option<Job> {
+    let bit = 1u64 << (slot as u32 & 63);
     let matching: Vec<usize> = queue
         .iter()
         .enumerate()
-        .filter(|(_, p)| p.req.model == model)
+        .filter(|(_, p)| p.req.model == model && p.failed_on & bit == 0)
         .map(|(k, _)| k)
         .take(cap)
         .collect();
@@ -870,6 +1829,7 @@ mod tests {
         assert_eq!(out.report.pes_ejected, 1, "the bricked PE left the fleet");
         assert_eq!(srv.healthy_pes(), 3);
         assert!(out.report.jobs_failed > 0, "the fault was actually hit");
+        assert!(out.report.failures.hard_fault > 0, "classified as HW fault");
         assert!(
             out.responses.iter().any(|r| r.retries > 0),
             "failed jobs were retried on healthy PEs"
@@ -903,6 +1863,7 @@ mod tests {
         assert_eq!(out.report.dropped, 0);
         assert_eq!(out.report.completed, 400);
         assert_eq!(out.report.pes_ejected, 1);
+        assert!(out.report.failures.watchdog > 0);
         assert_eq!(
             out.report.per_pe_jobs[2], 0,
             "the stalled PE joined nothing"
@@ -921,7 +1882,12 @@ mod tests {
                     (1, PeFault::HardAt { cycle: 0 }),
                 ],
             ),
-            ServeConfig::default(),
+            ServeConfig {
+                // Fast recovery cadence so both PEs exhaust their
+                // recovery rounds (persistent fault -> dead) quickly.
+                recovery_backoff: 32,
+                ..ServeConfig::default()
+            },
         );
         let out = srv.run(&heavy_load(&models, 50));
         assert_eq!(out.report.completed, 0);
@@ -930,6 +1896,8 @@ mod tests {
             "service failure is reported, not hung"
         );
         assert_eq!(out.report.pes_ejected, 2);
+        assert_eq!(out.report.pes_dead, 2, "persistent bricks end up dead");
+        assert_eq!(out.report.drops.unservable, 50);
     }
 
     #[test]
@@ -1004,6 +1972,305 @@ mod tests {
             out.report.max_latency_cycles < 200,
             "{}",
             out.report.max_latency_cycles
+        );
+    }
+
+    // ---- self-healing -----------------------------------------------------
+
+    #[test]
+    fn transient_brick_is_recovered_and_readmitted() {
+        let models = vec![test_model(8)];
+        let mut srv = InferenceServer::new(
+            models.clone(),
+            &homogeneous_fleet(
+                2,
+                &[(
+                    1,
+                    PeFault::HardFor {
+                        cycle: 100,
+                        until: 400,
+                    },
+                )],
+            ),
+            ServeConfig {
+                recovery_backoff: 64,
+                ..ServeConfig::default()
+            },
+        );
+        let load = synthetic_load(
+            &models,
+            LoadSpec {
+                requests: 600,
+                mean_interarrival: 3,
+                seed: 0xbeef,
+            },
+        );
+        let out = srv.run(&load);
+        assert_eq!(out.report.dropped, 0, "no request may be lost");
+        assert_eq!(out.report.completed, 600);
+        let pe1 = &out.report.per_pe[1];
+        assert!(pe1.ejections >= 1, "the transient brick ejected PE 1");
+        assert!(pe1.readmissions >= 1, "PE 1 was readmitted: {pe1:?}");
+        assert_eq!(pe1.final_health, PeHealth::Healthy);
+        assert!(
+            pe1.jobs_since_readmission > 0,
+            "PE 1 served jobs again after readmission"
+        );
+        assert!(pe1.out_of_fleet_cycles > 0, "time-to-readmission recorded");
+        assert_eq!(srv.pe_health(1), PeHealth::Healthy);
+        assert_eq!(srv.healthy_pes(), 2);
+    }
+
+    #[test]
+    fn transient_stall_is_recovered_and_readmitted() {
+        let models = vec![test_model(8)];
+        let mut srv = InferenceServer::new(
+            models.clone(),
+            &homogeneous_fleet(
+                2,
+                &[(
+                    0,
+                    PeFault::StallFor {
+                        cycle: 50,
+                        until: 500,
+                    },
+                )],
+            ),
+            ServeConfig {
+                watchdog: 64,
+                recovery_backoff: 64,
+                ..ServeConfig::default()
+            },
+        );
+        let load = synthetic_load(
+            &models,
+            LoadSpec {
+                requests: 600,
+                mean_interarrival: 3,
+                seed: 0x57a1,
+            },
+        );
+        let out = srv.run(&load);
+        assert_eq!(out.report.dropped, 0);
+        assert_eq!(out.report.completed, 600);
+        let pe0 = &out.report.per_pe[0];
+        assert!(pe0.ejections >= 1 && pe0.readmissions >= 1, "{pe0:?}");
+        assert_eq!(pe0.final_health, PeHealth::Healthy);
+        assert!(pe0.jobs_since_readmission > 0);
+    }
+
+    #[test]
+    fn permanent_brick_exhausts_recovery_and_dies() {
+        let models = vec![test_model(8)];
+        let mut srv = InferenceServer::new(
+            models.clone(),
+            &homogeneous_fleet(2, &[(1, PeFault::HardAt { cycle: 100 })]),
+            ServeConfig {
+                recovery_backoff: 16,
+                recovery_attempts: 3,
+                ..ServeConfig::default()
+            },
+        );
+        let load = synthetic_load(
+            &models,
+            LoadSpec {
+                requests: 800,
+                mean_interarrival: 3,
+                seed: 0xdead,
+            },
+        );
+        let out = srv.run(&load);
+        assert_eq!(out.report.dropped, 0);
+        let pe1 = &out.report.per_pe[1];
+        assert_eq!(
+            pe1.final_health,
+            PeHealth::Dead,
+            "sticky HW_FAULT stays dead: {pe1:?}"
+        );
+        assert_eq!(pe1.readmissions, 0);
+        assert_eq!(out.report.pes_dead, 1);
+    }
+
+    #[test]
+    fn poison_request_is_dropped_alone_with_distinct_reason() {
+        let models = vec![test_model(8)];
+        let mut load = heavy_load(&models, 120);
+        // One poison payload: saturates the fixed-point output range, so
+        // its ABFT checksum fails on every PE it touches.
+        load[60].x = vec![30000.0; 8];
+        let poison_id = load[60].id;
+        let mut srv = InferenceServer::new(
+            models.clone(),
+            &homogeneous_fleet(3, &[]),
+            ServeConfig::default(),
+        );
+        let out = srv.run(&load);
+        assert_eq!(out.report.completed, 119, "only the poison request drops");
+        assert_eq!(out.report.dropped, 1);
+        assert_eq!(out.report.drops.poison, 1);
+        assert_eq!(out.drops, vec![(poison_id, DropReason::Poison)]);
+        assert_eq!(
+            out.report.pes_ejected, 0,
+            "a bad payload must not eject healthy hardware"
+        );
+        assert_eq!(srv.healthy_pes(), 3);
+    }
+
+    #[test]
+    fn drift_canary_recalibrates_before_any_job_fails() {
+        let models = vec![test_model(8)];
+        let drift = PcmDriftModel {
+            nu: 0.05,
+            seconds_per_cycle: 1e-3,
+            initial_age_s: 1e-3,
+            ..PcmDriftModel::default()
+        };
+        let mut specs = homogeneous_fleet(2, &[]);
+        for s in &mut specs {
+            s.drift = Some(drift);
+        }
+        let mut srv = InferenceServer::new(
+            models.clone(),
+            &specs,
+            ServeConfig {
+                canary_period: 400,
+                ..ServeConfig::default()
+            },
+        );
+        let load = synthetic_load(
+            &models,
+            LoadSpec {
+                requests: 2000,
+                mean_interarrival: 4,
+                seed: 0xd21f7,
+            },
+        );
+        let out = srv.run(&load);
+        assert_eq!(out.report.completed, 2000);
+        assert_eq!(out.report.dropped, 0);
+        let recals: u32 = out.report.per_pe.iter().map(|p| p.canary_recals).sum();
+        assert!(recals > 0, "drift must trip at least one canary recal");
+        assert_eq!(
+            out.report.failures.checksum, 0,
+            "canaries must recalibrate before any production job fails"
+        );
+        assert_eq!(out.report.pes_ejected, 0, "drift is handled in-fleet");
+        assert!(srv.pe_device(0).recal_count() > 0);
+    }
+
+    #[test]
+    fn overload_sheds_with_backoff_and_recovers() {
+        let models = vec![test_model(8)];
+        // Saturating burst: everything at once against one PE with a
+        // tight queue — admission must shed rather than queue unboundedly.
+        let load = synthetic_load(
+            &models,
+            LoadSpec {
+                requests: 2000,
+                mean_interarrival: 0,
+                seed: 5,
+            },
+        );
+        let mut srv = InferenceServer::new(
+            models.clone(),
+            &[PeSpec::new(0)],
+            ServeConfig {
+                queue_cap: 64,
+                shed_backoff: 128,
+                ..ServeConfig::default()
+            },
+        );
+        let out = srv.run(&load);
+        assert!(out.report.drops.shed > 0, "overload must shed");
+        assert_eq!(
+            out.report.completed + out.report.dropped,
+            2000,
+            "every request is accounted for"
+        );
+        assert_eq!(
+            out.report.dropped, out.report.drops.shed,
+            "overload drops are shed drops, nothing else"
+        );
+        assert!(
+            out.report.completed >= 64,
+            "admitted work completes: {}",
+            out.report.completed
+        );
+    }
+
+    #[test]
+    fn deadline_shedding_drops_stale_requests() {
+        let models = vec![test_model(8)];
+        let load = synthetic_load(
+            &models,
+            LoadSpec {
+                requests: 400,
+                mean_interarrival: 0,
+                seed: 9,
+            },
+        );
+        let mut srv = InferenceServer::new(
+            models.clone(),
+            &[PeSpec::new(0)],
+            ServeConfig {
+                deadline: 60,
+                ..ServeConfig::default()
+            },
+        );
+        let out = srv.run(&load);
+        assert!(out.report.drops.deadline > 0, "stale requests dropped");
+        assert_eq!(out.report.completed + out.report.dropped, 400);
+        // Served requests respected the deadline at dispatch time; a
+        // request picked up just inside it still finishes its job.
+        let slack = 60 + srv.pe_device(0).job_cycles(8);
+        assert!(
+            out.report.max_latency_cycles <= slack,
+            "{} > {slack}",
+            out.report.max_latency_cycles
+        );
+    }
+
+    #[test]
+    fn stepping_matches_run_and_clones_resume_identically() {
+        let models = vec![test_model(8)];
+        let specs = homogeneous_fleet(
+            3,
+            &[(
+                1,
+                PeFault::HardFor {
+                    cycle: 100,
+                    until: 300,
+                },
+            )],
+        );
+        let cfg = ServeConfig {
+            recovery_backoff: 64,
+            canary_period: 200,
+            ..ServeConfig::default()
+        };
+        let load = heavy_load(&models, 200);
+        let mut whole = InferenceServer::new(models.clone(), &specs, cfg);
+        let reference = whole.run(&load);
+
+        let mut stepped = InferenceServer::new(models.clone(), &specs, cfg);
+        stepped.begin(&load);
+        let mut cloned: Option<InferenceServer> = None;
+        let mut steps = 0u64;
+        loop {
+            if steps == 37 {
+                cloned = Some(stepped.clone());
+            }
+            if !stepped.step() {
+                break;
+            }
+            steps += 1;
+        }
+        assert_eq!(stepped.finish(), reference, "stepped == run");
+        let mut resumed = cloned.expect("run had at least 37 steps");
+        assert_eq!(
+            resumed.finish(),
+            reference,
+            "a mid-run clone resumes bit-identically"
         );
     }
 }

@@ -5,7 +5,11 @@
 
 use neuropulsim_linalg::parallel::split_seed;
 use neuropulsim_linalg::RMatrix;
+use neuropulsim_sim::accel::PcmDriftModel;
 use neuropulsim_sim::firmware::{accel_offload, cluster_offload, software_mvm, DramLayout};
+use neuropulsim_sim::serve::{
+    synthetic_load, InferenceServer, LoadSpec, PeFault, PeHealth, PeSpec, ServeConfig,
+};
 use neuropulsim_sim::system::{RunOutcome, System};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -177,6 +181,121 @@ fn snapshot_roundtrip_mid_wfi_fast_forward() {
     assert!(
         wfi_cuts > 0,
         "no cut point landed inside a wfi fast-forward window"
+    );
+}
+
+/// Builds a chaos-shaped serving run: a transient brick on PE 1 plus a
+/// drift ramp on every PE, so the health machine passes through
+/// ejection, recovery recalibration, probation and drift drains.
+fn build_server(seed: u64) -> (InferenceServer, Vec<neuropulsim_sim::serve::Request>) {
+    let models = vec![RMatrix::from_fn(8, 8, |i, j| {
+        0.4 * ((i as f64 - j as f64) * 0.31).sin() + if i == j { 0.3 } else { 0.0 }
+    })];
+    let drift = PcmDriftModel {
+        nu: 0.05,
+        seconds_per_cycle: 2e-3,
+        initial_age_s: 1e-3,
+        ..PcmDriftModel::default()
+    };
+    let mut specs = vec![PeSpec::new(0); 3];
+    for s in &mut specs {
+        s.drift = Some(drift);
+    }
+    specs[1].fault = PeFault::HardFor {
+        cycle: 100,
+        until: 250,
+    };
+    let cfg = ServeConfig {
+        watchdog: 64,
+        canary_period: 100,
+        drift_margin: 0.3,
+        recovery_backoff: 32,
+        probation_canaries: 3,
+        ..ServeConfig::default()
+    };
+    let load = synthetic_load(
+        &models,
+        LoadSpec {
+            requests: 300,
+            mean_interarrival: 2,
+            seed,
+        },
+    );
+    (InferenceServer::new(models, &specs, cfg), load)
+}
+
+/// Health states the random serving cuts landed in.
+#[derive(Default)]
+struct ServeCutStats {
+    /// Cuts with a PE draining/reprogramming (drift or recovery recal).
+    recalibrating: usize,
+    /// Cuts with a PE in half-open probation.
+    probation: usize,
+}
+
+/// Steps `seed`'s serving run to a cut, snapshots via `Clone`, and
+/// checks the resumed and the kept-running servers both finish
+/// bit-identically to the uninterrupted reference.
+fn check_serve_cuts(seed: u64, cuts: usize) -> ServeCutStats {
+    let (mut reference, load) = build_server(seed);
+    reference.begin(&load);
+    let mut total_steps = 0u64;
+    while reference.step() {
+        total_steps += 1;
+    }
+    let ref_out = reference.finish();
+    let mut rng = StdRng::seed_from_u64(split_seed(seed, 0x5e4e));
+    let mut stats = ServeCutStats::default();
+    for _ in 0..cuts {
+        let cut = rng.gen_range(1..total_steps.max(2));
+        let (mut sys, _) = build_server(seed);
+        sys.begin(&load);
+        for _ in 0..cut {
+            sys.step();
+        }
+        for slot in 0..3 {
+            match sys.pe_health(slot) {
+                PeHealth::Recalibrating | PeHealth::Recovering => stats.recalibrating += 1,
+                PeHealth::Probation => stats.probation += 1,
+                _ => {}
+            }
+        }
+        // Path 1: a clone taken mid-run is a snapshot; it must resume
+        // bit-identically even when the cut landed inside a
+        // recalibration, recovery or probation window.
+        let mut resumed = sys.clone();
+        let out = resumed.finish();
+        assert_eq!(out, ref_out, "seed {seed} cut {cut}: resumed outcome");
+        assert_eq!(
+            out.report.to_json(),
+            ref_out.report.to_json(),
+            "seed {seed} cut {cut}: resumed payload"
+        );
+        // Path 2: the original keeps stepping to the same end state.
+        let out = sys.finish();
+        assert_eq!(out, ref_out, "seed {seed} cut {cut}: stepped outcome");
+    }
+    stats
+}
+
+#[test]
+fn serve_snapshot_roundtrip_mid_recalibration_and_probation() {
+    // Random cuts through a chaos-shaped serving run must cover the
+    // mid-recalibration and mid-probation windows for this test to
+    // mean anything, and every cut must resume bit-identically.
+    let mut stats = ServeCutStats::default();
+    for i in 0..8u64 {
+        let s = check_serve_cuts(split_seed(0x5eed_5e4e, i), 6);
+        stats.recalibrating += s.recalibrating;
+        stats.probation += s.probation;
+    }
+    assert!(
+        stats.recalibrating > 0,
+        "no cut point landed inside a recalibration window"
+    );
+    assert!(
+        stats.probation > 0,
+        "no cut point landed inside a probation window"
     );
 }
 

@@ -31,6 +31,10 @@ def load_norms(path):
         doc = json.load(f)
     if doc.get("schema") != "neuropulsim-bench/v1":
         sys.exit(f"{path}: not a neuropulsim-bench/v1 report")
+    if doc.get("profile"):
+        # --profile runs skip calibration, so their norms are raw
+        # nanoseconds — meaningless against a calibrated baseline.
+        sys.exit(f"{path}: profile-mode report (uncalibrated), refusing to gate on it")
     return {m["id"]: m["norm"] for m in doc["measurements"]}
 
 
