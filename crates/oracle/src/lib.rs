@@ -30,5 +30,6 @@ pub mod decomp_ref;
 pub mod harness;
 pub mod linalg_ref;
 pub mod pcm_ref;
+pub mod rv32_matrix;
 pub mod rv32_ref;
 pub mod snn_ref;

@@ -118,6 +118,10 @@ pub struct BlockCache {
     pub hits: u64,
     /// Block entries that had to decode a fresh block.
     pub misses: u64,
+    /// Direct-mapped inserts that evicted a *different* block (same
+    /// slot, different start address) — the thrash signal that sizes
+    /// [`DEFAULT_SLOTS`].
+    pub conflict_evictions: u64,
 }
 
 impl BlockCache {
@@ -133,6 +137,7 @@ impl BlockCache {
             code_hi: 0,
             hits: 0,
             misses: 0,
+            conflict_evictions: 0,
         }
     }
 
@@ -168,16 +173,31 @@ impl BlockCache {
     /// widens the watched code range to cover it.
     pub fn insert(&mut self, block: DecodedBlock) -> usize {
         let end = block.start.saturating_add(4 * block.ops.len() as u32);
-        if self.code_lo == self.code_hi {
-            self.code_lo = block.start;
-            self.code_hi = end;
-        } else {
-            self.code_lo = self.code_lo.min(block.start);
-            self.code_hi = self.code_hi.max(end);
-        }
+        self.widen_watch(block.start, end);
         let slot = self.slot_of(block.start);
+        if let Some(old) = &self.slots[slot] {
+            if old.start != block.start {
+                self.conflict_evictions += 1;
+            }
+        }
         self.slots[slot] = Some(block);
         slot
+    }
+
+    /// Widens the watched code range to cover `[lo, hi)`. The trace
+    /// engine calls this for every compiled-trace segment so stores into
+    /// traced code invalidate through the same watch window as blocks.
+    pub fn widen_watch(&mut self, lo: u32, hi: u32) {
+        if lo >= hi {
+            return;
+        }
+        if self.code_lo == self.code_hi {
+            self.code_lo = lo;
+            self.code_hi = hi;
+        } else {
+            self.code_lo = self.code_lo.min(lo);
+            self.code_hi = self.code_hi.max(hi);
+        }
     }
 
     /// `true` when a write to byte `addr` could land inside cached code.
@@ -231,8 +251,9 @@ impl Default for BlockCache {
 }
 
 /// A point-in-time copy of the CPU hardware counters, including the
-/// decoded-block cache statistics — the `mcycle`/`minstret`-style
-/// surface firmware experiments use to self-report cost.
+/// decoded-block cache and trace-engine statistics — the
+/// `mcycle`/`minstret`-style surface firmware experiments use to
+/// self-report cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PerfCounters {
     /// Cycle counter (`mcycle`).
@@ -243,6 +264,24 @@ pub struct PerfCounters {
     pub block_hits: u64,
     /// Decoded-block cache misses (blocks decoded on entry).
     pub block_misses: u64,
+    /// Direct-mapped block evictions that replaced a different block.
+    pub block_conflict_evictions: u64,
+    /// Trace dispatches (entries plus in-place loop iterations).
+    pub trace_hits: u64,
+    /// Traces compiled (recompiles after invalidation included).
+    pub traces_compiled: u64,
+    /// Direct-mapped trace evictions that replaced a different trace.
+    pub trace_conflict_evictions: u64,
+    /// Trace side exits: a branch retired against the prediction.
+    pub trace_exit_guard: u64,
+    /// Trace side exits: the trace ran to its end without looping.
+    pub trace_exit_end: u64,
+    /// Trace side exits: cycle budget / bulk horizon reached.
+    pub trace_exit_budget: u64,
+    /// Trace side exits: an MMIO access bailed or closed the window.
+    pub trace_exit_mmio: u64,
+    /// Trace side exits: an op invalidated the compiled code under it.
+    pub trace_exit_invalidated: u64,
 }
 
 impl PerfCounters {
@@ -423,6 +462,7 @@ mod tests {
             instret: 8,
             block_hits: 3,
             block_misses: 1,
+            ..PerfCounters::default()
         };
         assert_eq!(p.block_hit_rate(), 0.75);
         assert_eq!(PerfCounters::default().block_hit_rate(), 0.0);

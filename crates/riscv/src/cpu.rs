@@ -4,7 +4,9 @@
 use crate::block::{BlockCache, DecodedBlock, PerfCounters};
 use crate::bus::{Bus, BusFault};
 use crate::isa::{decode, Instruction};
+use crate::trace::{CompiledTrace, SideExit, TraceEngine};
 use std::fmt;
+use std::sync::Arc;
 
 /// CSR addresses implemented by the core.
 pub mod csr {
@@ -18,6 +20,10 @@ pub mod csr {
     pub const BLOCK_HITS: u16 = 0xB03;
     /// Decoded-block cache misses (read-only, `mhpmcounter4` slot).
     pub const BLOCK_MISSES: u16 = 0xB04;
+    /// Trace dispatches (read-only, `mhpmcounter5` slot).
+    pub const TRACE_HITS: u16 = 0xB05;
+    /// Trace side exits of any kind (read-only, `mhpmcounter6` slot).
+    pub const TRACE_EXITS: u16 = 0xB06;
 }
 
 /// Why execution stopped.
@@ -135,6 +141,20 @@ impl CpuSnapshot {
     }
 }
 
+/// How a compiled-trace dispatch ended, from the bulk loop's point of
+/// view: keep going in the bulk loop, hand off to the precise path, or
+/// the program halted.
+enum TraceOutcome {
+    /// The trace exited with `pc` somewhere dispatchable — re-enter the
+    /// bulk loop (trace lookup, then block dispatch).
+    Continue,
+    /// The bulk window must end (budget, or an MMIO access the bus
+    /// declined / closed the window on): return to the caller.
+    Leave,
+    /// The program signalled completion.
+    Halted(Halt),
+}
+
 /// The RV32IM processor state.
 #[derive(Debug, Clone)]
 pub struct Cpu {
@@ -155,6 +175,9 @@ pub struct Cpu {
     block_cache: BlockCache,
     /// In-block dispatch position: `(slot, next op index)`.
     cursor: Option<(usize, usize)>,
+    /// Trace engine: hot-path superblocks stitched across taken
+    /// branches (microarchitectural — excluded from equality).
+    traces: TraceEngine,
 }
 
 /// Equality covers architectural and timing state only: the decoded-block
@@ -185,6 +208,7 @@ impl Cpu {
             waiting_for_interrupt: false,
             block_cache: BlockCache::default(),
             cursor: None,
+            traces: TraceEngine::default(),
         }
     }
 
@@ -236,12 +260,15 @@ impl Cpu {
         self.invalidate_blocks();
     }
 
-    /// Drops every cached decoded block (and the in-block cursor). Called
-    /// on restore, on stores into cached code, and by hosts before
-    /// resuming a CPU whose memory they rewrote behind its back.
+    /// Drops every cached decoded block and compiled trace (and the
+    /// in-block cursor). Called on restore, on stores into cached code,
+    /// and by hosts before resuming a CPU whose memory they rewrote
+    /// behind its back. Traces re-profile and recompile within a few
+    /// block entries, so hosts may call this liberally.
     pub fn invalidate_blocks(&mut self) {
         self.block_cache.invalidate_all();
         self.cursor = None;
+        self.traces.invalidate();
     }
 
     /// Tells the interpreter that an agent other than this CPU — a DMA
@@ -270,6 +297,9 @@ impl Cpu {
     pub fn set_block_cache_enabled(&mut self, enabled: bool) {
         self.block_cache.set_enabled(enabled);
         self.cursor = None;
+        // Traces only ever run under bulk dispatch; drop them so an A/B
+        // run starts from a cold microarchitectural state either way.
+        self.traces.invalidate();
     }
 
     /// Whether decoded-block dispatch is enabled.
@@ -277,14 +307,41 @@ impl Cpu {
         self.block_cache.is_enabled()
     }
 
+    /// Enables or disables the trace (superblock) tier independently of
+    /// the block cache (on by default). With traces off, bulk dispatch
+    /// runs pure decoded-block spans — the PR 4 configuration — which is
+    /// how the benchmarks isolate the trace layer's contribution.
+    pub fn set_trace_compiler_enabled(&mut self, enabled: bool) {
+        self.traces.set_enabled(enabled);
+    }
+
+    /// Whether the trace tier is enabled.
+    pub fn trace_compiler_enabled(&self) -> bool {
+        self.traces.is_enabled()
+    }
+
+    /// Read access to the trace engine (profile and exit statistics).
+    pub fn trace_engine(&self) -> &TraceEngine {
+        &self.traces
+    }
+
     /// Snapshot of the hardware counters (`mcycle`/`minstret` plus the
-    /// block-cache hit/miss counters) for self-reported cost.
+    /// block-cache and trace-engine statistics) for self-reported cost.
     pub fn perf_counters(&self) -> PerfCounters {
         PerfCounters {
             cycles: self.cycles,
             instret: self.instret,
             block_hits: self.block_cache.hits,
             block_misses: self.block_cache.misses,
+            block_conflict_evictions: self.block_cache.conflict_evictions,
+            trace_hits: self.traces.hits,
+            traces_compiled: self.traces.compiled,
+            trace_conflict_evictions: self.traces.conflict_evictions,
+            trace_exit_guard: self.traces.exit_count(SideExit::Guard),
+            trace_exit_end: self.traces.exit_count(SideExit::End),
+            trace_exit_budget: self.traces.exit_count(SideExit::Budget),
+            trace_exit_mmio: self.traces.exit_count(SideExit::Mmio),
+            trace_exit_invalidated: self.traces.exit_count(SideExit::Invalidated),
         }
     }
 
@@ -295,6 +352,8 @@ impl Cpu {
             csr::MSCRATCH => self.mscratch,
             csr::BLOCK_HITS => self.block_cache.hits as u32,
             csr::BLOCK_MISSES => self.block_cache.misses as u32,
+            csr::TRACE_HITS => self.traces.hits as u32,
+            csr::TRACE_EXITS => self.traces.total_exits() as u32,
             _ => 0,
         }
     }
@@ -719,6 +778,32 @@ impl Cpu {
                     idx < b.ops.len() && b.start.wrapping_add(4 * idx as u32) == self.pc
                 })
             });
+            // Trace tier: a block entry (never a mid-block resume) first
+            // tries the compiled superblock starting here, then — when
+            // the entry crosses the heat threshold — compiles one and
+            // runs it immediately.
+            if resume.is_none() && self.traces.is_enabled() {
+                let mut trace = self.traces.lookup(self.pc).cloned();
+                if trace.is_none() && self.traces.note_entry(self.pc) {
+                    trace = crate::trace::compile(&*bus, self.pc, self.traces.edges()).map(|t| {
+                        // Store invalidation must reach compiled
+                        // traces: widen the block-cache watch window
+                        // over every trace segment.
+                        for (lo, hi) in t.watch_ranges() {
+                            self.block_cache.widen_watch(lo, hi);
+                        }
+                        self.traces.insert(t)
+                    });
+                }
+                if let Some(trace) = trace {
+                    self.traces.hits += 1;
+                    match self.run_trace(bus, &trace, budget_end, mmio_floor)? {
+                        TraceOutcome::Continue => continue,
+                        TraceOutcome::Leave => return Ok(None),
+                        TraceOutcome::Halted(halt) => return Ok(Some(halt)),
+                    }
+                }
+            }
             let (slot, start_idx) = match resume {
                 Some(position) => {
                     self.block_cache.hits += 1;
@@ -795,6 +880,21 @@ impl Cpu {
                     Ok(None) => {
                         executed += 1;
                         idx += 1;
+                        // Feed the trace compiler's edge profile: which
+                        // way did this conditional branch retire?
+                        if self.traces.is_enabled()
+                            && matches!(
+                                op.inst,
+                                Beq { .. }
+                                    | Bne { .. }
+                                    | Blt { .. }
+                                    | Bge { .. }
+                                    | Bltu { .. }
+                                    | Bgeu { .. }
+                            )
+                        {
+                            self.traces.record_edge(pc, self.pc != pc.wrapping_add(4));
+                        }
                         if self.waiting_for_interrupt || self.pc != pc.wrapping_add(4) {
                             break;
                         }
@@ -840,6 +940,113 @@ impl Cpu {
             }
         }
         Ok(None)
+    }
+
+    /// Executes one compiled trace (looping in place while it keeps
+    /// predicting correctly) under the same quiet-window contract as
+    /// [`Cpu::run_cached_span`].
+    ///
+    /// Every op runs through [`Cpu::execute`] — the single semantic
+    /// core — so architectural state, traps and cycle charging are
+    /// bit-identical to the seed interpreter no matter where the trace
+    /// exits. Fetches are charged in bulk per contiguous code segment.
+    fn run_trace<B: Bus + ?Sized>(
+        &mut self,
+        bus: &mut B,
+        trace: &Arc<CompiledTrace>,
+        budget_end: u64,
+        mmio_floor: u32,
+    ) -> Result<TraceOutcome, Trap> {
+        debug_assert_eq!(self.pc, trace.start, "trace dispatched off its entry");
+        let entry_generation = self.traces.generation;
+        // Charges `executed` fetches against the trace's contiguous
+        // code segments, in execution order.
+        fn charge<B: Bus + ?Sized>(bus: &mut B, trace: &CompiledTrace, mut executed: u32) {
+            for &(seg_pc, seg_len) in &trace.segments {
+                if executed == 0 {
+                    break;
+                }
+                let count = executed.min(seg_len);
+                let charged = bus.charge_fetches(seg_pc, count);
+                debug_assert!(charged, "quiet window requires bulk-chargeable fetches");
+                executed -= count;
+            }
+        }
+        loop {
+            let mut executed = 0u32;
+            for top in &trace.ops {
+                if self.cycles >= budget_end {
+                    self.traces.exits[SideExit::Budget as usize] += 1;
+                    charge(bus, trace, executed);
+                    return Ok(TraceOutcome::Leave);
+                }
+                // Inline-cached MMIO range check: one register read and
+                // one compare on the common RAM path, with the same
+                // prologue/epilogue gating as block dispatch otherwise.
+                let mut touches_mmio = false;
+                if let Some((rs1, offset)) = top.mem {
+                    if self.reg(rs1).wrapping_add(offset as u32) >= mmio_floor {
+                        touches_mmio = true;
+                        if !bus.mmio_prologue(self.cycles) {
+                            self.traces.exits[SideExit::Mmio as usize] += 1;
+                            charge(bus, trace, executed);
+                            return Ok(TraceOutcome::Leave);
+                        }
+                    }
+                }
+                let pc = self.pc;
+                debug_assert_eq!(pc, top.pc, "trace position out of sync");
+                match self.execute(bus, top.op.inst, pc) {
+                    Ok(None) => {
+                        executed += 1;
+                        // A store of this very trace may have rewritten
+                        // its own code: the invalidation bumped the
+                        // generation, so stop before dispatching a
+                        // stale decode. State so far is exact.
+                        if self.traces.generation != entry_generation {
+                            self.traces.exits[SideExit::Invalidated as usize] += 1;
+                            charge(bus, trace, executed);
+                            return Ok(TraceOutcome::Continue);
+                        }
+                        // Guard: the branch (or fallthrough) retired —
+                        // precisely — somewhere the compiler did not
+                        // predict. Leave the trace; state is already
+                        // correct.
+                        if self.pc != top.expected_next {
+                            self.traces.exits[SideExit::Guard as usize] += 1;
+                            charge(bus, trace, executed);
+                            return Ok(TraceOutcome::Continue);
+                        }
+                        if touches_mmio && !bus.mmio_epilogue() {
+                            self.traces.exits[SideExit::Mmio as usize] += 1;
+                            charge(bus, trace, executed);
+                            return Ok(TraceOutcome::Leave);
+                        }
+                    }
+                    Ok(Some(halt)) => {
+                        executed += 1;
+                        charge(bus, trace, executed);
+                        return Ok(TraceOutcome::Halted(halt));
+                    }
+                    Err(trap) => {
+                        // The trapped instruction was fetched before it
+                        // trapped, exactly as in the seed.
+                        executed += 1;
+                        charge(bus, trace, executed);
+                        return Err(trap);
+                    }
+                }
+            }
+            charge(bus, trace, executed);
+            if trace.loops && self.pc == trace.start && self.cycles < budget_end {
+                // The tail predicted back to the entry and was right:
+                // iterate in place without a re-dispatch.
+                self.traces.hits += 1;
+                continue;
+            }
+            self.traces.exits[SideExit::End as usize] += 1;
+            return Ok(TraceOutcome::Continue);
+        }
     }
 
     /// Runs until the program halts or `max_cycles` elapse, reporting
@@ -898,6 +1105,7 @@ mod tests {
     use super::*;
     use crate::bus::FlatMemory;
     use crate::isa::{encode, Instruction::*};
+    use crate::trace::HOT_THRESHOLD;
 
     fn run_program(words: &[Instruction]) -> (Cpu, FlatMemory) {
         let mut mem = FlatMemory::new(4096);
@@ -1537,6 +1745,129 @@ mod tests {
     }
 
     #[test]
+    fn store_rewriting_code_inside_a_compiled_trace() {
+        // A hot loop whose body *is* a compiled trace stores, on one
+        // specific iteration, a new instruction word over the loop's own
+        // nop — from inside the trace. The executor must side-exit on
+        // its own invalidation, re-execute the freshly patched word
+        // exactly as the seed interpreter does (bit-identical state),
+        // and recompile a trace containing the patched op.
+        let patched = encode(Addi {
+            rd: 5,
+            rs1: 0,
+            imm: 77,
+        });
+        let lo = {
+            let lo = (patched & 0xFFF) as i32;
+            if lo >= 2048 {
+                lo - 4096
+            } else {
+                lo
+            }
+        };
+        let hi = (patched as i32).wrapping_sub(lo);
+        // x6 = scratch(1024) for every iteration except x1 == 20, where
+        // a branch-free select (xor/sltiu/mul) redirects it at the nop
+        // at pc 52 — so the store executes on the trace's hot path.
+        let prog = [
+            Addi {
+                rd: 1,
+                rs1: 0,
+                imm: 0,
+            },
+            Addi {
+                rd: 2,
+                rs1: 0,
+                imm: 30,
+            },
+            Lui { rd: 3, imm: hi },
+            Addi {
+                rd: 3,
+                rs1: 3,
+                imm: lo,
+            },
+            Addi {
+                rd: 4,
+                rs1: 0,
+                imm: 20,
+            },
+            Addi {
+                rd: 10,
+                rs1: 0,
+                imm: 1024,
+            },
+            Addi {
+                rd: 9,
+                rs1: 0,
+                imm: 52 - 1024,
+            },
+            // loop @ pc 28
+            Addi {
+                rd: 1,
+                rs1: 1,
+                imm: 1,
+            },
+            Xor {
+                rd: 7,
+                rs1: 1,
+                rs2: 4,
+            },
+            Sltiu {
+                rd: 7,
+                rs1: 7,
+                imm: 1,
+            },
+            Mul {
+                rd: 8,
+                rs1: 7,
+                rs2: 9,
+            },
+            Add {
+                rd: 6,
+                rs1: 10,
+                rs2: 8,
+            },
+            Sw {
+                rs1: 6,
+                rs2: 3,
+                offset: 0,
+            },
+            Addi {
+                rd: 0,
+                rs1: 0,
+                imm: 0,
+            }, // pc 52: becomes addi x5, x0, 77
+            Bne {
+                rs1: 1,
+                rs2: 2,
+                offset: -28,
+            },
+            Ecall,
+        ];
+        let code: Vec<u32> = prog.iter().map(|&i| encode(i)).collect();
+        let mut mem_fast = FlatMemory::new(4096);
+        mem_fast.load_words(0, &code);
+        let mut mem_slow = mem_fast.clone();
+        let mut fast = Cpu::new(0);
+        let mut slow = Cpu::new(0);
+        slow.set_block_cache_enabled(false);
+        assert_eq!(fast.run(&mut mem_fast, 100_000).unwrap(), Halt::Ecall);
+        assert_eq!(slow.run(&mut mem_slow, 100_000).unwrap(), Halt::Ecall);
+        assert_eq!(fast.reg(5), 77, "patched instruction must execute");
+        assert_eq!(fast, slow, "SMC inside a trace must stay bit-identical");
+        assert_eq!(mem_fast, mem_slow);
+        let perf = fast.perf_counters();
+        assert!(
+            perf.trace_exit_invalidated >= 1,
+            "the rewriting store must be caught mid-trace: {perf:?}"
+        );
+        assert!(
+            perf.traces_compiled >= 2,
+            "patched loop must recompile: {perf:?}"
+        );
+    }
+
+    #[test]
     fn block_cache_counters_and_perf_csrs() {
         // A loop re-enters its block: at least one miss (first decode)
         // and many hits, all visible through the CSR surface.
@@ -1582,9 +1913,20 @@ mod tests {
         assert_eq!(perf.cycles, cpu.cycles);
         assert_eq!(perf.instret, cpu.instret);
         assert!(perf.block_misses >= 1, "first entry decodes");
-        assert!(perf.block_hits >= 10, "loop re-enters cached block");
+        assert!(
+            perf.block_hits >= HOT_THRESHOLD as u64 / 2,
+            "loop re-enters cached block until the trace tier takes over"
+        );
         assert!(perf.block_hit_rate() > 0.5);
-        assert!(cpu.reg(20) >= 10, "firmware-visible hit counter");
+        assert!(
+            perf.traces_compiled >= 1 && perf.trace_hits > HOT_THRESHOLD as u64,
+            "hot loop compiles a trace and iterates in it: {perf:?}"
+        );
+        assert!(
+            perf.trace_exit_guard >= 1,
+            "loop exit retires against the prediction: {perf:?}"
+        );
+        assert!(cpu.reg(20) >= HOT_THRESHOLD / 2, "hit counter CSR");
         assert!(cpu.reg(21) >= 1, "firmware-visible miss counter");
     }
 

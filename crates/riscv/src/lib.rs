@@ -34,3 +34,4 @@ pub mod bus;
 pub mod cpu;
 pub mod disasm;
 pub mod isa;
+pub mod trace;

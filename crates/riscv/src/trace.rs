@@ -1,0 +1,515 @@
+//! Trace (superblock) compiler: hot-path stitching across taken
+//! branches.
+//!
+//! The decoded-block cache ([`crate::block`]) stops at the first control
+//! transfer, so branch-heavy firmware — the cluster scheduler's work
+//! queue, guarded-offload retry loops, any software inner loop — pays a
+//! block re-entry (cursor teardown, slot lookup, position re-validation)
+//! on every taken branch. The trace layer removes that per-branch tax:
+//!
+//! 1. **Hot-edge profiling.** The bulk interpreter records, per branch
+//!    pc, how often each direction retired, and counts entries per block
+//!    start. When a block entry crosses [`HOT_THRESHOLD`], the engine
+//!    compiles a *trace* starting there.
+//! 2. **Superblock stitching.** Compilation walks the *predicted* path:
+//!    straight-line code is appended, unconditional jumps are followed,
+//!    and conditional branches are resolved by the recorded edge profile
+//!    (falling back to backward-taken/forward-not-taken static
+//!    prediction), so the trace runs *across* taken branches. The walk
+//!    stops at indirect jumps, system ops, unpeekable or undecodable
+//!    words, a revisited pc (inner loop closed), or [`MAX_TRACE_OPS`].
+//! 3. **Guarded side exits.** Every op in the trace carries the pc the
+//!    compiler predicted would follow it. Branches execute through the
+//!    same precise [`crate::cpu::Cpu`] semantic core as everywhere else
+//!    — so a mispredicted branch still *retires* exactly as the seed
+//!    interpreter would — and the executor then compares the
+//!    architectural `pc` against the prediction: on mismatch it simply
+//!    leaves the trace (a [`SideExit::Guard`]) and the precise/block
+//!    path continues from the already-correct state. Guards can
+//!    therefore never produce wrong architectural state, only shorter
+//!    traces.
+//! 4. **Bit-identical accounting.** Traces are executed by
+//!    [`crate::cpu::Cpu::run_cached_span`]'s caller contract: each
+//!    retired instruction is charged one fetch, in bulk, per contiguous
+//!    code segment of the trace (see [`CompiledTrace::segments`]), and
+//!    loads/stores whose effective address reaches the MMIO floor are
+//!    gated through the same [`crate::bus::Bus::mmio_prologue`] /
+//!    [`crate::bus::Bus::mmio_epilogue`] protocol as block dispatch.
+//!
+//! Self-modifying code is handled by the same explicit-invalidation tier
+//! as the bulk block path: at compile time the engine widens the
+//! [`crate::block::BlockCache`] watch range over every trace segment, so
+//! stores into compiled code (and reported external writes) invalidate
+//! the whole cached state; the engine's [`TraceEngine::generation`]
+//! counter lets an executing trace detect that it was invalidated *by
+//! one of its own ops* and side-exit before dispatching a stale decode.
+
+use crate::block::DecodedOp;
+use crate::bus::Bus;
+use crate::isa::{decode, Instruction};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Block entries at the same pc before a trace is compiled there.
+pub const HOT_THRESHOLD: u32 = 8;
+
+/// Hard cap on instructions per compiled trace.
+pub const MAX_TRACE_OPS: usize = 192;
+
+/// Default number of direct-mapped trace slots.
+pub const DEFAULT_TRACE_SLOTS: usize = 128;
+
+/// Why the executor left a compiled trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SideExit {
+    /// A guard failed: a branch retired opposite to the profile's
+    /// prediction. Architectural state is already correct; only the
+    /// trace's view of "what comes next" was wrong.
+    Guard = 0,
+    /// The trace ran to its end (last op retired, no loop-back).
+    End = 1,
+    /// The cycle budget (or the caller's bulk horizon) was reached.
+    Budget = 2,
+    /// A load/store reached device space and the bus declined to run it
+    /// inside the bulk window, or it retired and ended the window.
+    Mmio = 3,
+    /// An op of the trace invalidated the cache (self-modifying store).
+    Invalidated = 4,
+}
+
+/// Number of [`SideExit`] variants (length of the exit counter array).
+pub const SIDE_EXIT_KINDS: usize = 5;
+
+/// One instruction of a compiled trace: the pre-decoded op, its pc, the
+/// pc the compiler predicts follows it, and — for loads/stores — the
+/// inline-cached address operands so the executor's MMIO range check is
+/// one register read and one compare instead of a full instruction
+/// match.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceOp {
+    /// The pre-decoded instruction (word kept for diagnostics).
+    pub op: DecodedOp,
+    /// Address of this instruction.
+    pub pc: u32,
+    /// The pc the trace expects after this op retires; a mismatch after
+    /// retirement is a [`SideExit::Guard`].
+    pub expected_next: u32,
+    /// `Some((rs1, offset))` for loads/stores: the effective-address
+    /// operands, pre-extracted at compile time.
+    pub mem: Option<(u8, i32)>,
+}
+
+/// A compiled superblock: the predicted hot path starting at
+/// [`CompiledTrace::start`], possibly spanning several basic blocks.
+#[derive(Debug, Clone)]
+pub struct CompiledTrace {
+    /// Address of the first instruction.
+    pub start: u32,
+    /// The instructions on the predicted path, in execution order.
+    pub ops: Vec<TraceOp>,
+    /// Maximal runs of address-contiguous ops, in execution order, as
+    /// `(first pc, op count)`. Fetch charging walks these so bulk
+    /// accounting stays per-region exact even when the trace jumps
+    /// between code regions.
+    pub segments: Vec<(u32, u32)>,
+    /// The last op's predicted successor is [`CompiledTrace::start`]:
+    /// the executor may loop in place without re-dispatching.
+    pub loops: bool,
+}
+
+impl CompiledTrace {
+    /// Lowest and highest (exclusive) byte addresses of any op, per
+    /// contiguous segment — the ranges the block-cache watch window must
+    /// cover for store invalidation to reach this trace.
+    pub fn watch_ranges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.segments
+            .iter()
+            .map(|&(lo, n)| (lo, lo.saturating_add(4 * n)))
+    }
+}
+
+/// Compiles the predicted hot path starting at `start`. Returns `None`
+/// when the path is too short to beat plain block dispatch.
+pub fn compile<B: Bus + ?Sized>(
+    bus: &B,
+    start: u32,
+    edges: &HashMap<u32, [u32; 2]>,
+) -> Option<CompiledTrace> {
+    use Instruction::*;
+    let mut ops: Vec<TraceOp> = Vec::new();
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut pc = start;
+    let mut loops = false;
+    while ops.len() < MAX_TRACE_OPS {
+        if pc == start && !ops.is_empty() {
+            loops = true;
+            break;
+        }
+        if !seen.insert(pc) {
+            break; // closed an inner loop not anchored at `start`
+        }
+        let Some(word) = bus.peek_word(pc) else { break };
+        let Ok(inst) = decode(word) else { break };
+        let expected_next = match inst {
+            // Indirect and system ops end the trace: the block/precise
+            // path owns them (jalr targets are data-dependent; ecall /
+            // ebreak halt; wfi sleeps; csr side effects are cheap and
+            // rare enough not to matter).
+            Jalr { .. } | Ecall | Ebreak | Wfi => break,
+            Jal { offset, .. } => pc.wrapping_add(offset as u32),
+            Beq { offset, .. }
+            | Bne { offset, .. }
+            | Blt { offset, .. }
+            | Bge { offset, .. }
+            | Bltu { offset, .. }
+            | Bgeu { offset, .. } => {
+                let [not_taken, taken] = edges.get(&pc).copied().unwrap_or([0, 0]);
+                // Majority vote from the edge profile; cold or tied
+                // edges use static backward-taken prediction.
+                let predict_taken = if taken == not_taken {
+                    offset < 0
+                } else {
+                    taken > not_taken
+                };
+                if predict_taken {
+                    pc.wrapping_add(offset as u32)
+                } else {
+                    pc.wrapping_add(4)
+                }
+            }
+            _ => pc.wrapping_add(4),
+        };
+        let mem = match inst {
+            Lb { rs1, offset, .. }
+            | Lh { rs1, offset, .. }
+            | Lw { rs1, offset, .. }
+            | Lbu { rs1, offset, .. }
+            | Lhu { rs1, offset, .. }
+            | Sb { rs1, offset, .. }
+            | Sh { rs1, offset, .. }
+            | Sw { rs1, offset, .. } => Some((rs1, offset)),
+            _ => None,
+        };
+        ops.push(TraceOp {
+            op: DecodedOp { word, inst },
+            pc,
+            expected_next,
+            mem,
+        });
+        pc = expected_next;
+    }
+    // A trace that never crosses a block boundary adds nothing over the
+    // block cache; require at least two ops so the loop-back / stitch
+    // machinery has something to win.
+    if ops.len() < 2 {
+        return None;
+    }
+    let mut segments: Vec<(u32, u32)> = Vec::new();
+    for op in &ops {
+        match segments.last_mut() {
+            Some((seg_lo, n)) if seg_lo.wrapping_add(4 * *n) == op.pc => *n += 1,
+            _ => segments.push((op.pc, 1)),
+        }
+    }
+    Some(CompiledTrace {
+        start,
+        ops,
+        segments,
+        loops,
+    })
+}
+
+/// The trace engine: edge profile, entry heat, a direct-mapped cache of
+/// compiled traces, and the counters behind the `trace_*` perf surface.
+///
+/// Entirely microarchitectural: cloned with the CPU, excluded from
+/// architectural equality, dropped wholesale on invalidation.
+#[derive(Debug, Clone)]
+pub struct TraceEngine {
+    slots: Vec<Option<Arc<CompiledTrace>>>,
+    mask: usize,
+    enabled: bool,
+    /// Block entries per start pc (cleared on invalidation).
+    heat: HashMap<u32, u32>,
+    /// Per-branch-pc retire counts: `[not_taken, taken]`.
+    edges: HashMap<u32, [u32; 2]>,
+    /// Bumped on every invalidation; an executing trace compares it
+    /// against its entry value to catch self-invalidation.
+    pub generation: u64,
+    /// Trace dispatches (entries plus in-place loop-backs).
+    pub hits: u64,
+    /// Exit counts indexed by [`SideExit`].
+    pub exits: [u64; SIDE_EXIT_KINDS],
+    /// Traces compiled over the run (recompiles after invalidation
+    /// included).
+    pub compiled: u64,
+    /// Direct-mapped evictions that replaced a *different* trace.
+    pub conflict_evictions: u64,
+}
+
+impl TraceEngine {
+    /// Creates an engine with `slots` direct-mapped trace slots (rounded
+    /// up to a power of two, minimum 1).
+    pub fn new(slots: usize) -> Self {
+        let slots = slots.max(1).next_power_of_two();
+        TraceEngine {
+            slots: vec![None; slots],
+            mask: slots - 1,
+            enabled: true,
+            heat: HashMap::new(),
+            edges: HashMap::new(),
+            generation: 0,
+            hits: 0,
+            exits: [0; SIDE_EXIT_KINDS],
+            compiled: 0,
+            conflict_evictions: 0,
+        }
+    }
+
+    /// Whether trace compilation/dispatch is enabled (on by default —
+    /// but traces only ever run under bulk dispatch, so disabling the
+    /// block cache disables traces too).
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Enables or disables the trace tier; disabling drops all compiled
+    /// traces and profile state. With traces off, bulk dispatch runs
+    /// pure decoded-block spans — the benchmark A/B lever.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+        if !enabled {
+            self.invalidate();
+        }
+    }
+
+    /// The compiled trace starting at `pc`, if cached.
+    #[inline]
+    pub fn lookup(&self, pc: u32) -> Option<&Arc<CompiledTrace>> {
+        let slot = ((pc >> 2) as usize) & self.mask;
+        match &self.slots[slot] {
+            Some(t) if t.start == pc => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Counts a block entry at `pc`; `true` exactly when this entry
+    /// crosses [`HOT_THRESHOLD`] (compile now). Subsequent entries keep
+    /// counting but never re-trigger — a failed compile is not retried
+    /// until invalidation clears the heat table.
+    #[inline]
+    pub fn note_entry(&mut self, pc: u32) -> bool {
+        let h = self.heat.entry(pc).or_insert(0);
+        *h = h.saturating_add(1);
+        *h == HOT_THRESHOLD
+    }
+
+    /// Records a conditional-branch retirement at `pc`.
+    #[inline]
+    pub fn record_edge(&mut self, pc: u32, taken: bool) {
+        let e = self.edges.entry(pc).or_insert([0, 0]);
+        let c = &mut e[taken as usize];
+        *c = c.saturating_add(1);
+    }
+
+    /// Read access to the edge profile (for [`compile`]).
+    pub fn edges(&self) -> &HashMap<u32, [u32; 2]> {
+        &self.edges
+    }
+
+    /// Installs a compiled trace, evicting any previous tenant of its
+    /// slot, and returns a handle for immediate execution.
+    pub fn insert(&mut self, trace: CompiledTrace) -> Arc<CompiledTrace> {
+        self.compiled += 1;
+        let slot = ((trace.start >> 2) as usize) & self.mask;
+        if let Some(old) = &self.slots[slot] {
+            if old.start != trace.start {
+                self.conflict_evictions += 1;
+            }
+        }
+        let arc = Arc::new(trace);
+        self.slots[slot] = Some(Arc::clone(&arc));
+        arc
+    }
+
+    /// Drops every compiled trace and all profile state, and bumps the
+    /// generation so an executing trace notices. Cheap when nothing has
+    /// been profiled since the last invalidation.
+    pub fn invalidate(&mut self) {
+        if self.heat.is_empty() && self.edges.is_empty() {
+            return;
+        }
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+        self.heat.clear();
+        self.edges.clear();
+        self.generation += 1;
+    }
+
+    /// Count of `exit` side exits so far.
+    pub fn exit_count(&self, exit: SideExit) -> u64 {
+        self.exits[exit as usize]
+    }
+
+    /// Total side exits of any kind.
+    pub fn total_exits(&self) -> u64 {
+        self.exits.iter().sum()
+    }
+}
+
+impl Default for TraceEngine {
+    fn default() -> Self {
+        TraceEngine::new(DEFAULT_TRACE_SLOTS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::FlatMemory;
+    use crate::isa::encode;
+    use Instruction::*;
+
+    fn mem_with(words: &[Instruction]) -> FlatMemory {
+        let mut mem = FlatMemory::new(4096);
+        let code: Vec<u32> = words.iter().map(|&i| encode(i)).collect();
+        mem.load_words(0, &code);
+        mem
+    }
+
+    #[test]
+    fn compile_stitches_across_taken_branch() {
+        // 0: addi x1,x0,1 ; 4: bne x1,x0,+8 (taken) ; 12: addi x2,x0,2 ; 16: ecall
+        let mem = mem_with(&[
+            Addi {
+                rd: 1,
+                rs1: 0,
+                imm: 1,
+            },
+            Bne {
+                rs1: 1,
+                rs2: 0,
+                offset: 8,
+            },
+            Addi {
+                rd: 9,
+                rs1: 0,
+                imm: 9,
+            },
+            Addi {
+                rd: 2,
+                rs1: 0,
+                imm: 2,
+            },
+            Ecall,
+        ]);
+        let mut edges = HashMap::new();
+        edges.insert(4u32, [0u32, 10u32]); // strongly taken
+        let t = compile(&mem, 0, &edges).expect("compiles");
+        // addi, bne, addi — stops at ecall; skipped the not-taken slot.
+        assert_eq!(t.ops.len(), 3);
+        assert_eq!(t.ops[1].expected_next, 12);
+        assert_eq!(t.segments, vec![(0, 2), (12, 1)]);
+        assert!(!t.loops);
+    }
+
+    #[test]
+    fn compile_detects_loop_back_to_start() {
+        // 0: addi x1,x1,1 ; 4: bne x1,x2,-4 → loops to 0
+        let mem = mem_with(&[
+            Addi {
+                rd: 1,
+                rs1: 1,
+                imm: 1,
+            },
+            Bne {
+                rs1: 1,
+                rs2: 2,
+                offset: -4,
+            },
+        ]);
+        let t = compile(&mem, 0, &HashMap::new()).expect("compiles");
+        assert!(t.loops, "backward branch closes the loop");
+        assert_eq!(t.ops.len(), 2);
+        assert_eq!(t.segments, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn compile_rejects_trivial_and_respects_cap() {
+        let mem = mem_with(&[Jalr {
+            rd: 0,
+            rs1: 1,
+            offset: 0,
+        }]);
+        assert!(compile(&mem, 0, &HashMap::new()).is_none(), "jalr-only");
+        let long: Vec<Instruction> = (0..(MAX_TRACE_OPS + 8))
+            .map(|k| Addi {
+                rd: 1,
+                rs1: 0,
+                imm: (k % 7) as i32,
+            })
+            .collect();
+        let mem = mem_with(&long);
+        let t = compile(&mem, 0, &HashMap::new()).unwrap();
+        assert_eq!(t.ops.len(), MAX_TRACE_OPS);
+    }
+
+    #[test]
+    fn engine_heat_edges_and_invalidation() {
+        let mut eng = TraceEngine::new(4);
+        for _ in 0..HOT_THRESHOLD - 1 {
+            assert!(!eng.note_entry(0x100));
+        }
+        assert!(eng.note_entry(0x100), "crossing the threshold triggers");
+        assert!(!eng.note_entry(0x100), "only once");
+        eng.record_edge(0x104, true);
+        eng.record_edge(0x104, true);
+        eng.record_edge(0x104, false);
+        assert_eq!(eng.edges()[&0x104], [1, 2]);
+        let gen = eng.generation;
+        eng.invalidate();
+        assert_eq!(eng.generation, gen + 1);
+        assert!(eng.edges().is_empty());
+        assert!(!eng.note_entry(0x100), "heat restarts from zero");
+        eng.invalidate();
+        eng.invalidate();
+        assert_eq!(
+            eng.generation,
+            gen + 2,
+            "empty invalidations are free (first clears the re-heated entry)"
+        );
+    }
+
+    #[test]
+    fn engine_insert_lookup_and_conflicts() {
+        let mem = mem_with(&[
+            Addi {
+                rd: 1,
+                rs1: 1,
+                imm: 1,
+            },
+            Bne {
+                rs1: 1,
+                rs2: 2,
+                offset: -4,
+            },
+        ]);
+        let t = compile(&mem, 0, &HashMap::new()).unwrap();
+        let mut eng = TraceEngine::new(4);
+        eng.note_entry(0); // non-empty profile so invalidate() is not a no-op
+        eng.insert(t.clone());
+        assert_eq!(eng.lookup(0).unwrap().start, 0);
+        assert!(eng.lookup(4).is_none());
+        // Same slot, different start: conflict eviction.
+        let colliding = CompiledTrace {
+            start: 4 * 4, // slots=4 → (pc>>2)&3 collides with 0
+            ..t.clone()
+        };
+        eng.insert(colliding);
+        assert_eq!(eng.conflict_evictions, 1);
+        assert!(eng.lookup(0).is_none(), "evicted");
+        eng.invalidate();
+        assert!(eng.lookup(16).is_none());
+    }
+}

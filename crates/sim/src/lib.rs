@@ -25,6 +25,8 @@
 //!   behind an async serving front-end (admission queue, wavelength
 //!   batcher, shard router, verified response join) with degraded-fleet
 //!   fault semantics;
+//! - [`loader`]: an ELF32 loader and Linux-flavored syscall shim so
+//!   real RV32IM binaries run on the platform;
 //! - [`fixed`]: the Q16.16 operand format.
 //!
 //! # Examples
@@ -59,6 +61,7 @@ pub mod fault;
 pub mod firmware;
 pub mod fixed;
 pub mod guard;
+pub mod loader;
 pub mod ram;
 pub mod serve;
 pub mod system;

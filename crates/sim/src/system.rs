@@ -84,6 +84,12 @@ pub struct Platform {
     pub(crate) accel_irq_enabled: bool,
     pub(crate) extra_irq_enabled: Vec<bool>,
     pub(crate) dma_irq_enabled: bool,
+    /// Exclusive end of the current bulk-retire window: the earliest
+    /// pending device event (or the budget) when [`System::run`] entered
+    /// bulk dispatch. In-span MMIO accesses at `cycles < bulk_until` are
+    /// provably inside a no-op device window. Transient scheduler
+    /// scratch — set before every span, never snapshotted.
+    pub(crate) bulk_until: u64,
 }
 
 impl Platform {
@@ -102,6 +108,7 @@ impl Platform {
             accel_irq_enabled: false,
             extra_irq_enabled: Vec::new(),
             dma_irq_enabled: false,
+            bulk_until: 0,
         }
     }
 
@@ -207,6 +214,25 @@ impl Platform {
         !self.accel.is_busy()
             && !self.dma.is_busy()
             && self.extra_pes.iter().all(|pe| !pe.is_busy())
+    }
+
+    /// Earliest pending PE event, clamped to the next tick (`now + 1`):
+    /// a zero-setup job can carry `busy_until == now`, but its
+    /// completion is still observed on the following tick. Ticks
+    /// *strictly before* the returned cycle are provably no-ops for
+    /// every PE. `None` when all PEs are idle. (The DMA engine is
+    /// deliberately excluded — its ticks move memory words and are
+    /// never no-ops.)
+    pub(crate) fn earliest_pe_event(&self) -> Option<u64> {
+        let mut event: Option<u64> = None;
+        let pes = std::iter::once(&self.accel).chain(self.extra_pes.iter());
+        for pe in pes {
+            if let Some(t) = pe.next_event() {
+                let t = t.max(self.now + 1);
+                event = Some(event.map_or(t, |cur| cur.min(t)));
+            }
+        }
+        event
     }
 
     /// Resolves an address to a PE slot (`0` = the primary accelerator).
@@ -383,17 +409,31 @@ impl Bus for Platform {
     }
 
     fn mmio_prologue(&mut self, cycles: u64) -> bool {
-        // The bulk interpreter only runs inside a quiet window, so every
-        // device tick between `now` and `cycles` is a no-op and the jump
-        // is exact.
-        debug_assert!(self.quiet(), "mmio_prologue outside a quiet window");
+        // Bulk windows run between device-event horizons, not only under
+        // full quiescence: PEs may hold in-flight jobs as long as their
+        // earliest event lies at or beyond `bulk_until`, because every
+        // device tick strictly before that horizon is a no-op and the
+        // clock jump is exact. The DMA engine is the exception (per-tick
+        // word movement), so the scheduler never opens a bulk window
+        // while it is busy.
+        debug_assert!(!self.dma.is_busy(), "bulk window with the DMA active");
         debug_assert!(self.now <= cycles, "device clock ahead of the CPU");
+        if cycles >= self.bulk_until {
+            return false;
+        }
         self.now = cycles;
         true
     }
 
     fn mmio_epilogue(&mut self) -> bool {
-        self.quiet() && !self.irq_level()
+        // Stay in bulk unless this access started device work whose
+        // event lands inside the current window (a doorbell), kicked off
+        // a DMA transfer, or raised an interrupt.
+        if self.dma.is_busy() || self.irq_level() {
+            return false;
+        }
+        self.earliest_pe_event()
+            .is_none_or(|event| event >= self.bulk_until)
     }
 }
 
@@ -530,23 +570,31 @@ impl System {
                 self.sleep_advance(budget_end);
                 continue;
             }
-            // Quiet-window bulk dispatch: with every device idle, no
-            // interrupt can rise and every skipped device tick is a
-            // no-op, so cached instructions retire back to back until
-            // something needs the full per-cycle protocol (an MMIO
-            // access, `wfi`, the budget, a halt or trap). Only the
-            // flat-latency memory model qualifies — with DRAM stalls
-            // each instruction must settle its own timing.
+            // Bulk retire between device-event horizons: with the DMA
+            // idle, every PE tick strictly before the earliest pending
+            // event is provably a no-op, so cached instructions (and
+            // compiled traces) retire back to back up to that horizon —
+            // full quiescence is just the special case with no horizon
+            // at all. This is what lets an MMIO polling loop spin in
+            // bulk while a PE crunches a job. The DMA engine keeps the
+            // per-cycle protocol (its ticks move memory words), as does
+            // the DRAM-latency model (each instruction settles its own
+            // timing).
             if self.cpu.block_cache_enabled()
                 && !self.cpu.waiting_for_interrupt
                 && self.platform.dram_latency == 0
                 && self.platform.now == self.cpu.cycles
-                && self.devices_quiet()
+                && !self.platform.dma.is_busy()
             {
+                let horizon = self
+                    .platform
+                    .earliest_pe_event()
+                    .map_or(budget_end, |event| event.min(budget_end));
+                self.platform.bulk_until = horizon;
                 let before = self.cpu.cycles;
                 match self
                     .cpu
-                    .run_cached_span(&mut self.platform, budget_end, ACCEL_BASE)
+                    .run_cached_span(&mut self.platform, horizon, ACCEL_BASE)
                 {
                     Ok(Some(halt)) => break RunOutcome::Halted(halt),
                     Ok(None) => {}
@@ -607,6 +655,19 @@ impl System {
             self.platform.now = self.cpu.cycles;
             return;
         }
+        // With the DMA idle, busy PEs only change state at their next
+        // event: jump device time to just short of the earliest one and
+        // run only the eventful tail per-cycle. (A bulk span that
+        // retired up to its horizon leaves a tail of at most one event
+        // tick plus the final instruction's overshoot.)
+        if !self.platform.dma.is_busy() {
+            if let Some(event) = self.platform.earliest_pe_event() {
+                let jump = (event - 1).min(self.cpu.cycles);
+                if jump > self.platform.now {
+                    self.platform.now = jump;
+                }
+            }
+        }
         // A busy DMA engine writes memory as it ticks; if its target
         // range holds cached code the decoded blocks must go. (The range
         // is fixed for the whole transfer, so capturing it once covers
@@ -631,17 +692,7 @@ impl System {
     /// Requires `platform.now == cpu.cycles` (checked by the caller).
     fn sleep_advance(&mut self, budget_end: u64) {
         let now = self.platform.now;
-        // Earliest pending accelerator event, clamped to the next tick
-        // (a zero-setup job can carry `busy_until == now`; its completion
-        // is still observed on the following tick).
-        let mut event: Option<u64> = None;
-        let pes = std::iter::once(&self.platform.accel).chain(self.platform.extra_pes.iter());
-        for pe in pes {
-            if let Some(t) = pe.next_event() {
-                let t = t.max(now + 1);
-                event = Some(event.map_or(t, |cur| cur.min(t)));
-            }
-        }
+        let event = self.platform.earliest_pe_event();
         match self
             .platform
             .dma

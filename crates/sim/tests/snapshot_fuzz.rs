@@ -21,6 +21,10 @@ const BUDGET: u64 = 10_000_000;
 enum Workload {
     /// Pure-software MVM: straight-line decoded-block execution.
     Software,
+    /// Software MVM sized so its inner loops cross the trace
+    /// compiler's hot threshold: cuts land mid-trace and mid-bulk-
+    /// retire.
+    SoftwareHot,
     /// Single-accelerator offload: sleeps in `wfi` during transfers.
     Offload,
     /// Work-queue GeMM sharded over a 3-PE fabric (primary + 2 extra
@@ -32,12 +36,16 @@ enum Workload {
 /// and inputs all derive from `seed`.
 fn build_system(seed: u64, workload: Workload) -> (System, DramLayout, usize) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let n = rng.gen_range(2usize..7);
+    let n = match workload {
+        Workload::SoftwareHot => rng.gen_range(4usize..7),
+        _ => rng.gen_range(2usize..7),
+    };
     let batch = match workload {
         Workload::Cluster => {
             let tile = rng.gen_range(1usize..3);
             tile * rng.gen_range(2usize..5) // several tiles to shard
         }
+        Workload::SoftwareHot => rng.gen_range(8usize..13),
         _ => rng.gen_range(1usize..3),
     };
     let layout = DramLayout::default();
@@ -48,7 +56,7 @@ fn build_system(seed: u64, workload: Workload) -> (System, DramLayout, usize) {
         sys.write_fixed_vector(layout.x_addr + (v * n * 4) as u32, &x);
     }
     match workload {
-        Workload::Software => {
+        Workload::Software | Workload::SoftwareHot => {
             sys.write_fixed_vector(layout.w_addr, w.as_slice());
             sys.load_firmware_source(&software_mvm(n, batch, layout));
         }
@@ -92,6 +100,11 @@ struct CutStats {
     wfi: usize,
     /// Cuts taken while at least one accelerator held an in-flight job.
     busy: usize,
+    /// Cuts taken after the trace compiler had taken over hot code.
+    in_trace_tier: usize,
+    /// Cuts whose budget boundary sliced a compiled trace mid-body
+    /// (the trace executor recorded a budget side exit).
+    mid_trace_body: usize,
 }
 
 /// Runs `seed`'s workload uninterrupted, then re-runs it with a
@@ -118,6 +131,13 @@ fn check_cuts(seed: u64, workload: Workload, cuts: usize) -> CutStats {
         }
         if sys.platform.accel.is_busy() || sys.platform.extra_pes.iter().any(|pe| pe.is_busy()) {
             stats.busy += 1;
+        }
+        let perf = sys.cpu.perf_counters();
+        if perf.trace_hits > 0 {
+            stats.in_trace_tier += 1;
+        }
+        if perf.trace_exit_budget > 0 {
+            stats.mid_trace_body += 1;
         }
         let snap = sys.snapshot();
 
@@ -181,6 +201,29 @@ fn snapshot_roundtrip_mid_wfi_fast_forward() {
     assert!(
         wfi_cuts > 0,
         "no cut point landed inside a wfi fast-forward window"
+    );
+}
+
+#[test]
+fn snapshot_roundtrip_mid_trace_and_mid_bulk_retire() {
+    // Hot software MVMs run inside compiled traces retired in bulk, so
+    // a random cycle cut is serviced by the trace executor's budget
+    // side exit. The cuts must actually land there (the counters prove
+    // it), and every such cut must resume bit-identically through both
+    // restore paths.
+    let mut stats = CutStats::default();
+    for i in 0..10u64 {
+        let s = check_cuts(split_seed(0x5eed_74ce, i), Workload::SoftwareHot, 4);
+        stats.in_trace_tier += s.in_trace_tier;
+        stats.mid_trace_body += s.mid_trace_body;
+    }
+    assert!(
+        stats.in_trace_tier > 0,
+        "no cut point landed after the trace tier took over"
+    );
+    assert!(
+        stats.mid_trace_body > 0,
+        "no cut boundary sliced a compiled trace mid-body"
     );
 }
 

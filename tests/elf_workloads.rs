@@ -1,0 +1,78 @@
+//! Real-binary workloads: three complete RV32IM ELF executables (sieve,
+//! sort, CRC32) must
+//!
+//! 1. match the reference hart instruction-for-instruction under the
+//!    syscall-shim lockstep harness, and
+//! 2. run to completion on the full [`System`] — trace compiler, bulk
+//!    scheduler and all — producing the stdout and exit code that a
+//!    pure-Rust golden model predicts.
+
+use neuropulsim_oracle::rv32_matrix::lockstep_elf;
+use neuropulsim_sim::loader::workloads;
+use neuropulsim_sim::system::System;
+
+const ELF_BUDGET: u64 = 10_000_000;
+
+fn check_workload(elf: &[u8], expected_stdout: &str, expected_exit: i32) {
+    // Pass 1: instruction-for-instruction against the oracle.
+    let lockstep = lockstep_elf(elf, ELF_BUDGET).unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(lockstep.exit_code, expected_exit);
+    assert_eq!(
+        String::from_utf8_lossy(&lockstep.stdout),
+        expected_stdout,
+        "lockstep stdout mismatch"
+    );
+    assert!(lockstep.instructions > 1_000, "workload is trivial");
+
+    // Pass 2: the full system with every fast path engaged.
+    let mut sys = System::new();
+    let run = sys.run_elf(elf, ELF_BUDGET).expect("image loads");
+    assert_eq!(run.exit_code, Some(expected_exit));
+    assert_eq!(
+        String::from_utf8_lossy(&run.stdout),
+        expected_stdout,
+        "system stdout mismatch"
+    );
+
+    // The two paths agree with each other, not just with the model.
+    assert_eq!(run.stdout, lockstep.stdout);
+    assert_eq!(run.syscalls, lockstep.syscalls);
+}
+
+#[test]
+fn sieve_binary_matches_oracle_and_model() {
+    let primes = workloads::sieve_model();
+    check_workload(
+        &workloads::sieve_elf(),
+        &format!("primes={primes}\n"),
+        primes as i32,
+    );
+}
+
+#[test]
+fn sort_binary_matches_oracle_and_model() {
+    let (checksum, exit) = workloads::sort_model();
+    check_workload(
+        &workloads::sort_elf(),
+        &format!("sorted={checksum}\n"),
+        exit,
+    );
+}
+
+#[test]
+fn crc_binary_matches_oracle_and_model() {
+    let (crc, exit) = workloads::crc_model();
+    check_workload(&workloads::crc_elf(), &format!("crc={crc}\n"), exit);
+}
+
+#[test]
+fn elf_workloads_engage_the_trace_compiler() {
+    // The point of running real binaries is to exercise the trace tier
+    // on nontrivial control flow: at least one workload must compile
+    // and repeatedly hit traces.
+    let mut sys = System::new();
+    sys.run_elf(&workloads::crc_elf(), ELF_BUDGET).unwrap();
+    let perf = sys.cpu.perf_counters();
+    assert!(perf.traces_compiled >= 1, "no traces compiled: {perf:?}");
+    assert!(perf.trace_hits > 100, "trace tier barely used: {perf:?}");
+}

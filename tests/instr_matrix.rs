@@ -1,0 +1,38 @@
+//! Tier-1 instruction-matrix conformance: every named RV32IM corner
+//! case must hold in per-instruction lockstep against the reference
+//! hart AND under the cached/trace-compiled pipeline.
+
+use neuropulsim_oracle::rv32_matrix::{cases, run_matrix};
+
+const MATRIX_BUDGET: u64 = 100_000;
+
+#[test]
+fn matrix_has_at_least_fifty_cases() {
+    assert!(cases().len() >= 50, "matrix shrank to {}", cases().len());
+}
+
+#[test]
+fn every_matrix_case_is_conformant() {
+    let report = run_matrix(MATRIX_BUDGET);
+    assert_eq!(report.total, cases().len());
+    assert!(
+        report.failures.is_empty(),
+        "{} of {} matrix cases diverged:\n{}",
+        report.failures.len(),
+        report.total,
+        report.failures.join("\n")
+    );
+}
+
+#[test]
+fn matrix_retires_real_work() {
+    // A matrix of empty programs would pass vacuously; require the
+    // suite to retire a meaningful amount of lockstep work (the loop
+    // kernels alone contribute several hundred instructions).
+    let report = run_matrix(MATRIX_BUDGET);
+    assert!(
+        report.instructions > 1_000,
+        "matrix retired only {} instructions",
+        report.instructions
+    );
+}
