@@ -20,7 +20,7 @@ fn main() {
         let value = args.next();
         let parse_domain = |v: &Option<String>| {
             v.as_deref().and_then(Domain::parse).unwrap_or_else(|| {
-                eprintln!("unknown domain {v:?}; expected one of: matmul mesh abft riscv snn pcm snn_sparse");
+                eprintln!("unknown domain {v:?}; expected one of: matmul mesh abft riscv snn pcm snn_sparse mesh_zoo");
                 std::process::exit(2);
             })
         };

@@ -2,6 +2,7 @@
 //! trials, and basic summary statistics for result tables.
 
 use crate::architecture::MeshArchitecture;
+use crate::layered::ProgramOptions;
 use neuropulsim_linalg::random::haar_unitary;
 use neuropulsim_linalg::{decomp, metrics, parallel, CMatrix, RMatrix};
 use rand::rngs::StdRng;
@@ -178,6 +179,82 @@ pub fn robustness_sweep_par(
     Stats::from_samples(&samples)
 }
 
+/// The canonical size axis of the topology × size grid, up to the
+/// large-mesh regime the blocked kernels target.
+pub const GRID_SIZES: [usize; 5] = [8, 16, 32, 64, 128];
+
+/// One cell of the topology × size grid: fidelity statistics for a
+/// single `(architecture, n)` pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridPoint {
+    /// The mesh architecture.
+    pub arch: MeshArchitecture,
+    /// Number of optical modes.
+    pub n: usize,
+    /// Fidelity on Haar-random targets with ideal hardware (E1). For
+    /// Fldzhyan this is honest about the sweep budget in `options` —
+    /// large meshes under a capped budget report the fidelity actually
+    /// reached, not the asymptotic one.
+    pub expressivity: Stats,
+    /// Fidelity under static coupler imbalance, each architecture
+    /// programming through its natural flow (E2).
+    pub imbalance: Stats,
+}
+
+/// Full topology × size sweep: every architecture in
+/// [`MeshArchitecture::ALL`] crossed with every size in `sizes`,
+/// `trials` expressivity and `trials` imbalance-robustness trials per
+/// cell.
+///
+/// Every trial seeds its own RNG from
+/// [`parallel::split_seed`]`(seed, task_index)`, so the returned grid
+/// is a pure function of `(sizes, trials, sigma_coupler, options,
+/// seed)` and bit-identical for every thread count.
+pub fn mesh_grid_sweep(
+    sizes: &[usize],
+    trials: usize,
+    sigma_coupler: f64,
+    options: ProgramOptions,
+    seed: u64,
+    threads: usize,
+) -> Vec<GridPoint> {
+    let cells: Vec<(MeshArchitecture, usize)> = MeshArchitecture::ALL
+        .into_iter()
+        .flat_map(|arch| sizes.iter().map(move |&n| (arch, n)))
+        .collect();
+    // Task layout per cell: `trials` expressivity draws, then `trials`
+    // imbalance draws; one flat index space so work balances across
+    // threads regardless of how lopsided the per-cell costs are.
+    let per_cell = 2 * trials;
+    let samples = parallel::par_map_indexed(cells.len() * per_cell, threads, |idx| {
+        let (arch, n) = cells[idx / per_cell];
+        let rest = idx % per_cell;
+        let mut rng = StdRng::seed_from_u64(parallel::split_seed(seed, idx as u64));
+        let target = haar_unitary(&mut rng, n);
+        if rest < trials {
+            let mesh = arch.program_with(&target, &mut rng, options);
+            mesh.fidelity(&target)
+        } else {
+            let realized =
+                arch.program_with_imbalance_opts(&target, sigma_coupler, &mut rng, options);
+            metrics::unitary_fidelity(&target, &realized)
+        }
+    });
+    cells
+        .iter()
+        .enumerate()
+        .map(|(c, &(arch, n))| {
+            let base = c * per_cell;
+            GridPoint {
+                arch,
+                n,
+                expressivity: Stats::from_samples(&samples[base..base + trials]),
+                imbalance: Stats::from_samples(&samples[base + trials..base + per_cell]),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,6 +322,32 @@ mod tests {
             robustness_sweep_par(MeshArchitecture::Clements, 4, 0.05, 0.0, 6, 13, 1).mean,
             robustness_sweep_par(MeshArchitecture::Clements, 4, 0.05, 0.0, 6, 14, 1).mean,
         );
+    }
+
+    #[test]
+    fn grid_sweep_covers_every_cell_and_is_thread_invariant() {
+        let options = ProgramOptions {
+            max_sweeps: 6,
+            tol: 1e-9,
+        };
+        let g1 = mesh_grid_sweep(&[2, 4], 2, 0.05, options, 17, 1);
+        assert_eq!(g1.len(), MeshArchitecture::ALL.len() * 2);
+        for p in &g1 {
+            assert_eq!(p.expressivity.count, 2, "{} n={}", p.arch, p.n);
+            assert_eq!(p.imbalance.count, 2);
+            assert!(p.expressivity.min > 0.0 && p.expressivity.max <= 1.0 + 1e-9);
+        }
+        // Analytic architectures are exact on small Haar targets.
+        for p in g1.iter().filter(|p| p.arch == MeshArchitecture::Clements) {
+            assert!(
+                p.expressivity.min > 1.0 - 1e-8,
+                "n={}: {:?}",
+                p.n,
+                p.expressivity
+            );
+        }
+        let g4 = mesh_grid_sweep(&[2, 4], 2, 0.05, options, 17, 4);
+        assert_eq!(g1, g4, "grid must be thread-count invariant");
     }
 
     #[test]

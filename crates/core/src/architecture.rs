@@ -94,6 +94,19 @@ impl MeshArchitecture {
     ///
     /// Panics if `target` is not unitary (Clements path) or not square.
     pub fn program<R: Rng + ?Sized>(&self, target: &CMatrix, rng: &mut R) -> ProgrammedMesh {
+        self.program_with(target, rng, ProgramOptions::default())
+    }
+
+    /// Like [`MeshArchitecture::program`] with an explicit sweep budget
+    /// for the numerical (Fldzhyan) path — large-n grid sweeps cap it to
+    /// keep a single trial bounded. Analytic architectures ignore
+    /// `options`.
+    pub fn program_with<R: Rng + ?Sized>(
+        &self,
+        target: &CMatrix,
+        rng: &mut R,
+        options: ProgramOptions,
+    ) -> ProgrammedMesh {
         match self {
             MeshArchitecture::Clements | MeshArchitecture::ClementsCompact => {
                 ProgrammedMesh::Rectangular {
@@ -108,7 +121,7 @@ impl MeshArchitecture {
             MeshArchitecture::Fldzhyan => {
                 let mut mesh = LayeredMesh::universal(target.rows());
                 mesh.randomize_phases(rng);
-                mesh.program_unitary(target, ProgramOptions::default());
+                mesh.program_unitary(target, options);
                 ProgrammedMesh::Layered(mesh)
             }
         }
@@ -126,6 +139,18 @@ impl MeshArchitecture {
         target: &CMatrix,
         coupler_sigma: f64,
         rng: &mut R,
+    ) -> CMatrix {
+        self.program_with_imbalance_opts(target, coupler_sigma, rng, ProgramOptions::default())
+    }
+
+    /// Like [`MeshArchitecture::program_with_imbalance`] with an explicit
+    /// sweep budget for the Fldzhyan optimizer.
+    pub fn program_with_imbalance_opts<R: Rng + ?Sized>(
+        &self,
+        target: &CMatrix,
+        coupler_sigma: f64,
+        rng: &mut R,
+        options: ProgramOptions,
     ) -> CMatrix {
         match self {
             MeshArchitecture::Clements
@@ -146,7 +171,7 @@ impl MeshArchitecture {
                 let mut mesh = LayeredMesh::universal(target.rows());
                 mesh.perturb_couplers(rng, coupler_sigma);
                 mesh.randomize_phases(rng);
-                mesh.program_unitary(target, ProgramOptions::default());
+                mesh.program_unitary(target, options);
                 mesh.transfer_matrix()
             }
         }
@@ -174,10 +199,18 @@ pub enum ProgrammedMesh {
 }
 
 impl ProgrammedMesh {
-    /// The ideal realized transfer matrix.
+    /// The ideal realized transfer matrix. Compacted rectangles go
+    /// through the compact-cell evaluation path (same matrix, different
+    /// arithmetic — agreement is itself a conformance check).
     pub fn transfer_matrix(&self) -> CMatrix {
         match self {
-            ProgrammedMesh::Rectangular { program, .. } => program.transfer_matrix(),
+            ProgrammedMesh::Rectangular { program, compact } => {
+                if *compact {
+                    program.transfer_matrix_compact()
+                } else {
+                    program.transfer_matrix()
+                }
+            }
             ProgrammedMesh::Layered(mesh) => mesh.transfer_matrix(),
         }
     }

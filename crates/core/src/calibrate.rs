@@ -14,11 +14,16 @@
 //! the target overlap `t(p) = a + b e^{ip}` is fixed exactly by three
 //! probe evaluations and maximized in closed form per phase.
 
+use crate::architecture::MeshArchitecture;
+use crate::layered::{LayeredMesh, ProgramOptions};
 use crate::program::MeshProgram;
-use neuropulsim_linalg::{metrics, CMatrix, C64};
+use crate::{clements, reck};
+use neuropulsim_linalg::{metrics, parallel, CMatrix, C64};
 use neuropulsim_photonics::coupler::Coupler;
 use neuropulsim_photonics::mzi::Mzi;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::TAU;
 
 /// One fabricated MZI: fixed (characterized) couplers, adjustable phases.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -193,6 +198,314 @@ impl FabricatedMesh {
     }
 }
 
+// ------------------------------------------------- calibration under drift
+
+/// Configuration of a calibration-under-drift campaign: every
+/// programmed phase is held by a multi-level PCM cell whose crystalline
+/// fraction ages by `nu * ln(1 + t)` (the same law as
+/// `neuropulsim_photonics::pcm::PcmCell::apply_drift`), and a
+/// recalibration loop re-programs the stored levels whenever the
+/// realized fidelity falls below `retain_frac` of the freshly-stored
+/// fidelity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftCampaignConfig {
+    /// Static Gaussian coupler imbalance at fabrication \[rad\].
+    pub coupler_sigma: f64,
+    /// PCM storage levels per phase (iterative programming resolution).
+    pub levels: u32,
+    /// Mean drift coefficient (fraction shift per `ln(1 + t/1s)`).
+    pub nu: f64,
+    /// Relative per-cell dispersion of the drift coefficient (each cell
+    /// draws `nu * (1 + nu_sigma * gaussian)`, floored at 0). Without
+    /// dispersion a full phase column drifts uniformly, which is a pure
+    /// global phase on the layered mesh — dispersion is what makes
+    /// drift observable on every architecture.
+    pub nu_sigma: f64,
+    /// Simulated seconds between fidelity checks.
+    pub seconds_per_step: f64,
+    /// Number of drift steps.
+    pub steps: usize,
+    /// Recalibration trigger: re-program when fidelity falls below
+    /// `retain_frac * stored_fidelity`.
+    pub retain_frac: f64,
+    /// Sweep budget for the Fldzhyan error-aware (re)programming polish.
+    pub polish: ProgramOptions,
+}
+
+impl Default for DriftCampaignConfig {
+    fn default() -> Self {
+        DriftCampaignConfig {
+            coupler_sigma: 0.05,
+            levels: 4096,
+            nu: 1e-3,
+            nu_sigma: 0.3,
+            seconds_per_step: 5.0,
+            steps: 48,
+            retain_frac: 0.98,
+            polish: ProgramOptions {
+                max_sweeps: 12,
+                tol: 1e-10,
+            },
+        }
+    }
+}
+
+/// Outcome of one architecture's drift campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftTrace {
+    /// The architecture.
+    pub arch: MeshArchitecture,
+    /// Modes.
+    pub n: usize,
+    /// Fidelity right after programming (couplers imbalanced, phases
+    /// exact) — the architecture's error-tolerance signature.
+    pub fresh_fidelity: f64,
+    /// Fidelity after quantizing every phase into a PCM level.
+    pub stored_fidelity: f64,
+    /// The recalibration trigger threshold actually used.
+    pub floor: f64,
+    /// Lowest *post-recalibration* fidelity over the campaign; held
+    /// above `floor` by the recalibration loop.
+    pub min_fidelity: f64,
+    /// Lowest fidelity observed *before* a recalibration fired — how
+    /// deep the drift excursions got.
+    pub worst_excursion: f64,
+    /// Mean of the per-step (post-recalibration) fidelities.
+    pub mean_fidelity: f64,
+    /// Fidelity at the last step.
+    pub final_fidelity: f64,
+    /// Number of recalibrations the loop needed.
+    pub recalibrations: usize,
+    /// Steps simulated.
+    pub steps: usize,
+}
+
+/// The unified phase store a drift campaign ages: either a fabricated
+/// rectangular mesh or a layered mesh, with phases exposed as one flat
+/// vector in a fixed order.
+enum DriftRealization {
+    Rect(FabricatedMesh),
+    Layered(LayeredMesh),
+}
+
+impl DriftRealization {
+    fn phases(&self) -> Vec<f64> {
+        match self {
+            DriftRealization::Rect(mesh) => {
+                let mut out = Vec::with_capacity(2 * mesh.blocks.len() + mesh.n);
+                for b in &mesh.blocks {
+                    out.push(b.theta);
+                    out.push(b.phi);
+                }
+                out.extend_from_slice(&mesh.output_phases);
+                out
+            }
+            DriftRealization::Layered(mesh) => {
+                let mut out = Vec::new();
+                for layer in mesh.phase_layers() {
+                    out.extend_from_slice(layer);
+                }
+                out.extend_from_slice(mesh.output_phases());
+                out
+            }
+        }
+    }
+
+    fn set_phases(&mut self, phases: &[f64]) {
+        match self {
+            DriftRealization::Rect(mesh) => {
+                let mut it = phases.iter();
+                for b in &mut mesh.blocks {
+                    b.theta = *it.next().unwrap();
+                    b.phi = *it.next().unwrap();
+                }
+                for p in &mut mesh.output_phases {
+                    *p = *it.next().unwrap();
+                }
+                assert!(it.next().is_none(), "phase count mismatch");
+            }
+            DriftRealization::Layered(mesh) => {
+                let mut it = phases.iter();
+                for layer in mesh.phase_layers_mut() {
+                    for p in layer.iter_mut() {
+                        *p = *it.next().unwrap();
+                    }
+                }
+                for p in mesh.output_phases_mut() {
+                    *p = *it.next().unwrap();
+                }
+                assert!(it.next().is_none(), "phase count mismatch");
+            }
+        }
+    }
+
+    fn fidelity(&self, target: &CMatrix) -> f64 {
+        match self {
+            DriftRealization::Rect(mesh) => mesh.fidelity(target),
+            DriftRealization::Layered(mesh) => {
+                metrics::unitary_fidelity(target, &mesh.transfer_matrix())
+            }
+        }
+    }
+}
+
+/// Quantizes a phase into the nearest of `levels` PCM fractions of the
+/// full turn, returning the stored fraction in `[0, 1]`.
+fn quantize_phase(phase: f64, levels: u32) -> f64 {
+    let f = phase.rem_euclid(TAU) / TAU;
+    let steps = (levels - 1) as f64;
+    (f * steps).round() / steps
+}
+
+/// Fraction after `age_s` seconds of amorphous relaxation — the same
+/// law as `PcmCell::apply_drift` applied once from the stored state.
+fn drifted_fraction(stored: f64, nu: f64, age_s: f64) -> f64 {
+    (stored + nu * (1.0 + age_s.max(0.0)).ln()).clamp(0.0, 1.0)
+}
+
+/// The campaign's shared target: a Haar-like unitary that is *exactly*
+/// representable by an ideal-coupler layered mesh, so every
+/// architecture competes on the same footing (the analytic
+/// decompositions handle any unitary, and Fldzhyan's optimizer is not
+/// penalized for a capped sweep budget). Deterministic in `(n, seed)`.
+pub fn layered_target(n: usize, seed: u64) -> (LayeredMesh, CMatrix) {
+    let mut rng = StdRng::seed_from_u64(parallel::split_seed(seed, 0));
+    let mut generator = LayeredMesh::universal(n);
+    generator.randomize_phases(&mut rng);
+    let target = generator.transfer_matrix();
+    (generator, target)
+}
+
+/// Runs one architecture's calibration-under-drift campaign at size `n`.
+///
+/// The mesh is programmed once (analytically for the rectangular
+/// architectures, error-aware warm-started polish for Fldzhyan — its
+/// phases start at the target's generating values and re-optimize
+/// against the *fabricated* couplers), phases are quantized into PCM
+/// levels, and the campaign then alternates drift steps with
+/// threshold-triggered re-programming of the stored levels.
+///
+/// Deterministic in `(arch, n, cfg, seed)`; the target depends only on
+/// `(n, seed)`, so all four architectures of one campaign age against
+/// the same unitary.
+pub fn drift_campaign(
+    arch: MeshArchitecture,
+    n: usize,
+    cfg: &DriftCampaignConfig,
+    seed: u64,
+) -> DriftTrace {
+    let (generator, target) = layered_target(n, seed);
+    let arch_index = MeshArchitecture::ALL
+        .iter()
+        .position(|a| *a == arch)
+        .unwrap() as u64;
+    let mut rng = StdRng::seed_from_u64(parallel::split_seed(seed, 1 + arch_index));
+
+    let mut realization = match arch {
+        MeshArchitecture::Clements | MeshArchitecture::ClementsCompact => {
+            let program = clements::decompose(&target);
+            DriftRealization::Rect(FabricatedMesh::fabricate(
+                &program,
+                cfg.coupler_sigma,
+                &mut rng,
+            ))
+        }
+        MeshArchitecture::Reck => {
+            let program = reck::decompose(&target);
+            DriftRealization::Rect(FabricatedMesh::fabricate(
+                &program,
+                cfg.coupler_sigma,
+                &mut rng,
+            ))
+        }
+        MeshArchitecture::Fldzhyan => {
+            let mut mesh = generator;
+            mesh.perturb_couplers(&mut rng, cfg.coupler_sigma);
+            mesh.program_unitary(&target, cfg.polish);
+            DriftRealization::Layered(mesh)
+        }
+    };
+
+    let fresh_fidelity = realization.fidelity(&target);
+    let stored: Vec<f64> = realization
+        .phases()
+        .iter()
+        .map(|&p| quantize_phase(p, cfg.levels))
+        .collect();
+    let stored_phases: Vec<f64> = stored.iter().map(|&f| f * TAU).collect();
+    // Per-cell drift coefficients: fabrication-frozen dispersion.
+    let nus: Vec<f64> = stored
+        .iter()
+        .map(|_| {
+            (cfg.nu * (1.0 + cfg.nu_sigma * neuropulsim_linalg::random::gaussian(&mut rng)))
+                .max(0.0)
+        })
+        .collect();
+    realization.set_phases(&stored_phases);
+    let stored_fidelity = realization.fidelity(&target);
+    let floor = cfg.retain_frac * stored_fidelity;
+
+    let mut age = 0.0f64;
+    let mut recalibrations = 0usize;
+    let mut min_fidelity = f64::INFINITY;
+    let mut worst_excursion = f64::INFINITY;
+    let mut sum = 0.0f64;
+    let mut final_fidelity = stored_fidelity;
+    for _ in 0..cfg.steps {
+        age += cfg.seconds_per_step;
+        let drifted: Vec<f64> = stored
+            .iter()
+            .zip(&nus)
+            .map(|(&f, &nu)| drifted_fraction(f, nu, age) * TAU)
+            .collect();
+        realization.set_phases(&drifted);
+        let mut fidelity = realization.fidelity(&target);
+        worst_excursion = worst_excursion.min(fidelity);
+        if fidelity < floor {
+            // Recalibrate: re-program every PCM cell back onto its
+            // stored level, which also resets the relaxation clock.
+            realization.set_phases(&stored_phases);
+            age = 0.0;
+            recalibrations += 1;
+            fidelity = stored_fidelity;
+        }
+        min_fidelity = min_fidelity.min(fidelity);
+        sum += fidelity;
+        final_fidelity = fidelity;
+    }
+    DriftTrace {
+        arch,
+        n,
+        fresh_fidelity,
+        stored_fidelity,
+        floor,
+        min_fidelity,
+        worst_excursion,
+        mean_fidelity: if cfg.steps > 0 {
+            sum / cfg.steps as f64
+        } else {
+            stored_fidelity
+        },
+        final_fidelity,
+        recalibrations,
+        steps: cfg.steps,
+    }
+}
+
+/// Runs the campaign for all four architectures against one shared
+/// target, fanned out over up to `threads` workers; deterministic in
+/// `(n, cfg, seed)` and independent of the thread count.
+pub fn drift_campaign_all(
+    n: usize,
+    cfg: &DriftCampaignConfig,
+    seed: u64,
+    threads: usize,
+) -> Vec<DriftTrace> {
+    parallel::par_map_indexed(MeshArchitecture::ALL.len(), threads, |i| {
+        drift_campaign(MeshArchitecture::ALL[i], n, cfg, seed)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,5 +578,86 @@ mod tests {
     fn transfer_is_unitary_for_lossless_fabrication() {
         let (_, mesh) = setup(6, 0.1, 11);
         assert!(mesh.transfer_matrix().is_unitary(1e-10));
+    }
+
+    #[test]
+    fn drift_law_matches_pcm_cell() {
+        use neuropulsim_photonics::pcm::{PcmCell, PcmMaterial};
+        for &(f0, nu, age) in &[(0.2, 1e-3, 50.0), (0.9, 5e-3, 1e4), (0.0, 1e-2, 3.0)] {
+            let mut cell = PcmCell::new(PcmMaterial::Gsst);
+            cell.set_state(f0);
+            cell.apply_drift(age, nu);
+            let ours = drifted_fraction(f0, nu, age);
+            assert!(
+                (cell.crystalline_fraction() - ours).abs() < 1e-15,
+                "f0={f0} nu={nu} age={age}: {} vs {ours}",
+                cell.crystalline_fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn quantization_rounds_to_nearest_level() {
+        assert_eq!(quantize_phase(0.0, 2), 0.0);
+        assert_eq!(quantize_phase(TAU * 0.74, 101), 0.74);
+        // Wrapping: a negative phase lands on the equivalent fraction.
+        assert!((quantize_phase(-TAU * 0.25, 4096) - 0.75).abs() < 1e-3);
+    }
+
+    #[test]
+    fn drift_campaign_recalibrates_and_holds_the_floor() {
+        let cfg = DriftCampaignConfig {
+            steps: 24,
+            seconds_per_step: 30.0,
+            nu: 3e-3,
+            polish: ProgramOptions {
+                max_sweeps: 20,
+                tol: 1e-10,
+            },
+            ..DriftCampaignConfig::default()
+        };
+        let traces = drift_campaign_all(6, &cfg, 21, 2);
+        assert_eq!(traces.len(), MeshArchitecture::ALL.len());
+        for t in &traces {
+            assert!(
+                t.min_fidelity >= t.floor - 1e-12,
+                "{}: min {} below floor {}",
+                t.arch,
+                t.min_fidelity,
+                t.floor
+            );
+            assert!(
+                t.worst_excursion < t.stored_fidelity - 1e-4,
+                "{}: drift should be visible ({} vs {})",
+                t.arch,
+                t.worst_excursion,
+                t.stored_fidelity
+            );
+            // 4096-level storage quantizes phases to ~1e-3 rad; the
+            // fidelity moves only marginally (either direction — the
+            // programmed point need not be a perfect optimum).
+            assert!(
+                (t.stored_fidelity - t.fresh_fidelity).abs() < 1e-3,
+                "{}: stored {} vs fresh {}",
+                t.arch,
+                t.stored_fidelity,
+                t.fresh_fidelity
+            );
+            assert_eq!(t.steps, 24);
+        }
+        // The error-oblivious analytic meshes lean on the recalibration
+        // loop; the error-aware layered mesh both starts higher and
+        // needs fewer recalibrations — its tolerance pays off.
+        let by_arch = |a: MeshArchitecture| traces.iter().find(|t| t.arch == a).unwrap();
+        let clements = by_arch(MeshArchitecture::Clements);
+        let fldzhyan = by_arch(MeshArchitecture::Fldzhyan);
+        assert!(clements.recalibrations >= 1, "clements never recalibrated");
+        assert!(
+            fldzhyan.fresh_fidelity > clements.fresh_fidelity,
+            "error-aware programming should beat oblivious decomposition under imbalance"
+        );
+        assert!(fldzhyan.recalibrations <= clements.recalibrations);
+        // Determinism across thread counts.
+        assert_eq!(traces, drift_campaign_all(6, &cfg, 21, 1));
     }
 }

@@ -10,6 +10,8 @@
 //! inherently error-aware, which is where the architecture's robustness
 //! advantage comes from (experiment E2).
 
+use crate::program::MeshScratch;
+use neuropulsim_linalg::soa::{self, CellColumn};
 use neuropulsim_linalg::{metrics, CMatrix, C64};
 use rand::Rng;
 
@@ -75,9 +77,11 @@ impl LayeredMesh {
     ///
     /// # Panics
     ///
-    /// Panics if `n < 2` or `num_layers == 0`.
+    /// Panics if `n == 0` or `num_layers == 0`. A single-mode mesh is
+    /// legal (it degenerates to a chain of phase shifters with no
+    /// couplers) so edge-size sweeps don't need a special case.
     pub fn new(n: usize, num_layers: usize) -> Self {
-        assert!(n >= 2, "mesh needs at least 2 modes");
+        assert!(n >= 1, "mesh needs at least 1 mode");
         assert!(num_layers > 0, "mesh needs at least 1 layer");
         let coupler_kappa = (0..num_layers)
             .map(|l| vec![std::f64::consts::FRAC_PI_4; Self::pair_count(n, l)])
@@ -123,6 +127,29 @@ impl LayeredMesh {
     /// Borrow the phase layers.
     pub fn phase_layers(&self) -> &[Vec<f64>] {
         &self.phase_layers
+    }
+
+    /// Mutable access to the phase layers (drift experiments write the
+    /// aged phase values back through this).
+    pub fn phase_layers_mut(&mut self) -> &mut [Vec<f64>] {
+        &mut self.phase_layers
+    }
+
+    /// The output phase screen \[rad\].
+    pub fn output_phases(&self) -> &[f64] {
+        &self.output_phases
+    }
+
+    /// Mutable access to the output phase screen.
+    pub fn output_phases_mut(&mut self) -> &mut [f64] {
+        &mut self.output_phases
+    }
+
+    /// Borrow the coupler angles: `coupler_kappas()[l][p]` is the `p`-th
+    /// coupler of layer `l`, acting on modes `(l % 2 + 2p, l % 2 + 2p + 1)`.
+    /// Used by the oracle crate's independent dense reconstruction.
+    pub fn coupler_kappas(&self) -> &[Vec<f64>] {
+        &self.coupler_kappa
     }
 
     /// Randomizes every phase uniformly in `[0, 2 pi)` (optimization
@@ -194,6 +221,7 @@ impl LayeredMesh {
     }
 
     /// Product of all columns strictly *before* the phase column of `layer`.
+    #[cfg(test)]
     fn prefix(&self, layer: usize) -> CMatrix {
         let mut u = CMatrix::identity(self.n);
         for l in 0..layer {
@@ -205,6 +233,7 @@ impl LayeredMesh {
 
     /// Product of all columns strictly *after* the phase column of `layer`
     /// (starting with that layer's coupler column).
+    #[cfg(test)]
     fn suffix(&self, layer: usize) -> CMatrix {
         let mut u = CMatrix::identity(self.n);
         for l in layer..self.num_layers() {
@@ -220,6 +249,64 @@ impl LayeredMesh {
         u
     }
 
+    /// Right-multiplies `u` by the coupler column of `layer` (column ops).
+    fn apply_coupler_column_right(&self, u: &mut CMatrix, layer: usize) {
+        let offset = layer % 2;
+        for (p, &kappa) in self.coupler_kappa[layer].iter().enumerate() {
+            let top = offset + 2 * p;
+            let c = C64::real(kappa.cos());
+            let s = C64::new(0.0, kappa.sin());
+            for i in 0..u.rows() {
+                let x = u[(i, top)];
+                let y = u[(i, top + 1)];
+                u[(i, top)] = x * c + y * s;
+                u[(i, top + 1)] = x * s + y * c;
+            }
+        }
+    }
+
+    /// Right-multiplies `u` by the *inverse* of the coupler column of
+    /// `layer`. The column is unitary, so the inverse is its adjoint:
+    /// each cell `[[c, s], [s, c]]` (`c` real, `s` purely imaginary)
+    /// inverts to `[[c, -s], [-s, c]]`.
+    fn apply_coupler_column_inv_right(&self, u: &mut CMatrix, layer: usize) {
+        let offset = layer % 2;
+        for (p, &kappa) in self.coupler_kappa[layer].iter().enumerate() {
+            let top = offset + 2 * p;
+            let c = C64::real(kappa.cos());
+            let s = C64::new(0.0, -kappa.sin());
+            for i in 0..u.rows() {
+                let x = u[(i, top)];
+                let y = u[(i, top + 1)];
+                u[(i, top)] = x * c + y * s;
+                u[(i, top + 1)] = x * s + y * c;
+            }
+        }
+    }
+
+    /// Right-multiplies `u` by `diag(e^{i * sign * phases})`.
+    fn scale_columns(u: &mut CMatrix, phases: &[f64], sign: f64) {
+        for (j, &p) in phases.iter().enumerate() {
+            let e = C64::cis(sign * p);
+            for i in 0..u.rows() {
+                u[(i, j)] *= e;
+            }
+        }
+    }
+
+    /// `diag[k] = row_k(a) · col_k(b)` — the only part of the product
+    /// `a * b` the phasor alignment consumes, in O(n²) instead of O(n³).
+    fn product_diagonal(a: &CMatrix, b: &CMatrix, diag: &mut [C64]) {
+        let n = a.rows();
+        for (k, d) in diag.iter_mut().enumerate() {
+            let mut acc = C64::ZERO;
+            for j in 0..n {
+                acc += a[(k, j)] * b[(j, k)];
+            }
+            *d = acc;
+        }
+    }
+
     /// Programs the mesh to realize `target` by cyclic phase-column
     /// optimization: for each phase column, the overlap
     /// `t = Tr(T† * Suf * P * Pre) = sum_k M_kk e^{i phi_k}` is maximized
@@ -228,6 +315,15 @@ impl LayeredMesh {
     /// Returns the achieved fidelity and sweep count. The optimizer uses
     /// the mesh's actual couplers, so imbalance is compensated as far as
     /// the architecture allows.
+    ///
+    /// Each sweep costs O(layers · n²): instead of rebuilding `Pre` and
+    /// `Suf` from scratch per layer (O(layers² · n²) per sweep, which is
+    /// minutes at n = 128), the sweep walks layers in increasing order
+    /// maintaining `Pre` by appending the just-optimized columns and
+    /// `B = T† · Suf` by *peeling* the visited layer's columns off with
+    /// their unitary inverses — valid because a layer's suffix only
+    /// involves phases the sweep has not touched yet. Only
+    /// `diag(Pre · B)` is ever needed, so no O(n³) product appears.
     ///
     /// # Panics
     ///
@@ -241,28 +337,42 @@ impl LayeredMesh {
         let t_adj = target.adjoint();
         let mut last_fidelity = metrics::unitary_fidelity(target, &self.transfer_matrix());
         let mut sweeps = 0;
+        let layers = self.num_layers();
+        let mut diag = vec![C64::ZERO; self.n];
 
         for sweep in 0..options.max_sweeps {
             sweeps = sweep + 1;
-            // Optimize each interior phase column.
-            for l in 0..self.num_layers() {
-                let pre = self.prefix(l);
-                let suf = self.suffix(l);
-                let m = pre.mul_mat(&t_adj).mul_mat(&suf);
-                Self::align_phases(&m, &mut self.phase_layers[l]);
+            // Pre(0) = identity; B(0) = T† · Suf(0), built by one backward
+            // pass appending each column on the right.
+            let mut pre = CMatrix::identity(self.n);
+            let mut b = t_adj.clone();
+            Self::scale_columns(&mut b, &self.output_phases, 1.0);
+            for l in (0..layers).rev() {
+                self.apply_coupler_column_right(&mut b, l);
+                if l > 0 {
+                    Self::scale_columns(&mut b, &self.phase_layers[l], 1.0);
+                }
+            }
+            // Optimize each interior phase column in increasing order.
+            for l in 0..layers {
+                Self::product_diagonal(&pre, &b, &mut diag);
+                Self::align_phases(&diag, &mut self.phase_layers[l]);
+                // Pre(l+1) = C_l · P_l(new) · Pre(l): append on the left.
+                Self::apply_phase_column(&mut pre, &self.phase_layers[l]);
+                self.apply_coupler_column(&mut pre, l);
+                // B(l+1) = B(l) · C_l⁻¹ · P_{l+1}⁻¹ (old phases): peel on
+                // the right.
+                self.apply_coupler_column_inv_right(&mut b, l);
+                if l + 1 < layers {
+                    Self::scale_columns(&mut b, &self.phase_layers[l + 1], -1.0);
+                }
             }
             // Optimize the output screen: U = D * Rest, overlap
             // Tr(T† D Rest) = Tr(Rest T† D) = sum_k (Rest T†)_kk e^{i d_k}.
-            let rest = {
-                let mut u = CMatrix::identity(self.n);
-                for l in 0..self.num_layers() {
-                    Self::apply_phase_column(&mut u, &self.phase_layers[l]);
-                    self.apply_coupler_column(&mut u, l);
-                }
-                u
-            };
-            let m = rest.mul_mat(&t_adj);
-            Self::align_phases(&m, &mut self.output_phases);
+            // After the loop `pre` *is* Rest (all interior columns, new
+            // phases).
+            Self::product_diagonal(&pre, &t_adj, &mut diag);
+            Self::align_phases(&diag, &mut self.output_phases);
 
             let fidelity = metrics::unitary_fidelity(target, &self.transfer_matrix());
             if (fidelity - last_fidelity).abs() < options.tol {
@@ -278,10 +388,10 @@ impl LayeredMesh {
         }
     }
 
-    /// Given `M` with overlap `t(phi) = sum_k M_kk e^{i phi_k}`, sets the
-    /// phases to (locally) maximize `|t|` by iterated phasor alignment.
-    fn align_phases(m: &CMatrix, phases: &mut [f64]) {
-        let diag: Vec<C64> = (0..phases.len()).map(|k| m[(k, k)]).collect();
+    /// Given the diagonal of `M` with overlap
+    /// `t(phi) = sum_k diag_k e^{i phi_k}`, sets the phases to (locally)
+    /// maximize `|t|` by iterated phasor alignment.
+    fn align_phases(diag: &[C64], phases: &mut [f64]) {
         for _round in 0..4 {
             for k in 0..phases.len() {
                 let rest: C64 = diag
@@ -301,6 +411,150 @@ impl LayeredMesh {
                 }
             }
         }
+    }
+
+    /// Compiles the mesh into a fused execution plan: each
+    /// `[phase column -> coupler column]` pair collapses into a single
+    /// column of 2×2 cells (`C · diag(e^{iφ_p}, e^{iφ_q})` is itself a
+    /// 2×2 constant), so applying the mesh is one lane pass per layer
+    /// with all trigonometry paid at compile time.
+    pub fn compile(&self) -> CompiledLayeredMesh {
+        let mut layers = Vec::with_capacity(self.num_layers());
+        for l in 0..self.num_layers() {
+            let offset = l % 2;
+            let phases = &self.phase_layers[l];
+            let mut cells = CellColumn::new();
+            for (p, &kappa) in self.coupler_kappa[l].iter().enumerate() {
+                let top = offset + 2 * p;
+                let c = C64::real(kappa.cos());
+                let s = C64::new(0.0, kappa.sin());
+                let ep = C64::cis(phases[top]);
+                let eq = C64::cis(phases[top + 1]);
+                cells.push(top as u32, c * ep, s * eq, s * ep, c * eq);
+            }
+            cells.finish();
+            // Modes not covered by a coupler this layer still get their
+            // phase shifter: mode 0 when the column is offset, and the
+            // last mode when the remaining pair is incomplete.
+            let covered = offset + 2 * self.coupler_kappa[l].len();
+            let mut loose = Vec::new();
+            for m in (0..offset).chain(covered..self.n) {
+                loose.push((m, C64::cis(phases[m])));
+            }
+            layers.push(FusedLayer { cells, loose });
+        }
+        let (out_re, out_im) = self
+            .output_phases
+            .iter()
+            .map(|&p| {
+                let e = C64::cis(p);
+                (e.re, e.im)
+            })
+            .unzip();
+        CompiledLayeredMesh {
+            n: self.n,
+            layers,
+            out_re,
+            out_im,
+        }
+    }
+}
+
+/// One fused layer of a [`CompiledLayeredMesh`]: the phase column folded
+/// into the coupler column, plus phase-only cells for uncovered modes.
+#[derive(Debug, Clone, PartialEq)]
+struct FusedLayer {
+    cells: CellColumn,
+    loose: Vec<(usize, C64)>,
+}
+
+/// A compiled [`LayeredMesh`]: the fused multi-column execution plan.
+///
+/// Like [`crate::program::CompiledMesh`] this is a snapshot — recompile
+/// after mutating phases or couplers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledLayeredMesh {
+    n: usize,
+    layers: Vec<FusedLayer>,
+    out_re: Vec<f64>,
+    out_im: Vec<f64>,
+}
+
+impl CompiledLayeredMesh {
+    /// Number of optical modes.
+    pub fn modes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of fused layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Applies the mesh to a field vector in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != modes()`.
+    pub fn apply_in_place(&self, v: &mut [C64], scratch: &mut MeshScratch) {
+        assert_eq!(v.len(), self.n, "apply_in_place: dimension mismatch");
+        scratch.lanes.pack_slice(v);
+        let (re, im) = scratch.lanes.lanes_mut();
+        for layer in &self.layers {
+            layer.cells.apply(re, im);
+            for &(m, ph) in &layer.loose {
+                let (vr, vi) = (re[m], im[m]);
+                re[m] = vr * ph.re - vi * ph.im;
+                im[m] = vr * ph.im + vi * ph.re;
+            }
+        }
+        soa::apply_phasors(re, im, &self.out_re, &self.out_im);
+        scratch.lanes.unpack_into(v);
+    }
+
+    /// Applies the mesh to a batch of vectors stored consecutively
+    /// (`batch[j*n..(j+1)*n]` is vector `j`), amortizing each layer's
+    /// coefficient stream over the whole batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch.len()` is not a non-zero multiple of `modes()`.
+    pub fn apply_batch(&self, batch: &mut [C64], scratch: &mut MeshScratch) {
+        assert!(
+            !batch.is_empty() && batch.len().is_multiple_of(self.n),
+            "apply_batch: batch must hold a whole number of vectors"
+        );
+        let width = batch.len() / self.n;
+        soa::pack_columns(
+            batch,
+            self.n,
+            width,
+            &mut scratch.batch_re,
+            &mut scratch.batch_im,
+        );
+        for layer in &self.layers {
+            layer
+                .cells
+                .apply_batch(&mut scratch.batch_re, &mut scratch.batch_im, width);
+            for &(m, ph) in &layer.loose {
+                let s = m * width;
+                let re = &mut scratch.batch_re[s..s + width];
+                let im = &mut scratch.batch_im[s..s + width];
+                for j in 0..width {
+                    let (vr, vi) = (re[j], im[j]);
+                    re[j] = vr * ph.re - vi * ph.im;
+                    im[j] = vr * ph.im + vi * ph.re;
+                }
+            }
+        }
+        soa::apply_phasors_batch(
+            &mut scratch.batch_re,
+            &mut scratch.batch_im,
+            &self.out_re,
+            &self.out_im,
+            width,
+        );
+        soa::unpack_columns(&scratch.batch_re, &scratch.batch_im, self.n, width, batch);
     }
 }
 
@@ -414,8 +668,118 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least 2 modes")]
-    fn rejects_single_mode() {
-        let _ = LayeredMesh::new(1, 4);
+    #[should_panic(expected = "at least 1 mode")]
+    fn rejects_zero_modes() {
+        let _ = LayeredMesh::new(0, 4);
+    }
+
+    #[test]
+    fn single_mode_mesh_is_a_phase_chain() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut mesh = LayeredMesh::universal(1);
+        mesh.randomize_phases(&mut rng);
+        assert_eq!(mesh.coupler_count(), 0);
+        let u = mesh.transfer_matrix();
+        assert!(u.is_unitary(1e-12));
+        let target = haar_unitary(&mut rng, 1);
+        let report = mesh.program_unitary(&target, ProgramOptions::default());
+        assert!(report.fidelity > 1.0 - 1e-9, "got {}", report.fidelity);
+    }
+
+    #[test]
+    fn incremental_sweep_diag_matches_naive_prefix_suffix() {
+        // Replays the bookkeeping of `program_unitary` on a frozen mesh
+        // and checks `diag(Pre · B)` against the O(layers²·n²) rebuild it
+        // replaced, at every layer.
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 5;
+        let mut mesh = LayeredMesh::universal(n);
+        mesh.randomize_phases(&mut rng);
+        mesh.perturb_couplers(&mut rng, 0.08);
+        let target = haar_unitary(&mut rng, n);
+        let t_adj = target.adjoint();
+        let layers = mesh.num_layers();
+
+        let mut pre = CMatrix::identity(n);
+        let mut b = t_adj.clone();
+        LayeredMesh::scale_columns(&mut b, &mesh.output_phases, 1.0);
+        for l in (0..layers).rev() {
+            mesh.apply_coupler_column_right(&mut b, l);
+            if l > 0 {
+                LayeredMesh::scale_columns(&mut b, &mesh.phase_layers[l], 1.0);
+            }
+        }
+        let mut diag = vec![C64::ZERO; n];
+        for l in 0..layers {
+            LayeredMesh::product_diagonal(&pre, &b, &mut diag);
+            let naive = mesh.prefix(l).mul_mat(&t_adj).mul_mat(&mesh.suffix(l));
+            for (k, d) in diag.iter().enumerate() {
+                assert!(
+                    (*d - naive[(k, k)]).abs() < 1e-10,
+                    "layer {l} diag {k}: fast {d:?} vs naive {:?}",
+                    naive[(k, k)]
+                );
+            }
+            LayeredMesh::apply_phase_column(&mut pre, &mesh.phase_layers[l]);
+            mesh.apply_coupler_column(&mut pre, l);
+            mesh.apply_coupler_column_inv_right(&mut b, l);
+            if l + 1 < layers {
+                LayeredMesh::scale_columns(&mut b, &mesh.phase_layers[l + 1], -1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_compiled_apply_matches_transfer_matrix() {
+        let mut rng = StdRng::seed_from_u64(19);
+        for n in [1usize, 2, 3, 6, 9] {
+            let mut mesh = LayeredMesh::universal(n);
+            mesh.randomize_phases(&mut rng);
+            mesh.perturb_couplers(&mut rng, 0.1);
+            let u = mesh.transfer_matrix();
+            let plan = mesh.compile();
+            assert_eq!(plan.modes(), n);
+            assert_eq!(plan.layer_count(), mesh.num_layers());
+            let x: neuropulsim_linalg::CVector = (0..n)
+                .map(|i| C64::new((i as f64 + 0.3).sin(), (i as f64 * 0.9).cos()))
+                .collect();
+            let want = u.mul_vec(&x);
+            let mut got = x.as_slice().to_vec();
+            let mut scratch = MeshScratch::new();
+            plan.apply_in_place(&mut got, &mut scratch);
+            let dist: f64 = got
+                .iter()
+                .zip(want.iter())
+                .map(|(g, w)| (*g - *w).abs())
+                .sum();
+            assert!(dist < 1e-10, "n={n}: fused apply diverges by {dist}");
+        }
+    }
+
+    #[test]
+    fn fused_batch_apply_matches_single_apply_bitwise() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let n = 6;
+        let width = 4;
+        let mut mesh = LayeredMesh::universal(n);
+        mesh.randomize_phases(&mut rng);
+        let plan = mesh.compile();
+        let mut batch: Vec<C64> = (0..n * width)
+            .map(|i| C64::new((i as f64 * 0.41).sin(), (i as f64 * 0.83).cos()))
+            .collect();
+        let mut scratch = MeshScratch::new();
+        let want: Vec<C64> = batch
+            .chunks(n)
+            .flat_map(|col| {
+                let mut v = col.to_vec();
+                plan.apply_in_place(&mut v, &mut scratch);
+                v
+            })
+            .collect();
+        plan.apply_batch(&mut batch, &mut scratch);
+        for (g, w) in batch.iter().zip(&want) {
+            assert_eq!(g.re.to_bits(), w.re.to_bits());
+            assert_eq!(g.im.to_bits(), w.im.to_bits());
+        }
     }
 }

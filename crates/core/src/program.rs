@@ -1,8 +1,9 @@
 //! Mesh programs: an ordered list of programmable 2×2 MZI blocks plus an
 //! output phase screen — the "software" loaded onto an interferometer mesh.
 
+use neuropulsim_linalg::soa::{self, CellColumn, SplitVector};
 use neuropulsim_linalg::{CMatrix, CVector, C64};
-use neuropulsim_photonics::mzi::Mzi;
+use neuropulsim_photonics::mzi::{CompactCell, Mzi};
 
 /// One programmable MZI acting on adjacent modes `(mode, mode + 1)`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,6 +25,13 @@ impl MziBlock {
     /// The ideal 2×2 transfer-matrix elements of this block.
     pub fn elements(&self) -> (C64, C64, C64, C64) {
         Mzi::new(self.theta, self.phi).elements()
+    }
+
+    /// The 2×2 elements when the block is realized as a compacted
+    /// (Bell–Walmsley) cell — the same matrix evaluated through the
+    /// closed form instead of the coupler composition.
+    pub fn compact_elements(&self) -> (C64, C64, C64, C64) {
+        CompactCell::new(self.theta, self.phi).elements()
     }
 }
 
@@ -196,10 +204,37 @@ impl MeshProgram {
         v
     }
 
+    /// The ideal transfer matrix when realized with compacted
+    /// (Bell–Walmsley) cells. Mathematically identical to
+    /// [`MeshProgram::transfer_matrix`]; numerically a different
+    /// evaluation path (closed form per cell).
+    pub fn transfer_matrix_compact(&self) -> CMatrix {
+        let mut u = CMatrix::identity(self.n);
+        for b in &self.blocks {
+            let (a, bb, c, d) = b.compact_elements();
+            u.apply_left_2x2(b.mode, b.mode + 1, a, bb, c, d);
+        }
+        for (i, &p) in self.output_phases.iter().enumerate() {
+            let phase = C64::cis(p);
+            for j in 0..self.n {
+                u[(i, j)] *= phase;
+            }
+        }
+        u
+    }
+
     /// Compiles the program into an execution plan with all per-block
     /// trigonometry evaluated up front.
     pub fn compile(&self) -> CompiledMesh {
         CompiledMesh::new(self)
+    }
+
+    /// Compiles the program as realized with compacted (Bell–Walmsley)
+    /// cells. Same plan structure and apply paths as
+    /// [`MeshProgram::compile`], with each stage's elements evaluated
+    /// through [`MziBlock::compact_elements`].
+    pub fn compile_compact(&self) -> CompiledMesh {
+        CompiledMesh::build(self, |blk| blk.compact_elements())
     }
 }
 
@@ -240,15 +275,24 @@ pub struct CompiledMesh {
     n: usize,
     stages: Vec<CompiledStage>,
     output_phasors: Vec<C64>,
+    /// The same stages re-packed into independent layers (greedy ASAP,
+    /// as [`MeshProgram::depth`]) for the blocked SoA apply path.
+    layers: Vec<CellColumn>,
+    out_re: Vec<f64>,
+    out_im: Vec<f64>,
 }
 
 impl CompiledMesh {
     fn new(program: &MeshProgram) -> Self {
-        let stages = program
+        Self::build(program, |blk| blk.elements())
+    }
+
+    fn build(program: &MeshProgram, elements: impl Fn(&MziBlock) -> (C64, C64, C64, C64)) -> Self {
+        let stages: Vec<CompiledStage> = program
             .blocks
             .iter()
             .map(|blk| {
-                let (a, b, c, d) = blk.elements();
+                let (a, b, c, d) = elements(blk);
                 CompiledStage {
                     mode: blk.mode,
                     a,
@@ -258,11 +302,47 @@ impl CompiledMesh {
                 }
             })
             .collect();
-        let output_phasors = program.output_phases.iter().map(|&p| C64::cis(p)).collect();
+        let output_phasors: Vec<C64> = program.output_phases.iter().map(|&p| C64::cis(p)).collect();
+
+        // Pack stages into layers with the same greedy ASAP schedule as
+        // `MeshProgram::depth`. A stage lands in a later layer than every
+        // earlier stage it shares a mode with, so executing layer by
+        // layer preserves each mode's per-stage operation order — and
+        // stages inside one layer touch disjoint mode pairs, so sorting
+        // them by mode changes no floating-point result.
+        let mut mode_free_at = vec![0usize; program.n];
+        let mut per_layer: Vec<Vec<&CompiledStage>> = Vec::new();
+        for s in &stages {
+            let layer = mode_free_at[s.mode].max(mode_free_at[s.mode + 1]);
+            mode_free_at[s.mode] = layer + 1;
+            mode_free_at[s.mode + 1] = layer + 1;
+            if per_layer.len() <= layer {
+                per_layer.resize_with(layer + 1, Vec::new);
+            }
+            per_layer[layer].push(s);
+        }
+        let layers = per_layer
+            .into_iter()
+            .map(|mut cells| {
+                cells.sort_by_key(|s| s.mode);
+                let mut col = CellColumn::new();
+                for s in cells {
+                    col.push(s.mode as u32, s.a, s.b, s.c, s.d);
+                }
+                col.finish();
+                col
+            })
+            .collect();
+        let (out_re, out_im): (Vec<f64>, Vec<f64>) =
+            output_phasors.iter().map(|p| (p.re, p.im)).unzip();
+
         CompiledMesh {
             n: program.n,
             stages,
             output_phasors,
+            layers,
+            out_re,
+            out_im,
         }
     }
 
@@ -303,6 +383,94 @@ impl CompiledMesh {
         assert_eq!(out.len(), self.n, "apply_into: bad output length");
         out.as_mut_slice().copy_from_slice(input.as_slice());
         self.apply_in_place(out.as_mut_slice());
+    }
+
+    /// Number of independent cell layers in the blocked plan (the
+    /// optical depth of the compiled circuit).
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Applies the mesh in place through the blocked SoA path.
+    ///
+    /// Bit-identical to [`CompiledMesh::apply_in_place`]: the layer
+    /// schedule only reorders stages that touch disjoint modes, and the
+    /// lane arithmetic reproduces scalar `C64` operations exactly (see
+    /// DESIGN.md §11). The win over the per-stage loop is layout — split
+    /// re/im lanes with no interleaving and no store-to-load dependence
+    /// between cells of a layer — which lets the compiler vectorize and
+    /// the core overlap independent cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != modes()`.
+    pub fn apply_blocked_in_place(&self, v: &mut [C64], scratch: &mut MeshScratch) {
+        assert_eq!(
+            v.len(),
+            self.n,
+            "apply_blocked_in_place: dimension mismatch"
+        );
+        scratch.lanes.pack_slice(v);
+        let (re, im) = scratch.lanes.lanes_mut();
+        for layer in &self.layers {
+            layer.apply(re, im);
+        }
+        soa::apply_phasors(re, im, &self.out_re, &self.out_im);
+        scratch.lanes.unpack_into(v);
+    }
+
+    /// Applies the mesh to a batch of vectors stored consecutively
+    /// (`batch[j*n..(j+1)*n]` is vector `j`), each bit-identical to a
+    /// single-vector [`CompiledMesh::apply_in_place`] on that column.
+    ///
+    /// This is the cache-blocked form: each layer's coefficients are
+    /// read once per batch instead of once per vector, so at n=128 the
+    /// ~0.5 MB stage stream is amortized over the whole batch and the
+    /// kernel runs compute-bound. Use it to stream GeMM columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch.len()` is not a non-zero multiple of `modes()`.
+    pub fn apply_blocked_batch(&self, batch: &mut [C64], scratch: &mut MeshScratch) {
+        assert!(
+            !batch.is_empty() && batch.len().is_multiple_of(self.n),
+            "apply_blocked_batch: batch must hold a whole number of vectors"
+        );
+        let width = batch.len() / self.n;
+        soa::pack_columns(
+            batch,
+            self.n,
+            width,
+            &mut scratch.batch_re,
+            &mut scratch.batch_im,
+        );
+        for layer in &self.layers {
+            layer.apply_batch(&mut scratch.batch_re, &mut scratch.batch_im, width);
+        }
+        soa::apply_phasors_batch(
+            &mut scratch.batch_re,
+            &mut scratch.batch_im,
+            &self.out_re,
+            &self.out_im,
+            width,
+        );
+        soa::unpack_columns(&scratch.batch_re, &scratch.batch_im, self.n, width, batch);
+    }
+}
+
+/// Reusable lane buffers for the blocked apply paths; steady-state
+/// callers allocate nothing per application.
+#[derive(Debug, Clone, Default)]
+pub struct MeshScratch {
+    pub(crate) lanes: SplitVector,
+    pub(crate) batch_re: Vec<f64>,
+    pub(crate) batch_im: Vec<f64>,
+}
+
+impl MeshScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        MeshScratch::default()
     }
 }
 
@@ -407,6 +575,104 @@ mod tests {
         let u = p.transfer_matrix();
         assert!(u[(0, 0)].approx_eq(C64::real(-1.0), 1e-12));
         assert!(u[(1, 1)].approx_eq(C64::ONE, 1e-12));
+    }
+
+    fn demo_vector(n: usize, salt: f64) -> Vec<C64> {
+        (0..n)
+            .map(|i| {
+                C64::new(
+                    (i as f64 * 0.61 + salt).sin(),
+                    (i as f64 * 0.37 - salt).cos(),
+                )
+            })
+            .collect()
+    }
+
+    fn demo_program(n: usize, salt: f64) -> MeshProgram {
+        // A Clements-like brick pattern: alternating even/odd columns.
+        let mut blocks = Vec::new();
+        for layer in 0..n {
+            let start = layer % 2;
+            let mut m = start;
+            while m + 1 < n {
+                let t = salt + 0.13 * (layer * n + m) as f64;
+                blocks.push(MziBlock::new(m, t.sin().abs() * PI, t.cos() * PI));
+                m += 2;
+            }
+        }
+        let phases = (0..n).map(|i| (salt + i as f64).sin() * PI).collect();
+        MeshProgram::new(n, blocks, phases)
+    }
+
+    #[test]
+    fn blocked_apply_is_bit_identical_to_per_stage_apply() {
+        for n in [2usize, 3, 5, 8, 16] {
+            let plan = demo_program(n, 0.42).compile();
+            assert!(plan.layer_count() <= n + 1);
+            let mut per_stage = demo_vector(n, 1.7);
+            let mut blocked = per_stage.clone();
+            plan.apply_in_place(&mut per_stage);
+            let mut scratch = MeshScratch::new();
+            plan.apply_blocked_in_place(&mut blocked, &mut scratch);
+            for (b, s) in blocked.iter().zip(&per_stage) {
+                assert_eq!(b.re.to_bits(), s.re.to_bits(), "re bits differ at n={n}");
+                assert_eq!(b.im.to_bits(), s.im.to_bits(), "im bits differ at n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_batch_is_bit_identical_per_column() {
+        let n = 6;
+        let plan = demo_program(n, -0.8).compile();
+        let width = 5;
+        let mut batch: Vec<C64> = (0..width).flat_map(|j| demo_vector(n, j as f64)).collect();
+        let want: Vec<C64> = batch
+            .chunks(n)
+            .flat_map(|col| {
+                let mut v = col.to_vec();
+                plan.apply_in_place(&mut v);
+                v
+            })
+            .collect();
+        let mut scratch = MeshScratch::new();
+        plan.apply_blocked_batch(&mut batch, &mut scratch);
+        for (g, w) in batch.iter().zip(&want) {
+            assert_eq!(g.re.to_bits(), w.re.to_bits());
+            assert_eq!(g.im.to_bits(), w.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_sizes_is_safe() {
+        let mut scratch = MeshScratch::new();
+        for n in [8usize, 3, 12] {
+            let plan = demo_program(n, 0.1).compile();
+            let mut a = demo_vector(n, 0.2);
+            let mut b = a.clone();
+            plan.apply_in_place(&mut a);
+            plan.apply_blocked_in_place(&mut b, &mut scratch);
+            assert_eq!(a, b);
+            let mut batch: Vec<C64> = (0..3).flat_map(|j| demo_vector(n, j as f64)).collect();
+            let want: Vec<C64> = batch
+                .chunks(n)
+                .flat_map(|col| {
+                    let mut v = col.to_vec();
+                    plan.apply_in_place(&mut v);
+                    v
+                })
+                .collect();
+            plan.apply_blocked_batch(&mut batch, &mut scratch);
+            assert_eq!(batch, want);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of vectors")]
+    fn blocked_batch_rejects_ragged_input() {
+        let plan = demo_program(4, 0.0).compile();
+        let mut batch = demo_vector(6, 0.0);
+        plan.apply_blocked_batch(&mut batch, &mut MeshScratch::new());
     }
 
     #[test]

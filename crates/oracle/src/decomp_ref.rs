@@ -4,6 +4,7 @@
 //! No `CompiledMesh` plans, no in-place two-level updates.
 
 use crate::linalg_ref::{mul_mat_ref, mul_vec_ref};
+use neuropulsim_core::layered::LayeredMesh;
 use neuropulsim_core::program::MeshProgram;
 use neuropulsim_linalg::{CMatrix, CVector, C64};
 
@@ -59,4 +60,83 @@ pub fn transfer_matrix_ref(program: &MeshProgram) -> CMatrix {
 /// Panics if `x` does not have one entry per mode.
 pub fn apply_ref(program: &MeshProgram, x: &CVector) -> CVector {
     mul_vec_ref(&transfer_matrix_ref(program), x)
+}
+
+/// Reference 2×2 elements of a compacted (Bell–Walmsley) cell, built by
+/// *numeric composition* of ideal 50:50 coupler matrices —
+/// `C · diag(e^{iθ}, 1) · C · diag(e^{iφ}, 1)` with
+/// `C = (1/√2)·[[1, i], [i, 1]]` — deliberately the opposite evaluation
+/// strategy from the fast path's closed form, so the two derivations
+/// are independent.
+pub fn compact_elements_ref(theta: f64, phi: f64) -> (C64, C64, C64, C64) {
+    let h = C64::real(std::f64::consts::FRAC_1_SQRT_2);
+    let (ca, cb, cc, cd) = (h, h * C64::I, h * C64::I, h);
+    let e_phi = C64::cis(phi);
+    let e_theta = C64::cis(theta);
+    // M1 = C * diag(e^{iφ}, 1); M2 = C * diag(e^{iθ}, 1); T = M2 * M1.
+    let m1 = (ca * e_phi, cb, cc * e_phi, cd);
+    let m2 = (ca * e_theta, cb, cc * e_theta, cd);
+    (
+        m2.0 * m1.0 + m2.1 * m1.2,
+        m2.0 * m1.1 + m2.1 * m1.3,
+        m2.2 * m1.0 + m2.3 * m1.2,
+        m2.2 * m1.1 + m2.3 * m1.3,
+    )
+}
+
+/// Reference transfer matrix of a mesh program realized with compacted
+/// cells: naive dense products of two-level embeddings of
+/// [`compact_elements_ref`], then the output phase screen.
+pub fn compact_transfer_matrix_ref(program: &MeshProgram) -> CMatrix {
+    let n = program.modes();
+    let mut u = CMatrix::identity(n);
+    for block in program.blocks() {
+        let cell = two_level_ref(n, block.mode, compact_elements_ref(block.theta, block.phi));
+        u = mul_mat_ref(&cell, &u);
+    }
+    let mut out = u;
+    for (i, &ph) in program.output_phases().iter().enumerate() {
+        let phase = C64::cis(ph);
+        for j in 0..n {
+            out[(i, j)] *= phase;
+        }
+    }
+    out
+}
+
+/// Dense diagonal phase-column matrix `diag(e^{i·phases})`.
+fn phase_column_ref(phases: &[f64]) -> CMatrix {
+    let mut u = CMatrix::identity(phases.len());
+    for (i, &p) in phases.iter().enumerate() {
+        u[(i, i)] = C64::cis(p);
+    }
+    u
+}
+
+/// Reference transfer matrix of a layered (Fldzhyan) mesh: every phase
+/// column and every individual coupler becomes a full dense matrix and
+/// the result is their naive product, input to output. Coupler `p` of
+/// layer `l` acts on modes `(l % 2 + 2p, l % 2 + 2p + 1)` with the
+/// lossless directional-coupler cell
+/// `[[cos κ, i·sin κ], [i·sin κ, cos κ]]`, honoring any per-coupler
+/// imbalance recorded in the mesh.
+pub fn layered_transfer_matrix_ref(mesh: &LayeredMesh) -> CMatrix {
+    let n = mesh.modes();
+    let mut u = CMatrix::identity(n);
+    for (l, (phases, kappas)) in mesh
+        .phase_layers()
+        .iter()
+        .zip(mesh.coupler_kappas())
+        .enumerate()
+    {
+        u = mul_mat_ref(&phase_column_ref(phases), &u);
+        let offset = l % 2;
+        for (p, &kappa) in kappas.iter().enumerate() {
+            let c = C64::real(kappa.cos());
+            let s = C64::new(0.0, kappa.sin());
+            let cell = two_level_ref(n, offset + 2 * p, (c, s, s, c));
+            u = mul_mat_ref(&cell, &u);
+        }
+    }
+    mul_mat_ref(&phase_column_ref(mesh.output_phases()), &u)
 }

@@ -13,7 +13,9 @@
 
 use crate::{abft_ref, decomp_ref, linalg_ref, pcm_ref, rv32_ref, snn_ref};
 use neuropulsim_core::abft::AbftWeights;
-use neuropulsim_core::program::{MeshProgram, MziBlock};
+use neuropulsim_core::architecture::MeshArchitecture;
+use neuropulsim_core::layered::LayeredMesh;
+use neuropulsim_core::program::{MeshProgram, MeshScratch, MziBlock};
 use neuropulsim_core::{clements, reck};
 use neuropulsim_linalg::parallel::{available_threads, par_map_indexed, split_seed};
 use neuropulsim_linalg::random::haar_unitary;
@@ -28,7 +30,7 @@ use neuropulsim_snn::stdp::StdpRule;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// The seven fast-path domains covered by the harness.
+/// The eight fast-path domains covered by the harness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Domain {
     /// SoA/blocked complex matmul and mat–vec kernels vs the naive
@@ -53,11 +55,16 @@ pub enum Domain {
     /// vs the dense baseline and the eager edge-list reference
     /// simulator (bit-exact).
     SnnSparse,
+    /// The mesh zoo: all four [`MeshArchitecture`]s (Clements, compacted
+    /// Clements, Fldzhyan layered, Reck) vs their dense golden
+    /// reconstructions, plus bit-identity of the blocked/fused apply
+    /// kernels against the per-block path.
+    MeshZoo,
 }
 
 impl Domain {
     /// All domains, in canonical report order.
-    pub fn all() -> [Domain; 7] {
+    pub fn all() -> [Domain; 8] {
         [
             Domain::Matmul,
             Domain::Mesh,
@@ -66,6 +73,7 @@ impl Domain {
             Domain::Snn,
             Domain::Pcm,
             Domain::SnnSparse,
+            Domain::MeshZoo,
         ]
     }
 
@@ -79,6 +87,7 @@ impl Domain {
             Domain::Snn => "snn",
             Domain::Pcm => "pcm",
             Domain::SnnSparse => "snn_sparse",
+            Domain::MeshZoo => "mesh_zoo",
         }
     }
 
@@ -98,6 +107,7 @@ impl Domain {
             Domain::Snn => 0.0,
             Domain::Pcm => 1e-12,
             Domain::SnnSparse => 0.0,
+            Domain::MeshZoo => 1e-8,
         }
     }
 
@@ -111,6 +121,7 @@ impl Domain {
             Domain::Snn => 1,
             Domain::Pcm => 2,
             Domain::SnnSparse => 2,
+            Domain::MeshZoo => 2,
         }
     }
 
@@ -125,6 +136,7 @@ impl Domain {
             Domain::Snn => 24,
             Domain::Pcm => 48,
             Domain::SnnSparse => 28,
+            Domain::MeshZoo => 10,
         }
     }
 
@@ -217,8 +229,7 @@ pub struct ConformanceConfig {
 }
 
 impl ConformanceConfig {
-    /// All six domains with the given seed and case count, no
-    /// injection.
+    /// All domains with the given seed and case count, no injection.
     pub fn new(seed: u64, cases: usize) -> Self {
         ConformanceConfig {
             seed,
@@ -340,6 +351,7 @@ pub fn run_case(
         Domain::Snn => snn_case(case_seed, size_override, inject),
         Domain::Pcm => pcm_case(case_seed, size_override, inject),
         Domain::SnnSparse => snn_sparse_case(case_seed, size_override, inject),
+        Domain::MeshZoo => mesh_zoo_case(case_seed, size_override, inject),
     }
 }
 
@@ -482,6 +494,161 @@ fn mesh_case(case_seed: u64, size_override: Option<usize>, inject: bool) -> Case
             n,
             worst,
             format!("mesh n={n}: {which} error {worst:e} exceeds tol {tol:e}"),
+        );
+    }
+    CaseOutcome::pass(n, worst)
+}
+
+// -------------------------------------------------------------- mesh zoo
+
+/// Worst absolute entry error between a raw buffer and a golden vector.
+fn max_slice_error(a: &[C64], golden: &CVector) -> f64 {
+    let mut worst = 0.0f64;
+    for (i, &v) in a.iter().enumerate() {
+        worst = worst.max((v - golden[i]).abs());
+    }
+    worst
+}
+
+/// Bit-for-bit equality of two complex buffers.
+fn bits_equal(a: &[C64], b: &[C64]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits())
+}
+
+/// Named error legs plus an optional bit-identity failure.
+type ZooLegs = (Vec<(&'static str, f64)>, Option<(&'static str, f64)>);
+
+/// One mesh-zoo case: draw an architecture, realize a mesh on it,
+/// compare the fast transfer matrix and the blocked/fused apply kernel
+/// against the dense golden reconstruction, and require the blocked
+/// kernel to be *bit-identical* to the per-block path (batch vs single
+/// apply for the layered mesh, which has no per-block compiled path).
+fn mesh_zoo_case(case_seed: u64, size_override: Option<usize>, inject: bool) -> CaseOutcome {
+    let mut rng = StdRng::seed_from_u64(case_seed);
+    let n = draw_size(&mut rng, Domain::MeshZoo, size_override);
+    let tol = Domain::MeshZoo.tolerance();
+    let arch = MeshArchitecture::ALL[rng.gen_range(0..MeshArchitecture::ALL.len())];
+    let x = random_cvector(&mut rng, n);
+    let mut scratch = MeshScratch::new();
+
+    let (legs, bit_failure): ZooLegs = match arch {
+        MeshArchitecture::Clements | MeshArchitecture::Reck => {
+            let target = haar_unitary(&mut rng, n);
+            let program = if arch == MeshArchitecture::Reck {
+                reck::decompose(&target)
+            } else {
+                clements::decompose(&target)
+            };
+            let golden_u = decomp_ref::transfer_matrix_ref(&program);
+            let golden_y = linalg_ref::mul_vec_ref(&golden_u, &x);
+            let compiled = program.compile();
+            let mut per_block: Vec<C64> = x.as_slice().to_vec();
+            compiled.apply_in_place(&mut per_block);
+            let mut blocked: Vec<C64> = x.as_slice().to_vec();
+            compiled.apply_blocked_in_place(&mut blocked, &mut scratch);
+            if inject {
+                blocked[0] += C64::new(100.0 * tol, 0.0);
+            }
+            let e_u = linalg_ref::max_entry_error(&program.transfer_matrix(), &golden_u);
+            let e_round = linalg_ref::max_entry_error(&golden_u, &target);
+            let e_blocked = max_slice_error(&blocked, &golden_y);
+            let bits = (!bits_equal(&per_block, &blocked))
+                .then(|| ("blocked apply", max_slice_error(&blocked, &golden_y)));
+            (
+                vec![
+                    ("transfer_matrix", e_u),
+                    ("decompose round-trip", e_round),
+                    ("blocked apply", e_blocked),
+                ],
+                bits,
+            )
+        }
+        MeshArchitecture::ClementsCompact => {
+            let target = haar_unitary(&mut rng, n);
+            let program = clements::decompose(&target);
+            let golden_u = decomp_ref::compact_transfer_matrix_ref(&program);
+            let golden_y = linalg_ref::mul_vec_ref(&golden_u, &x);
+            let compiled = program.compile_compact();
+            let mut per_block: Vec<C64> = x.as_slice().to_vec();
+            compiled.apply_in_place(&mut per_block);
+            let mut blocked: Vec<C64> = x.as_slice().to_vec();
+            compiled.apply_blocked_in_place(&mut blocked, &mut scratch);
+            if inject {
+                blocked[0] += C64::new(100.0 * tol, 0.0);
+            }
+            let fast_u = program.transfer_matrix_compact();
+            let e_u = linalg_ref::max_entry_error(&fast_u, &golden_u);
+            // A compacted mesh must realize the same matrix as the
+            // plain rectangular mesh for the same program.
+            let e_equiv = linalg_ref::max_entry_error(&fast_u, &program.transfer_matrix());
+            let e_blocked = max_slice_error(&blocked, &golden_y);
+            let bits = (!bits_equal(&per_block, &blocked)).then(|| {
+                (
+                    "blocked compact apply",
+                    max_slice_error(&blocked, &golden_y),
+                )
+            });
+            (
+                vec![
+                    ("transfer_matrix_compact", e_u),
+                    ("compact-vs-plain equivalence", e_equiv),
+                    ("blocked compact apply", e_blocked),
+                ],
+                bits,
+            )
+        }
+        MeshArchitecture::Fldzhyan => {
+            let mut mesh = LayeredMesh::universal(n);
+            mesh.randomize_phases(&mut rng);
+            mesh.perturb_couplers(&mut rng, 0.1);
+            let golden_u = decomp_ref::layered_transfer_matrix_ref(&mesh);
+            let golden_y = linalg_ref::mul_vec_ref(&golden_u, &x);
+            let compiled = mesh.compile();
+            let mut fused: Vec<C64> = x.as_slice().to_vec();
+            compiled.apply_in_place(&mut fused, &mut scratch);
+            if inject {
+                fused[0] += C64::new(100.0 * tol, 0.0);
+            }
+            // Batch apply on two copies must match the single-vector
+            // path bit-for-bit, column by column.
+            let mut batch: Vec<C64> = x.as_slice().to_vec();
+            batch.extend_from_slice(x.as_slice());
+            compiled.apply_batch(&mut batch, &mut scratch);
+            let e_u = linalg_ref::max_entry_error(&mesh.transfer_matrix(), &golden_u);
+            let e_fused = max_slice_error(&fused, &golden_y);
+            let bits = (!bits_equal(&batch[..n], &fused) || !bits_equal(&batch[n..], &fused))
+                .then(|| ("fused batch apply", max_slice_error(&batch[..n], &golden_y)));
+            (
+                vec![
+                    ("LayeredMesh::transfer_matrix", e_u),
+                    ("fused apply", e_fused),
+                ],
+                bits,
+            )
+        }
+    };
+
+    let worst = legs.iter().map(|l| l.1).fold(0.0f64, f64::max);
+    if let Some((what, e_bits)) = bit_failure {
+        let worst = worst.max(e_bits);
+        return CaseOutcome::diverged(
+            n,
+            worst,
+            format!("mesh_zoo n={n} {}: {what} not bit-identical to the per-block path (error {worst:e})", arch.name()),
+        );
+    }
+    if worst > tol {
+        let which = legs.iter().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap().0;
+        return CaseOutcome::diverged(
+            n,
+            worst,
+            format!(
+                "mesh_zoo n={n} {}: {which} error {worst:e} exceeds tol {tol:e}",
+                arch.name()
+            ),
         );
     }
     CaseOutcome::pass(n, worst)

@@ -136,6 +136,49 @@ impl Default for Mzi {
     }
 }
 
+/// A compacted 2×2 cell in the style of Bell & Walmsley (*APL Photonics*
+/// 6, 070804, 2021): the same unitary as a full [`Mzi`], realized in a
+/// shorter physical cell (single-section symmetric drive), so depth and
+/// loss shrink while the programming model is unchanged.
+///
+/// `elements()` evaluates the Clements closed form
+/// `i e^{iθ/2} [[e^{iφ} sin(θ/2), cos(θ/2)], [e^{iφ} cos(θ/2), -sin(θ/2)]]`
+/// directly — mathematically identical to the ideal [`Mzi`]'s
+/// coupler-composition, so a compacted mesh realizes the *same matrix*
+/// as its rectangular source program (verified to 1e-12 in
+/// `tests/mesh_zoo_props.rs`). Footprint/energy differences are modeled
+/// in `neuropulsim-core`'s footprint report, not here.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompactCell {
+    /// Internal phase \[rad\].
+    pub theta: f64,
+    /// External phase on the top input arm \[rad\].
+    pub phi: f64,
+}
+
+impl CompactCell {
+    /// Creates a compact cell.
+    pub fn new(theta: f64, phi: f64) -> Self {
+        CompactCell { theta, phi }
+    }
+
+    /// The four elements `(a, b, c, d)` of the 2×2 transfer matrix.
+    pub fn elements(&self) -> (C64, C64, C64, C64) {
+        let half = self.theta / 2.0;
+        let g = C64::I * C64::cis(half);
+        let s = C64::real(half.sin());
+        let c = C64::real(half.cos());
+        let e = C64::cis(self.phi);
+        (g * e * s, g * c, g * e * c, -(g * s))
+    }
+
+    /// The full 2×2 transfer matrix.
+    pub fn transfer_matrix(&self) -> CMatrix {
+        let (a, b, c, d) = self.elements();
+        CMatrix::from_rows(2, 2, &[a, b, c, d])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,5 +255,20 @@ mod tests {
         let m = Mzi::default();
         assert!((m.cross_power() - 1.0).abs() < 1e-12);
         assert!(m.is_ideal());
+    }
+
+    #[test]
+    fn compact_cell_matches_ideal_mzi() {
+        for theta in [0.0, 0.4, FRAC_PI_2, 2.2, PI] {
+            for phi in [0.0, -1.3, 0.9, PI] {
+                let compact = CompactCell::new(theta, phi).transfer_matrix();
+                let full = Mzi::new(theta, phi).transfer_matrix();
+                assert!(
+                    compact.approx_eq(&full, 1e-12),
+                    "theta={theta} phi={phi}:\n{compact}\nvs\n{full}"
+                );
+                assert!(compact.is_unitary(1e-12));
+            }
+        }
     }
 }

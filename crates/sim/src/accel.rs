@@ -130,6 +130,31 @@ impl Default for PcmDriftModel {
     }
 }
 
+impl PcmDriftModel {
+    /// Bridges this device-level drift model into a mesh
+    /// calibration-under-drift campaign
+    /// ([`neuropulsim_core::calibrate::drift_campaign_all`]): the PCM
+    /// coefficients (`nu`, `levels`) carry over, the campaign adds the
+    /// mesh-side parameters (fabrication imbalance, step cadence,
+    /// recalibration threshold) from
+    /// [`DriftCampaignConfig::default`](neuropulsim_core::calibrate::DriftCampaignConfig).
+    pub fn campaign_config(
+        &self,
+        steps: usize,
+        seconds_per_step: f64,
+        retain_frac: f64,
+    ) -> neuropulsim_core::calibrate::DriftCampaignConfig {
+        neuropulsim_core::calibrate::DriftCampaignConfig {
+            levels: self.levels.max(2),
+            nu: self.nu,
+            seconds_per_step,
+            steps,
+            retain_frac,
+            ..Default::default()
+        }
+    }
+}
+
 /// The accelerator device state.
 #[derive(Debug, Clone)]
 pub struct AccelDevice {

@@ -11,7 +11,7 @@ another.
 
 Usage:
     check_perf.py BASELINE.json CURRENT.json [--max-regression 0.10]
-                  [--allow-missing]
+                  [--allow-missing] [--floor KEY:MIN ...]
 
 Measurement ids present only in the current report are listed but do not
 fail the gate (they appear when a bench adds cases). Baseline ids
@@ -19,6 +19,12 @@ fail the gate (they appear when a bench adds cases). Baseline ids
 renaming a hot-path probe must not silently pass. Pass
 ``--allow-missing`` when retiring a measurement on purpose (and commit a
 refreshed baseline in the same change).
+
+``--floor KEY:MIN`` (repeatable) additionally requires the *current*
+report's ``derived[KEY]`` to parse as a number >= MIN — an absolute
+quality gate on top of the relative regression check (e.g. the blocked
+apply speedup at n=128 must stay above its acceptance floor regardless
+of how the baseline moves).
 """
 
 import argparse
@@ -26,7 +32,7 @@ import json
 import sys
 
 
-def load_norms(path):
+def load_report(path):
     with open(path) as f:
         doc = json.load(f)
     if doc.get("schema") != "neuropulsim-bench/v1":
@@ -35,7 +41,42 @@ def load_norms(path):
         # --profile runs skip calibration, so their norms are raw
         # nanoseconds — meaningless against a calibrated baseline.
         sys.exit(f"{path}: profile-mode report (uncalibrated), refusing to gate on it")
-    return {m["id"]: m["norm"] for m in doc["measurements"]}
+    return doc
+
+
+def load_norms(path):
+    return {m["id"]: m["norm"] for m in load_report(path)["measurements"]}
+
+
+def parse_floor(spec):
+    key, sep, minimum = spec.rpartition(":")
+    if not sep or not key:
+        sys.exit(f"--floor {spec!r}: expected KEY:MIN")
+    try:
+        return key, float(minimum)
+    except ValueError:
+        sys.exit(f"--floor {spec!r}: MIN must be a number")
+
+
+def check_floors(current_path, floors):
+    """Absolute minimums on the current report's derived values."""
+    derived = load_report(current_path).get("derived", {})
+    failures = []
+    for key, minimum in floors:
+        raw = derived.get(key)
+        if raw is None:
+            failures.append(f"derived key {key!r} absent from current report")
+            continue
+        try:
+            value = float(raw)
+        except (TypeError, ValueError):
+            failures.append(f"derived[{key!r}] = {raw!r} is not numeric")
+            continue
+        verdict = "BELOW FLOOR" if value < minimum else "ok"
+        print(f"floor {key}: {value} (min {minimum}) {verdict}")
+        if value < minimum:
+            failures.append(f"derived[{key!r}] = {value} below floor {minimum}")
+    return failures
 
 
 def main():
@@ -54,7 +95,19 @@ def main():
         help="tolerate baseline ids absent from the current report "
         "(use when deliberately retiring a measurement)",
     )
+    ap.add_argument(
+        "--floor",
+        action="append",
+        default=[],
+        metavar="KEY:MIN",
+        help="require the current report's derived[KEY] >= MIN "
+        "(repeatable; absolute gate independent of the baseline)",
+    )
     args = ap.parse_args()
+
+    floor_failures = check_floors(args.current, [parse_floor(s) for s in args.floor])
+    if floor_failures:
+        sys.exit("; ".join(floor_failures))
 
     base = load_norms(args.baseline)
     cur = load_norms(args.current)

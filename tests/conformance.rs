@@ -11,9 +11,9 @@
 use neuropulsim::oracle::harness::{run_case, run_conformance, ConformanceConfig, Domain};
 
 #[test]
-fn all_seven_domains_conform_on_a_seeded_campaign() {
+fn all_eight_domains_conform_on_a_seeded_campaign() {
     let report = run_conformance(&ConformanceConfig::new(42, 60));
-    assert_eq!(report.domains.len(), 7, "every domain must be covered");
+    assert_eq!(report.domains.len(), 8, "every domain must be covered");
     assert_eq!(
         report.total_divergences,
         0,

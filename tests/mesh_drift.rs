@@ -1,0 +1,85 @@
+//! Calibration-under-drift acceptance: a seeded PCM drift ramp on
+//! n = 64 meshes of every topology, where the recalibration loop must
+//! keep post-recalibration fidelity above the documented floor
+//! (`retain_frac` × stored fidelity), drift must be *visible* between
+//! recalibrations, and the whole campaign must be byte-identical at
+//! `NEUROPULSIM_THREADS=1` and `=4` worker settings.
+
+use neuropulsim::core::architecture::MeshArchitecture;
+use neuropulsim::core::calibrate::{drift_campaign_all, DriftCampaignConfig};
+use neuropulsim::core::layered::ProgramOptions;
+
+fn campaign_config() -> DriftCampaignConfig {
+    DriftCampaignConfig {
+        nu: 2e-3,
+        steps: 32,
+        seconds_per_step: 10.0,
+        polish: ProgramOptions {
+            max_sweeps: 12,
+            tol: 1e-10,
+        },
+        ..DriftCampaignConfig::default()
+    }
+}
+
+#[test]
+fn drift_ramp_holds_the_fidelity_floor_for_every_topology() {
+    let cfg = campaign_config();
+    let traces = drift_campaign_all(64, &cfg, 42, 2);
+    assert_eq!(traces.len(), MeshArchitecture::ALL.len());
+
+    for t in &traces {
+        assert_eq!(t.n, 64);
+        assert_eq!(t.steps, cfg.steps);
+        // The documented floor: recalibration may never leave the mesh
+        // below retain_frac of its freshly-stored fidelity.
+        assert!(
+            t.min_fidelity >= t.floor - 1e-12,
+            "{}: post-recal fidelity {} fell below floor {}",
+            t.arch,
+            t.min_fidelity,
+            t.floor
+        );
+        // Drift must actually bite between recalibrations, otherwise
+        // the campaign proves nothing.
+        assert!(
+            t.worst_excursion < t.stored_fidelity - 1e-5,
+            "{}: drift invisible (worst excursion {} vs stored {})",
+            t.arch,
+            t.worst_excursion,
+            t.stored_fidelity
+        );
+        // Same samples, so mean >= min up to summation rounding.
+        assert!(t.mean_fidelity >= t.min_fidelity - 1e-12);
+        assert!(t.fresh_fidelity > 0.5, "{}: {}", t.arch, t.fresh_fidelity);
+    }
+
+    // The paper's error-tolerance claim, measurable: the layered
+    // Fldzhyan mesh reprograms around coupler imbalance, so it starts
+    // higher and recalibrates no more often than Clements.
+    let by_arch = |a: MeshArchitecture| traces.iter().find(|t| t.arch == a).unwrap();
+    let fld = by_arch(MeshArchitecture::Fldzhyan);
+    let cle = by_arch(MeshArchitecture::Clements);
+    assert!(
+        fld.fresh_fidelity > cle.fresh_fidelity,
+        "layered mesh should out-tolerate imbalance: {} vs {}",
+        fld.fresh_fidelity,
+        cle.fresh_fidelity
+    );
+    assert!(fld.recalibrations <= cle.recalibrations);
+}
+
+#[test]
+fn drift_campaign_is_byte_identical_across_thread_counts() {
+    let cfg = campaign_config();
+    let one = drift_campaign_all(64, &cfg, 42, 1);
+    let four = drift_campaign_all(64, &cfg, 42, 4);
+    // DriftTrace is Copy + PartialEq over f64 fields; equality here is
+    // exact, i.e. byte-identical results.
+    assert_eq!(one, four, "campaign results depend on thread count");
+    for (a, b) in one.iter().zip(&four) {
+        assert_eq!(a.min_fidelity.to_bits(), b.min_fidelity.to_bits());
+        assert_eq!(a.mean_fidelity.to_bits(), b.mean_fidelity.to_bits());
+        assert_eq!(a.final_fidelity.to_bits(), b.final_fidelity.to_bits());
+    }
+}
